@@ -1,0 +1,170 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+Not tied to a single paper claim; these sweeps quantify the knobs the
+implementation exposes so downstream users can size deployments:
+
+- buffer capacity (eviction pressure vs stable-state reconstruction cost);
+- group commit (forces per transaction vs durability batching);
+- LWM broadcast frequency (messages vs {LSNin} growth);
+- snapshot retention (history bytes vs how far back readers may look).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_unbundled, load_keys, series
+from repro.common.config import DcConfig, TcConfig
+
+N = 300
+
+
+@pytest.mark.benchmark(group="ablate-buffer")
+@pytest.mark.parametrize("capacity", [8, 64, 1024])
+def test_ablate_buffer_capacity(benchmark, capacity):
+    """Small caches force evictions + reloads through the stable-state
+    loader (disk + DC-log replay) — correct but measurably slower."""
+
+    def run():
+        kernel = fresh_unbundled(
+            dc=DcConfig(page_size=512, buffer_capacity=capacity)
+        )
+        load_keys(kernel, N)
+        kernel.tc.broadcast_eosl()
+        with kernel.begin() as txn:
+            assert len(txn.scan("t")) == N
+        return kernel
+
+    kernel = benchmark.pedantic(run, rounds=1, iterations=1)
+    metrics = kernel.metrics
+    series(
+        "ABLATE buffer",
+        capacity=capacity,
+        evictions=metrics.get("buffer.evictions"),
+        misses=metrics.get("buffer.misses"),
+        flushes=metrics.get("buffer.flushes"),
+    )
+
+
+@pytest.mark.benchmark(group="ablate-group-commit")
+@pytest.mark.parametrize("group_size", [1, 8, 32])
+def test_ablate_group_commit(benchmark, group_size):
+    """Batching commits amortizes log forces (durability is batched too —
+    the classic trade, now spanning the TC/DC message boundary)."""
+
+    def run():
+        kernel = fresh_unbundled(tc=TcConfig(group_commit_size=group_size))
+        load_keys(kernel, N)
+        return kernel
+
+    kernel = benchmark.pedantic(run, rounds=1, iterations=1)
+    forces = kernel.metrics.get("tclog.forces")
+    series(
+        "ABLATE group-commit",
+        group_size=group_size,
+        commits=N,
+        log_forces=forces,
+        forces_per_commit=round(forces / N, 3),
+    )
+    if group_size > 1:
+        assert forces < N
+
+
+@pytest.mark.benchmark(group="ablate-lwm")
+@pytest.mark.parametrize("interval", [1, 16, 256])
+def test_ablate_lwm_interval(benchmark, interval):
+    """Frequent LWMs shrink page {LSNin} sets at a message cost."""
+
+    def run():
+        kernel = fresh_unbundled(
+            dc=DcConfig(page_size=1024), tc=TcConfig(lwm_interval=interval)
+        )
+        load_keys(kernel, N)
+        return kernel
+
+    kernel = benchmark.pedantic(run, rounds=1, iterations=1)
+    structure = kernel.dc.table("t").structure
+    pending = sum(
+        structure._fetch(page_id).pending_lsn_count()
+        for page_id in structure.leaf_ids()
+    )
+    series(
+        "ABLATE lwm",
+        interval=interval,
+        lwm_broadcasts=kernel.metrics.get("tc.lwm_broadcasts"),
+        pending_lsns_left=pending,
+    )
+
+
+@pytest.mark.benchmark(group="ablate-pipeline")
+@pytest.mark.parametrize("deferred", [False, True])
+def test_ablate_pipelined_vs_synchronous(benchmark, deferred):
+    """Pipelining batches the reply waits; under simulated WAN latency the
+    per-transaction simulated time difference is the point."""
+    from repro.common.config import ChannelConfig
+
+    def run():
+        kernel = fresh_unbundled(
+            channel=ChannelConfig(latency_ms=1.0),
+        )
+        with kernel.begin() as txn:
+            for key in range(50):
+                txn.insert("t", key, key, deferred=deferred)
+            if deferred:
+                txn.sync()
+        return kernel
+
+    kernel = benchmark.pedantic(run, rounds=1, iterations=1)
+    # Message count (and hence simulated transfer time) is identical; what
+    # pipelining removes is the per-operation reply *wait* — 50 inline
+    # waits collapse into one sync point.
+    sim_ms = sum(c.sim_time_ms for c in kernel.tc.channels().values())
+    series(
+        "ABLATE pipeline",
+        deferred=deferred,
+        sim_transfer_ms=round(sim_ms, 1),
+        inline_reply_waits=0 if deferred else 50,
+        sync_points=kernel.metrics.get("tc.pipeline_syncs"),
+        deferred_ops=kernel.metrics.get("tc.deferred_mutations"),
+    )
+
+
+def test_ablate_snapshot_retention_space():
+    """Version history costs page bytes proportional to churn kept."""
+    rows = []
+    for retention in (0, 8, 128):
+        kernel = fresh_unbundled(
+            dc=DcConfig(
+                page_size=4096,
+                snapshot_retention=retention,
+                snapshot_max_versions=32,
+            )
+        )
+        kernel.dc.create_table("v", versioned=True)
+        kernel.tc.refresh_routes(kernel.dc)
+        with kernel.begin() as txn:
+            for key in range(20):
+                txn.insert("v", key, "v0")
+        for round_index in range(10):
+            with kernel.begin() as txn:
+                for key in range(20):
+                    txn.update("v", key, f"v{round_index + 1}")
+        structure = kernel.dc.table("v").structure
+        history_entries = sum(
+            len(record.history) for record in structure.iter_range(None, None)
+        )
+        bytes_used = sum(
+            structure._fetch(page_id).used_bytes()
+            for page_id in structure.leaf_ids()
+        )
+        rows.append((retention, history_entries, bytes_used))
+    for retention, entries, bytes_used in rows:
+        series(
+            "ABLATE snapshot-retention",
+            retention=retention,
+            history_entries=entries,
+            page_bytes=bytes_used,
+        )
+    assert rows[0][1] == 0  # retention 0 keeps no history
+    assert rows[2][1] >= rows[1][1]  # larger windows keep at least as much
+    assert rows[2][2] > rows[0][2]  # and pay page space for it

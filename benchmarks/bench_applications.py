@@ -1,0 +1,118 @@
+"""APP — application-level throughput on the unbundled kernel.
+
+The paper's Section 2 motivates unbundling with Web 2.0 applications;
+these benchmarks time the three bundled applications end to end —
+photo sharing (heterogeneous access methods + referential integrity),
+the RDF triple store (three clustered orderings per assertion), and the
+secondary-index schema layer (index maintenance riding the transaction).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import series
+from repro import UnbundledKernel
+from repro.schema import Schema
+from repro.workloads.photo_sharing import PhotoSharingApp
+from repro.workloads.rdf_store import TripleStore
+
+
+@pytest.mark.benchmark(group="app-photo")
+def test_app_photo_review_flow(benchmark):
+    app = PhotoSharingApp()
+    app.register_user("ada", {"name": "Ada"})
+    app.upload_photo("p0", "ada", {"title": "Seed"}, ["seed"])
+    counter = {"n": 0}
+
+    def review():
+        # one registration + one multi-table review transaction per round
+        counter["n"] += 1
+        user = f"u{counter['n']}"
+        app.register_user(user, {"name": user})
+        app.review_photo("p0", user, f"great shot number {counter['n']}", 5)
+
+    benchmark(review)
+    series(
+        "APP photo",
+        reviews=counter["n"],
+        phrase_entries=len(app.photos_matching_phrase("great shot")),
+    )
+
+
+@pytest.mark.benchmark(group="app-rdf")
+def test_app_rdf_assertion(benchmark):
+    store = TripleStore()
+    counter = {"n": 0}
+
+    def assert_triple():
+        counter["n"] += 1
+        store.add(f"s{counter['n']}", "p", f"o{counter['n'] % 10}")
+
+    benchmark(assert_triple)
+    series("APP rdf-assert", triples=store.count())
+
+
+@pytest.mark.benchmark(group="app-rdf")
+def test_app_rdf_pattern_query(benchmark):
+    store = TripleStore()
+    store.add_all(
+        [(f"s{i}", f"p{i % 5}", f"o{i % 10}") for i in range(200)]
+    )
+
+    def query():
+        return store.match(None, "p3", None)
+
+    rows = benchmark(query)
+    assert len(rows) == 40
+    series("APP rdf-query", matched=len(rows))
+
+
+@pytest.mark.benchmark(group="app-schema")
+def test_app_schema_indexed_insert(benchmark):
+    kernel = UnbundledKernel()
+    schema = Schema(kernel)
+    table = schema.table(
+        "users",
+        indexes={
+            "by_email": lambda key, value: value["email"],
+            "by_age": lambda key, value: value["age"],
+        },
+        unique={"by_email"},
+    )
+    counter = {"n": 0}
+
+    def indexed_insert():
+        counter["n"] += 1
+        with kernel.begin() as txn:
+            table.insert(
+                txn,
+                counter["n"],
+                {"email": f"user{counter['n']}@x.org", "age": counter["n"] % 90},
+            )
+
+    benchmark(indexed_insert)
+    with kernel.begin() as txn:
+        table.verify_indexes(txn)
+    series("APP schema", rows=counter["n"], indexes=2)
+
+
+@pytest.mark.benchmark(group="app-schema")
+def test_app_schema_index_lookup(benchmark):
+    kernel = UnbundledKernel()
+    schema = Schema(kernel)
+    table = schema.table(
+        "users", indexes={"by_age": lambda key, value: value["age"]}
+    )
+    with kernel.begin() as txn:
+        for key in range(200):
+            table.insert(txn, key, {"age": key % 90})
+
+    def lookup():
+        with kernel.begin() as txn:
+            return table.lookup(txn, "by_age", 30)
+
+    keys = benchmark(lookup)
+    expected = len([k for k in range(200) if k % 90 == 30])
+    assert len(keys) == expected
+    series("APP schema-lookup", hits=len(keys))

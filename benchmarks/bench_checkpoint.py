@@ -1,0 +1,103 @@
+"""E-CKPT — contract termination / RSSP advancement (Section 4.2).
+
+Series regenerated: redo work at restart as a function of checkpoint
+interval, plus the checkpoint's own cost (flushes forced at the DC).  The
+expected shape: redo volume falls linearly with checkpoint frequency while
+each checkpoint pays a burst of page flushes — the classic trade-off, here
+negotiated across the TC/DC boundary with explicit messages.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_unbundled, series
+
+TOTAL_TXNS = 240
+
+
+def run_with_interval(interval: int | None):
+    kernel = fresh_unbundled(page_size=1024)
+    flushes_in_checkpoints = 0
+    for index in range(TOTAL_TXNS):
+        with kernel.begin() as txn:
+            txn.insert("t", index, f"value-{index:05d}")
+        if interval is not None and (index + 1) % interval == 0:
+            before = kernel.metrics.get("buffer.flushes")
+            assert kernel.checkpoint()
+            flushes_in_checkpoints += kernel.metrics.get("buffer.flushes") - before
+    kernel.crash_tc()
+    stats = kernel.recover_tc()
+    return kernel, stats, flushes_in_checkpoints
+
+
+@pytest.mark.benchmark(group="eckpt-redo")
+@pytest.mark.parametrize("interval", [None, 120, 30])
+def test_eckpt_redo_vs_interval(benchmark, interval):
+    def run():
+        return run_with_interval(interval)
+
+    kernel, stats, checkpoint_flushes = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+    with kernel.begin() as txn:
+        assert len(txn.scan("t")) == TOTAL_TXNS
+    benchmark.extra_info.update(
+        {"redo_ops": stats["redo_ops"], "checkpoint_flushes": checkpoint_flushes}
+    )
+    series(
+        "E-CKPT",
+        interval=interval if interval is not None else "never",
+        redo_ops=stats["redo_ops"],
+        rssp=stats["rssp"],
+        checkpoint_flushes=checkpoint_flushes,
+    )
+
+
+def test_eckpt_redo_monotone_in_interval():
+    results = {}
+    for interval in (None, 120, 30):
+        _k, stats, _f = run_with_interval(interval)
+        results[interval] = stats["redo_ops"]
+    series(
+        "E-CKPT monotonicity",
+        never=results[None],
+        every_120=results[120],
+        every_30=results[30],
+    )
+    assert results[30] <= results[120] <= results[None]
+    assert results[30] < results[None] / 3
+
+
+@pytest.mark.benchmark(group="eckpt-cost")
+def test_eckpt_checkpoint_cost(benchmark):
+    """The cost of one checkpoint on a dirty cache."""
+    kernel = fresh_unbundled(page_size=1024)
+    for index in range(TOTAL_TXNS):
+        with kernel.begin() as txn:
+            txn.insert("t", index, f"value-{index:05d}")
+
+    def checkpoint():
+        return kernel.checkpoint()
+
+    ok = benchmark.pedantic(checkpoint, rounds=1, iterations=1)
+    assert ok
+    series(
+        "E-CKPT cost",
+        flushes=kernel.metrics.get("buffer.flushes"),
+        rssp=kernel.tc.rssp,
+    )
+
+
+def test_eckpt_terminated_contract_not_resent():
+    """After RSSP advances past an operation, restart never resends it —
+    the idempotence guarantee has been formally released."""
+    kernel = fresh_unbundled(page_size=1024)
+    with kernel.begin() as txn:
+        txn.insert("t", 1, "early")
+    kernel.checkpoint()
+    rssp = kernel.tc.rssp
+    kernel.crash_tc()
+    stats = kernel.recover_tc()
+    series("E-CKPT termination", rssp=rssp, redo_ops=stats["redo_ops"])
+    assert stats["redo_ops"] == 0

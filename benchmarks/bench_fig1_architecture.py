@@ -1,0 +1,131 @@
+"""FIG1 — unbundled TC+DC vs the monolithic baseline (Figure 1, Section 7).
+
+The paper concedes "our unbundling approach inevitably has longer code
+paths" and bets the flexibility is worth it.  This experiment quantifies
+the concession: identical OLTP work through both engines, reporting
+throughput plus the *mechanism counts* that explain the gap — messages,
+probe round trips, undo-info reads, locks, log bytes.  The expected shape:
+the monolithic engine wins on raw single-node ops/s; the unbundled kernel
+pays one message per operation plus fetch-ahead probes, and sends zero
+messages in the monolithic case by definition.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_monolithic, fresh_unbundled, load_keys, series
+from repro.workloads.generator import OltpMix, WorkloadRunner
+
+TXNS = 150
+MIX = OltpMix(updates=0.4, inserts=0.1, ops_per_txn=4)
+
+
+def run_workload(engine):
+    runner = WorkloadRunner(engine.begin, "t", keyspace=300, mix=MIX, seed=7)
+    return runner.run(TXNS)
+
+
+@pytest.mark.benchmark(group="fig1-oltp")
+def test_fig1_unbundled_oltp(benchmark):
+    kernel = fresh_unbundled()
+    load_keys(kernel, 300)
+
+    def run():
+        return run_workload(kernel)
+
+    stats = benchmark(run)
+    counters = kernel.metrics.counters()
+    benchmark.extra_info.update(
+        {
+            "messages": counters.get("channel.requests", 0),
+            "probes": counters.get("tc.probes", 0),
+            "undo_info_reads": counters.get("tc.undo_info_reads", 0),
+            "locks": counters.get("locks.granted", 0),
+            "log_bytes": counters.get("tclog.bytes", 0),
+        }
+    )
+    series(
+        "FIG1 unbundled",
+        txns_per_s=round(stats.txns_per_second),
+        messages=counters.get("channel.requests", 0),
+        probes=counters.get("tc.probes", 0),
+        undo_info_reads=counters.get("tc.undo_info_reads", 0),
+        locks=counters.get("locks.granted", 0),
+    )
+
+
+@pytest.mark.benchmark(group="fig1-oltp")
+def test_fig1_monolithic_oltp(benchmark):
+    engine = fresh_monolithic()
+    load_keys(engine, 300)
+
+    def run():
+        return run_workload(engine)
+
+    stats = benchmark(run)
+    counters = engine.metrics.counters()
+    benchmark.extra_info.update(
+        {
+            "messages": counters.get("channel.requests", 0),
+            "locks": counters.get("locks.granted", 0),
+            "log_bytes": counters.get("mono.log_bytes", 0),
+        }
+    )
+    series(
+        "FIG1 monolithic",
+        txns_per_s=round(stats.txns_per_second),
+        messages=counters.get("channel.requests", 0),
+        probes=0,
+        undo_info_reads=0,
+        locks=counters.get("locks.granted", 0),
+    )
+
+
+@pytest.mark.benchmark(group="fig1-reads")
+def test_fig1_unbundled_point_reads(benchmark):
+    kernel = fresh_unbundled()
+    load_keys(kernel, 300)
+
+    def reads():
+        with kernel.begin() as txn:
+            for key in range(0, 300, 3):
+                txn.read("t", key)
+
+    benchmark(reads)
+
+
+@pytest.mark.benchmark(group="fig1-reads")
+def test_fig1_monolithic_point_reads(benchmark):
+    engine = fresh_monolithic()
+    load_keys(engine, 300)
+
+    def reads():
+        with engine.begin() as txn:
+            for key in range(0, 300, 3):
+                txn.read("t", key)
+
+    benchmark(reads)
+
+
+@pytest.mark.benchmark(group="fig1-message-overhead")
+def test_fig1_message_amplification(benchmark):
+    """Messages per logical operation — the structural unbundling cost."""
+    kernel = fresh_unbundled()
+    load_keys(kernel, 100)
+    before_msgs = kernel.metrics.get("channel.requests")
+    before_ops = 0
+
+    def txn_of_four():
+        with kernel.begin() as txn:
+            txn.update("t", 1, "u")
+            txn.update("t", 2, "u")
+            txn.read("t", 3)
+            txn.read("t", 4)
+
+    benchmark(txn_of_four)
+    total_msgs = kernel.metrics.get("channel.requests") - before_msgs
+    rounds = benchmark.stats.stats.rounds if benchmark.stats else 1
+    per_txn = total_msgs / max(rounds, 1)
+    benchmark.extra_info["messages_per_txn"] = round(per_txn, 2)
+    series("FIG1 amplification", messages_per_4op_txn=round(per_txn, 2))

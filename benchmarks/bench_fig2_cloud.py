@@ -1,0 +1,172 @@
+"""FIG2 — the cloud movie site (Figure 2, Section 6.3).
+
+Regenerates the scenario's claims as measurable series:
+
+- W1-W4 each touch at most 2 machines (clustering works);
+- the cross-machine write W2 commits with a *single* log force and no 2PC,
+  vs the textbook 2PC baseline's 4N messages and 2N+1 forces;
+- the read-only TC's W1 throughput is unaffected by concurrent updaters
+  (versioned read-committed never blocks);
+- simulated wide-area latency multiplies the 2PC gap by round trips.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import series
+from repro.cloud.movie_site import MovieSite
+from repro.cloud.two_pc import TwoPhaseCommitSystem
+from repro.common.config import ChannelConfig
+
+
+def loaded_site(**kwargs) -> MovieSite:
+    site = MovieSite(**kwargs)
+    for index in range(10):
+        site.add_movie(f"m{index}", {"title": f"Movie {index}"})
+    for index in range(20):
+        site.register_user(f"u{index}", {"name": f"User {index}"})
+    for user in range(20):
+        for movie in range(0, 10, 3):
+            site.post_review(f"u{user}", f"m{movie}", f"review {user}/{movie}")
+    return site
+
+
+@pytest.fixture(scope="module")
+def site() -> MovieSite:
+    return loaded_site()
+
+
+@pytest.mark.benchmark(group="fig2-workloads")
+def test_fig2_w1_reviews_for_movie(benchmark, site):
+    result = benchmark(site.reviews_for_movie, "m0")
+    assert len(result) == 20
+    _r, machines = site.machines_touched(site.reviews_for_movie, "m0")
+    benchmark.extra_info["machines"] = machines
+    series("FIG2 W1", machines=machines, reviews=len(result))
+    assert machines == 1
+
+
+@pytest.mark.benchmark(group="fig2-workloads")
+def test_fig2_w2_post_review(benchmark, site):
+    counter = {"n": 0}
+
+    def post():
+        counter["n"] += 1
+        site.post_review("u1", f"bench-movie-{counter['n']}", "text")
+
+    benchmark(post)
+    _r, machines = site.machines_touched(
+        site.post_review, "u1", "bench-machines", "text"
+    )
+    benchmark.extra_info["machines"] = machines
+    series("FIG2 W2", machines=machines, twopc_messages=0)
+    assert machines == 2
+
+
+@pytest.mark.benchmark(group="fig2-workloads")
+def test_fig2_w3_update_profile(benchmark, site):
+    benchmark(site.update_profile, "u2", {"name": "User 2", "bio": "updated"})
+    _r, machines = site.machines_touched(
+        site.update_profile, "u2", {"name": "User 2"}
+    )
+    benchmark.extra_info["machines"] = machines
+    series("FIG2 W3", machines=machines)
+    assert machines == 1
+
+
+@pytest.mark.benchmark(group="fig2-workloads")
+def test_fig2_w4_my_reviews(benchmark, site):
+    result = benchmark(site.my_reviews, "u1")
+    _r, machines = site.machines_touched(site.my_reviews, "u1")
+    benchmark.extra_info["machines"] = machines
+    series("FIG2 W4", machines=machines, reviews=len(result))
+    assert machines == 1
+
+
+@pytest.mark.benchmark(group="fig2-commit-cost")
+def test_fig2_unbundled_cross_machine_commit(benchmark):
+    site = loaded_site()
+    counter = {"n": 0}
+    forces_before = site.metrics.get("tclog.forces")
+    msgs_before = site.metrics.get("channel.requests")
+
+    def w2():
+        counter["n"] += 1
+        site.post_review("u3", f"cc-{counter['n']}", "t")
+
+    benchmark(w2)
+    runs = max(counter["n"], 1)
+    forces = (site.metrics.get("tclog.forces") - forces_before) / runs
+    messages = (site.metrics.get("channel.requests") - msgs_before) / runs
+    benchmark.extra_info.update(
+        {"log_forces_per_txn": round(forces, 2), "messages_per_txn": round(messages, 2)}
+    )
+    series(
+        "FIG2 commit unbundled",
+        log_forces_per_txn=round(forces, 2),
+        messages_per_txn=round(messages, 2),
+    )
+    assert forces <= 1.5  # one force per commit (single commit point)
+
+
+@pytest.mark.benchmark(group="fig2-commit-cost")
+def test_fig2_two_phase_commit_baseline(benchmark):
+    system = TwoPhaseCommitSystem(["dc-reviews", "dc-users"])
+
+    def commit():
+        return system.commit_transaction()
+
+    outcome = benchmark(commit)
+    benchmark.extra_info.update(
+        {
+            "log_forces_per_txn": outcome.log_forces,
+            "messages_per_txn": outcome.messages,
+            "round_trips": outcome.round_trips,
+        }
+    )
+    series(
+        "FIG2 commit 2PC",
+        log_forces_per_txn=outcome.log_forces,
+        messages_per_txn=outcome.messages,
+        round_trips=outcome.round_trips,
+    )
+    assert outcome.log_forces == 5 and outcome.messages == 8
+
+
+@pytest.mark.benchmark(group="fig2-reader-isolation")
+def test_fig2_w1_unaffected_by_concurrent_updater(benchmark):
+    """Readers never block: W1 with an open updater transaction in flight."""
+    site = loaded_site()
+    pending_uid = "u-pending"
+    writer_tc = site.owner_of(pending_uid)
+    writer = writer_tc.begin()
+    site.reviews.insert(writer, ("m0", pending_uid), "uncommitted")
+
+    result = benchmark(site.reviews_for_movie, "m0")
+    assert len(result) == 20  # the pending review is invisible, not blocking
+    writer.abort()
+    series("FIG2 reader-isolation", blocked="never", rows=len(result))
+
+
+def test_fig2_wan_latency_sweep():
+    """Simulated WAN: unbundled W2 round trips vs 2PC round trips."""
+    rows = []
+    for latency in (1.0, 10.0, 50.0):
+        site = loaded_site(channel_config=ChannelConfig(latency_ms=latency))
+        start = sum(c.sim_time_ms for tc in site.updaters for c in tc.channels().values())
+        site.post_review("u1", "wan-movie", "t")
+        elapsed = (
+            sum(c.sim_time_ms for tc in site.updaters for c in tc.channels().values())
+            - start
+        )
+        twopc = TwoPhaseCommitSystem(["a", "b"], latency_ms=latency)
+        outcome = twopc.commit_transaction()
+        rows.append((latency, round(elapsed, 1), outcome.sim_latency_ms))
+    for latency, unbundled_ms, twopc_ms in rows:
+        series(
+            "FIG2 WAN",
+            latency_ms=latency,
+            unbundled_w2_ms=unbundled_ms,
+            twopc_extra_ms=twopc_ms,
+        )

@@ -1,0 +1,163 @@
+"""E-MTC — multiple TCs per DC (Section 6).
+
+Series regenerated:
+
+- throughput as updater TCs scale on one DC (disjoint partitions commute,
+  so the DC never serializes them on locks — only on its latches);
+- per-TC abLSN page overhead as a function of co-resident TCs;
+- the isolation dividend of record-level reset: a TC crash leaves the
+  co-resident TC's cached work untouched and costs zero redo for it;
+- versioned read-committed vs dirty-read cross-TC read cost.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import series
+from repro.common.config import DcConfig
+from repro.common.ops import ReadFlavor
+from repro.dc.data_component import DataComponent
+from repro.sim.metrics import Metrics
+from repro.storage.buffer import ResetMode
+from repro.tc.transactional_component import TransactionalComponent
+
+OPS_PER_TC = 120
+
+
+def shared_deployment(tc_count: int, versioned: bool = False):
+    metrics = Metrics()
+    dc = DataComponent("dc", config=DcConfig(page_size=2048), metrics=metrics)
+    dc.create_table("t", versioned=versioned)
+    tcs = []
+    for index in range(tc_count):
+        tc = TransactionalComponent(metrics=metrics)
+        tc.attach_dc(dc)
+        tc.ownership_guard = (
+            lambda table, key, i=index, n=tc_count: key % n == i
+        )
+        tcs.append(tc)
+    return dc, tcs, metrics
+
+
+@pytest.mark.benchmark(group="emtc-scaling")
+@pytest.mark.parametrize("tc_count", [1, 2, 4])
+def test_emtc_updater_scaling(benchmark, tc_count):
+    def run():
+        dc, tcs, _m = shared_deployment(tc_count)
+        for index, tc in enumerate(tcs):
+            for op in range(OPS_PER_TC):
+                key = op * tc_count + index
+                with tc.begin() as txn:
+                    txn.insert("t", key, f"tc{index}-{op}")
+        return dc
+
+    dc = benchmark(run)
+    total = OPS_PER_TC * tc_count
+    assert dc.table("t").structure.record_count() == total
+    series("E-MTC scaling", tcs=tc_count, inserts=total)
+
+
+def test_emtc_per_tc_ablsn_overhead():
+    """Pages shared by k TCs carry k abLSNs; single-TC pages carry one."""
+    rows = []
+    for tc_count in (1, 2, 4):
+        dc, tcs, _m = shared_deployment(tc_count)
+        for index, tc in enumerate(tcs):
+            for op in range(60):
+                with tc.begin() as txn:
+                    txn.insert("t", op * tc_count + index, "v")
+        structure = dc.table("t").structure
+        pages = [structure._fetch(pid) for pid in structure.leaf_ids()]
+        per_page = sum(len(page.ablsns) for page in pages) / len(pages)
+        overhead = sum(page.ablsn_overhead_bytes() for page in pages)
+        rows.append((tc_count, round(per_page, 2), overhead))
+    for tc_count, ablsns_per_page, bytes_total in rows:
+        series(
+            "E-MTC ablsn-overhead",
+            tcs=tc_count,
+            ablsns_per_page=ablsns_per_page,
+            total_bytes=bytes_total,
+        )
+    assert rows[-1][1] > rows[0][1]
+
+
+@pytest.mark.benchmark(group="emtc-crash-isolation")
+def test_emtc_record_reset_isolates_cohabitant(benchmark):
+    """Section 6.1.2's payoff, measured: the surviving TC replays nothing."""
+    dc, (tc1, tc2), metrics = shared_deployment(2)
+    for op in range(100):
+        with tc1.begin() as txn:
+            txn.insert("t", op * 2, "tc1")
+        with tc2.begin() as txn:
+            txn.insert("t", op * 2 + 1, "tc2")
+    tc1.checkpoint()
+    loser = tc1.begin()
+    loser.update("t", 0, "lost")
+    kernel_redo_before = metrics.get("tc.redo_ops")
+    tc1.crash()
+
+    def restart():
+        return tc1.restart(ResetMode.RECORD_RESET)
+
+    stats = benchmark.pedantic(restart, rounds=1, iterations=1)
+    total_redo = metrics.get("tc.redo_ops") - kernel_redo_before
+    with tc2.begin() as txn:
+        assert txn.read("t", 1) == "tc2"  # untouched, unreplayed
+    series(
+        "E-MTC crash-isolation",
+        failed_tc_redo=stats["redo_ops"],
+        surviving_tc_redo=total_redo - stats["redo_ops"],
+    )
+    assert total_redo == stats["redo_ops"]  # only the failed TC replayed
+
+
+@pytest.mark.benchmark(group="emtc-read-flavors")
+@pytest.mark.parametrize("flavor", [ReadFlavor.READ_COMMITTED, ReadFlavor.DIRTY])
+def test_emtc_cross_tc_read_cost(benchmark, flavor):
+    dc, (tc1, tc2), _m = shared_deployment(2, versioned=True)
+    for op in range(100):
+        with tc1.begin() as txn:
+            txn.insert("t", op * 2, f"v{op}")
+    # an open writer keeps pending versions alive
+    writer = tc1.begin()
+    writer.update("t", 0, "pending")
+
+    def read():
+        return tc2.read_other("t", 0, flavor)
+
+    value = benchmark(read)
+    expected = "v0" if flavor is ReadFlavor.READ_COMMITTED else "pending"
+    assert value == expected
+    writer.abort()
+    series("E-MTC read-flavor", flavor=flavor.value, value=value)
+
+
+def test_emtc_reader_throughput_unaffected_by_writer():
+    """Readers never block: same read count with and without a writer."""
+    import time
+
+    dc, (tc1, tc2), _m = shared_deployment(2, versioned=True)
+    for op in range(200):
+        with tc1.begin() as txn:
+            txn.insert("t", op * 2, "v")
+
+    def timed_reads():
+        start = time.perf_counter()
+        for op in range(200):
+            tc2.read_other("t", op * 2, ReadFlavor.READ_COMMITTED)
+        return time.perf_counter() - start
+
+    idle = timed_reads()
+    writer = tc1.begin()
+    for op in range(0, 100, 10):
+        writer.update("t", op * 2, "pending")
+    busy = timed_reads()
+    writer.abort()
+    series(
+        "E-MTC reader-isolation",
+        idle_ms=round(idle * 1000, 1),
+        with_writer_ms=round(busy * 1000, 1),
+        blocked="never",
+    )
+    assert busy < idle * 5  # same order of magnitude: no blocking cliffs

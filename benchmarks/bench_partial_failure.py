@@ -1,0 +1,148 @@
+"""E-FAIL — partial failures and recovery work (Section 5.3).
+
+Series regenerated:
+
+- DC-crash recovery time and TC redo volume vs workload size;
+- TC-crash reset cost by mode: FULL_DROP ("turn a partial failure into a
+  complete failure") vs DROP_AFFECTED vs RECORD_RESET — pages shed, pages
+  preserved, and the redo each implies;
+- the monolithic baseline's fail-together recovery for comparison;
+- checkpointing's effect on both.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_monolithic, fresh_unbundled, load_keys, series
+from repro.storage.buffer import ResetMode
+
+SIZES = [100, 400]
+
+
+@pytest.mark.benchmark(group="efail-dc-crash")
+@pytest.mark.parametrize("records", SIZES)
+def test_efail_dc_crash_recovery(benchmark, records):
+    kernel = fresh_unbundled(page_size=512)
+    load_keys(kernel, records)
+    redo_before = kernel.metrics.get("tc.redo_ops")
+
+    def crash_recover():
+        kernel.crash_dc()
+        kernel.dc.recover(notify_tcs=True)
+
+    benchmark.pedantic(crash_recover, rounds=1, iterations=1)
+    redo = kernel.metrics.get("tc.redo_ops") - redo_before
+    with kernel.begin() as txn:
+        assert len(txn.scan("t")) == records
+    benchmark.extra_info["redo_ops"] = redo
+    series("E-FAIL dc-crash", records=records, redo_ops=redo)
+
+
+@pytest.mark.benchmark(group="efail-tc-crash")
+@pytest.mark.parametrize(
+    "mode", [ResetMode.FULL_DROP, ResetMode.DROP_AFFECTED, ResetMode.RECORD_RESET]
+)
+def test_efail_tc_crash_reset_modes(benchmark, mode):
+    """The reset-precision ladder: how much cached state each mode sheds."""
+    kernel = fresh_unbundled(page_size=512)
+    load_keys(kernel, 300)
+    kernel.checkpoint()
+    # a loser whose tail will be lost
+    loser = kernel.begin()
+    loser.update("t", 7, "lost")
+    cached_before = len(kernel.dc.buffer.cached_ids())
+    kernel.crash_tc()
+
+    def restart():
+        return kernel.recover_tc(mode)
+
+    stats = benchmark.pedantic(restart, rounds=1, iterations=1)
+    cached_after = len(kernel.dc.buffer.cached_ids())
+    with kernel.begin() as txn:
+        assert txn.read("t", 7) == "x" * 24 + "000007"
+    benchmark.extra_info.update(
+        {
+            "cached_before": cached_before,
+            "cached_after": cached_after,
+            "redo_ops": stats["redo_ops"],
+        }
+    )
+    series(
+        "E-FAIL tc-crash",
+        mode=mode.value,
+        cached_before=cached_before,
+        cached_preserved=cached_after,
+        redo_ops=stats["redo_ops"],
+    )
+
+
+def test_efail_reset_precision_ladder():
+    """FULL_DROP sheds everything; DROP_AFFECTED only the pages with lost
+    operations; RECORD_RESET preserves even multi-TC pages."""
+    preserved = {}
+    for mode in (ResetMode.FULL_DROP, ResetMode.DROP_AFFECTED):
+        kernel = fresh_unbundled(page_size=512)
+        load_keys(kernel, 300)
+        kernel.checkpoint()
+        loser = kernel.begin()
+        loser.update("t", 7, "lost")
+        before = len(kernel.dc.buffer.cached_ids())
+        kernel.crash_tc()
+        kernel.recover_tc(mode)
+        preserved[mode] = (before, len(kernel.dc.buffer.cached_ids()))
+    series(
+        "E-FAIL ladder",
+        full_drop=preserved[ResetMode.FULL_DROP],
+        drop_affected=preserved[ResetMode.DROP_AFFECTED],
+    )
+    # FULL_DROP empties the cache; DROP_AFFECTED keeps nearly everything.
+    assert preserved[ResetMode.DROP_AFFECTED][1] > 0
+
+
+@pytest.mark.benchmark(group="efail-monolithic")
+@pytest.mark.parametrize("records", SIZES)
+def test_efail_monolithic_fail_together(benchmark, records):
+    engine = fresh_monolithic(page_size=512)
+    load_keys(engine, records)
+    engine.crash()
+
+    def recover():
+        return engine.recover()
+
+    stats = benchmark.pedantic(recover, rounds=1, iterations=1)
+    benchmark.extra_info["redo"] = stats["redo"]
+    series("E-FAIL monolithic", records=records, redo=stats["redo"])
+    assert engine.record_count("t") == records
+
+
+def test_efail_checkpoint_bounds_redo():
+    rows = []
+    for checkpointed in (False, True):
+        kernel = fresh_unbundled(page_size=512)
+        load_keys(kernel, 300)
+        if checkpointed:
+            kernel.checkpoint()
+        with kernel.begin() as txn:
+            txn.insert("t", 9999, "tail")
+        kernel.crash_tc()
+        stats = kernel.recover_tc()
+        rows.append((checkpointed, stats["redo_ops"]))
+    for checkpointed, redo in rows:
+        series("E-FAIL checkpoint", checkpointed=checkpointed, redo_ops=redo)
+    assert rows[1][1] < rows[0][1] / 10
+
+
+def test_efail_crash_all_equivalence():
+    """The fail-together case reduces to DC recovery then TC recovery."""
+    kernel = fresh_unbundled(page_size=512)
+    load_keys(kernel, 200)
+    loser = kernel.begin()
+    loser.update("t", 3, "dirty")
+    kernel.tc.force_log()
+    kernel.crash_all()
+    kernel.recover_all()
+    with kernel.begin() as txn:
+        assert len(txn.scan("t")) == 200
+        assert txn.read("t", 3) == "x" * 24 + "000003"
+    series("E-FAIL crash-all", records=200, consistent=True)

@@ -1,0 +1,164 @@
+"""E-LOCK — fetch-ahead vs range-partition locking (Section 3.1).
+
+The paper's trade-off, measured: the fetch-ahead protocol pays probe round
+trips and two locks per key (record + gap) for fine-grained concurrency;
+the range-partition protocol takes a handful of partition locks and no
+probes, "giv[ing] up some concurrency ... [but] reduc[ing] locking
+overhead since fewer locks are needed."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_unbundled, load_keys, series
+from repro.common.config import RangeLockProtocol, TcConfig
+
+KEYS = 400
+SCAN_LOW, SCAN_HIGH = 50, 349
+
+
+def kernel_for(protocol: RangeLockProtocol, batch: int = 16):
+    kernel = fresh_unbundled(
+        tc=TcConfig(range_protocol=protocol, fetch_ahead_batch=batch)
+    )
+    if protocol is RangeLockProtocol.RANGE_PARTITION:
+        kernel.tc.protocol.set_boundaries("t", list(range(50, KEYS, 50)))
+    load_keys(kernel, KEYS)
+    return kernel
+
+
+def scan_cost(kernel):
+    locks_before = kernel.metrics.get("locks.granted")
+    probes_before = kernel.metrics.get("tc.probes")
+    msgs_before = kernel.metrics.get("channel.requests")
+    with kernel.begin() as txn:
+        rows = txn.scan("t", SCAN_LOW, SCAN_HIGH)
+    return {
+        "rows": len(rows),
+        "locks": kernel.metrics.get("locks.granted") - locks_before,
+        "probes": kernel.metrics.get("tc.probes") - probes_before,
+        "messages": kernel.metrics.get("channel.requests") - msgs_before,
+    }
+
+
+@pytest.mark.benchmark(group="elock-scan")
+def test_elock_fetch_ahead_scan(benchmark):
+    kernel = kernel_for(RangeLockProtocol.FETCH_AHEAD)
+
+    def scan():
+        with kernel.begin() as txn:
+            return txn.scan("t", SCAN_LOW, SCAN_HIGH)
+
+    benchmark(scan)
+    cost = scan_cost(kernel)
+    benchmark.extra_info.update(cost)
+    series("E-LOCK fetch-ahead", **cost)
+    assert cost["locks"] > 2 * cost["rows"] * 0.9  # record + gap per key
+    assert cost["probes"] > 0
+
+
+@pytest.mark.benchmark(group="elock-scan")
+def test_elock_range_partition_scan(benchmark):
+    kernel = kernel_for(RangeLockProtocol.RANGE_PARTITION)
+
+    def scan():
+        with kernel.begin() as txn:
+            return txn.scan("t", SCAN_LOW, SCAN_HIGH)
+
+    benchmark(scan)
+    cost = scan_cost(kernel)
+    benchmark.extra_info.update(cost)
+    series("E-LOCK range-partition", **cost)
+    assert cost["locks"] < 20  # a few partitions, not hundreds of keys
+    assert cost["probes"] == 0
+
+
+@pytest.mark.benchmark(group="elock-insert")
+def test_elock_fetch_ahead_insert(benchmark):
+    """Point inserts pay a probe for the gap guard under fetch-ahead."""
+    kernel = kernel_for(RangeLockProtocol.FETCH_AHEAD)
+    counter = {"n": KEYS}
+
+    def insert():
+        counter["n"] += 1
+        with kernel.begin() as txn:
+            txn.insert("t", counter["n"], "v")
+
+    benchmark(insert)
+    series(
+        "E-LOCK insert fetch-ahead",
+        probes=kernel.metrics.get("tc.probes"),
+        gap_locks=kernel.metrics.get("tc.gap_locks"),
+    )
+
+
+@pytest.mark.benchmark(group="elock-insert")
+def test_elock_range_partition_insert(benchmark):
+    kernel = kernel_for(RangeLockProtocol.RANGE_PARTITION)
+    counter = {"n": KEYS}
+
+    def insert():
+        counter["n"] += 1
+        with kernel.begin() as txn:
+            txn.insert("t", counter["n"], "v")
+
+    benchmark(insert)
+    series(
+        "E-LOCK insert range-partition",
+        probes=kernel.metrics.get("tc.probes"),
+        partition_locks=kernel.metrics.get("tc.partition_locks"),
+    )
+
+
+def test_elock_batch_size_sweep():
+    """Fetch-ahead probe batching amortizes the round trips."""
+    for batch in (4, 16, 64):
+        kernel = kernel_for(RangeLockProtocol.FETCH_AHEAD, batch=batch)
+        cost = scan_cost(kernel)
+        series("E-LOCK batch-sweep", batch=batch, **cost)
+        assert cost["rows"] == SCAN_HIGH - SCAN_LOW + 1
+
+
+def test_elock_concurrency_crossover():
+    """The concurrency the partition protocol gives up: a scan in one
+    region vs a write in another succeeds under fetch-ahead, conflicts
+    under a coarse partitioning."""
+    from repro.common.errors import ReproError, TransactionAborted
+
+    fine = fresh_unbundled(
+        tc=TcConfig(
+            range_protocol=RangeLockProtocol.FETCH_AHEAD, lock_timeout=0.05
+        )
+    )
+    load_keys(fine, 100)
+    scanner = fine.begin()
+    scanner.scan("t", 0, 20)
+    with fine.begin() as writer:
+        writer.update("t", 80, "fine")
+    scanner.commit()
+    fine_ok = True
+
+    coarse = fresh_unbundled(
+        tc=TcConfig(
+            range_protocol=RangeLockProtocol.RANGE_PARTITION, lock_timeout=0.05
+        )
+    )
+    # single partition == table lock
+    load_keys(coarse, 100)
+    scanner = coarse.begin()
+    scanner.scan("t", 0, 20)
+    coarse_blocked = False
+    try:
+        writer = coarse.begin()
+        writer.update("t", 80, "blocked?")
+        writer.commit()
+    except (TransactionAborted, ReproError):
+        coarse_blocked = True
+    scanner.commit()
+    series(
+        "E-LOCK crossover",
+        fetch_ahead_concurrent_ok=fine_ok,
+        table_lock_blocked=coarse_blocked,
+    )
+    assert fine_ok and coarse_blocked

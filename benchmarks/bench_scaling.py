@@ -1,0 +1,180 @@
+"""E-SCALE — instantiating components independently (Sections 1.1, 7).
+
+The paper speculates that separately instantiable TCs and DCs use cores
+better than one monolith.  Python's GIL precludes honest parallel-speedup
+numbers (DESIGN.md records the substitution), so this experiment measures
+the *structural* enablers the claim rests on:
+
+- work partitions cleanly across DC instances (per-DC operation counts);
+- multiple threads drive disjoint DCs through one TC without lock-manager
+  interference (lock waits stay ~zero);
+- the monolithic engine funnels the same load through one lock table and
+  one log (its serialization point, visible in wait counts under
+  contention).
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from benchmarks.conftest import fresh_monolithic, series
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+
+THREADS = 4
+OPS_PER_THREAD = 80
+
+
+def multi_dc_kernel(dc_count: int) -> UnbundledKernel:
+    from repro.common.config import TcConfig
+
+    kernel = UnbundledKernel(
+        KernelConfig(dc=DcConfig(page_size=2048), tc=TcConfig(lock_timeout=30.0)),
+        dc_count=dc_count,
+    )
+    for index in range(dc_count):
+        dc_name = f"dc{index + 1}" if dc_count > 1 else None
+        kernel.create_table(f"t{index}", dc_name=dc_name)
+    return kernel
+
+
+def seed_region_boundaries(engine, table: str) -> None:
+    """Pre-insert each thread region's upper fence so concurrent tail
+    inserts anchor their next-key gap guards to distinct keys instead of
+    all contending on the table-end gap (correct, but not what this
+    scaling experiment measures)."""
+    with engine.begin() as txn:
+        for thread_id in range(THREADS + 1):
+            txn.insert(table, thread_id * 10_000 + 9_999, "fence")
+
+
+@pytest.mark.benchmark(group="escale-threads")
+@pytest.mark.parametrize("dc_count", [1, 4])
+def test_escale_threads_over_dcs(benchmark, dc_count):
+    def run():
+        kernel = multi_dc_kernel(max(dc_count, 1))
+        for index in range(dc_count):
+            seed_region_boundaries(kernel, f"t{index}")
+        errors: list[Exception] = []
+
+        def worker(thread_id: int):
+            table = f"t{thread_id % dc_count}"
+            base = thread_id * 10_000
+            try:
+                for op in range(OPS_PER_THREAD):
+                    with kernel.begin() as txn:
+                        txn.insert(table, base + op, "v")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        return kernel
+
+    kernel = benchmark.pedantic(run, rounds=2, iterations=1)
+    waits = kernel.metrics.get("locks.waits")
+    series(
+        "E-SCALE unbundled",
+        dcs=dc_count,
+        threads=THREADS,
+        inserts=THREADS * OPS_PER_THREAD,
+        lock_waits=waits,
+    )
+    if dc_count == THREADS:
+        # one table per thread on its own DC: nothing ever contends
+        # (a single shared table still sees brief gap-lock brushes at
+        # region boundaries, which is correct behavior)
+        assert waits == 0
+
+
+@pytest.mark.benchmark(group="escale-threads")
+def test_escale_monolithic_single_engine(benchmark):
+    def run():
+        from repro.common.config import DcConfig as Dc
+        from repro.common.config import TcConfig
+        from repro.kernel.monolithic import MonolithicEngine
+
+        engine = MonolithicEngine(Dc(page_size=2048), TcConfig(lock_timeout=30.0))
+        engine.create_table("t")
+        seed_region_boundaries(engine, "t")
+        errors: list[Exception] = []
+
+        def worker(thread_id: int):
+            base = thread_id * 10_000
+            try:
+                for op in range(OPS_PER_THREAD):
+                    with engine.begin() as txn:
+                        txn.insert("t", base + op, "v")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        return engine
+
+    engine = benchmark.pedantic(run, rounds=2, iterations=1)
+    series(
+        "E-SCALE monolithic",
+        dcs=1,
+        threads=THREADS,
+        inserts=THREADS * OPS_PER_THREAD,
+        lock_waits=engine.metrics.get("locks.waits"),
+    )
+
+
+def test_escale_work_partitions_across_dcs():
+    """Per-DC operation counters show clean load spreading."""
+    kernel = multi_dc_kernel(4)
+    for index in range(200):
+        table = f"t{index % 4}"
+        with kernel.begin() as txn:
+            txn.insert(table, index, "v")
+    per_dc = {
+        name: channel.ops_sent
+        for name, channel in kernel.tc.channels().items()
+    }
+    series("E-SCALE partitioning", **per_dc)
+    counts = sorted(per_dc.values())
+    assert counts[0] > 0 and counts[-1] < sum(counts)  # all DCs carried load
+
+
+def test_escale_code_path_step_counts():
+    """The instruction-path proxy for the cache-locality claim: steps per
+    operation by component, showing the DC path dominating the TC path."""
+    kernel = multi_dc_kernel(1)
+    for index in range(100):
+        with kernel.begin() as txn:
+            txn.insert("t0", index, "v")
+    metrics = kernel.metrics.counters()
+    dc_steps = (
+        metrics.get("dc.operations", 0)
+        + metrics.get("dc.latches", 0)
+        + metrics.get("btree.inner_visits", 0)
+        + metrics.get("btree.latches", 0)
+    )
+    tc_steps = (
+        metrics.get("tclog.appends", 0)
+        + metrics.get("locks.granted", 0)
+        + metrics.get("tc.mutations", 0)
+    )
+    series(
+        "E-SCALE code-path",
+        dc_steps=dc_steps,
+        tc_steps=tc_steps,
+        dc_to_tc_ratio=round(dc_steps / max(tc_steps, 1), 2),
+    )
+    assert dc_steps > 0 and tc_steps > 0

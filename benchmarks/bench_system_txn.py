@@ -1,0 +1,143 @@
+"""E-SMO — system-transaction logging and reordered recovery (Section 5.2).
+
+Series regenerated:
+
+- DC-log bytes per split (logical pre-split record + physical new page)
+  vs per consolidation (physical merged page) — the paper predicts
+  consolidations cost more log space but "page deletes are rare, so the
+  extra cost should not be significant";
+- the causality-gate prompts (log forces demanded from the TC by SMOs);
+- recovery with SMOs replayed *before* TC redo, timed against tree size;
+- the heap contrast: a fixed-page structure never runs an SMO.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import fresh_unbundled, load_keys, series
+from repro.common.config import DcConfig
+from repro.dc.dclog import (
+    KeysRemovedRecord,
+    PageFreeRecord,
+    PageImageRecord,
+    SysTxnCommitRecord,
+)
+
+
+def log_bytes_by_kind(kernel):
+    """Split the stable DC log's bytes into per-record-kind totals."""
+    totals: dict[str, int] = {}
+    for record in kernel.dc.storage.dc_log_entries():
+        name = type(record).__name__
+        totals[name] = totals.get(name, 0) + record.encoded_size()
+    return totals
+
+
+@pytest.mark.benchmark(group="esmo-splits")
+def test_esmo_split_logging_cost(benchmark):
+    def run():
+        kernel = fresh_unbundled(page_size=512)
+        load_keys(kernel, 300)
+        return kernel
+
+    kernel = benchmark(run)
+    splits = kernel.metrics.get("btree.leaf_splits")
+    totals = log_bytes_by_kind(kernel)
+    physical = totals.get("PageImageRecord", 0)
+    logical = totals.get("KeysRemovedRecord", 0)
+    benchmark.extra_info.update(
+        {"splits": splits, "physical_bytes": physical, "logical_bytes": logical}
+    )
+    series(
+        "E-SMO splits",
+        splits=splits,
+        physical_bytes=physical,
+        logical_bytes=logical,
+        logical_per_split=round(logical / max(splits, 1)),
+        gate_prompts=kernel.metrics.get("dc.log_force_prompts"),
+    )
+    assert logical < physical  # split-key records are tiny, images are not
+
+
+@pytest.mark.benchmark(group="esmo-consolidate")
+def test_esmo_consolidation_logging_cost(benchmark):
+    def run():
+        kernel = fresh_unbundled(page_size=512)
+        load_keys(kernel, 200)
+        for key in range(200):
+            if key % 4 != 0:
+                with kernel.begin() as txn:
+                    txn.delete("t", key)
+        return kernel
+
+    kernel = benchmark(run)
+    merges = kernel.metrics.get("btree.consolidations")
+    totals = log_bytes_by_kind(kernel)
+    series(
+        "E-SMO consolidations",
+        consolidations=merges,
+        physical_bytes=totals.get("PageImageRecord", 0),
+        free_records=totals.get("PageFreeRecord", 0),
+    )
+    assert merges > 0
+
+
+@pytest.mark.benchmark(group="esmo-recovery")
+@pytest.mark.parametrize("records", [100, 400])
+def test_esmo_recovery_with_smo_replay(benchmark, records):
+    """DC restart: structures well-formed (SMO replay) before TC redo."""
+    kernel = fresh_unbundled(page_size=512)
+    load_keys(kernel, records)
+    kernel.crash_dc()
+
+    def recover():
+        kernel.dc.recover(notify_tcs=False)
+        # validate() walks every page through the stable-state loader,
+        # which is exactly the reordered SMO replay
+        kernel.dc.table("t").structure.validate()
+
+    benchmark.pedantic(recover, rounds=1, iterations=1)
+    kernel.tc._on_dc_restart(kernel.dc)  # TC redo after structures ready
+    with kernel.begin() as txn:
+        assert len(txn.scan("t")) == records
+    series(
+        "E-SMO recovery",
+        records=records,
+        dclog_records=kernel.dc.storage.dc_log_length(),
+    )
+
+
+def test_esmo_heap_runs_no_system_transactions():
+    """Fixed-page structures never split: zero SMOs after creation."""
+    kernel = fresh_unbundled()
+    kernel.dc.create_table("h", kind="heap", bucket_count=32)
+    kernel.tc.refresh_routes(kernel.dc)
+    dclog_after_create = kernel.dc.storage.dc_log_length()
+    for key in range(200):
+        with kernel.begin() as txn:
+            txn.insert("h", key, "v")
+    series(
+        "E-SMO heap",
+        dclog_growth=kernel.dc.storage.dc_log_length() - dclog_after_create,
+        splits=kernel.metrics.get("btree.leaf_splits"),
+    )
+    assert kernel.dc.storage.dc_log_length() == dclog_after_create
+
+
+def test_esmo_gate_prompt_rate():
+    """How often SMOs must demand a TC log force (the unbundling tax on
+    structure modifications)."""
+    kernel = fresh_unbundled(page_size=512)
+    load_keys(kernel, 300)
+    splits = kernel.metrics.get("btree.leaf_splits")
+    prompts = kernel.metrics.get("dc.log_force_prompts")
+    forced = kernel.metrics.get("tc.prompted_forces")
+    series(
+        "E-SMO gate",
+        splits=splits,
+        gate_prompts=prompts,
+        prompted_forces=forced,
+        prompts_per_split=round(prompts / max(splits, 1), 2),
+    )
+    assert prompts >= splits  # every split with embedded TC ops checks

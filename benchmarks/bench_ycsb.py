@@ -1,0 +1,56 @@
+"""YCSB — the standard cloud-serving presets on both engines.
+
+Complements FIG1 with the community-standard mixes: each preset runs on
+the unbundled kernel and the monolithic baseline, so the architecture gap
+can be read per workload class (read-heavy C narrows it; RMW-heavy F and
+scan-heavy E widen it — scans pay probes, RMW pays validation reads).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import series
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+from repro.kernel.monolithic import MonolithicEngine
+from repro.workloads.ycsb import PRESETS, YcsbConfig, YcsbWorkload
+
+OPS = 200
+
+
+def unbundled():
+    kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=1024)))
+    kernel.create_table("usertable")
+    return kernel
+
+
+def monolithic():
+    engine = MonolithicEngine(DcConfig(page_size=1024))
+    engine.create_table("usertable")
+    return engine
+
+
+@pytest.mark.benchmark(group="ycsb")
+@pytest.mark.parametrize("preset", sorted(PRESETS))
+@pytest.mark.parametrize("engine_kind", ["unbundled", "monolithic"])
+def test_ycsb_preset(benchmark, preset, engine_kind):
+    engine = unbundled() if engine_kind == "unbundled" else monolithic()
+    workload = YcsbWorkload(
+        engine.begin, config=YcsbConfig(preset=preset, keyspace=300, seed=7)
+    )
+    workload.load()
+
+    def run():
+        return workload.run(OPS)
+
+    stats = benchmark.pedantic(run, rounds=2, iterations=1)
+    benchmark.extra_info.update(
+        {"committed": stats.committed, "ops_per_s": round(stats.ops_per_second)}
+    )
+    series(
+        f"YCSB-{preset}",
+        engine=engine_kind,
+        ops_per_s=round(stats.ops_per_second),
+        committed=stats.committed,
+    )

@@ -1,0 +1,49 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every module regenerates one experiment from DESIGN.md's index.  Besides
+pytest-benchmark timings, each benchmark attaches the experiment's
+*counters* (messages, locks, log bytes, pages, ...) to
+``benchmark.extra_info`` and prints a one-line series — the "row" the
+paper-style writeup in EXPERIMENTS.md quotes.
+"""
+
+from __future__ import annotations
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import ChannelConfig, DcConfig, TcConfig
+from repro.kernel.monolithic import MonolithicEngine
+
+
+def fresh_unbundled(
+    page_size: int = 2048,
+    table: str = "t",
+    tc: TcConfig | None = None,
+    channel: ChannelConfig | None = None,
+    dc: DcConfig | None = None,
+) -> UnbundledKernel:
+    config = KernelConfig(
+        dc=dc or DcConfig(page_size=page_size),
+        tc=tc or TcConfig(),
+        channel=channel or ChannelConfig(),
+    )
+    kernel = UnbundledKernel(config)
+    kernel.create_table(table)
+    return kernel
+
+
+def fresh_monolithic(page_size: int = 2048, table: str = "t") -> MonolithicEngine:
+    engine = MonolithicEngine(DcConfig(page_size=page_size))
+    engine.create_table(table)
+    return engine
+
+
+def load_keys(engine, count: int, table: str = "t", width: int = 24) -> None:
+    payload = "x" * width
+    for key in range(count):
+        with engine.begin() as txn:
+            txn.insert(table, key, f"{payload}{key:06d}")
+
+
+def series(label: str, **fields: object) -> None:
+    parts = "  ".join(f"{name}={value}" for name, value in fields.items())
+    print(f"\n[{label}] {parts}")

@@ -1,0 +1,9 @@
+"""Shim for environments without the ``wheel`` package (no PEP 660 path).
+
+All real metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517`` / ``python setup.py develop``.
+"""
+
+from setuptools import setup
+
+setup()

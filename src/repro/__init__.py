@@ -1,0 +1,75 @@
+"""repro — "Unbundling Transaction Services in the Cloud" (CIDR 2009).
+
+A faithful Python implementation of Lomet, Fekete, Weikum & Zwilling's
+unbundled database kernel: a logical Transactional Component (TC) and a
+physical Data Component (DC) interacting through idempotent, causality-
+governed messages — abstract page LSNs, reordered system-transaction
+recovery, partial-failure resets, and multi-TC cloud sharing without
+two-phase commit.
+
+Quick start::
+
+    from repro import UnbundledKernel
+
+    kernel = UnbundledKernel()
+    kernel.create_table("users")
+    with kernel.begin() as txn:
+        txn.insert("users", 1, {"name": "ada"})
+    with kernel.begin() as txn:
+        print(txn.read("users", 1))
+"""
+
+from repro.common.config import (
+    ChannelConfig,
+    DcConfig,
+    KernelConfig,
+    PageSyncStrategy,
+    RangeLockProtocol,
+    TcConfig,
+)
+from repro.common.errors import (
+    CrashedError,
+    DeadlockError,
+    DuplicateKeyError,
+    LockTimeoutError,
+    NoSuchRecordError,
+    ReproError,
+    TransactionAborted,
+)
+from repro.common.lsn import AbstractLsn, Lsn, NULL_LSN
+from repro.common.ops import ReadFlavor
+from repro.dc.data_component import DataComponent
+from repro.kernel.unbundled import UnbundledKernel
+from repro.net.channel import MessageChannel
+from repro.sim.metrics import Metrics
+from repro.storage.buffer import ResetMode
+from repro.tc.transactional_component import Transaction, TransactionalComponent
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AbstractLsn",
+    "ChannelConfig",
+    "CrashedError",
+    "DataComponent",
+    "DcConfig",
+    "DeadlockError",
+    "DuplicateKeyError",
+    "KernelConfig",
+    "LockTimeoutError",
+    "Lsn",
+    "MessageChannel",
+    "Metrics",
+    "NULL_LSN",
+    "NoSuchRecordError",
+    "PageSyncStrategy",
+    "RangeLockProtocol",
+    "ReadFlavor",
+    "ReproError",
+    "ResetMode",
+    "TcConfig",
+    "Transaction",
+    "TransactionAborted",
+    "TransactionalComponent",
+    "UnbundledKernel",
+]

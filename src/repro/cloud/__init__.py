@@ -1,0 +1,19 @@
+"""Cloud deployments: multiple TCs sharing DCs without 2PC (Section 6)."""
+
+from repro.cloud.deployment import CloudDeployment
+from repro.cloud.movie_site import MovieSite
+from repro.cloud.partitioning import (
+    HashPartitionMap,
+    OwnershipRegistry,
+    PartitionedTable,
+)
+from repro.cloud.two_pc import TwoPhaseCommitSystem
+
+__all__ = [
+    "CloudDeployment",
+    "HashPartitionMap",
+    "MovieSite",
+    "OwnershipRegistry",
+    "PartitionedTable",
+    "TwoPhaseCommitSystem",
+]

@@ -1,0 +1,146 @@
+"""Data partitioning and ownership for multi-TC deployments (Section 6).
+
+Two orthogonal partitionings appear in the paper's Figure 2:
+
+- **Tables partitioned across DCs** for clustering (Movies/Reviews by
+  movie onto DC1/DC2; Users/MyReviews by user onto DC3...).  Partitioning
+  lives in the *physical schema*: each partition is a separate DC-resident
+  table, and :class:`PartitionedTable` routes logical operations to the
+  right physical table by key.
+- **Update rights partitioned across TCs** (users among TC1/TC2), recorded
+  in an :class:`OwnershipRegistry` and enforced through each TC's
+  ``ownership_guard`` hook.  Disjoint rights are what guarantee the DC
+  never sees conflicting concurrent operations from different TCs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.records import Key, Value
+from repro.tc.transactional_component import Transaction, TransactionalComponent
+
+
+class HashPartitionMap:
+    """Route a key to one of N partitions by a stable hash of a key part.
+
+    ``extract`` picks the routing component from composite keys, e.g.
+    ``lambda key: key[0]`` routes ``(movie_id, user_id)`` by movie — the
+    clustering Figure 2 needs so all reviews of one movie share a DC.
+    """
+
+    def __init__(
+        self,
+        partition_count: int,
+        extract: Optional[Callable[[Key], object]] = None,
+    ) -> None:
+        if partition_count < 1:
+            raise ValueError("need at least one partition")
+        self.partition_count = partition_count
+        self._extract = extract or (lambda key: key)
+
+    def partition_of(self, key: Key) -> int:
+        return hash(self._extract(key)) % self.partition_count
+
+
+class PartitionedTable:
+    """A logical table physically split into per-DC tables.
+
+    The physical table names are ``f"{logical}@{index}"``; the deployment
+    creates one on each participating DC and attaches every relevant TC.
+    """
+
+    def __init__(
+        self, logical_name: str, partition_map: HashPartitionMap
+    ) -> None:
+        self.logical_name = logical_name
+        self.partition_map = partition_map
+
+    def physical_name(self, key: Key) -> str:
+        return f"{self.logical_name}@{self.partition_map.partition_of(key)}"
+
+    def all_physical_names(self) -> list[str]:
+        return [
+            f"{self.logical_name}@{index}"
+            for index in range(self.partition_map.partition_count)
+        ]
+
+    # -- convenience wrappers over a transaction ----------------------------
+
+    def insert(self, txn: Transaction, key: Key, value: Value) -> None:
+        txn.insert(self.physical_name(key), key, value)
+
+    def update(self, txn: Transaction, key: Key, value: Value) -> None:
+        txn.update(self.physical_name(key), key, value)
+
+    def delete(self, txn: Transaction, key: Key) -> None:
+        txn.delete(self.physical_name(key), key)
+
+    def read(self, txn: Transaction, key: Key) -> Optional[Value]:
+        return txn.read(self.physical_name(key), key)
+
+    def scan_partition_of(
+        self,
+        txn: Transaction,
+        routing_key: Key,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[Key, Value]]:
+        """Scan within the single partition that ``routing_key`` lives in —
+        the clustered access pattern Figure 2 is designed around."""
+        return txn.scan(self.physical_name(routing_key), low, high, limit)
+
+
+class OwnershipRegistry:
+    """Who may update what: ``(logical_table) -> key predicate`` per TC.
+
+    The registry builds the ``ownership_guard`` closures installed into
+    each TC.  Physical partition names (``table@N``) are mapped back to
+    their logical table before rules are consulted.
+    """
+
+    def __init__(self) -> None:
+        #: tc_id -> {logical table -> predicate(key) -> bool}
+        self._rules: dict[int, dict[str, Callable[[Key], bool]]] = {}
+
+    def grant(
+        self, tc: TransactionalComponent, table: str, predicate: Callable[[Key], bool]
+    ) -> None:
+        self._rules.setdefault(tc.tc_id, {})[table] = predicate
+
+    def grant_all(self, tc: TransactionalComponent, table: str) -> None:
+        self.grant(tc, table, lambda _key: True)
+
+    @staticmethod
+    def logical_of(physical_table: str) -> str:
+        return physical_table.split("@", 1)[0]
+
+    def allows(self, tc_id: int, physical_table: str, key: Key) -> bool:
+        rules = self._rules.get(tc_id)
+        if rules is None:
+            return False
+        predicate = rules.get(self.logical_of(physical_table))
+        return predicate is not None and predicate(key)
+
+    def install(self, tc: TransactionalComponent) -> None:
+        """Wire this registry into the TC's mutation path."""
+        tc.ownership_guard = (
+            lambda table, key, _tc_id=tc.tc_id: self.allows(_tc_id, table, key)
+        )
+
+    def assert_disjoint(
+        self,
+        table: str,
+        tcs: list[TransactionalComponent],
+        sample_keys: list[Key],
+    ) -> None:
+        """Sanity check (used by tests): no key is updatable by two TCs."""
+        for key in sample_keys:
+            owners = [
+                tc.tc_id for tc in tcs if self.allows(tc.tc_id, table, key)
+            ]
+            if len(owners) > 1:
+                raise ValueError(
+                    f"key {key!r} of {table!r} owned by multiple TCs: {owners}"
+                )

@@ -1,0 +1,179 @@
+"""A textbook blocking two-phase commit — the baseline the paper avoids.
+
+Section 6.2.2: "An important characteristic of this approach is that there
+is no classic (blocking) two phase commit protocol in this picture."  To
+quantify what is avoided, this module implements the classic protocol a
+conventional share-nothing deployment would need for Figure 2's W2 (a
+review insert spanning two machines): a coordinator, participants with
+prepare/commit logging, votes, acks, and the blocking window in which a
+participant that voted YES can neither commit nor abort until it hears the
+decision.
+
+Experiment FIG2 counts this protocol's messages, log forces and simulated
+round trips against the unbundled kernel's single-log commit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.sim.metrics import Metrics
+
+
+class ParticipantState(enum.Enum):
+    IDLE = "idle"
+    PREPARED = "prepared"  # voted YES: blocked until the decision arrives
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _LogEntry:
+    kind: str
+    txn_id: int
+
+
+class Participant:
+    """One resource manager with its own (simulated) forced log."""
+
+    def __init__(self, name: str, metrics: Metrics) -> None:
+        self.name = name
+        self.metrics = metrics
+        self.log: list[_LogEntry] = []
+        self.state: dict[int, ParticipantState] = {}
+        self.crashed = False
+
+    def _force(self, entry: _LogEntry) -> None:
+        self.log.append(entry)
+        self.metrics.incr("twopc.log_forces")
+
+    def prepare(self, txn_id: int, vote_yes: bool = True) -> bool:
+        if self.crashed:
+            raise ConnectionError(f"participant {self.name} is down")
+        if not vote_yes:
+            self.state[txn_id] = ParticipantState.ABORTED
+            self._force(_LogEntry("abort", txn_id))
+            return False
+        self._force(_LogEntry("prepare", txn_id))
+        self.state[txn_id] = ParticipantState.PREPARED
+        return True
+
+    def decide(self, txn_id: int, commit: bool) -> None:
+        if self.crashed:
+            raise ConnectionError(f"participant {self.name} is down")
+        self._force(_LogEntry("commit" if commit else "abort", txn_id))
+        self.state[txn_id] = (
+            ParticipantState.COMMITTED if commit else ParticipantState.ABORTED
+        )
+
+    def is_blocked(self, txn_id: int) -> bool:
+        """A prepared participant is in the blocking window (Section 6.2.2's
+        complaint): it holds locks and can decide nothing unilaterally."""
+        return self.state.get(txn_id) is ParticipantState.PREPARED
+
+
+@dataclass
+class CommitOutcome:
+    committed: bool
+    messages: int
+    log_forces: int
+    round_trips: int
+    sim_latency_ms: float
+    blocked_participants: int = 0
+
+
+class TwoPhaseCommitSystem:
+    """Coordinator plus participants, with a message/latency cost model."""
+
+    def __init__(
+        self,
+        participant_names: list[str],
+        latency_ms: float = 0.0,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.metrics = metrics or Metrics()
+        self.participants = {
+            name: Participant(name, self.metrics) for name in participant_names
+        }
+        self.latency_ms = latency_ms
+        self.coordinator_log: list[_LogEntry] = []
+        self._txn_ids = 0
+
+    def _msg(self, count: int = 1) -> None:
+        self.metrics.incr("twopc.messages", count)
+
+    def commit_transaction(
+        self,
+        involved: Optional[list[str]] = None,
+        votes: Optional[dict[str, bool]] = None,
+    ) -> CommitOutcome:
+        """Run the full protocol; returns its measured cost.
+
+        ``votes`` lets tests force a NO vote (global abort) or omit a
+        participant to simulate a failure during prepare.
+        """
+        self._txn_ids += 1
+        txn_id = self._txn_ids
+        names = involved if involved is not None else list(self.participants)
+        votes = votes or {}
+        forces_before = self.metrics.get("twopc.log_forces")
+        messages_before = self.metrics.get("twopc.messages")
+
+        # Phase 1: prepare requests out, votes back (1 RT).
+        all_yes = True
+        for name in names:
+            self._msg()  # prepare ->
+            try:
+                vote = self.participants[name].prepare(
+                    txn_id, votes.get(name, True)
+                )
+            except ConnectionError:
+                vote = False
+            self._msg()  # <- vote
+            if not vote:
+                all_yes = False
+
+        # Coordinator decision is a forced log write (the commit point).
+        self.coordinator_log.append(
+            _LogEntry("commit" if all_yes else "abort", txn_id)
+        )
+        self.metrics.incr("twopc.log_forces")
+
+        # Phase 2: decisions out, acks back (1 RT).
+        blocked = 0
+        for name in names:
+            participant = self.participants[name]
+            if participant.is_blocked(txn_id):
+                blocked += 1
+            self._msg()  # decision ->
+            try:
+                participant.decide(txn_id, all_yes)
+                self._msg()  # <- ack
+            except ConnectionError:
+                pass  # decision is retried forever in a real system
+
+        round_trips = 2
+        outcome = CommitOutcome(
+            committed=all_yes,
+            messages=self.metrics.get("twopc.messages") - messages_before,
+            log_forces=self.metrics.get("twopc.log_forces") - forces_before,
+            round_trips=round_trips,
+            sim_latency_ms=round_trips * 2 * self.latency_ms,
+            blocked_participants=blocked,
+        )
+        self.metrics.incr("twopc.commits" if all_yes else "twopc.aborts")
+        return outcome
+
+    def crash_participant(self, name: str) -> None:
+        self.participants[name].crashed = True
+
+    def blocked_transactions(self) -> int:
+        """Transactions stuck in the in-doubt window across participants."""
+        return sum(
+            1
+            for participant in self.participants.values()
+            for state in participant.state.values()
+            if state is ParticipantState.PREPARED
+        )

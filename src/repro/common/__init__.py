@@ -1,0 +1,34 @@
+"""Shared primitives for the unbundled kernel.
+
+This package holds the vocabulary both components speak: log sequence
+numbers and the abstract-LSN algebra of Section 5.1.2, logical records and
+operations, the TC/DC message API of Section 4.2.1, configuration, and the
+exception hierarchy.
+"""
+
+from repro.common.errors import (
+    CrashedError,
+    DeadlockError,
+    LockTimeoutError,
+    OwnershipError,
+    PageOverflowError,
+    ReproError,
+    TransactionAborted,
+    WriteAheadViolation,
+)
+from repro.common.lsn import NULL_LSN, AbstractLsn, Lsn, LsnGenerator
+
+__all__ = [
+    "AbstractLsn",
+    "CrashedError",
+    "DeadlockError",
+    "LockTimeoutError",
+    "Lsn",
+    "LsnGenerator",
+    "NULL_LSN",
+    "OwnershipError",
+    "PageOverflowError",
+    "ReproError",
+    "TransactionAborted",
+    "WriteAheadViolation",
+]

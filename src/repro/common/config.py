@@ -1,0 +1,113 @@
+"""Configuration knobs for the unbundled kernel.
+
+Everything an experiment sweeps lives here so benchmark code can vary one
+dataclass instead of threading loose parameters through constructors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class PageSyncStrategy(enum.Enum):
+    """The three page-sync alternatives of Section 5.1.2.
+
+    A page being flushed must carry an LSN representation that is stable
+    atomically with it:
+
+    - ``DELAY`` — refuse further operations on the page and wait until the
+      TC's low-water mark covers every included LSN, then write a single
+      plain LSN.  Cheapest on page space, delays the flush.
+    - ``FULL_ABLSN`` — write the entire ``<LSNlw, {LSNin}>`` onto the page
+      immediately.  No delay, costs page space.
+    - ``PRUNE_THEN_WRITE`` — wait only until ``{LSNin}`` has shrunk below a
+      threshold, then write the (small) abLSN.  The hybrid.
+    """
+
+    DELAY = "delay"
+    FULL_ABLSN = "full_ablsn"
+    PRUNE_THEN_WRITE = "prune_then_write"
+
+
+class RangeLockProtocol(enum.Enum):
+    """The two range-locking alternatives of Section 3.1."""
+
+    FETCH_AHEAD = "fetch_ahead"
+    RANGE_PARTITION = "range_partition"
+
+
+@dataclass
+class DcConfig:
+    """Data component configuration."""
+
+    #: Usable bytes per page (the space model drives splits/consolidates).
+    page_size: int = 4096
+    #: Pages the buffer pool may cache before evicting.
+    buffer_capacity: int = 256
+    #: How a page's abLSN is made stable at flush time.
+    sync_strategy: PageSyncStrategy = PageSyncStrategy.FULL_ABLSN
+    #: PRUNE_THEN_WRITE flushes once ``len({LSNin})`` is at or below this.
+    prune_threshold: int = 4
+    #: Leaf fill fraction below which a consolidation is attempted.
+    min_fill: float = 0.25
+    #: Number of replies remembered for duplicate-request resends.
+    reply_cache_size: int = 4096
+    #: Snapshot-read extension (Section 6.3): how many commit sequence
+    #: numbers of version history the DC retains for snapshot readers.
+    #: 0 disables snapshots (the paper's plain two-version scheme).
+    snapshot_retention: int = 0
+    #: Cap on superseded versions kept per record.
+    snapshot_max_versions: int = 16
+
+
+@dataclass
+class TcConfig:
+    """Transactional component configuration."""
+
+    #: Lock wait budget in "ticks" of the simulated scheduler / real ms.
+    lock_timeout: float = 1.0
+    #: Deadlock detection: check the waits-for graph on every block.
+    deadlock_detection: bool = True
+    #: How range reads are locked.
+    range_protocol: RangeLockProtocol = RangeLockProtocol.FETCH_AHEAD
+    #: Keys per fetch-ahead probe batch.
+    fetch_ahead_batch: int = 16
+    #: Key-range gap locking for serializable scans/inserts (fetch-ahead
+    #: protocol only; the partition protocol excludes phantoms wholesale).
+    phantom_protection: bool = True
+    #: Give up after this many resend attempts of one operation.
+    max_resend_attempts: int = 1000
+    #: Number of partitions for the RANGE_PARTITION protocol.
+    range_partitions: int = 64
+    #: Force the log on every commit (durability); experiments may batch.
+    group_commit_size: int = 1
+    #: Send LWM/EOSL to DCs every this-many log appends.
+    lwm_interval: int = 8
+    #: Operations re-sent after this many ticks without a reply.
+    resend_timeout: float = 0.5
+
+
+@dataclass
+class ChannelConfig:
+    """Simulated network between a TC and a DC."""
+
+    #: One-way latency per message, simulated milliseconds.
+    latency_ms: float = 0.0
+    #: Probability a request or reply is dropped (exercises resends).
+    loss_rate: float = 0.0
+    #: Probability a delivered message is duplicated.
+    duplicate_rate: float = 0.0
+    #: Max positions a message may be reordered past its successors.
+    reorder_window: int = 0
+    #: Seed for the channel's private RNG (determinism).
+    seed: int = 0
+
+
+@dataclass
+class KernelConfig:
+    """Bundle of everything, for one-call construction of a kernel."""
+
+    dc: DcConfig = field(default_factory=DcConfig)
+    tc: TcConfig = field(default_factory=TcConfig)
+    channel: ChannelConfig = field(default_factory=ChannelConfig)

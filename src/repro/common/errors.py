@@ -1,0 +1,110 @@
+"""Exception hierarchy for the unbundled kernel.
+
+Every error raised by the library derives from :class:`ReproError` so
+callers can catch library failures with a single handler while letting
+programming errors (``TypeError`` etc.) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class TransactionAborted(ReproError):
+    """The transaction was rolled back and must not be used further.
+
+    Raised both for explicit aborts that the caller then re-observes and
+    for internally forced aborts (deadlock victims, crash-time losers).
+    """
+
+    def __init__(self, txn_id: int, reason: str = "aborted") -> None:
+        super().__init__(f"transaction {txn_id} aborted: {reason}")
+        self.txn_id = txn_id
+        self.reason = reason
+
+
+class DeadlockError(TransactionAborted):
+    """The transaction was chosen as a deadlock victim."""
+
+    def __init__(self, txn_id: int, cycle: tuple[int, ...]) -> None:
+        TransactionAborted.__init__(
+            self, txn_id, f"deadlock victim (cycle {'->'.join(map(str, cycle))})"
+        )
+        self.cycle = cycle
+
+
+class LockTimeoutError(ReproError):
+    """A lock request waited longer than the configured timeout."""
+
+    def __init__(self, txn_id: int, resource: object) -> None:
+        super().__init__(f"transaction {txn_id} timed out waiting for {resource!r}")
+        self.txn_id = txn_id
+        self.resource = resource
+
+
+class CrashedError(ReproError):
+    """The component is crashed and cannot serve requests until restart."""
+
+    def __init__(self, component: str) -> None:
+        super().__init__(f"{component} is crashed")
+        self.component = component
+
+
+class OwnershipError(ReproError):
+    """A TC tried to update data outside its ownership partition.
+
+    Section 6 requires that update rights of TCs sharing a DC be disjoint;
+    this error enforces that invariant at the deployment layer.
+    """
+
+
+class PageOverflowError(ReproError):
+    """A record does not fit on a page even after a structure modification."""
+
+
+class SnapshotTooOldError(ReproError):
+    """A snapshot read's watermark fell behind the DC's retention horizon."""
+
+    def __init__(self, watermark: int, floor: int) -> None:
+        super().__init__(
+            f"snapshot watermark {watermark} is older than the retention "
+            f"floor {floor}"
+        )
+        self.watermark = watermark
+        self.floor = floor
+
+
+class WriteAheadViolation(ReproError):
+    """The buffer manager was asked to flush a page ahead of the stable log.
+
+    Causality (Section 4.2) forbids making a page stable while it reflects
+    operations that could still be lost by a TC crash.
+    """
+
+
+class UnknownTableError(ReproError):
+    """An operation referenced a table the DC does not host."""
+
+    def __init__(self, table: str) -> None:
+        super().__init__(f"unknown table: {table!r}")
+        self.table = table
+
+
+class DuplicateKeyError(ReproError):
+    """An insert found an existing (visible) record under the same key."""
+
+    def __init__(self, table: str, key: object) -> None:
+        super().__init__(f"duplicate key {key!r} in table {table!r}")
+        self.table = table
+        self.key = key
+
+
+class NoSuchRecordError(ReproError):
+    """An update/delete addressed a key with no visible record."""
+
+    def __init__(self, table: str, key: object) -> None:
+        super().__init__(f"no record with key {key!r} in table {table!r}")
+        self.table = table
+        self.key = key

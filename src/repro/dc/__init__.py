@@ -1,0 +1,12 @@
+"""The Data Component: physical data management without transactions.
+
+A DC serves record-oriented logical operations atomically and
+idempotently, maintains access methods (B-trees) behind the scenes using
+system transactions, manages its page cache, and recovers its structures to
+well-formed-ness *before* accepting the TC's logical redo (Section 4.1.2,
+5.2, 5.3).
+"""
+
+from repro.dc.data_component import DataComponent
+
+__all__ = ["DataComponent"]

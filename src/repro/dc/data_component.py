@@ -1,0 +1,780 @@
+"""The Data Component: a transaction-oblivious record server (Section 4.1.2).
+
+A DC hosts tables (B-trees or fixed-page heaps), executes logical
+operations atomically and idempotently, manages its cache, and recovers its
+own structures.  It never learns about user transactions: it cannot tell a
+forward operation from an inverse submitted during rollback, and it tracks
+TCs only through request ids (LSNs) and per-TC abLSNs.
+
+Idempotence (Section 5.1): each mutating request carries the TC-log LSN as
+its unique id; before applying, the DC tests ``op LSN <= page abLSN`` with
+the generalized containment test, so resends and redo-time replays execute
+exactly once even under out-of-order delivery.
+
+Mutations sent by a correct TC always succeed: the TC validates existence
+under its own locks before logging and sending (see
+:mod:`repro.tc.transactional_component`), which is what makes logged undo
+information complete — a requirement for sound crash rollback.  The DC
+still reports duplicate/not-found statuses defensively.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional, Union
+
+from repro.common.api import (
+    CheckpointReply,
+    CheckpointRequest,
+    EndOfStableLog,
+    LowWaterMark,
+    Message,
+    OperationReply,
+    PerformOperation,
+    RestartBegin,
+    WatermarkReply,
+    WatermarkRequest,
+)
+from repro.common.config import DcConfig
+from repro.common.errors import (
+    CrashedError,
+    PageOverflowError,
+    ReproError,
+    UnknownTableError,
+)
+from repro.common.lsn import Lsn, NULL_LSN
+from repro.common.ops import (
+    DeleteOp,
+    DiscardVersionsOp,
+    IncrementOp,
+    InsertOp,
+    LogicalOperation,
+    OpResult,
+    ProbeNextKeysOp,
+    PromoteVersionsOp,
+    RangeReadOp,
+    ReadFlavor,
+    ReadOp,
+    UpdateOp,
+)
+from repro.common.records import RecordView, TOMBSTONE, VersionedRecord
+from repro.dc.dclog import DcLog
+from repro.dc.recovery import DcRecoveryManager, TableDescriptor
+from repro.dc.system_txn import SystemTransaction
+from repro.sim.metrics import Metrics
+from repro.storage.btree import BTree
+from repro.storage.buffer import BufferPool, ResetMode
+from repro.storage.disk import StableStorage
+from repro.storage.heap import HashedHeap
+from repro.storage.page import LeafPage
+
+Structure = Union[BTree, HashedHeap]
+
+
+@dataclass
+class TableHandle:
+    descriptor: TableDescriptor
+    structure: Structure
+
+
+class DataComponent:
+    """One DC instance: tables + cache + DC log on one stable volume."""
+
+    def __init__(
+        self,
+        name: str = "dc",
+        config: Optional[DcConfig] = None,
+        metrics: Optional[Metrics] = None,
+        storage: Optional[StableStorage] = None,
+    ) -> None:
+        self.name = name
+        self.config = config or DcConfig()
+        self.metrics = metrics or Metrics()
+        self.storage = storage or StableStorage(self.metrics)
+        self.dclog = DcLog(self.storage, self.metrics)
+        self.recovery = DcRecoveryManager(self.storage, self.metrics)
+        self.buffer = BufferPool(
+            self.storage, self.config, self.metrics, loader=self.recovery.load_page
+        )
+        self._tables: dict[str, TableHandle] = {}
+        self._admin_lock = threading.RLock()
+        self._crashed = False
+        #: Snapshot extension: DC-local commit sequence clock.  One value
+        #: is assigned per promote operation, so every version installed
+        #: by one transaction's cleanup shares a sequence — snapshots are
+        #: transaction-consistent per DC.
+        self._version_clock = 0
+        #: Per-TC callbacks for the causality gate (force the TC log
+        #: through a given LSN) and the out-of-band restart prompt.
+        self._force_log: dict[int, Callable[[Lsn], Lsn]] = {}
+        self._restart_prompt: dict[int, Callable[["DataComponent"], None]] = {}
+        #: Spontaneous contract termination (Section 4.2.1: the DC "could
+        #: spontaneously inform TC that the RSSP can advance").
+        self._rssp_hint: dict[int, Callable[[str, Lsn], None]] = {}
+        #: Plug-in access methods (Section 1.1 extensibility):
+        #: kind -> factory(dc, name, descriptor_or_None) -> structure.
+        #: Called with descriptor=None to create a fresh table, or with the
+        #: recovered TableDescriptor to rebuild one at restart.
+        self._structure_factories: dict[
+            str, Callable[["DataComponent", str, Optional[TableDescriptor]], object]
+        ] = {}
+
+    # -- TC registration -----------------------------------------------------
+
+    def register_tc(
+        self,
+        tc_id: int,
+        force_log: Optional[Callable[[Lsn], Lsn]] = None,
+        on_dc_restart: Optional[Callable[["DataComponent"], None]] = None,
+        on_rssp_hint: Optional[Callable[[str, Lsn], None]] = None,
+    ) -> None:
+        """Attach a TC: install its log-force, restart and hint hooks."""
+        with self._admin_lock:
+            if force_log is not None:
+                self._force_log[tc_id] = force_log
+            if on_dc_restart is not None:
+                self._restart_prompt[tc_id] = on_dc_restart
+            if on_rssp_hint is not None:
+                self._rssp_hint[tc_id] = on_rssp_hint
+
+    def unregister_tc(self, tc_id: int) -> None:
+        with self._admin_lock:
+            self._force_log.pop(tc_id, None)
+            self._restart_prompt.pop(tc_id, None)
+
+    def _ensure_tc_stable(self, needed: dict[int, Lsn]) -> bool:
+        """Causality gate for system transactions (see dc/system_txn.py).
+
+        For each TC whose operations a staged page image embeds, make sure
+        the TC's stable log covers them — prompting the TC to force its log
+        when it does not.
+        """
+        for tc_id, lsn in needed.items():
+            if self.buffer.eosl_for(tc_id) >= lsn:
+                continue
+            force = self._force_log.get(tc_id)
+            if force is None:
+                return False
+            self.metrics.incr("dc.log_force_prompts")
+            eosl = force(lsn)
+            self.buffer.note_eosl(tc_id, eosl)
+            if eosl < lsn:
+                return False
+        return True
+
+    # -- administration ------------------------------------------------------------
+
+    def register_structure_kind(
+        self,
+        kind: str,
+        factory: Callable[["DataComponent", str, Optional[TableDescriptor]], object],
+    ) -> None:
+        """Register a custom access method (Section 1.1, imperative 5).
+
+        The factory is called with ``descriptor=None`` to create a fresh
+        table (it must durably log its own pages via a system transaction
+        and may expose ``describe() -> dict`` whose result is persisted in
+        the catalog), and with the recovered descriptor at DC restart to
+        rebuild the structure.  The returned object must implement the
+        structure duck-type (find_leaf / ensure_room / maybe_consolidate /
+        get_record / iter_range / next_keys / validate / latch ...).
+        """
+        with self._admin_lock:
+            self._structure_factories[kind] = factory
+
+    def create_table(
+        self,
+        name: str,
+        kind: str = "btree",
+        versioned: bool = False,
+        bucket_count: int = 16,
+    ) -> None:
+        """Create a table; its descriptor is durably logged (CatalogRecord)."""
+        self._check_up()
+        with self._admin_lock:
+            if name in self._tables:
+                raise ReproError(f"table {name!r} already exists")
+            descriptor = TableDescriptor(name=name, kind=kind, versioned=versioned)
+            if kind in self._structure_factories:
+                structure = self._structure_factories[kind](self, name, None)
+                describe = getattr(structure, "describe", None)
+                if callable(describe):
+                    descriptor.extra = dict(describe())
+            else:
+                structure = self._build_structure(
+                    name, kind, bucket_count, root_id=None
+                )
+                if kind == "btree":
+                    descriptor.root_id = structure.root_id  # type: ignore[union-attr]
+                else:
+                    descriptor.bucket_ids = list(structure.bucket_ids)  # type: ignore[union-attr]
+            txn = SystemTransaction("catalog", self.dclog, self.metrics, None)
+            txn.log_catalog(descriptor.to_metadata())
+            txn.commit()
+            self._tables[name] = TableHandle(descriptor, structure)
+
+    def _build_structure(
+        self, name: str, kind: str, bucket_count: int, root_id: Optional[int]
+    ) -> Structure:
+        if kind == "btree":
+            return BTree(
+                name,
+                self.storage,
+                self.buffer,
+                self.dclog,
+                self.config,
+                self.metrics,
+                ensure_stable=self._ensure_tc_stable,
+                root_id=root_id,
+            )
+        if kind == "heap":
+            return HashedHeap(
+                name,
+                self.storage,
+                self.buffer,
+                self.dclog,
+                self.config,
+                self.metrics,
+                ensure_stable=self._ensure_tc_stable,
+                bucket_count=bucket_count,
+            )
+        raise ReproError(f"unknown table kind {kind!r}")
+
+    def table(self, name: str) -> TableHandle:
+        handle = self._tables.get(name)
+        if handle is None:
+            raise UnknownTableError(name)
+        return handle
+
+    def table_names(self) -> list[str]:
+        return sorted(self._tables)
+
+    def _check_up(self) -> None:
+        if self._crashed:
+            raise CrashedError(f"DC {self.name}")
+
+    # -- the Section 4.2.1 API: message entry point -----------------------------------
+
+    def handle(self, message: Message) -> Optional[Message]:
+        """Transport-level dispatch used by :mod:`repro.net.channel`."""
+        self._check_up()
+        if isinstance(message, PerformOperation):
+            assert message.op is not None
+            if message.eosl:
+                self.buffer.note_eosl(message.tc_id, message.eosl)
+            result = self.perform_operation(
+                message.tc_id, message.op_id, message.op, resend=message.resend
+            )
+            return OperationReply(
+                tc_id=message.tc_id, op_id=message.op_id, result=result
+            )
+        if isinstance(message, EndOfStableLog):
+            self.end_of_stable_log(message.tc_id, message.eosl)
+            return None
+        if isinstance(message, LowWaterMark):
+            self.low_water_mark(message.tc_id, message.lwm)
+            return None
+        if isinstance(message, CheckpointRequest):
+            granted = self.checkpoint(message.tc_id, message.new_rssp)
+            return CheckpointReply(tc_id=message.tc_id, granted_rssp=granted)
+        if isinstance(message, RestartBegin):
+            self.begin_restart(
+                message.tc_id, message.stable_lsn, ResetMode(message.reset_mode)
+            )
+            return None
+        if isinstance(message, WatermarkRequest):
+            return WatermarkReply(
+                tc_id=message.tc_id,
+                watermark=self._version_clock,
+                floor=self.snapshot_floor(),
+            )
+        raise ReproError(f"DC {self.name}: unhandled message {message!r}")
+
+    # -- perform_operation ---------------------------------------------------------------
+
+    def perform_operation(
+        self, tc_id: int, op_id: Lsn, op: LogicalOperation, resend: bool = False
+    ) -> OpResult:
+        self._check_up()
+        self.metrics.incr("dc.operations")
+        if resend:
+            self.metrics.incr("dc.resends_received")
+        try:
+            handle = self.table(op.table)
+        except UnknownTableError as exc:
+            return OpResult.error(str(exc))
+        structure = handle.structure
+        with self.buffer.operation(), structure.latch:
+            try:
+                if op.MUTATES:
+                    return self._apply_mutation(handle, tc_id, op_id, op)
+                return self._execute_read(handle, tc_id, op)
+            except PageOverflowError as exc:
+                return OpResult.error(str(exc))
+            except ReproError as exc:
+                return OpResult.error(str(exc))
+
+    # -- mutations ---------------------------------------------------------------------------
+
+    def _apply_mutation(
+        self, handle: TableHandle, tc_id: int, op_id: Lsn, op: LogicalOperation
+    ) -> OpResult:
+        if isinstance(op, (PromoteVersionsOp, DiscardVersionsOp)):
+            return self._apply_version_cleanup(handle, tc_id, op_id, op)
+        structure = handle.structure
+        leaf = structure.find_leaf(op.key)  # type: ignore[union-attr]
+        if op_id and leaf.ablsn_for(tc_id).contains(op_id):
+            # Exactly-once: already reflected (a resend or a redo replay).
+            self.metrics.incr("dc.duplicate_ops")
+            return OpResult.okay()
+        versioned = handle.descriptor.versioned or getattr(op, "versioned", False)
+        if isinstance(op, InsertOp):
+            result, final_leaf = self._apply_insert(handle, tc_id, op, versioned)
+        elif isinstance(op, UpdateOp):
+            result, final_leaf = self._apply_update(handle, tc_id, op, versioned)
+        elif isinstance(op, DeleteOp):
+            result, final_leaf = self._apply_delete(handle, tc_id, op, versioned)
+        elif isinstance(op, IncrementOp):
+            result, final_leaf = self._apply_increment(handle, tc_id, op, versioned)
+        else:
+            return OpResult.error(f"unknown mutation {type(op).__name__}")
+        if result.ok and op_id:
+            with final_leaf.latch:
+                final_leaf.ablsn_for(tc_id).include(op_id)
+                final_leaf.dirty = True
+        if result.ok and isinstance(op, DeleteOp) and not versioned:
+            structure.maybe_consolidate(op.key)
+        return result
+
+    def _mutate_record(
+        self,
+        handle: TableHandle,
+        tc_id: int,
+        key: object,
+        mutate: Callable[[Optional[VersionedRecord]], Optional[VersionedRecord]],
+    ) -> tuple[Optional[VersionedRecord], LeafPage]:
+        """Apply ``mutate`` to the record slot, splitting for space as needed.
+
+        Returns ``(new_record_or_None, leaf_finally_holding_the_slot)``.
+        """
+        structure = handle.structure
+        leaf = structure.find_leaf(key)
+        with leaf.latch:
+            self.metrics.incr("dc.latches")
+            old = leaf.get(key)
+            new = mutate(old.clone() if old is not None else None)
+            if new is None:
+                if old is not None:
+                    leaf.remove(key)
+                return None, leaf
+            # owner_tc is set by the mutators on *successful* changes only,
+            # so a rejected operation never reassigns another TC's record
+            delta = new.encoded_size() - (old.encoded_size() if old is not None else 0)
+            if leaf.fits(delta, self.config.page_size):
+                leaf.put(new)
+                return new, leaf
+        # Overflow: split (a system transaction), then retry on the new leaf.
+        leaf = structure.ensure_room(key, delta)
+        with leaf.latch:
+            self.metrics.incr("dc.latches")
+            leaf.put(new)
+            return new, leaf
+
+    def _apply_insert(
+        self, handle: TableHandle, tc_id: int, op: InsertOp, versioned: bool
+    ) -> tuple[OpResult, LeafPage]:
+        outcome: dict[str, OpResult] = {}
+
+        def mutate(old: Optional[VersionedRecord]) -> Optional[VersionedRecord]:
+            if old is not None and old.exists_for(read_committed=False):
+                outcome["result"] = OpResult.duplicate(
+                    f"key {op.key!r} already exists in {op.table!r}"
+                )
+                return old
+            record = old if old is not None else VersionedRecord(key=op.key)
+            if versioned:
+                # "insert two versions, a before 'null' version followed by
+                # the intended insert" (Section 6.2.2).
+                record.set_pending(op.value)
+            else:
+                record.committed = op.value
+            record.owner_tc = tc_id
+            outcome["result"] = OpResult.okay()
+            return record
+
+        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        return outcome["result"], leaf
+
+    def _apply_update(
+        self, handle: TableHandle, tc_id: int, op: UpdateOp, versioned: bool
+    ) -> tuple[OpResult, LeafPage]:
+        outcome: dict[str, OpResult] = {}
+
+        def mutate(old: Optional[VersionedRecord]) -> Optional[VersionedRecord]:
+            if old is None or not old.exists_for(read_committed=False):
+                outcome["result"] = OpResult.not_found(
+                    f"no record {op.key!r} in {op.table!r}"
+                )
+                return old
+            prior = old.visible_value(read_committed=False)
+            if versioned:
+                old.set_pending(op.value)
+            else:
+                old.committed = op.value
+            old.owner_tc = tc_id
+            outcome["result"] = OpResult.okay(prior=prior)
+            return old
+
+        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        return outcome["result"], leaf
+
+    def _apply_delete(
+        self, handle: TableHandle, tc_id: int, op: DeleteOp, versioned: bool
+    ) -> tuple[OpResult, LeafPage]:
+        outcome: dict[str, OpResult] = {}
+
+        def mutate(old: Optional[VersionedRecord]) -> Optional[VersionedRecord]:
+            if old is None or not old.exists_for(read_committed=False):
+                outcome["result"] = OpResult.not_found(
+                    f"no record {op.key!r} in {op.table!r}"
+                )
+                return old
+            prior = old.visible_value(read_committed=False)
+            outcome["result"] = OpResult.okay(prior=prior)
+            if versioned:
+                old.set_pending(TOMBSTONE)
+                old.owner_tc = tc_id
+                return old
+            return None  # physical removal
+
+        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        return outcome["result"], leaf
+
+    def _apply_increment(
+        self, handle: TableHandle, tc_id: int, op: IncrementOp, versioned: bool
+    ) -> tuple[OpResult, LeafPage]:
+        outcome: dict[str, OpResult] = {}
+
+        def mutate(old: Optional[VersionedRecord]) -> Optional[VersionedRecord]:
+            if old is None or not old.exists_for(read_committed=False):
+                outcome["result"] = OpResult.not_found(
+                    f"no record {op.key!r} in {op.table!r}"
+                )
+                return old
+            current = old.visible_value(read_committed=False)
+            if not isinstance(current, (int, float)) or isinstance(current, bool):
+                outcome["result"] = OpResult.error(
+                    f"record {op.key!r} is not numeric"
+                )
+                return old
+            updated = current + op.delta
+            if versioned:
+                old.set_pending(updated)
+            else:
+                old.committed = updated
+            old.owner_tc = tc_id
+            outcome["result"] = OpResult.okay(value=updated, prior=current)
+            return old
+
+        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        return outcome["result"], leaf
+
+    def _apply_version_cleanup(
+        self,
+        handle: TableHandle,
+        tc_id: int,
+        op_id: Lsn,
+        op: Union[PromoteVersionsOp, DiscardVersionsOp],
+    ) -> OpResult:
+        """Promote/discard pending versions; per-record idempotent, so a
+        mid-operation flush or crash re-applies harmlessly."""
+        structure = handle.structure
+        promote = isinstance(op, PromoteVersionsOp)
+        touched: dict[int, LeafPage] = {}
+        retention = self.config.snapshot_retention
+        commit_seq = 0
+        if promote:
+            with self._admin_lock:
+                self._version_clock += 1
+                commit_seq = self._version_clock
+        keep = self.config.snapshot_max_versions if retention > 0 else 0
+        prune_floor = max(0, self._version_clock - retention)
+
+        for key in op.keys:
+            leaf = structure.find_leaf(key)
+            if op_id and leaf.ablsn_for(tc_id).contains(op_id):
+                continue
+
+            def mutate(old: Optional[VersionedRecord]) -> Optional[VersionedRecord]:
+                if old is None:
+                    return None
+                if promote:
+                    old.promote_pending(commit_seq=commit_seq, keep_history=keep)
+                    if retention > 0:
+                        old.prune_history(prune_floor)
+                else:
+                    old.discard_pending()
+                return None if old.is_dead() else old
+
+            _record, final_leaf = self._mutate_record(handle, tc_id, key, mutate)
+            touched[final_leaf.page_id] = final_leaf
+        if op_id:
+            for leaf in touched.values():
+                with leaf.latch:
+                    leaf.ablsn_for(tc_id).include(op_id)
+                    leaf.dirty = True
+        self.metrics.incr(
+            "dc.version_promotes" if promote else "dc.version_discards"
+        )
+        return OpResult.okay()
+
+    # -- reads --------------------------------------------------------------------------------
+
+    def _execute_read(
+        self, handle: TableHandle, tc_id: int, op: LogicalOperation
+    ) -> OpResult:
+        structure = handle.structure
+        if isinstance(op, ReadOp):
+            if op.flavor is ReadFlavor.SNAPSHOT:
+                if op.as_of < self.snapshot_floor():
+                    return OpResult.error(
+                        f"snapshot {op.as_of} is older than the retention "
+                        f"floor {self.snapshot_floor()}"
+                    )
+                record = structure.get_record(op.key)
+                value = record.snapshot_value(op.as_of) if record else None
+                if value is None:
+                    return OpResult.not_found()
+                return OpResult.okay(value=value)
+            read_committed = op.flavor is ReadFlavor.READ_COMMITTED
+            record = structure.get_record(op.key)
+            if record is None or not record.exists_for(read_committed):
+                return OpResult.not_found()
+            return OpResult.okay(value=record.visible_value(read_committed))
+        if isinstance(op, RangeReadOp):
+            if op.flavor is ReadFlavor.SNAPSHOT:
+                if op.as_of < self.snapshot_floor():
+                    return OpResult.error(
+                        f"snapshot {op.as_of} is older than the retention "
+                        f"floor {self.snapshot_floor()}"
+                    )
+                views = []
+                for record in structure.iter_range(op.low, op.high):
+                    if op.low_exclusive and record.key == op.low:
+                        continue
+                    value = record.snapshot_value(op.as_of)
+                    if value is None:
+                        continue
+                    views.append(RecordView(record.key, value))
+                    if op.limit is not None and len(views) >= op.limit:
+                        break
+                return OpResult(records=tuple(views))
+            read_committed = op.flavor is ReadFlavor.READ_COMMITTED
+            views = []
+            for record in structure.iter_range(op.low, op.high):
+                if op.low_exclusive and record.key == op.low:
+                    continue
+                if not record.exists_for(read_committed):
+                    continue
+                views.append(
+                    RecordView(record.key, record.visible_value(read_committed))
+                )
+                if op.limit is not None and len(views) >= op.limit:
+                    break
+            return OpResult(records=tuple(views))
+        if isinstance(op, ProbeNextKeysOp):
+            keys = structure.next_keys(
+                op.after, op.count, op.until, inclusive=op.inclusive
+            )
+            return OpResult(keys=tuple(keys))
+        return OpResult.error(f"unknown read {type(op).__name__}")
+
+    # -- contract maintenance ---------------------------------------------------------------------
+
+    def end_of_stable_log(self, tc_id: int, eosl: Lsn) -> None:
+        self._check_up()
+        self.buffer.note_eosl(tc_id, eosl)
+
+    def low_water_mark(self, tc_id: int, lwm: Lsn) -> None:
+        self._check_up()
+        with self.buffer.operation():
+            self.buffer.note_lwm(tc_id, lwm)
+
+    def checkpoint(self, tc_id: int, new_rssp: Lsn) -> Lsn:
+        """Make stable all pages with operations below ``new_rssp``.
+
+        Returns the RSSP the TC may now advance to (``new_rssp`` on
+        success, NULL_LSN when some page could not be flushed yet).
+        """
+        self._check_up()
+        self.metrics.incr("dc.checkpoints")
+        with self.buffer.operation():
+            done = self.buffer.flush_for_checkpoint(new_rssp)
+        return new_rssp if done else NULL_LSN
+
+    def begin_restart(
+        self,
+        tc_id: int,
+        stable_lsn: Lsn,
+        mode: ResetMode = ResetMode.RECORD_RESET,
+    ) -> dict[str, int]:
+        """TC-crash reset (Section 5.3.2 / 6.1.2): shed lost-operation state."""
+        self._check_up()
+        self.metrics.incr("dc.tc_restarts")
+        with self.buffer.operation():
+            return self.buffer.reset_after_tc_crash(tc_id, stable_lsn, mode)
+
+    def snapshot_floor(self) -> int:
+        """Oldest watermark still served under the retention horizon."""
+        if self.config.snapshot_retention <= 0:
+            return self._version_clock
+        return max(0, self._version_clock - self.config.snapshot_retention)
+
+    def version_watermark(self) -> int:
+        return self._version_clock
+
+    # -- DC-local checkpoint (truncates the DC log) ---------------------------------------------------
+
+    def checkpoint_dc_log(self) -> bool:
+        """Flush everything and truncate the DC log; False if blocked."""
+        self._check_up()
+        with self._admin_lock, self.buffer.operation():
+            self.buffer.flush_all()
+            if self.buffer.dirty_count() > 0:
+                return False
+            descriptors = {
+                name: handle.descriptor for name, handle in self._tables.items()
+            }
+            for name, handle in self._tables.items():
+                if isinstance(handle.structure, BTree):
+                    descriptors[name].root_id = handle.structure.root_id
+            self.recovery.save_catalog(descriptors)
+            self.dclog.truncate_before(self.dclog.last_dlsn + 1)
+            self.metrics.incr("dc.log_truncations")
+        self.hint_rssp_advance()
+        return True
+
+    def hint_rssp_advance(self) -> None:
+        """Spontaneous contract termination (Section 4.2.1).
+
+        When the cache holds no dirty page, every *applied* operation is
+        stable; operations at or below a TC's low-water mark are known
+        applied (no gaps).  So each hinted TC may stop resending anything
+        below ``LWM + 1`` as far as this DC is concerned.
+        """
+        if self.buffer.dirty_count() > 0:
+            return
+        for tc_id, hint in list(self._rssp_hint.items()):
+            lwm = self.buffer._lwm.get(tc_id, NULL_LSN)
+            if lwm > NULL_LSN:
+                self.metrics.incr("dc.rssp_hints")
+                hint(self.name, lwm + 1)
+
+    # -- failure injection & recovery ---------------------------------------------------------------------
+
+    def crash(self) -> None:
+        """Lose all volatile state; stable storage survives."""
+        self._crashed = True
+        self.buffer.crash()
+        self._tables.clear()
+        self.metrics.incr("dc.crashes")
+
+    def recover(self, notify_tcs: bool = True) -> dict[str, object]:
+        """DC restart: rebuild catalog + well-formed structures (Section 5.2.2).
+
+        System-transaction effects replay (via the stable-page loader)
+        *before* any TC redo is accepted; each tree is validated to assert
+        the well-formedness contract.  Optionally prompts registered TCs to
+        begin their redo ("an out-of-band prompt is passed to TC").
+        """
+        with self._admin_lock:
+            self.buffer.crash()
+            catalog = self.recovery.recover_catalog()
+            self.dclog.advance_past(self.recovery.highest_stable_dlsn())
+            self._tables = {}
+            for name, descriptor in catalog.items():
+                if descriptor.kind in self._structure_factories:
+                    structure: Structure = self._structure_factories[
+                        descriptor.kind
+                    ](self, name, descriptor)  # type: ignore[assignment]
+                elif descriptor.kind == "btree":
+                    structure = BTree(
+                        name,
+                        self.storage,
+                        self.buffer,
+                        self.dclog,
+                        self.config,
+                        self.metrics,
+                        ensure_stable=self._ensure_tc_stable,
+                        root_id=descriptor.root_id,
+                    )
+                elif descriptor.kind == "heap":
+                    structure = HashedHeap(
+                        name,
+                        self.storage,
+                        self.buffer,
+                        self.dclog,
+                        self.config,
+                        self.metrics,
+                        ensure_stable=self._ensure_tc_stable,
+                        bucket_ids=list(descriptor.bucket_ids),
+                    )
+                else:
+                    raise ReproError(
+                        f"table {name!r} has kind {descriptor.kind!r} but no "
+                        f"structure factory is registered for it"
+                    )
+                structure.validate()
+                self._tables[name] = TableHandle(descriptor, structure)
+            self._recover_version_clock()
+            self._crashed = False
+            self.metrics.incr("dc.recoveries")
+        if notify_tcs:
+            for prompt in list(self._restart_prompt.values()):
+                prompt(self)
+        return {"tables": len(self._tables)}
+
+    def _recover_version_clock(self) -> None:
+        """Resume the commit-sequence clock above every stamped version so
+        per-record histories stay monotone across DC restarts (pre-crash
+        snapshot watermarks themselves do not survive)."""
+        top = self._version_clock
+        for handle in self._tables.values():
+            if not handle.descriptor.versioned:
+                continue
+            for record in handle.structure.iter_range(None, None):
+                seq = record.max_seq()
+                if seq > top:
+                    top = seq
+        self._version_clock = top
+
+    def stats(self) -> dict[str, object]:
+        """Introspection snapshot: per-table structure shape + cache/log."""
+        tables = {}
+        for name, handle in self._tables.items():
+            structure = handle.structure
+            entry: dict[str, object] = {
+                "kind": handle.descriptor.kind,
+                "versioned": handle.descriptor.versioned,
+                "records": structure.record_count(),
+                "leaves": len(structure.leaf_ids()),
+            }
+            depth = getattr(structure, "depth", None)
+            if callable(depth):
+                entry["depth"] = depth()
+            tables[name] = entry
+        return {
+            "name": self.name,
+            "tables": tables,
+            "cached_pages": len(self.buffer.cached_ids()),
+            "dirty_pages": self.buffer.dirty_count(),
+            "stable_pages": self.storage.page_count(),
+            "dclog_records": self.storage.dc_log_length(),
+            "version_clock": self._version_clock,
+        }
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed

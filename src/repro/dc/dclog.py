@@ -1,0 +1,158 @@
+"""The DC log: recovery for system transactions (Section 5.2.2).
+
+Structure modifications (page splits, deletes/consolidations, root changes)
+are *system transactions* — atomic actions internal to the DC, unrelated to
+any user transaction the TC knows about.  They get their own log with their
+own LSN space (*dLSNs*) so that at restart the DC can restore well-formed
+search structures before any TC redo arrives, replaying SMOs out of their
+original execution order relative to TC operations.
+
+Record types follow the paper's prescriptions:
+
+- :class:`PageImageRecord` — *physical*: a complete page image carrying its
+  abLSN(s).  Used for the new page of a split ("the log record for the new
+  page contains the actual contents of the page"), for the consolidated
+  page of a delete (whose abLSN is the merge/max of the two inputs, pinning
+  the delete's position w.r.t. TC operations on that key range), and for
+  updated index (inner) pages.
+- :class:`KeysRemovedRecord` — *logical*: the pre-split page "need only
+  capture the split key value"; whatever version of the page is stable, its
+  own abLSN remains valid.
+- :class:`PageFreeRecord` — logical: the deleted page returns to free space.
+- :class:`RootChangedRecord` — the table's root moved (root split or
+  collapse); replayed so the catalog is well-formed before TC redo.
+
+The log is **forced at system-transaction commit** and records of
+uncommitted system transactions never reach stable storage (the buffer
+manager flushes no page while an SMO holds its latches), so redo-only
+recovery of the DC log is sufficient — the force-at-commit discipline
+replaces the undo pass of integrated multi-level recovery.  DESIGN.md
+documents this substitution.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.common.lsn import Lsn, NULL_LSN, LsnGenerator
+from repro.common.records import Key, sizeof_key
+from repro.sim.metrics import Metrics
+from repro.storage.disk import StableStorage
+from repro.storage.page import PageImage
+
+
+@dataclass(frozen=True)
+class DcLogRecord:
+    dlsn: Lsn
+
+    def encoded_size(self) -> int:
+        return 24  # header: dlsn + type + length
+
+
+@dataclass(frozen=True)
+class PageImageRecord(DcLogRecord):
+    """Physical redo: install ``image`` if the page's dLSN is older."""
+
+    page_id: int = 0
+    image: Optional[PageImage] = None
+
+    def encoded_size(self) -> int:
+        image_bytes = self.image.encoded_size() if self.image is not None else 0
+        return super().encoded_size() + 8 + image_bytes
+
+
+@dataclass(frozen=True)
+class KeysRemovedRecord(DcLogRecord):
+    """Logical redo: remove keys >= split_key from the pre-split page."""
+
+    page_id: int = 0
+    split_key: Key = None
+
+    def encoded_size(self) -> int:
+        return super().encoded_size() + 8 + sizeof_key(self.split_key)
+
+
+@dataclass(frozen=True)
+class PageFreeRecord(DcLogRecord):
+    """Logical redo: the page is no longer part of any structure."""
+
+    page_id: int = 0
+
+    def encoded_size(self) -> int:
+        return super().encoded_size() + 8
+
+
+@dataclass(frozen=True)
+class RootChangedRecord(DcLogRecord):
+    table: str = ""
+    new_root: int = 0
+
+    def encoded_size(self) -> int:
+        return super().encoded_size() + sizeof_key(self.table) + 8
+
+
+@dataclass(frozen=True)
+class CatalogRecord(DcLogRecord):
+    """A table was created: its descriptor metadata, replayed at recovery."""
+
+    descriptor: Optional[dict] = None
+
+    def encoded_size(self) -> int:
+        return super().encoded_size() + 64
+
+
+@dataclass(frozen=True)
+class SysTxnCommitRecord(DcLogRecord):
+    """Marks the end of a system transaction's record group."""
+
+    kind: str = ""
+
+
+class DcLog:
+    """dLSN allocation plus the force-at-commit stable log.
+
+    A system transaction accumulates records via :meth:`stage` and calls
+    :meth:`commit` to force them to stable storage as one atomic batch
+    (closed by a :class:`SysTxnCommitRecord`).  :meth:`abandon` drops the
+    staged batch — nothing of it ever becomes stable.
+    """
+
+    def __init__(self, storage: StableStorage, metrics: Optional[Metrics] = None) -> None:
+        self._storage = storage
+        self._dlsns = LsnGenerator()
+        self._lock = threading.Lock()
+        self.metrics = metrics or Metrics()
+
+    def next_dlsn(self) -> Lsn:
+        return self._dlsns.next()
+
+    @property
+    def last_dlsn(self) -> Lsn:
+        return self._dlsns.last
+
+    def advance_past(self, dlsn: Lsn) -> None:
+        self._dlsns.advance_to(dlsn)
+
+    def commit(self, kind: str, records: list[DcLogRecord]) -> None:
+        """Force the system transaction's records to the stable DC log."""
+        with self._lock:
+            batch: list[DcLogRecord] = list(records)
+            batch.append(SysTxnCommitRecord(dlsn=self.next_dlsn(), kind=kind))
+            self._storage.append_dc_log(batch)
+            self.metrics.incr("dclog.systxn_commits")
+            self.metrics.incr("dclog.records", len(batch))
+            self.metrics.incr(
+                "dclog.bytes", sum(record.encoded_size() for record in batch)
+            )
+
+    def stable_records(self) -> list[DcLogRecord]:
+        return [
+            record
+            for record in self._storage.dc_log_entries()
+            if isinstance(record, DcLogRecord)
+        ]
+
+    def truncate_before(self, dlsn: Lsn) -> None:
+        self._storage.truncate_dc_log(dlsn)

@@ -1,0 +1,5 @@
+"""Kernel assemblies: the unbundled TC/DC kernel and the monolithic baseline."""
+
+from repro.kernel.unbundled import UnbundledKernel
+
+__all__ = ["UnbundledKernel"]

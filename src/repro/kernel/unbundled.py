@@ -1,0 +1,98 @@
+"""One-call assembly of an unbundled kernel (Figure 1).
+
+``UnbundledKernel`` wires one TC to one or more DCs over configurable
+channels and exposes the small surface applications use: create tables,
+begin transactions, checkpoint, inject crashes, recover.  Multi-TC
+deployments (Section 6) are assembled explicitly by
+:mod:`repro.cloud.deployment` instead, since they need ownership
+partitioning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.config import KernelConfig
+from repro.dc.data_component import DataComponent
+from repro.sim.metrics import Metrics
+from repro.storage.buffer import ResetMode
+from repro.tc.transactional_component import Transaction, TransactionalComponent
+
+
+class UnbundledKernel:
+    """A TC plus ``dc_count`` DCs — the Figure 1 architecture, assembled."""
+
+    def __init__(
+        self,
+        config: Optional[KernelConfig] = None,
+        metrics: Optional[Metrics] = None,
+        dc_count: int = 1,
+    ) -> None:
+        self.config = config or KernelConfig()
+        self.metrics = metrics or Metrics()
+        self.dcs: dict[str, DataComponent] = {}
+        self.tc = TransactionalComponent(
+            config=self.config.tc, metrics=self.metrics
+        )
+        for index in range(dc_count):
+            name = f"dc{index + 1}" if dc_count > 1 else "dc"
+            dc = DataComponent(name, config=self.config.dc, metrics=self.metrics)
+            self.dcs[name] = dc
+            self.tc.attach_dc(dc, self.config.channel)
+
+    @property
+    def dc(self) -> DataComponent:
+        """The sole DC (convenience for single-DC kernels)."""
+        if len(self.dcs) != 1:
+            raise ValueError("kernel has multiple DCs; address them by name")
+        return next(iter(self.dcs.values()))
+
+    # -- schema ---------------------------------------------------------------
+
+    def create_table(
+        self,
+        name: str,
+        kind: str = "btree",
+        versioned: bool = False,
+        dc_name: Optional[str] = None,
+        bucket_count: int = 16,
+    ) -> None:
+        dc = self.dcs[dc_name] if dc_name is not None else self.dc
+        dc.create_table(name, kind=kind, versioned=versioned, bucket_count=bucket_count)
+        self.tc.refresh_routes(dc)
+
+    # -- transactions ---------------------------------------------------------------
+
+    def begin(self) -> Transaction:
+        return self.tc.begin()
+
+    def checkpoint(self) -> bool:
+        return self.tc.checkpoint()
+
+    # -- failure injection -------------------------------------------------------------
+
+    def crash_dc(self, dc_name: Optional[str] = None) -> None:
+        dc = self.dcs[dc_name] if dc_name is not None else self.dc
+        dc.crash()
+
+    def recover_dc(self, dc_name: Optional[str] = None) -> None:
+        """DC restart: structures first, then the TC is prompted to redo."""
+        dc = self.dcs[dc_name] if dc_name is not None else self.dc
+        dc.recover(notify_tcs=True)
+
+    def crash_tc(self) -> int:
+        return self.tc.crash()
+
+    def recover_tc(self, reset_mode: ResetMode = ResetMode.RECORD_RESET) -> dict:
+        return self.tc.restart(reset_mode)
+
+    def crash_all(self) -> None:
+        """The fail-together case: no new techniques needed (Section 5.3)."""
+        self.tc.crash()
+        for dc in self.dcs.values():
+            dc.crash()
+
+    def recover_all(self) -> None:
+        for dc in self.dcs.values():
+            dc.recover(notify_tcs=False)
+        self.tc.restart()

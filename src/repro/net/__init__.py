@@ -1,0 +1,5 @@
+"""Simulated transport between TCs and DCs."""
+
+from repro.net.channel import MessageChannel
+
+__all__ = ["MessageChannel"]

@@ -1,0 +1,157 @@
+"""The TC <-> DC transport (Section 4.2.1: "asynchronous messages ...").
+
+The paper treats the unbundled kernel as a distributed system: requests
+flow one way, replies the other, and the network may delay, reorder,
+duplicate or drop either.  :class:`MessageChannel` simulates exactly that
+against a local :class:`~repro.dc.data_component.DataComponent`:
+
+- **synchronous fast path** — with a perfectly-behaved channel, requests
+  are delivered inline (the "signals and shared variables ... multi-core
+  design" deployment);
+- **queued mode** — requests accumulate and :meth:`pump` delivers them with
+  seeded reordering / loss / duplication, which is what exercises the
+  abLSN out-of-order machinery (Section 5.1) and the resend/idempotence
+  contracts end to end.
+
+A per-message latency cost is accumulated into simulated-time metrics so
+cloud experiments can charge round trips without real sleeping.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.common.api import Message, OperationReply, PerformOperation
+from repro.common.config import ChannelConfig
+from repro.common.errors import CrashedError
+from repro.dc.data_component import DataComponent
+from repro.sim.metrics import Metrics
+
+
+class MessageChannel:
+    """One ordered-by-default channel between a TC and a DC."""
+
+    def __init__(
+        self,
+        dc: DataComponent,
+        config: Optional[ChannelConfig] = None,
+        metrics: Optional[Metrics] = None,
+        name: str = "",
+    ) -> None:
+        self.dc = dc
+        self.config = config or ChannelConfig()
+        self.metrics = metrics or Metrics()
+        self.name = name or f"chan->{dc.name}"
+        self._rng = random.Random(self.config.seed)
+        self._outbox: list[Message] = []
+        self.sim_time_ms = 0.0
+        #: Per-channel counters (cloud experiments diff these to count how
+        #: many machines a workload touched with actual data operations).
+        self.requests_sent = 0
+        self.ops_sent = 0
+
+    @property
+    def well_behaved(self) -> bool:
+        """True when the channel neither loses, duplicates nor reorders."""
+        cfg = self.config
+        return (
+            cfg.loss_rate == 0.0
+            and cfg.duplicate_rate == 0.0
+            and cfg.reorder_window == 0
+        )
+
+    # -- synchronous path ---------------------------------------------------
+
+    def request(self, message: Message) -> Optional[Message]:
+        """Deliver one message now; returns the reply (or None).
+
+        Misbehavior still applies: a "lost" request or reply returns None,
+        and the caller's resend logic takes over.  ``CrashedError`` from a
+        crashed DC is surfaced as a lost message plus a flag the TC can
+        inspect via :attr:`dc`.
+        """
+        self.metrics.incr("channel.requests")
+        self.requests_sent += 1
+        if isinstance(message, PerformOperation):
+            self.ops_sent += 1
+        self._charge_latency()
+        if self._drop():
+            self.metrics.incr("channel.requests_lost")
+            return None
+        try:
+            reply = self.dc.handle(message)
+        except CrashedError:
+            self.metrics.incr("channel.requests_to_crashed_dc")
+            return None
+        if self._duplicate():
+            self.metrics.incr("channel.requests_duplicated")
+            try:
+                self.dc.handle(message)  # idempotence absorbs the duplicate
+            except CrashedError:
+                pass
+        if reply is None:
+            return None
+        self._charge_latency()
+        if self._drop():
+            self.metrics.incr("channel.replies_lost")
+            return None
+        return reply
+
+    # -- queued (reordering) path ----------------------------------------------
+
+    def post(self, message: Message) -> None:
+        """Queue a request for a later :meth:`pump`."""
+        self.metrics.incr("channel.posted")
+        self._outbox.append(message)
+
+    def pending(self) -> int:
+        return len(self._outbox)
+
+    def pump(self) -> list[Message]:
+        """Deliver all queued requests, possibly reordered, return replies.
+
+        Reordering: each message may be displaced up to ``reorder_window``
+        positions (seeded, deterministic).  Within-flight reordering of
+        *non-conflicting* operations is exactly what the TC permits and the
+        DC's abLSNs must absorb (Section 5.1).
+        """
+        batch = self._outbox
+        self._outbox = []
+        order = self._reorder(list(range(len(batch))))
+        replies: list[Message] = []
+        for index in order:
+            reply = self.request(batch[index])
+            if reply is not None:
+                replies.append(reply)
+        if order != sorted(order):
+            self.metrics.incr("channel.batches_reordered")
+        return replies
+
+    def _reorder(self, indexes: list[int]) -> list[int]:
+        window = self.config.reorder_window
+        if window <= 0 or len(indexes) < 2:
+            return indexes
+        result = list(indexes)
+        for position in range(len(result)):
+            jump = self._rng.randint(0, min(window, len(result) - 1 - position))
+            if jump:
+                item = result.pop(position + jump)
+                result.insert(position, item)
+        return result
+
+    # -- misbehavior ------------------------------------------------------------------
+
+    def _drop(self) -> bool:
+        return self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate
+
+    def _duplicate(self) -> bool:
+        return (
+            self.config.duplicate_rate > 0
+            and self._rng.random() < self.config.duplicate_rate
+        )
+
+    def _charge_latency(self) -> None:
+        if self.config.latency_ms:
+            self.sim_time_ms += self.config.latency_ms
+            self.metrics.observe("channel.latency_ms", self.config.latency_ms)

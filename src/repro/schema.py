@@ -1,0 +1,187 @@
+"""A declarative schema layer with secondary indexes (Figure 2, generalized).
+
+The paper's MyReviews table is "effectively ... an index in the physical
+schema since it contains redundant data from the Reviews table" — a
+secondary index maintained by the application inside the same transaction.
+This module turns that pattern into a reusable layer: declare a table with
+secondary indexes and the layer maintains the redundant index tables
+atomically with every mutation, all on top of the plain public TC API.
+
+    schema = Schema(kernel)
+    users = schema.table(
+        "users",
+        indexes={"by_email": lambda key, value: value["email"]},
+    )
+    with kernel.begin() as txn:
+        users.insert(txn, 7, {"email": "ada@lovelace.org"})
+    with kernel.begin() as txn:
+        assert users.lookup(txn, "by_email", "ada@lovelace.org") == [7]
+
+Index tables are ordinary DC tables named ``{table}__{index}`` with keys
+``(index_value, primary_key)``; equality and range lookups are clustered
+scans, exactly the access-path argument Figure 2 makes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.common.errors import ReproError
+from repro.common.records import KEY_MAX, KEY_MIN, Key, Value
+from repro.kernel.unbundled import UnbundledKernel
+from repro.tc.transactional_component import Transaction
+
+IndexExtractor = Callable[[Key, Value], object]
+
+
+class IndexedTable:
+    """A primary table plus transactionally-maintained secondary indexes."""
+
+    def __init__(
+        self,
+        schema: "Schema",
+        name: str,
+        indexes: dict[str, IndexExtractor],
+        unique_indexes: Optional[set[str]] = None,
+    ) -> None:
+        self._schema = schema
+        self.name = name
+        self.indexes = dict(indexes)
+        self.unique_indexes = set(unique_indexes or ())
+        unknown_unique = self.unique_indexes - set(self.indexes)
+        if unknown_unique:
+            raise ReproError(f"unique constraint on unknown index: {unknown_unique}")
+
+    def index_table(self, index: str) -> str:
+        if index not in self.indexes:
+            raise ReproError(f"table {self.name!r} has no index {index!r}")
+        return f"{self.name}__{index}"
+
+    # -- mutations (index maintenance rides the same transaction) ----------
+
+    def insert(self, txn: Transaction, key: Key, value: Value) -> None:
+        for index, extract in self.indexes.items():
+            self._add_entry(txn, index, extract(key, value), key)
+        txn.insert(self.name, key, value)
+
+    def update(self, txn: Transaction, key: Key, value: Value) -> None:
+        old_value = txn.read(self.name, key)
+        for index, extract in self.indexes.items():
+            if old_value is not None:
+                old_entry = extract(key, old_value)
+                new_entry = extract(key, value)
+                if old_entry != new_entry:
+                    txn.delete(self.index_table(index), (old_entry, key))
+                    self._add_entry(txn, index, new_entry, key)
+        txn.update(self.name, key, value)
+
+    def delete(self, txn: Transaction, key: Key) -> None:
+        old_value = txn.read(self.name, key)
+        if old_value is not None:
+            for index, extract in self.indexes.items():
+                txn.delete(self.index_table(index), (extract(key, old_value), key))
+        txn.delete(self.name, key)
+
+    def _add_entry(
+        self, txn: Transaction, index: str, entry: object, key: Key
+    ) -> None:
+        table = self.index_table(index)
+        if index in self.unique_indexes:
+            existing = txn.scan(table, (entry, KEY_MIN), (entry, KEY_MAX), limit=1)
+            if existing:
+                raise ReproError(
+                    f"unique index {index!r} of {self.name!r} already maps "
+                    f"{entry!r} -> {existing[0][0][1]!r}"
+                )
+        txn.insert(table, (entry, key), True)
+
+    # -- reads --------------------------------------------------------------------
+
+    def read(self, txn: Transaction, key: Key) -> Optional[Value]:
+        return txn.read(self.name, key)
+
+    def scan(
+        self,
+        txn: Transaction,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[Key, Value]]:
+        return txn.scan(self.name, low, high, limit)
+
+    def lookup(self, txn: Transaction, index: str, entry: object) -> list[Key]:
+        """Primary keys whose index value equals ``entry`` (clustered scan)."""
+        rows = txn.scan(
+            self.index_table(index), (entry, KEY_MIN), (entry, KEY_MAX)
+        )
+        return [key for (_entry, key), _true in rows]
+
+    def lookup_range(
+        self,
+        txn: Transaction,
+        index: str,
+        low: object = None,
+        high: object = None,
+    ) -> list[tuple[object, Key]]:
+        """(index_value, primary_key) pairs with low <= value <= high."""
+        rows = txn.scan(
+            self.index_table(index),
+            (low if low is not None else KEY_MIN, KEY_MIN),
+            (high if high is not None else KEY_MAX, KEY_MAX),
+        )
+        return [(entry, key) for (entry, key), _true in rows]
+
+    def fetch_by(
+        self, txn: Transaction, index: str, entry: object
+    ) -> list[tuple[Key, Value]]:
+        """Index lookup followed by primary reads."""
+        return [
+            (key, txn.read(self.name, key)) for key in self.lookup(txn, index, entry)
+        ]
+
+    # -- integrity (used by tests) ------------------------------------------------------
+
+    def verify_indexes(self, txn: Transaction) -> None:
+        """Assert primary table and every index table agree exactly."""
+        primary = dict(self.scan(txn))
+        for index, extract in self.indexes.items():
+            expected = sorted(
+                (extract(key, value), key) for key, value in primary.items()
+            )
+            actual = sorted(
+                (entry, key)
+                for (entry, key), _true in txn.scan(self.index_table(index))
+            )
+            if expected != actual:
+                raise ReproError(
+                    f"index {index!r} of {self.name!r} diverged: "
+                    f"{actual} != {expected}"
+                )
+
+
+class Schema:
+    """Factory and registry for indexed tables on one kernel."""
+
+    def __init__(self, kernel: UnbundledKernel, dc_name: Optional[str] = None) -> None:
+        self.kernel = kernel
+        self._dc_name = dc_name
+        self.tables: dict[str, IndexedTable] = {}
+
+    def table(
+        self,
+        name: str,
+        indexes: Optional[dict[str, IndexExtractor]] = None,
+        unique: Optional[set[str]] = None,
+        versioned: bool = False,
+    ) -> IndexedTable:
+        if name in self.tables:
+            raise ReproError(f"table {name!r} already declared")
+        indexes = indexes or {}
+        self.kernel.create_table(name, versioned=versioned, dc_name=self._dc_name)
+        table = IndexedTable(self, name, indexes, unique)
+        for index in indexes:
+            self.kernel.create_table(
+                table.index_table(index), dc_name=self._dc_name
+            )
+        self.tables[name] = table
+        return table

@@ -1,0 +1,5 @@
+"""Simulation support: metrics collection and crash/failure injection."""
+
+from repro.sim.metrics import Metrics
+
+__all__ = ["Metrics"]

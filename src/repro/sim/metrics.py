@@ -1,0 +1,89 @@
+"""Lightweight metrics used by every component and every experiment.
+
+Counters record how often things happen (messages, locks, flushes,
+resends); observations record value distributions (log-record bytes, abLSN
+set sizes, redo batch lengths).  All methods are thread-safe — the kernel
+is multi-threaded by design (Section 1.2).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+from dataclasses import dataclass
+
+
+@dataclass
+class Distribution:
+    """Summary of observed values: count / total / min / max."""
+
+    count: int = 0
+    total: float = 0.0
+    minimum: float = float("inf")
+    maximum: float = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class Metrics:
+    """A named bag of counters and distributions.
+
+    A single :class:`Metrics` instance is threaded through TC, DC, channel
+    and buffer pool so an experiment reads one object at the end.  Create a
+    fresh instance per experiment run.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = defaultdict(int)
+        self._distributions: dict[str, Distribution] = defaultdict(Distribution)
+
+    def incr(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counters[name] += amount
+
+    def observe(self, name: str, value: float) -> None:
+        with self._lock:
+            self._distributions[name].observe(value)
+
+    def get(self, name: str) -> int:
+        with self._lock:
+            return self._counters.get(name, 0)
+
+    def dist(self, name: str) -> Distribution:
+        with self._lock:
+            return self._distributions.get(name, Distribution())
+
+    def counters(self) -> dict[str, int]:
+        with self._lock:
+            return dict(self._counters)
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._distributions.clear()
+
+    def merged_with(self, other: "Metrics") -> dict[str, int]:
+        mine = self.counters()
+        for name, value in other.counters().items():
+            mine[name] = mine.get(name, 0) + value
+        return mine
+
+    def __repr__(self) -> str:
+        items = ", ".join(f"{k}={v}" for k, v in sorted(self.counters().items()))
+        return f"Metrics({items})"
+
+
+#: Shared no-op-ish default so components can always assume a metrics object.
+def new_metrics() -> Metrics:
+    return Metrics()

@@ -1,0 +1,11 @@
+"""Physical storage: pages, stable storage, buffer pool, access methods.
+
+Everything in this package is private to the Data Component — the paper's
+central discipline is that no page knowledge ever crosses the TC/DC
+boundary (Section 1.2).
+"""
+
+from repro.storage.disk import StableStorage
+from repro.storage.page import InnerPage, LeafPage, Page, PageKind
+
+__all__ = ["InnerPage", "LeafPage", "Page", "PageKind", "StableStorage"]

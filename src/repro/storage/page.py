@@ -1,0 +1,406 @@
+"""Pages: the physical unit the DC manages and the TC never sees.
+
+Leaf pages hold :class:`~repro.common.records.VersionedRecord` slots in key
+order.  Inner pages hold separator keys routing to child pages.  Every page
+carries:
+
+- ``dlsn`` — the DC-log LSN of the last structure modification reflected in
+  the page (Section 5.2.2), making system-transaction redo idempotent;
+- one :class:`~repro.common.lsn.AbstractLsn` *per TC* with data on the page
+  (Section 6.1.1), making TC logical redo idempotent under out-of-order
+  execution;
+- a record→TC association (``VersionedRecord.owner_tc``, the paper's
+  two-byte chain offsets) enabling *record-level reset* after a TC crash
+  (Section 6.1.2) so co-resident TCs keep their cached work.
+
+The byte-budget space model (``used_bytes`` vs the configured page size)
+is what triggers splits and consolidations in the B-tree.
+"""
+
+from __future__ import annotations
+
+import bisect
+import enum
+import threading
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.common.lsn import AbstractLsn, Lsn, NULL_LSN
+from repro.common.records import Key, VersionedRecord, sizeof_key
+
+#: Fixed header bytes per page in the space model.
+PAGE_HEADER_BYTES = 64
+
+#: Bytes per child entry on an inner page (separator handled separately).
+INNER_ENTRY_BYTES = 8
+
+
+class PageKind(enum.Enum):
+    LEAF = "leaf"
+    INNER = "inner"
+
+
+class Page:
+    """State common to leaf and inner pages."""
+
+    kind: PageKind
+
+    def __init__(self, page_id: int) -> None:
+        self.page_id = page_id
+        #: DC-log LSN of the last SMO applied to this page.
+        self.dlsn: Lsn = NULL_LSN
+        #: Per-TC abstract LSNs (Section 6.1.1).
+        self.ablsns: dict[int, AbstractLsn] = {}
+        #: Classic single page LSN — used only by the monolithic baseline
+        #: engine (the unbundled DC never stores one; that is the point).
+        self.page_lsn: Lsn = NULL_LSN
+        #: Short-duration physical latch (Section 4.1.2 item 1).
+        self.latch = threading.RLock()
+        self.dirty = False
+
+    # -- abLSN management -------------------------------------------------
+
+    def ablsn_for(self, tc_id: int) -> AbstractLsn:
+        """The abLSN tracking this TC's operations, created on demand."""
+        ablsn = self.ablsns.get(tc_id)
+        if ablsn is None:
+            ablsn = AbstractLsn()
+            self.ablsns[tc_id] = ablsn
+        return ablsn
+
+    def apply_low_water(self, tc_id: int, lwm: Lsn) -> None:
+        ablsn = self.ablsns.get(tc_id)
+        if ablsn is not None:
+            ablsn.advance_low_water(lwm)
+
+    def max_lsn(self, tc_id: int) -> Lsn:
+        ablsn = self.ablsns.get(tc_id)
+        return ablsn.max_lsn() if ablsn is not None else NULL_LSN
+
+    def reflects_loss(self, tc_id: int, stable_lsn: Lsn) -> bool:
+        """Does this page include effects of the TC's *lost* operations?
+
+        After a TC crash, operations with LSN > ``stable_lsn`` are gone
+        forever; a cached page reflecting any of them must be reset
+        (Section 5.3.2).
+        """
+        ablsn = self.ablsns.get(tc_id)
+        if ablsn is None:
+            return False
+        return bool(ablsn.lsns_above(stable_lsn))
+
+    def ablsn_overhead_bytes(self) -> int:
+        """Space the abLSNs would occupy if written with the page."""
+        return sum(ablsn.encoded_size() for ablsn in self.ablsns.values())
+
+    def pending_lsn_count(self) -> int:
+        return sum(ablsn.pending_count() for ablsn in self.ablsns.values())
+
+    # -- space model (subclasses refine) ----------------------------------
+
+    def used_bytes(self) -> int:
+        raise NotImplementedError
+
+    def snapshot(self) -> "PageImage":
+        raise NotImplementedError
+
+
+class LeafPage(Page):
+    """A slotted leaf page holding records in key order."""
+
+    kind = PageKind.LEAF
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(page_id)
+        self._keys: list[Key] = []
+        self._records: dict[Key, VersionedRecord] = {}
+        self._used = PAGE_HEADER_BYTES
+
+    # -- record access -----------------------------------------------------
+
+    def get(self, key: Key) -> Optional[VersionedRecord]:
+        return self._records.get(key)
+
+    def record_count(self) -> int:
+        return len(self._keys)
+
+    def keys(self) -> list[Key]:
+        return list(self._keys)
+
+    def records_in_order(self) -> Iterator[VersionedRecord]:
+        for key in self._keys:
+            yield self._records[key]
+
+    def range(self, low: Optional[Key], high: Optional[Key]) -> Iterator[VersionedRecord]:
+        """Records with low <= key <= high, in key order (open bounds=None)."""
+        start = 0 if low is None else bisect.bisect_left(self._keys, low)
+        for key in self._keys[start:]:
+            if high is not None and key > high:
+                break
+            yield self._records[key]
+
+    def keys_after(self, after: Optional[Key]) -> Iterator[Key]:
+        """Keys strictly greater than ``after`` (all keys when None)."""
+        start = 0 if after is None else bisect.bisect_right(self._keys, after)
+        yield from self._keys[start:]
+
+    def keys_from(self, low: Optional[Key]) -> Iterator[Key]:
+        """Keys at or above ``low`` (all keys when None)."""
+        start = 0 if low is None else bisect.bisect_left(self._keys, low)
+        yield from self._keys[start:]
+
+    def min_key(self) -> Optional[Key]:
+        return self._keys[0] if self._keys else None
+
+    def max_key(self) -> Optional[Key]:
+        return self._keys[-1] if self._keys else None
+
+    # -- record mutation ---------------------------------------------------
+
+    def put(self, record: VersionedRecord) -> int:
+        """Insert or replace the record slot; returns the byte-size delta."""
+        old = self._records.get(record.key)
+        delta = record.encoded_size() - (old.encoded_size() if old else 0)
+        if old is None:
+            bisect.insort(self._keys, record.key)
+        self._records[record.key] = record
+        self._used += delta
+        self.dirty = True
+        return delta
+
+    def remove(self, key: Key) -> Optional[VersionedRecord]:
+        """Remove the slot entirely (physical removal); returns it."""
+        record = self._records.pop(key, None)
+        if record is None:
+            return None
+        index = bisect.bisect_left(self._keys, key)
+        del self._keys[index]
+        self._used -= record.encoded_size()
+        self.dirty = True
+        return record
+
+    def resize_slot(self, key: Key, delta: int) -> None:
+        """Adjust used bytes after in-place mutation of a record object."""
+        self._used += delta
+        self.dirty = True
+
+    # -- space model ---------------------------------------------------------
+
+    def used_bytes(self) -> int:
+        return self._used
+
+    def fits(self, extra_bytes: int, page_size: int) -> bool:
+        return self._used + extra_bytes <= page_size
+
+    def fill_fraction(self, page_size: int) -> float:
+        payload = self._used - PAGE_HEADER_BYTES
+        return payload / max(page_size - PAGE_HEADER_BYTES, 1)
+
+    # -- structure modification helpers ------------------------------------
+
+    def choose_split_key(self) -> Key:
+        """Key at which to split: first key of the upper half by bytes."""
+        if len(self._keys) < 2:
+            raise ValueError("cannot split a page with fewer than 2 records")
+        target = (self._used - PAGE_HEADER_BYTES) / 2
+        acc = 0
+        for index, key in enumerate(self._keys):
+            acc += self._records[key].encoded_size()
+            if acc >= target and index + 1 < len(self._keys):
+                return self._keys[index + 1]
+        return self._keys[-1]
+
+    def extract_from(self, split_key: Key) -> list[VersionedRecord]:
+        """Remove and return all records with key >= split_key."""
+        index = bisect.bisect_left(self._keys, split_key)
+        moving_keys = self._keys[index:]
+        moved = []
+        for key in moving_keys:
+            record = self._records.pop(key)
+            self._used -= record.encoded_size()
+            moved.append(record)
+        del self._keys[index:]
+        self.dirty = True
+        return moved
+
+    def absorb(self, records: Iterable[VersionedRecord]) -> None:
+        for record in records:
+            self.put(record)
+
+    # -- record-level reset (Section 6.1.2) ---------------------------------
+
+    def reset_tc_records(self, tc_id: int, disk_image: Optional["PageImage"]) -> int:
+        """Replace this TC's records with the stable (disk) versions.
+
+        Records owned by other TCs are untouched, so their TCs neither lose
+        cached work nor replay logs.  Returns the number of slots changed.
+        ``disk_image`` is ``None`` when the page has never been flushed —
+        then the TC's records simply disappear (they were born after the
+        last flush and are covered by the failed TC's redo).
+        """
+        changed = 0
+        for key in [k for k in self._keys if self._records[k].owner_tc == tc_id]:
+            self.remove(key)
+            changed += 1
+        if disk_image is not None:
+            for record in disk_image.records:
+                if record.owner_tc == tc_id:
+                    self.put(record.clone())
+                    changed += 1
+            disk_ablsn = disk_image.ablsns.get(tc_id)
+            self.ablsns[tc_id] = (
+                disk_ablsn.snapshot() if disk_ablsn is not None else AbstractLsn()
+            )
+        else:
+            self.ablsns[tc_id] = AbstractLsn()
+        self.dirty = True
+        return changed
+
+    # -- snapshot ------------------------------------------------------------
+
+    def snapshot(self) -> "PageImage":
+        return PageImage(
+            page_id=self.page_id,
+            kind=self.kind,
+            dlsn=self.dlsn,
+            ablsns={tc: ab.snapshot() for tc, ab in self.ablsns.items()},
+            records=tuple(self._records[k].clone() for k in self._keys),
+            page_lsn=self.page_lsn,
+        )
+
+    def __repr__(self) -> str:
+        return f"LeafPage(id={self.page_id}, n={len(self._keys)}, dlsn={self.dlsn})"
+
+
+class InnerPage(Page):
+    """An index page: separators s1..sn route keys among children c0..cn.
+
+    Child ``c_i`` covers keys ``s_i <= key < s_{i+1}`` (with open ends).
+    """
+
+    kind = PageKind.INNER
+
+    def __init__(self, page_id: int) -> None:
+        super().__init__(page_id)
+        self.separators: list[Key] = []
+        self.children: list[int] = []
+
+    def child_for(self, key: Key) -> int:
+        index = bisect.bisect_right(self.separators, key)
+        return self.children[index]
+
+    def child_index(self, child_id: int) -> int:
+        return self.children.index(child_id)
+
+    def insert_child(self, separator: Key, child_id: int) -> None:
+        """Register a new right-sibling created by a split."""
+        index = bisect.bisect_left(self.separators, separator)
+        self.separators.insert(index, separator)
+        self.children.insert(index + 1, child_id)
+        self.dirty = True
+
+    def remove_child(self, child_id: int) -> None:
+        """Drop a consolidated-away child and its separator."""
+        index = self.children.index(child_id)
+        if index == 0:
+            raise ValueError("cannot remove the leftmost child")
+        del self.children[index]
+        del self.separators[index - 1]
+        self.dirty = True
+
+    def used_bytes(self) -> int:
+        return (
+            PAGE_HEADER_BYTES
+            + sum(sizeof_key(s) for s in self.separators)
+            + INNER_ENTRY_BYTES * len(self.children)
+        )
+
+    def fits(self, extra_bytes: int, page_size: int) -> bool:
+        return self.used_bytes() + extra_bytes <= page_size
+
+    def snapshot(self) -> "PageImage":
+        return PageImage(
+            page_id=self.page_id,
+            kind=self.kind,
+            dlsn=self.dlsn,
+            ablsns={tc: ab.snapshot() for tc, ab in self.ablsns.items()},
+            separators=tuple(self.separators),
+            children=tuple(self.children),
+            page_lsn=self.page_lsn,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"InnerPage(id={self.page_id}, children={len(self.children)}, "
+            f"dlsn={self.dlsn})"
+        )
+
+
+class PageImage:
+    """An immutable point-in-time copy of a page.
+
+    This is what stable storage holds, what physical DC-log records carry
+    (Section 5.2.2: the new page of a split, the consolidated page of a
+    delete), and what record-level reset reads back.
+    """
+
+    __slots__ = (
+        "page_id",
+        "kind",
+        "dlsn",
+        "ablsns",
+        "records",
+        "separators",
+        "children",
+        "page_lsn",
+    )
+
+    def __init__(
+        self,
+        page_id: int,
+        kind: PageKind,
+        dlsn: Lsn,
+        ablsns: dict[int, AbstractLsn],
+        records: tuple[VersionedRecord, ...] = (),
+        separators: tuple[Key, ...] = (),
+        children: tuple[int, ...] = (),
+        page_lsn: Lsn = NULL_LSN,
+    ) -> None:
+        self.page_id = page_id
+        self.kind = kind
+        self.dlsn = dlsn
+        self.ablsns = ablsns
+        self.records = records
+        self.separators = separators
+        self.children = children
+        self.page_lsn = page_lsn
+
+    def materialize(self) -> Page:
+        """Rebuild a live page object from this image."""
+        page: Page
+        if self.kind is PageKind.LEAF:
+            leaf = LeafPage(self.page_id)
+            for record in self.records:
+                leaf.put(record.clone())
+            leaf.dirty = False
+            page = leaf
+        else:
+            inner = InnerPage(self.page_id)
+            inner.separators = list(self.separators)
+            inner.children = list(self.children)
+            inner.dirty = False
+            page = inner
+        page.dlsn = self.dlsn
+        page.ablsns = {tc: ab.snapshot() for tc, ab in self.ablsns.items()}
+        page.page_lsn = self.page_lsn
+        return page
+
+    def encoded_size(self) -> int:
+        size = PAGE_HEADER_BYTES
+        size += sum(ab.encoded_size() for ab in self.ablsns.values())
+        size += sum(record.encoded_size() for record in self.records)
+        size += sum(sizeof_key(s) for s in self.separators)
+        size += INNER_ENTRY_BYTES * len(self.children)
+        return size
+
+    def __repr__(self) -> str:
+        return f"PageImage(id={self.page_id}, kind={self.kind.value}, dlsn={self.dlsn})"

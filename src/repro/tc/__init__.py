@@ -1,0 +1,10 @@
+"""The Transactional Component: logical transaction services (Section 4.1.1).
+
+A TC provides transactional locking (without page knowledge), logical
+undo/redo logging, log forcing, rollback by inverse operations, restart
+recovery, and the client side of every TC/DC interaction contract.
+"""
+
+from repro.tc.transactional_component import Transaction, TransactionalComponent
+
+__all__ = ["Transaction", "TransactionalComponent"]

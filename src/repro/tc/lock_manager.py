@@ -1,0 +1,270 @@
+"""Transactional locking without page knowledge (Sections 3.1, 4.1.1).
+
+The TC's lock manager isolates transactions (strict two-phase locking) and
+— critically for unbundling — guarantees the DC never sees two conflicting
+operations in flight at once: an operation is only sent while its lock is
+held, and locks are held to transaction end.
+
+Granularity hierarchy: table -> (optional range partition) -> record/gap.
+Modes are the classic five (IS, IX, S, SIX, X).  Deadlocks are detected by
+cycle search on the waits-for graph; the requester is the victim.
+
+Resources are plain hashable tuples, e.g.::
+
+    ("table", "users")            whole table (intention or full lock)
+    ("part", "users", 3)          range partition 3 (range-lock protocol)
+    ("rec", "users", key)         one record
+    ("gap", "users", key)         the open interval below key (phantoms)
+"""
+
+from __future__ import annotations
+
+import enum
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Hashable, Optional
+
+from repro.common.errors import DeadlockError, LockTimeoutError
+from repro.sim.metrics import Metrics
+
+Resource = Hashable
+
+
+class LockMode(enum.Enum):
+    IS = "IS"
+    IX = "IX"
+    S = "S"
+    SIX = "SIX"
+    X = "X"
+
+
+_COMPATIBLE: dict[tuple[LockMode, LockMode], bool] = {}
+
+
+def _fill_compat() -> None:
+    order = [LockMode.IS, LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X]
+    matrix = [
+        # IS     IX     S      SIX    X
+        [True, True, True, True, False],  # IS
+        [True, True, False, False, False],  # IX
+        [True, False, True, False, False],  # S
+        [True, False, False, False, False],  # SIX
+        [False, False, False, False, False],  # X
+    ]
+    for row, held in enumerate(order):
+        for col, requested in enumerate(order):
+            _COMPATIBLE[(held, requested)] = matrix[row][col]
+
+
+_fill_compat()
+
+#: Least upper bound used for in-place upgrades (held, requested) -> result.
+_UPGRADE: dict[tuple[LockMode, LockMode], LockMode] = {
+    (LockMode.IS, LockMode.IX): LockMode.IX,
+    (LockMode.IS, LockMode.S): LockMode.S,
+    (LockMode.IS, LockMode.SIX): LockMode.SIX,
+    (LockMode.IS, LockMode.X): LockMode.X,
+    (LockMode.IX, LockMode.S): LockMode.SIX,
+    (LockMode.IX, LockMode.SIX): LockMode.SIX,
+    (LockMode.IX, LockMode.X): LockMode.X,
+    (LockMode.S, LockMode.IX): LockMode.SIX,
+    (LockMode.S, LockMode.SIX): LockMode.SIX,
+    (LockMode.S, LockMode.X): LockMode.X,
+    (LockMode.SIX, LockMode.X): LockMode.X,
+}
+
+
+def combined_mode(held: LockMode, requested: LockMode) -> LockMode:
+    if held is requested:
+        return held
+    return _UPGRADE.get((held, requested), _UPGRADE.get((requested, held), LockMode.X))
+
+
+def mode_covers(held: LockMode, requested: LockMode) -> bool:
+    """Does holding ``held`` already grant ``requested``?"""
+    return combined_mode(held, requested) is held
+
+
+@dataclass
+class _LockEntry:
+    holders: dict[int, LockMode] = field(default_factory=dict)
+    #: FIFO queue of (txn_id, requested_mode); honored in order to avoid
+    #: starvation of writers behind streams of readers.
+    waiters: list[tuple[int, LockMode]] = field(default_factory=list)
+
+
+class LockManager:
+    """A classic lock table; one instance per TC."""
+
+    def __init__(
+        self,
+        metrics: Optional[Metrics] = None,
+        deadlock_detection: bool = True,
+        timeout: float = 1.0,
+    ) -> None:
+        self.metrics = metrics or Metrics()
+        self.deadlock_detection = deadlock_detection
+        self.timeout = timeout
+        self._cv = threading.Condition()
+        self._table: dict[Resource, _LockEntry] = {}
+        self._held_by_txn: dict[int, set[Resource]] = {}
+        #: txn -> resource it is currently waiting on (waits-for edges).
+        self._waiting_on: dict[int, Resource] = {}
+
+    # -- acquisition -------------------------------------------------------------
+
+    def acquire(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Grant ``mode`` on ``resource`` to ``txn_id``, blocking as needed.
+
+        Raises :class:`DeadlockError` (victim = requester) or
+        :class:`LockTimeoutError`.  Re-acquiring a covered mode is free;
+        upgrades wait for conflicting holders to drain.
+        """
+        deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
+        with self._cv:
+            entry = self._table.setdefault(resource, _LockEntry())
+            held = entry.holders.get(txn_id)
+            if held is not None and mode_covers(held, mode):
+                self.metrics.incr("locks.reacquired")
+                return
+            self.metrics.incr("locks.requests")
+            entry.waiters.append((txn_id, mode))
+            try:
+                while not self._grantable(entry, txn_id, mode):
+                    self._waiting_on[txn_id] = resource
+                    if self.deadlock_detection:
+                        cycle = self._find_cycle(txn_id)
+                        if cycle is not None:
+                            self.metrics.incr("locks.deadlocks")
+                            raise DeadlockError(txn_id, cycle)
+                    self.metrics.incr("locks.waits")
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cv.wait(timeout=remaining):
+                        if deadline - time.monotonic() <= 0:
+                            self.metrics.incr("locks.timeouts")
+                            raise LockTimeoutError(txn_id, resource)
+            finally:
+                self._waiting_on.pop(txn_id, None)
+                entry.waiters.remove((txn_id, mode))
+            current = entry.holders.get(txn_id)
+            entry.holders[txn_id] = (
+                combined_mode(current, mode) if current is not None else mode
+            )
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+            self.metrics.incr("locks.granted")
+
+    def _grantable(self, entry: _LockEntry, txn_id: int, mode: LockMode) -> bool:
+        for holder, held_mode in entry.holders.items():
+            if holder == txn_id:
+                continue
+            if not _COMPATIBLE[(held_mode, mode)]:
+                return False
+        # FIFO fairness: do not jump over an earlier incompatible waiter
+        # unless we already hold the resource (upgrades go first to avoid
+        # trivial upgrade deadlocks).
+        if txn_id not in entry.holders:
+            for waiter_id, waiter_mode in entry.waiters:
+                if waiter_id == txn_id:
+                    break
+                if not _COMPATIBLE[(waiter_mode, mode)]:
+                    return False
+        return True
+
+    # -- deadlock detection ------------------------------------------------------------
+
+    def _blockers_of(self, txn_id: int) -> set[int]:
+        resource = self._waiting_on.get(txn_id)
+        if resource is None:
+            return set()
+        entry = self._table.get(resource)
+        if entry is None:
+            return set()
+        wanted = next(
+            (mode for waiter, mode in entry.waiters if waiter == txn_id), None
+        )
+        if wanted is None:
+            return set()
+        return {
+            holder
+            for holder, held_mode in entry.holders.items()
+            if holder != txn_id and not _COMPATIBLE[(held_mode, wanted)]
+        }
+
+    def _find_cycle(self, start: int) -> Optional[tuple[int, ...]]:
+        """DFS over waits-for edges; returns a cycle through ``start``."""
+        stack: list[tuple[int, list[int]]] = [(start, [start])]
+        seen: set[int] = set()
+        while stack:
+            node, path = stack.pop()
+            for blocker in self._blockers_of(node):
+                if blocker == start:
+                    return tuple(path + [start])
+                if blocker not in seen:
+                    seen.add(blocker)
+                    stack.append((blocker, path + [blocker]))
+        return None
+
+    # -- release -----------------------------------------------------------------------
+
+    def release(self, txn_id: int, resource: Resource) -> None:
+        with self._cv:
+            entry = self._table.get(resource)
+            if entry is None or txn_id not in entry.holders:
+                return
+            del entry.holders[txn_id]
+            held = self._held_by_txn.get(txn_id)
+            if held is not None:
+                held.discard(resource)
+            if not entry.holders and not entry.waiters:
+                del self._table[resource]
+            self.metrics.incr("locks.released")
+            self._cv.notify_all()
+
+    def release_all(self, txn_id: int) -> int:
+        """Drop every lock of the transaction (commit/abort/crash)."""
+        with self._cv:
+            resources = self._held_by_txn.pop(txn_id, set())
+            for resource in resources:
+                entry = self._table.get(resource)
+                if entry is None:
+                    continue
+                entry.holders.pop(txn_id, None)
+                if not entry.holders and not entry.waiters:
+                    del self._table[resource]
+            if resources:
+                self.metrics.incr("locks.released", len(resources))
+                self._cv.notify_all()
+            return len(resources)
+
+    def clear(self) -> None:
+        """Volatile state is lost with the TC (crash injection)."""
+        with self._cv:
+            self._table.clear()
+            self._held_by_txn.clear()
+            self._waiting_on.clear()
+            self._cv.notify_all()
+
+    # -- introspection ---------------------------------------------------------------------
+
+    def holds(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
+        with self._cv:
+            entry = self._table.get(resource)
+            if entry is None:
+                return False
+            held = entry.holders.get(txn_id)
+            return held is not None and mode_covers(held, mode)
+
+    def locks_held(self, txn_id: int) -> int:
+        with self._cv:
+            return len(self._held_by_txn.get(txn_id, ()))
+
+    def total_locks(self) -> int:
+        with self._cv:
+            return sum(len(entry.holders) for entry in self._table.values())

@@ -1,0 +1,252 @@
+"""The TC's logical log: pure record-level redo/undo, no page ids anywhere.
+
+Section 3.2's first challenge: "the TC log records cannot contain page
+identifiers. Redo needs to be done at a logical level."  Every record here
+speaks only of tables, keys and logical operations.
+
+The log has a *stable prefix* and a *volatile tail*; :meth:`TcLog.force`
+moves the boundary (making EOSL advance), and :meth:`TcLog.crash` models a
+TC failure by truncating the tail — the operations in it are lost forever,
+which is exactly what the DC-reset protocol of Section 5.3.2 must cope
+with.
+
+LSN assignment and record append happen under one mutex, so log order
+equals LSN order — the OPSR (order-preserving serializable) property of
+Section 4.1.1: because the lock manager never lets conflicting operations
+be outstanding together, any order consistent per-key is correct, and
+append order is trivially consistent.
+
+:class:`LwmTracker` computes the low-water mark the TC periodically ships
+to DCs: the largest operation id such that *every* issued operation id at
+or below it has completed (Section 5.1.2, "Establishing LSNlw").
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Iterator, Optional
+
+from repro.common.lsn import Lsn, LsnGenerator, NULL_LSN
+from repro.common.ops import LogicalOperation
+from repro.sim.metrics import Metrics
+
+
+@dataclass(frozen=True)
+class TcLogRecord:
+    lsn: Lsn
+    txn_id: int
+
+    def encoded_size(self) -> int:
+        return 24
+
+
+@dataclass(frozen=True)
+class OpRecord(TcLogRecord):
+    """A forward logical operation, with the undo info needed to invert it.
+
+    The inverse is complete at append time (the TC validates existence and
+    learns prior values under its own locks before logging), so a stable
+    OpRecord can always be rolled back — even after a crash.
+    """
+
+    op: Optional[LogicalOperation] = None
+    undo: Optional[LogicalOperation] = None
+    dc_name: str = ""
+
+    def encoded_size(self) -> int:
+        size = super().encoded_size()
+        if self.op is not None:
+            size += self.op.encoded_size()
+        if self.undo is not None:
+            size += self.undo.encoded_size()
+        return size
+
+
+@dataclass(frozen=True)
+class CompensationRecord(TcLogRecord):
+    """A redo-only record for an inverse operation applied during rollback.
+
+    ``undo_next`` points at the LSN of the next (earlier) operation still
+    to be undone, making rollback idempotent across TC crashes, exactly
+    like an ARIES CLR — but logical.
+    """
+
+    op: Optional[LogicalOperation] = None
+    undo_next: Lsn = NULL_LSN
+    dc_name: str = ""
+
+    def encoded_size(self) -> int:
+        size = super().encoded_size() + 8
+        if self.op is not None:
+            size += self.op.encoded_size()
+        return size
+
+
+@dataclass(frozen=True)
+class CommitRecord(TcLogRecord):
+    """Transaction durably committed once this record is stable."""
+
+
+@dataclass(frozen=True)
+class AbortRecord(TcLogRecord):
+    """Rollback has been decided; compensation records follow."""
+
+
+@dataclass(frozen=True)
+class TxnEndRecord(TcLogRecord):
+    """All work for the transaction, including cleanup, is complete."""
+
+
+@dataclass(frozen=True)
+class CheckpointRecord(TcLogRecord):
+    """Contract termination: redo restarts at ``rssp`` (Section 4.2)."""
+
+    rssp: Lsn = NULL_LSN
+
+
+class LwmTracker:
+    """Largest id L such that every issued operation id <= L has completed."""
+
+    def __init__(self) -> None:
+        self._pending: deque[Lsn] = deque()
+        self._completed: set[Lsn] = set()
+        self._lwm: Lsn = NULL_LSN
+
+    def register(self, op_id: Lsn) -> None:
+        """Ids must be registered in increasing order."""
+        self._pending.append(op_id)
+
+    def complete(self, op_id: Lsn) -> None:
+        self._completed.add(op_id)
+        while self._pending and self._pending[0] in self._completed:
+            done = self._pending.popleft()
+            self._completed.discard(done)
+            self._lwm = done
+
+    @property
+    def lwm(self) -> Lsn:
+        return self._lwm
+
+    def outstanding(self) -> int:
+        return len(self._pending)
+
+    def reset(self) -> None:
+        self._pending.clear()
+        self._completed.clear()
+        self._lwm = NULL_LSN
+
+
+class TcLog:
+    """Append-only logical log with a stable prefix and volatile tail."""
+
+    def __init__(self, metrics: Optional[Metrics] = None) -> None:
+        self.metrics = metrics or Metrics()
+        self._records: list[TcLogRecord] = []
+        self._stable_count = 0
+        self._lsns = LsnGenerator()
+        self._mutex = threading.Lock()
+        self.lwm_tracker = LwmTracker()
+
+    # -- appending -----------------------------------------------------------
+
+    def append(
+        self, build: Callable[[Lsn], TcLogRecord], track_for_lwm: bool = False
+    ) -> TcLogRecord:
+        """Assign the next LSN and append the built record atomically."""
+        with self._mutex:
+            lsn = self._lsns.next()
+            record = build(lsn)
+            self._records.append(record)
+            if track_for_lwm:
+                self.lwm_tracker.register(lsn)
+            self.metrics.incr("tclog.appends")
+            self.metrics.incr("tclog.bytes", record.encoded_size())
+            return record
+
+    def issue_read_id(self) -> Lsn:
+        """A request id for an unlogged operation (reads, probes)."""
+        with self._mutex:
+            op_id = self._lsns.next()
+            self.lwm_tracker.register(op_id)
+            return op_id
+
+    def complete_op(self, op_id: Lsn) -> Lsn:
+        """Mark an operation replied; returns the current low-water mark."""
+        with self._mutex:
+            self.lwm_tracker.complete(op_id)
+            return self.lwm_tracker.lwm
+
+    @property
+    def lwm(self) -> Lsn:
+        return self.lwm_tracker.lwm
+
+    # -- stability -------------------------------------------------------------
+
+    def force(self) -> Lsn:
+        """Make every appended record stable; returns the new EOSL."""
+        with self._mutex:
+            if self._stable_count < len(self._records):
+                self._stable_count = len(self._records)
+                self.metrics.incr("tclog.forces")
+            return self._eosl_locked()
+
+    def _eosl_locked(self) -> Lsn:
+        if self._stable_count == 0:
+            return NULL_LSN
+        return self._records[self._stable_count - 1].lsn
+
+    @property
+    def eosl(self) -> Lsn:
+        """End of stable log: the largest LSN guaranteed to survive a crash."""
+        with self._mutex:
+            return self._eosl_locked()
+
+    @property
+    def last_lsn(self) -> Lsn:
+        return self._lsns.last
+
+    def needs_force(self, lsn: Lsn) -> bool:
+        return lsn > self.eosl
+
+    # -- crash semantics ----------------------------------------------------------
+
+    def crash(self) -> int:
+        """Truncate the volatile tail; returns how many records were lost."""
+        with self._mutex:
+            lost = len(self._records) - self._stable_count
+            del self._records[self._stable_count :]
+            self.lwm_tracker.reset()
+            self.metrics.incr("tclog.crashes")
+            self.metrics.incr("tclog.records_lost", lost)
+            return lost
+
+    def recover_lsn_generator(self) -> None:
+        """After a crash, continue LSNs above everything on the stable log."""
+        with self._mutex:
+            if self._records:
+                self._lsns.advance_to(self._records[-1].lsn)
+
+    # -- reading ----------------------------------------------------------------------
+
+    def stable_records(self) -> list[TcLogRecord]:
+        with self._mutex:
+            return list(self._records[: self._stable_count])
+
+    def all_records(self) -> list[TcLogRecord]:
+        with self._mutex:
+            return list(self._records)
+
+    def stable_records_from(self, lsn: Lsn) -> Iterator[TcLogRecord]:
+        for record in self.stable_records():
+            if record.lsn >= lsn:
+                yield record
+
+    def record_count(self) -> int:
+        with self._mutex:
+            return len(self._records)
+
+    def stable_count(self) -> int:
+        with self._mutex:
+            return self._stable_count

@@ -1,0 +1,204 @@
+"""TC restart: the client side of the ``restart`` contract (Section 4.2.1).
+
+After a TC crash the stable log is the only surviving state.  Restart runs
+the paper's sequence exactly:
+
+1. **Reset** — tell every DC the largest stable LSN (LSNst); each DC
+   discards (or record-level-resets, Section 6.1.2) cached state that
+   reflects lost operations.  Causality guarantees nothing stable does.
+2. **Redo** — resend every logged mutating operation from the redo scan
+   start point onward, with its *original* LSN; DC abLSNs make the stream
+   exactly-once (repeat history, logically).
+3. **Undo** — submit inverse operations for loser transactions, newest
+   first, resuming partially-rolled-back transactions from their last
+   compensation record's ``undo_next``.  Versioned-table work is undone
+   wholesale with an idempotent discard.
+4. **Completion** — committed transactions missing their post-commit
+   version cleanup get it re-issued; every finished transaction gets its
+   end record; the log is forced and normal processing resumes.
+
+:func:`resend_redo_stream` is also used alone when a *DC* crashes and
+prompts the TC (Section 5.3.2 "DC Failure").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.api import EndOfStableLog, RestartBegin
+from repro.common.lsn import Lsn, NULL_LSN
+from repro.common.ops import (
+    DeleteOp,
+    IncrementOp,
+    InsertOp,
+    PromoteVersionsOp,
+    UpdateOp,
+)
+from repro.common.records import Key
+from repro.storage.buffer import ResetMode
+from repro.tc.log import (
+    AbortRecord,
+    CheckpointRecord,
+    CommitRecord,
+    CompensationRecord,
+    OpRecord,
+    TxnEndRecord,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tc.transactional_component import TransactionalComponent
+
+
+def resend_redo_stream(
+    tc: "TransactionalComponent", dc_names: Optional[set[str]] = None
+) -> int:
+    """Resend logged mutations from the RSSP with their original LSNs.
+
+    ``dc_names`` restricts the stream to operations routed at specific DCs
+    (the DC-crash case); ``None`` replays to every DC (TC restart).
+    Returns the number of operations resent.
+    """
+    resent = 0
+    for record in tc.log.stable_records_from(tc.rssp):
+        if not isinstance(record, (OpRecord, CompensationRecord)):
+            continue
+        if record.op is None or not record.op.MUTATES:
+            continue
+        if dc_names is not None and record.dc_name not in dc_names:
+            continue
+        result = tc._perform(record.dc_name, record.op, record.lsn, resend=True)
+        tc._expect_ok(result, record.op)
+        resent += 1
+    tc.metrics.incr("tc.redo_ops", resent)
+    return resent
+
+
+@dataclass
+class _TxnInfo:
+    ops: list[OpRecord] = field(default_factory=list)
+    clrs: list[CompensationRecord] = field(default_factory=list)
+    committed: bool = False
+    aborted: bool = False
+    ended: bool = False
+    has_promote: bool = False
+
+
+class TcRestart:
+    """One restart execution; create fresh per restart."""
+
+    def __init__(self, tc: "TransactionalComponent") -> None:
+        self._tc = tc
+
+    def run(self, reset_mode: ResetMode = ResetMode.RECORD_RESET) -> dict[str, int]:
+        tc = self._tc
+        tc.log.recover_lsn_generator()
+        stable_lsn = tc.log.eosl
+        rssp, txns = self._analyze()
+        tc._rssp = rssp
+        stats = {
+            "stable_lsn": stable_lsn,
+            "rssp": rssp,
+            "redo_ops": 0,
+            "undo_ops": 0,
+            "losers": 0,
+            "completed": 0,
+        }
+
+        # 1. Reset every DC's cache of our lost operations, refresh EOSL.
+        for name, channel in tc.channels().items():
+            channel.request(
+                RestartBegin(
+                    tc_id=tc.tc_id,
+                    stable_lsn=stable_lsn,
+                    reset_mode=reset_mode.value,
+                )
+            )
+            channel.request(EndOfStableLog(tc_id=tc.tc_id, eosl=stable_lsn))
+
+        # 2. Redo: repeat history from the redo scan start point.
+        tc._crashed = False  # the component is operational from here on
+        stats["redo_ops"] = resend_redo_stream(tc)
+
+        # 3./4. Finish unfinished transactions.
+        for txn_id, info in txns.items():
+            if info.ended:
+                continue
+            if info.committed:
+                self._complete_committed(txn_id, info)
+                stats["completed"] += 1
+            else:
+                stats["losers"] += 1
+                stats["undo_ops"] += self._undo_loser(txn_id, info)
+
+        tc.force_log()
+        tc.metrics.incr("tc.restarts")
+        return stats
+
+    # -- analysis pass -----------------------------------------------------------
+
+    def _analyze(self) -> tuple[Lsn, dict[int, _TxnInfo]]:
+        rssp: Lsn = NULL_LSN
+        txns: dict[int, _TxnInfo] = {}
+        for record in self._tc.log.stable_records():
+            if isinstance(record, CheckpointRecord):
+                rssp = record.rssp
+                continue
+            info = txns.setdefault(record.txn_id, _TxnInfo())
+            if isinstance(record, OpRecord):
+                info.ops.append(record)
+                if isinstance(record.op, PromoteVersionsOp):
+                    info.has_promote = True
+            elif isinstance(record, CompensationRecord):
+                info.clrs.append(record)
+            elif isinstance(record, CommitRecord):
+                info.committed = True
+            elif isinstance(record, AbortRecord):
+                info.aborted = True
+            elif isinstance(record, TxnEndRecord):
+                info.ended = True
+        return rssp, txns
+
+    # -- completion of committed transactions ------------------------------------------
+
+    def _complete_committed(self, txn_id: int, info: _TxnInfo) -> None:
+        """Re-issue post-commit version cleanup lost with the volatile tail."""
+        tc = self._tc
+        versioned = self._versioned_keys(info)
+        if versioned and not info.has_promote:
+            for table, keys in sorted(versioned.items()):
+                tc._send_version_cleanup(txn_id, table, keys, promote=True)
+        tc.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn_id))
+
+    # -- undo of losers --------------------------------------------------------------------
+
+    def _undo_loser(self, txn_id: int, info: _TxnInfo) -> int:
+        """Roll back, resuming after any stable compensation records."""
+        tc = self._tc
+        if not info.aborted:
+            tc.log.append(lambda lsn: AbortRecord(lsn=lsn, txn_id=txn_id))
+        resume: Optional[Lsn] = info.clrs[-1].undo_next if info.clrs else None
+        to_undo = [
+            record
+            for record in info.ops
+            if record.undo is not None and (resume is None or record.lsn <= resume)
+        ]
+        to_undo.sort(key=lambda record: record.lsn, reverse=True)
+        # Versioned work is discarded wholesale — idempotent, so always
+        # re-issued even if a pre-crash discard partially ran.
+        versioned = self._versioned_keys(info)
+        tc.rollback_operations(txn_id, to_undo, versioned)
+        tc.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn_id))
+        return len(to_undo)
+
+    @staticmethod
+    def _versioned_keys(info: _TxnInfo) -> dict[str, set[Key]]:
+        versioned: dict[str, set[Key]] = {}
+        for record in info.ops:
+            op = record.op
+            if (
+                isinstance(op, (InsertOp, UpdateOp, DeleteOp, IncrementOp))
+                and op.versioned
+            ):
+                versioned.setdefault(op.table, set()).add(op.key)
+        return versioned

@@ -1,0 +1,1041 @@
+"""The Transactional Component (Section 4.1.1).
+
+The TC is the client of one or more DCs.  It provides:
+
+1. **Transactional locking** with no page knowledge — record, gap and
+   range-partition locks via the Section 3.1 protocols — and thereby the
+   obligation that *no two conflicting operations are ever in flight at a
+   DC simultaneously* (operations are only sent while their lock is held,
+   strict 2PL holds locks to transaction end, and rollback/cleanup
+   operations are sent before locks are released).
+2. **Transaction atomicity**: commit after all forward operations, or
+   rollback by inverse operations in reverse chronological order.
+3. **Logical undo/redo logging** in OPSR order (LSN assignment and log
+   append are atomic), with undo information complete at append time: the
+   TC validates existence and learns prior values *under its own locks*
+   before logging — the unbundled substitute for learning them inside the
+   page, and one of the honest costs of unbundling (extra reads, counted).
+4. **Log forcing** for durability, EOSL/LWM propagation for the causality
+   and low-water contracts, resend with unique request ids for
+   exactly-once execution, checkpointing, and restart.
+
+A single TC spanning several DCs commits with *one* log force and no
+two-phase commit: the TC log is the only commit point (Section 6.2.2 notes
+the same for versioned cross-TC sharing).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+import threading
+from dataclasses import replace
+from typing import Optional
+
+from repro.common.api import (
+    CheckpointReply,
+    CheckpointRequest,
+    EndOfStableLog,
+    LowWaterMark,
+    OperationReply,
+    PerformOperation,
+)
+from repro.common.config import ChannelConfig, RangeLockProtocol, TcConfig
+from repro.common.errors import (
+    CrashedError,
+    DuplicateKeyError,
+    NoSuchRecordError,
+    ReproError,
+    TransactionAborted,
+)
+from repro.common.lsn import Lsn, NULL_LSN
+from repro.common.ops import (
+    DeleteOp,
+    DiscardVersionsOp,
+    IncrementOp,
+    InsertOp,
+    LogicalOperation,
+    OpResult,
+    OpStatus,
+    ProbeNextKeysOp,
+    PromoteVersionsOp,
+    RangeReadOp,
+    ReadFlavor,
+    ReadOp,
+    UpdateOp,
+)
+from repro.common.records import Key, RecordView, Value
+from repro.dc.data_component import DataComponent
+from repro.net.channel import MessageChannel
+from repro.sim.metrics import Metrics
+from repro.storage.buffer import ResetMode
+from repro.tc.lock_manager import LockManager
+from repro.tc.log import (
+    AbortRecord,
+    CheckpointRecord,
+    CommitRecord,
+    CompensationRecord,
+    OpRecord,
+    TcLog,
+    TxnEndRecord,
+)
+from repro.tc.range_protocols import FetchAheadProtocol, RangePartitionProtocol
+
+
+class _Absent:
+    """Cached knowledge that a key does not exist (under our lock)."""
+
+    def __repr__(self) -> str:
+        return "<ABSENT>"
+
+
+ABSENT = _Absent()
+
+
+class TransactionState(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+class Transaction:
+    """A handle for one user transaction; all work delegates to the TC."""
+
+    def __init__(self, tc: "TransactionalComponent", txn_id: int) -> None:
+        self._tc = tc
+        self.txn_id = txn_id
+        self.state = TransactionState.ACTIVE
+        #: Forward op records, in order (the undo chain).
+        self.op_records: list[OpRecord] = []
+        #: Values known under our locks: (table, key) -> value | ABSENT.
+        self.known: dict[tuple[str, Key], object] = {}
+        #: Keys touched in versioned tables, per table (cleanup targets).
+        self.versioned_keys: dict[str, set[Key]] = {}
+        #: Pipelined mutations posted but not yet acknowledged:
+        #: (table, key) -> the op record awaiting its reply.
+        self.in_flight: dict[tuple[str, Key], OpRecord] = {}
+
+    # -- operations ---------------------------------------------------------
+
+    def insert(
+        self, table: str, key: Key, value: Value, deferred: bool = False
+    ) -> None:
+        """Insert; with ``deferred=True`` the operation is posted to the
+        channel without waiting for its reply (pipelining).  Non-
+        conflicting deferred operations may be executed by the DC in any
+        order — the abLSN machinery (Section 5.1) absorbs it.  Call
+        :meth:`sync` (or commit/abort, which sync implicitly) to collect
+        acknowledgements."""
+        self._tc.do_insert(self, table, key, value, deferred=deferred)
+
+    def update(
+        self, table: str, key: Key, value: Value, deferred: bool = False
+    ) -> None:
+        self._tc.do_update(self, table, key, value, deferred=deferred)
+
+    def delete(self, table: str, key: Key, deferred: bool = False) -> None:
+        self._tc.do_delete(self, table, key, deferred=deferred)
+
+    def increment(
+        self, table: str, key: Key, delta: float, deferred: bool = False
+    ) -> None:
+        """Add ``delta`` to a numeric record (logical undo: the negated
+        delta — no prior value enters the log)."""
+        self._tc.do_increment(self, table, key, delta, deferred=deferred)
+
+    def sync(self) -> None:
+        """Deliver all pipelined operations and collect their replies."""
+        self._tc.sync_pipeline(self)
+
+    def read(self, table: str, key: Key) -> Optional[Value]:
+        return self._tc.do_read(self, table, key)
+
+    def scan(
+        self,
+        table: str,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[Key, Value]]:
+        return self._tc.do_scan(self, table, low, high, limit)
+
+    def commit(self) -> None:
+        self._tc.commit(self)
+
+    def abort(self) -> None:
+        self._tc.abort(self)
+
+    # -- context manager: abort-on-error safety net ------------------------------
+
+    def __enter__(self) -> "Transaction":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self.state is TransactionState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                self._tc.abort(self)
+
+    def _check_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionAborted(self.txn_id, f"transaction is {self.state.value}")
+
+
+class SnapshotReader:
+    """Lock-free reads as of a fixed per-DC watermark (Section 6.3).
+
+    Obtained from :meth:`TransactionalComponent.begin_snapshot`; usable for
+    as long as the DCs' retention horizons cover the watermark, after which
+    reads raise :class:`~repro.common.errors.SnapshotTooOldError`.
+    """
+
+    def __init__(self, tc: "TransactionalComponent", watermarks: dict[str, int]) -> None:
+        self._tc = tc
+        self.watermarks = watermarks
+
+    def _as_of(self, table: str) -> int:
+        route = self._tc._route(table)
+        return self.watermarks.get(route.dc_name, 0)
+
+    def read(self, table: str, key: Key) -> Optional[Value]:
+        return self._tc.read_snapshot(table, key, self._as_of(table))
+
+    def scan(
+        self,
+        table: str,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[Key, Value]]:
+        return self._tc.scan_snapshot(table, self._as_of(table), low, high, limit)
+
+
+class _TableRoute:
+    __slots__ = ("dc_name", "versioned")
+
+    def __init__(self, dc_name: str, versioned: bool) -> None:
+        self.dc_name = dc_name
+        self.versioned = versioned
+
+
+class TransactionalComponent:
+    """One TC instance; may serve many concurrent transactions and DCs."""
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        tc_id: Optional[int] = None,
+        config: Optional[TcConfig] = None,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.tc_id = tc_id if tc_id is not None else next(self._ids)
+        self.config = config or TcConfig()
+        self.metrics = metrics or Metrics()
+        self.log = TcLog(self.metrics)
+        self.locks = LockManager(
+            self.metrics, self.config.deadlock_detection, self.config.lock_timeout
+        )
+        if self.config.range_protocol is RangeLockProtocol.FETCH_AHEAD:
+            self.protocol = FetchAheadProtocol(self)
+        else:
+            self.protocol = RangePartitionProtocol(self)
+        self._channels: dict[str, MessageChannel] = {}
+        self._dcs: dict[str, DataComponent] = {}
+        self._routes: dict[str, _TableRoute] = {}
+        self._txn_ids = itertools.count(1)
+        self._active: dict[int, Transaction] = {}
+        self._admin = threading.RLock()
+        self._rssp: Lsn = NULL_LSN
+        #: Per-DC spontaneous stability hints (Section 4.2.1).
+        self._rssp_hints: dict[str, Lsn] = {}
+        #: Aborted transactions whose compensation a DC outage interrupted.
+        self._zombie_rollbacks: list[Transaction] = []
+        self._completions_since_lwm = 0
+        self._unforced_commits = 0
+        self._crashed = False
+        self.reset_mode = ResetMode.RECORD_RESET
+        #: Optional hook enforcing Section 6's disjoint update rights when
+        #: several TCs share a DC: ``guard(table, key) -> bool``.  Installed
+        #: by the cloud deployment layer; None means "owns everything".
+        self.ownership_guard = None
+
+    # -- wiring ------------------------------------------------------------------
+
+    def attach_dc(
+        self, dc: DataComponent, channel_config: Optional[ChannelConfig] = None
+    ) -> MessageChannel:
+        """Connect to a DC; installs the causality/restart hooks and learns
+        the DC's table routes."""
+        channel = MessageChannel(dc, channel_config, self.metrics)
+        with self._admin:
+            self._channels[dc.name] = channel
+            self._dcs[dc.name] = dc
+        dc.register_tc(
+            self.tc_id,
+            force_log=self._force_through,
+            on_dc_restart=self._on_dc_restart,
+            on_rssp_hint=self._on_rssp_hint,
+        )
+        self.refresh_routes(dc)
+        return channel
+
+    def refresh_routes(self, dc: DataComponent) -> None:
+        """(Re)learn which tables the DC hosts (after create_table calls)."""
+        with self._admin:
+            for name in dc.table_names():
+                handle = dc.table(name)
+                self._routes[name] = _TableRoute(
+                    dc.name, handle.descriptor.versioned
+                )
+
+    def _route(self, table: str) -> _TableRoute:
+        route = self._routes.get(table)
+        if route is None:
+            raise ReproError(f"TC {self.tc_id}: no DC hosts table {table!r}")
+        return route
+
+    def _check_up(self) -> None:
+        if self._crashed:
+            raise CrashedError(f"TC {self.tc_id}")
+
+    # -- transaction lifecycle -----------------------------------------------------
+
+    def begin(self) -> Transaction:
+        self._check_up()
+        txn = Transaction(self, self.tc_id * 1_000_000 + next(self._txn_ids))
+        with self._admin:
+            self._active[txn.txn_id] = txn
+        self.metrics.incr("tc.begins")
+        return txn
+
+    def commit(self, txn: Transaction) -> None:
+        """Commit: force the log through the commit record, then run
+        version cleanup, then release locks (strict through cleanup)."""
+        self._check_up()
+        txn._check_active()
+        self.sync_pipeline(txn)
+        self.log.append(lambda lsn: CommitRecord(lsn=lsn, txn_id=txn.txn_id))
+        self._unforced_commits += 1
+        if self._unforced_commits >= self.config.group_commit_size:
+            self.force_log()
+        # Post-commit version cleanup: logged after the commit record so a
+        # crash-time loser is never seen with promoted versions.
+        for table, keys in sorted(txn.versioned_keys.items()):
+            self._send_version_cleanup(txn.txn_id, table, keys, promote=True)
+        self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
+        self.locks.release_all(txn.txn_id)
+        txn.state = TransactionState.COMMITTED
+        with self._admin:
+            self._active.pop(txn.txn_id, None)
+        self.metrics.incr("tc.commits")
+
+    def abort(self, txn: Transaction) -> None:
+        """Roll back: inverse operations in reverse chronological order."""
+        self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            return
+        self.sync_pipeline(txn)
+        self.log.append(lambda lsn: AbortRecord(lsn=lsn, txn_id=txn.txn_id))
+        self.rollback_operations(
+            txn.txn_id,
+            [record for record in reversed(txn.op_records) if record.undo is not None],
+            txn.versioned_keys,
+        )
+        self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
+        self.locks.release_all(txn.txn_id)
+        txn.state = TransactionState.ABORTED
+        with self._admin:
+            self._active.pop(txn.txn_id, None)
+        self.metrics.incr("tc.aborts")
+
+    def rollback_operations(
+        self,
+        txn_id: int,
+        to_undo: list[OpRecord],
+        versioned_keys: dict[str, set[Key]],
+    ) -> None:
+        """Shared by runtime abort and restart undo.  ``to_undo`` holds the
+        forward records whose inverses must still be applied, newest first;
+        each inverse is logged as a compensation record whose ``undo_next``
+        makes rollback restartable."""
+        for index, record in enumerate(to_undo):
+            undo_next = to_undo[index + 1].lsn if index + 1 < len(to_undo) else NULL_LSN
+            assert record.undo is not None
+            clr = self.log.append(
+                lambda lsn, r=record, nxt=undo_next: CompensationRecord(
+                    lsn=lsn, txn_id=txn_id, op=r.undo, undo_next=nxt, dc_name=r.dc_name
+                ),
+                track_for_lwm=True,
+            )
+            result = self._perform(record.dc_name, clr.op, clr.lsn)  # type: ignore[arg-type]
+            self._expect_ok(result, clr.op)  # type: ignore[arg-type]
+            self._complete_op(clr.lsn)
+            self.metrics.incr("tc.undo_ops")
+        for table, keys in sorted(versioned_keys.items()):
+            self._send_version_cleanup(txn_id, table, keys, promote=False)
+
+    def _send_version_cleanup(
+        self, txn_id: int, table: str, keys: set[Key], promote: bool
+    ) -> None:
+        route = self._route(table)
+        op: LogicalOperation
+        if promote:
+            op = PromoteVersionsOp(table=table, keys=tuple(sorted(keys)))
+        else:
+            op = DiscardVersionsOp(table=table, keys=tuple(sorted(keys)))
+        record = self.log.append(
+            lambda lsn: OpRecord(
+                lsn=lsn, txn_id=txn_id, op=op, undo=None, dc_name=route.dc_name
+            ),
+            track_for_lwm=True,
+        )
+        result = self._perform(route.dc_name, op, record.lsn)
+        self._expect_ok(result, op)
+        self._complete_op(record.lsn)
+        self.metrics.incr("tc.version_cleanups")
+
+    # -- operations ------------------------------------------------------------------------
+
+    def do_insert(
+        self,
+        txn: Transaction,
+        table: str,
+        key: Key,
+        value: Value,
+        deferred: bool = False,
+    ) -> None:
+        self._check_up()
+        txn._check_active()
+        route = self._route(table)
+        self._check_ownership(table, key)
+        self._sync_if_conflicting(txn, table, key)
+        self._guard_abort(txn, self.protocol.lock_for_insert, txn, table, key)
+        if self._known_value(txn, table, key) is not ABSENT:
+            raise DuplicateKeyError(table, key)
+        op = InsertOp(table=table, key=key, value=value, versioned=route.versioned)
+        undo = None if route.versioned else DeleteOp(table=table, key=key)
+        self._run_mutation(txn, route, op, undo, deferred=deferred)
+        txn.known[(table, key)] = value
+        if route.versioned:
+            txn.versioned_keys.setdefault(table, set()).add(key)
+
+    def do_update(
+        self,
+        txn: Transaction,
+        table: str,
+        key: Key,
+        value: Value,
+        deferred: bool = False,
+    ) -> None:
+        self._check_up()
+        txn._check_active()
+        route = self._route(table)
+        self._check_ownership(table, key)
+        self._sync_if_conflicting(txn, table, key)
+        self._guard_abort(txn, self.protocol.lock_for_update, txn, table, key)
+        prior = self._known_value(txn, table, key)
+        if prior is ABSENT:
+            raise NoSuchRecordError(table, key)
+        op = UpdateOp(table=table, key=key, value=value, versioned=route.versioned)
+        undo = (
+            None
+            if route.versioned
+            else UpdateOp(table=table, key=key, value=prior)
+        )
+        self._run_mutation(txn, route, op, undo, deferred=deferred)
+        txn.known[(table, key)] = value
+        if route.versioned:
+            txn.versioned_keys.setdefault(table, set()).add(key)
+
+    def do_delete(
+        self, txn: Transaction, table: str, key: Key, deferred: bool = False
+    ) -> None:
+        self._check_up()
+        txn._check_active()
+        route = self._route(table)
+        self._check_ownership(table, key)
+        self._sync_if_conflicting(txn, table, key)
+        self._guard_abort(txn, self.protocol.lock_for_delete, txn, table, key)
+        prior = self._known_value(txn, table, key)
+        if prior is ABSENT:
+            raise NoSuchRecordError(table, key)
+        op = DeleteOp(table=table, key=key, versioned=route.versioned)
+        undo = (
+            None
+            if route.versioned
+            else InsertOp(table=table, key=key, value=prior)
+        )
+        self._run_mutation(txn, route, op, undo, deferred=deferred)
+        txn.known[(table, key)] = ABSENT
+        if route.versioned:
+            txn.versioned_keys.setdefault(table, set()).add(key)
+
+    def do_increment(
+        self,
+        txn: Transaction,
+        table: str,
+        key: Key,
+        delta: float,
+        deferred: bool = False,
+    ) -> None:
+        self._check_up()
+        txn._check_active()
+        route = self._route(table)
+        self._check_ownership(table, key)
+        self._sync_if_conflicting(txn, table, key)
+        self._guard_abort(txn, self.protocol.lock_for_update, txn, table, key)
+        prior = self._known_value(txn, table, key)
+        if prior is ABSENT:
+            raise NoSuchRecordError(table, key)
+        if not isinstance(prior, (int, float)) or isinstance(prior, bool):
+            raise ReproError(f"record {key!r} of {table!r} is not numeric")
+        op = IncrementOp(
+            table=table, key=key, delta=delta, versioned=route.versioned
+        )
+        # Pure logical undo: no before-image, just the inverse delta.
+        undo = None if route.versioned else IncrementOp(
+            table=table, key=key, delta=-delta
+        )
+        self._run_mutation(txn, route, op, undo, deferred=deferred)
+        txn.known[(table, key)] = prior + delta
+        if route.versioned:
+            txn.versioned_keys.setdefault(table, set()).add(key)
+
+    def do_read(self, txn: Transaction, table: str, key: Key) -> Optional[Value]:
+        self._check_up()
+        txn._check_active()
+        self._guard_abort(txn, self.protocol.lock_for_read, txn, table, key)
+        value = self._known_value(txn, table, key)
+        return None if value is ABSENT else value
+
+    def do_scan(
+        self,
+        txn: Transaction,
+        table: str,
+        low: Optional[Key],
+        high: Optional[Key],
+        limit: Optional[int],
+    ) -> list[tuple[Key, Value]]:
+        self._check_up()
+        txn._check_active()
+        from repro.common.errors import LockTimeoutError
+
+        try:
+            results = self.protocol.locked_range_read(txn, table, low, high, limit)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
+        for key, value in results:
+            txn.known[(table, key)] = value
+        self.metrics.incr("tc.scans")
+        return results
+
+    def read_other(
+        self, table: str, key: Key, flavor: ReadFlavor = ReadFlavor.READ_COMMITTED
+    ) -> Optional[Value]:
+        """Cross-TC read (Section 6.2): read-committed via versions, or
+        dirty.  No locks, never blocks, usable outside any transaction.
+
+        READ_COMMITTED is only meaningful on *versioned* tables (the DC
+        keeps a before-version there); on a non-versioned table it
+        degrades to dirty-read semantics, exactly as Section 6.2.1 says
+        plain shared access provides.
+        """
+        self._check_up()
+        if flavor is ReadFlavor.OWN:
+            raise ReproError("read_other is for READ_COMMITTED or DIRTY flavors")
+        route = self._route(table)
+        op = ReadOp(table=table, key=key, flavor=flavor)
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        if result.status is OpStatus.NOT_FOUND:
+            return None
+        self._expect_ok(result, op)
+        return result.value
+
+    def scan_other(
+        self,
+        table: str,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        limit: Optional[int] = None,
+        flavor: ReadFlavor = ReadFlavor.READ_COMMITTED,
+    ) -> list[tuple[Key, Value]]:
+        """Cross-TC range read; never blocks, sees committed (or dirty) data."""
+        self._check_up()
+        views = self.read_range_raw(table, low, high, limit, flavor)
+        return [view.as_tuple() for view in views]
+
+    # -- snapshot reads (Section 6.3 extension) ----------------------------------------------
+
+    def begin_snapshot(self) -> "SnapshotReader":
+        """Capture a per-DC commit-sequence watermark and return a reader.
+
+        Snapshot reads never block and never lock; each DC's reads are
+        transaction-consistent as of its watermark.  Watermarks of
+        different DCs are captured independently — a cross-DC snapshot is
+        per-DC consistent, not globally consistent (the extension stops
+        where the paper's "we also see potential" stops).
+        """
+        self._check_up()
+        from repro.common.api import WatermarkReply, WatermarkRequest
+
+        watermarks: dict[str, int] = {}
+        for name, channel in self._channels.items():
+            reply = None
+            attempts = 0
+            while reply is None and attempts < self.config.max_resend_attempts:
+                reply = channel.request(WatermarkRequest(tc_id=self.tc_id))
+                attempts += 1
+            if not isinstance(reply, WatermarkReply):
+                raise ReproError(f"no watermark from DC {name}")
+            watermarks[name] = reply.watermark
+        self.metrics.incr("tc.snapshots")
+        return SnapshotReader(self, watermarks)
+
+    def read_snapshot(self, table: str, key: Key, as_of: int) -> Optional[Value]:
+        route = self._route(table)
+        op = ReadOp(table=table, key=key, flavor=ReadFlavor.SNAPSHOT, as_of=as_of)
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        if result.status is OpStatus.NOT_FOUND:
+            return None
+        self._raise_if_snapshot_too_old(result, as_of)
+        self._expect_ok(result, op)
+        return result.value
+
+    def scan_snapshot(
+        self,
+        table: str,
+        as_of: int,
+        low: Optional[Key] = None,
+        high: Optional[Key] = None,
+        limit: Optional[int] = None,
+    ) -> list[tuple[Key, Value]]:
+        route = self._route(table)
+        op = RangeReadOp(
+            table=table,
+            low=low,
+            high=high,
+            limit=limit,
+            flavor=ReadFlavor.SNAPSHOT,
+            as_of=as_of,
+        )
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        self._raise_if_snapshot_too_old(result, as_of)
+        self._expect_ok(result, op)
+        return [view.as_tuple() for view in result.records]
+
+    @staticmethod
+    def _raise_if_snapshot_too_old(result: OpResult, as_of: int) -> None:
+        if result.status is OpStatus.ERROR and "retention" in result.message:
+            from repro.common.errors import SnapshotTooOldError
+
+            try:
+                floor = int(result.message.rsplit(" ", 1)[-1])
+            except ValueError:
+                floor = -1
+            raise SnapshotTooOldError(as_of, floor)
+
+    # -- helpers shared with the protocols ---------------------------------------------------
+
+    def probe_keys(
+        self,
+        table: str,
+        after: Optional[Key],
+        count: int,
+        until: Optional[Key] = None,
+        inclusive: bool = False,
+    ) -> list[Key]:
+        """Speculative fetch-ahead probe (unlocked, unlogged)."""
+        route = self._route(table)
+        op = ProbeNextKeysOp(
+            table=table, after=after, count=count, until=until, inclusive=inclusive
+        )
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        self._expect_ok(result, op)
+        self.metrics.incr("tc.probes")
+        return list(result.keys)
+
+    def read_range_raw(
+        self,
+        table: str,
+        low: Optional[Key],
+        high: Optional[Key],
+        limit: Optional[int],
+        flavor: ReadFlavor,
+        low_exclusive: bool = False,
+    ) -> tuple[RecordView, ...]:
+        route = self._route(table)
+        op = RangeReadOp(
+            table=table,
+            low=low,
+            high=high,
+            limit=limit,
+            flavor=flavor,
+            low_exclusive=low_exclusive,
+        )
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        self._expect_ok(result, op)
+        return result.records
+
+    def _check_ownership(self, table: str, key: Key) -> None:
+        """Section 6: a TC may only update keys in its own partition —
+        that disjointness is what lets multiple TCs share a DC without the
+        DC ever seeing conflicting concurrent operations."""
+        if self.ownership_guard is not None and not self.ownership_guard(table, key):
+            from repro.common.errors import OwnershipError
+
+            raise OwnershipError(
+                f"TC {self.tc_id} does not own key {key!r} of table {table!r}"
+            )
+
+    def _known_value(self, txn: Transaction, table: str, key: Key) -> object:
+        """Value under our lock, reading through to the DC once if unknown.
+
+        This read-before-write is how the unbundled TC obtains complete
+        undo information at log-append time (see module docstring).
+        """
+        cached = txn.known.get((table, key))
+        if cached is not None:
+            return cached
+        route = self._route(table)
+        op = ReadOp(table=table, key=key, flavor=ReadFlavor.OWN)
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        self.metrics.incr("tc.undo_info_reads")
+        if result.status is OpStatus.NOT_FOUND:
+            txn.known[(table, key)] = ABSENT
+            return ABSENT
+        self._expect_ok(result, op)
+        txn.known[(table, key)] = result.value
+        return result.value
+
+    def _run_mutation(
+        self,
+        txn: Transaction,
+        route: _TableRoute,
+        op: LogicalOperation,
+        undo: Optional[LogicalOperation],
+        deferred: bool = False,
+    ) -> None:
+        record = self.log.append(
+            lambda lsn: OpRecord(
+                lsn=lsn, txn_id=txn.txn_id, op=op, undo=undo, dc_name=route.dc_name
+            ),
+            track_for_lwm=True,
+        )
+        if deferred:
+            txn.op_records.append(record)  # type: ignore[arg-type]
+            # Pipelining: post without waiting.  The TC validated the
+            # operation under its locks, so the (eventual) result is known
+            # to be OK; the reply is collected at the next sync.
+            channel = self._channels[route.dc_name]
+            channel.post(
+                PerformOperation(
+                    tc_id=self.tc_id,
+                    op_id=record.lsn,
+                    op=op,
+                    eosl=self.log.eosl,
+                )
+            )
+            txn.in_flight[(op.table, getattr(op, "key", None))] = record  # type: ignore[index]
+            self.metrics.incr("tc.deferred_mutations")
+        else:
+            result = self._perform(route.dc_name, op, record.lsn)
+            self._complete_op(record.lsn)
+            # Only operations that actually executed enter the undo chain;
+            # a DC-side failure (e.g. page overflow on a fixed structure)
+            # must not leave an inverse behind for rollback to misapply.
+            self._expect_ok(result, op)
+            txn.op_records.append(record)  # type: ignore[arg-type]
+        self.metrics.incr("tc.mutations")
+
+    def _sync_if_conflicting(self, txn: Transaction, table: str, key: Key) -> None:
+        """Never let two operations on one key be in flight together —
+        the TC's core obligation (Section 1.2) extends to its own pipeline."""
+        if (table, key) in txn.in_flight:
+            self.sync_pipeline(txn)
+
+    def sync_pipeline(self, txn: Transaction) -> None:
+        """Deliver queued operations (possibly reordered by the channel),
+        collect replies, and resend anything the channel lost."""
+        if not txn.in_flight:
+            return
+        acked: set[Lsn] = set()
+        for dc_name in {record.dc_name for record in txn.in_flight.values()}:
+            channel = self._channels[dc_name]
+            for reply in channel.pump():
+                if isinstance(reply, OperationReply) and reply.result is not None:
+                    if reply.result.ok:
+                        acked.add(reply.op_id)
+        for (table, key), record in list(txn.in_flight.items()):
+            if record.lsn not in acked:
+                assert record.op is not None
+                result = self._perform(record.dc_name, record.op, record.lsn, resend=True)
+                self._complete_op(record.lsn)
+                try:
+                    self._expect_ok(result, record.op)
+                except ReproError:
+                    # the deferred op never executed: drop it from the
+                    # undo chain before surfacing the failure
+                    if record in txn.op_records:
+                        txn.op_records.remove(record)
+                    txn.in_flight.clear()
+                    raise
+            else:
+                self._complete_op(record.lsn)
+        txn.in_flight.clear()
+        self.metrics.incr("tc.pipeline_syncs")
+
+    def _guard_abort(self, txn: Transaction, fn, *args: object) -> None:
+        """Run a locking step; on deadlock or lock timeout, roll back —
+        a transaction must never survive holding a partial lock set."""
+        from repro.common.errors import LockTimeoutError
+
+        try:
+            fn(*args)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
+
+    def _force_abort(self, txn: Transaction) -> None:
+        if txn.state is not TransactionState.ACTIVE:
+            return
+        try:
+            self.abort(txn)
+        except ReproError:
+            # Rollback could not complete (typically: the DC is down, so
+            # inverse operations cannot be delivered).  Release the locks
+            # so the system makes progress, but remember the transaction —
+            # its compensation is retried when the DC comes back (and a TC
+            # restart would roll it back as an ordinary loser anyway).
+            self.locks.release_all(txn.txn_id)
+            txn.state = TransactionState.ABORTED
+            with self._admin:
+                self._zombie_rollbacks.append(txn)
+            self.metrics.incr("tc.zombie_rollbacks")
+
+    def _retry_zombie_rollbacks(self) -> None:
+        """Finish rollbacks that were interrupted by a DC outage."""
+        with self._admin:
+            zombies, self._zombie_rollbacks = self._zombie_rollbacks, []
+        for txn in zombies:
+            try:
+                self.rollback_operations(
+                    txn.txn_id,
+                    [r for r in reversed(txn.op_records) if r.undo is not None],
+                    txn.versioned_keys,
+                )
+                self.log.append(
+                    lambda lsn, t=txn.txn_id: TxnEndRecord(lsn=lsn, txn_id=t)
+                )
+                self.metrics.incr("tc.zombie_rollbacks_completed")
+            except ReproError:
+                with self._admin:
+                    self._zombie_rollbacks.append(txn)  # still unreachable
+
+    @staticmethod
+    def _expect_ok(result: OpResult, op: LogicalOperation) -> None:
+        if result.ok:
+            return
+        if result.status is OpStatus.DUPLICATE:
+            raise DuplicateKeyError(op.table, getattr(op, "key", None))
+        if result.status is OpStatus.NOT_FOUND:
+            raise NoSuchRecordError(op.table, getattr(op, "key", None))
+        raise ReproError(f"operation failed: {result.message} ({op!r})")
+
+    # -- messaging ---------------------------------------------------------------------------------
+
+    def _perform(
+        self, dc_name: str, op: LogicalOperation, op_id: Lsn, resend: bool = False
+    ) -> OpResult:
+        """Send with resend-until-acknowledged (exactly-once end to end)."""
+        channel = self._channels[dc_name]
+        attempts = 0
+        while attempts < self.config.max_resend_attempts:
+            message = PerformOperation(
+                tc_id=self.tc_id,
+                op_id=op_id,
+                op=op,
+                resend=resend or attempts > 0,
+                eosl=self.log.eosl,
+            )
+            reply = channel.request(message)
+            attempts += 1
+            if reply is None:
+                if channel.dc.crashed:
+                    raise CrashedError(f"DC {dc_name}")
+                self.metrics.incr("tc.resends")
+                continue
+            assert isinstance(reply, OperationReply)
+            assert reply.result is not None
+            return reply.result
+        raise ReproError(
+            f"operation {op_id} to {dc_name} unacknowledged after {attempts} attempts"
+        )
+
+    def _complete_op(self, op_id: Lsn) -> None:
+        lwm = self.log.complete_op(op_id)
+        self._completions_since_lwm += 1
+        if self._completions_since_lwm >= self.config.lwm_interval:
+            self._completions_since_lwm = 0
+            self.broadcast_lwm(lwm)
+
+    def broadcast_lwm(self, lwm: Optional[Lsn] = None) -> None:
+        """Ship the low-water mark to every DC (Section 5.1.2)."""
+        lwm = lwm if lwm is not None else self.log.lwm
+        if lwm <= NULL_LSN:
+            return
+        for channel in self._channels.values():
+            channel.request(LowWaterMark(tc_id=self.tc_id, lwm=lwm))
+        self.metrics.incr("tc.lwm_broadcasts")
+
+    def force_log(self) -> Lsn:
+        """Force the log; the new EOSL piggybacks on subsequent operations
+        (checkpoint and restart still push it explicitly)."""
+        eosl = self.log.force()
+        self._unforced_commits = 0
+        return eosl
+
+    def broadcast_eosl(self) -> Lsn:
+        """Explicitly push the current EOSL to every DC (causality, WAL)."""
+        eosl = self.log.eosl
+        for channel in self._channels.values():
+            channel.request(EndOfStableLog(tc_id=self.tc_id, eosl=eosl))
+        return eosl
+
+    def _force_through(self, lsn: Lsn) -> Lsn:
+        """DC-prompted log force (the system-transaction causality gate)."""
+        if self.log.needs_force(lsn):
+            self.metrics.incr("tc.prompted_forces")
+            return self.force_log()
+        return self.log.eosl
+
+    # -- checkpointing (contract termination, Section 4.2) --------------------------------------------
+
+    def checkpoint(self) -> bool:
+        """Advance the redo scan start point; False when a DC is blocked."""
+        self._check_up()
+        self.force_log()
+        self.broadcast_eosl()
+        self.broadcast_lwm()
+        candidate = self.log.lwm + 1
+        if candidate <= self._rssp:
+            return True
+        for name, channel in self._channels.items():
+            reply = channel.request(
+                CheckpointRequest(tc_id=self.tc_id, new_rssp=candidate)
+            )
+            if not isinstance(reply, CheckpointReply) or reply.granted_rssp < candidate:
+                self.metrics.incr("tc.checkpoint_blocked")
+                return False
+        self._rssp = candidate
+        self.log.append(
+            lambda lsn: CheckpointRecord(lsn=lsn, txn_id=0, rssp=candidate)
+        )
+        self.force_log()
+        self.metrics.incr("tc.checkpoints")
+        return True
+
+    def _on_rssp_hint(self, dc_name: str, lsn: Lsn) -> None:
+        """Spontaneous contract termination (Section 4.2.1): a DC reports
+        that everything below ``lsn`` is stable there.  The redo scan start
+        point may advance once *every* attached DC has hinted at least that
+        far (the RSSP is a global minimum)."""
+        with self._admin:
+            self._rssp_hints[dc_name] = max(self._rssp_hints.get(dc_name, 0), lsn)
+            if len(self._rssp_hints) < len(self._channels):
+                return
+            candidate = min(self._rssp_hints.values())
+            if candidate <= self._rssp:
+                return
+            self._rssp = candidate
+            self.metrics.incr("tc.rssp_hint_advances")
+        self.log.append(
+            lambda l: CheckpointRecord(lsn=l, txn_id=0, rssp=candidate)
+        )
+        self.force_log()
+
+    @property
+    def rssp(self) -> Lsn:
+        return self._rssp
+
+    # -- failure handling --------------------------------------------------------------------------------
+
+    def crash(self) -> int:
+        """Lose all volatile state: log tail, lock table, live transactions.
+
+        Returns the number of log records lost (they are gone forever; the
+        DC-reset protocol of Section 5.3.2 must erase their effects)."""
+        self._crashed = True
+        lost = self.log.crash()
+        self.locks.clear()
+        with self._admin:
+            self._active.clear()
+            self._zombie_rollbacks.clear()
+        self._completions_since_lwm = 0
+        self.metrics.incr("tc.crashes")
+        return lost
+
+    def restart(self, reset_mode: Optional[ResetMode] = None) -> dict[str, int]:
+        """Recover from a TC crash (Section 5.3.2 "TC Failure")."""
+        from repro.tc.recovery import TcRestart
+
+        stats = TcRestart(self).run(reset_mode or self.reset_mode)
+        self._crashed = False
+        return stats
+
+    def _on_dc_restart(self, dc: DataComponent) -> None:
+        """Out-of-band prompt: the DC lost its cache; resend from the RSSP."""
+        if self._crashed:
+            return
+        from repro.tc.recovery import resend_redo_stream
+
+        eosl = self.log.force()
+        channel = self._channels.get(dc.name)
+        if channel is not None:
+            channel.request(EndOfStableLog(tc_id=self.tc_id, eosl=eosl))
+        resend_redo_stream(self, dc_names={dc.name})
+        self._retry_zombie_rollbacks()
+        self.broadcast_lwm()
+        self.metrics.incr("tc.dc_restart_redos")
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    # -- introspection -------------------------------------------------------------------------------------
+
+    def active_count(self) -> int:
+        with self._admin:
+            return len(self._active)
+
+    def stats(self) -> dict[str, object]:
+        """Introspection snapshot: log, locks, routing, contract state."""
+        return {
+            "tc_id": self.tc_id,
+            "active_transactions": self.active_count(),
+            "log_records": self.log.record_count(),
+            "stable_records": self.log.stable_count(),
+            "eosl": self.log.eosl,
+            "lwm": self.log.lwm,
+            "rssp": self._rssp,
+            "locks_held": self.locks.total_locks(),
+            "tables_routed": len(self._routes),
+            "dcs_attached": len(self._channels),
+        }
+
+    def channels(self) -> dict[str, MessageChannel]:
+        return dict(self._channels)

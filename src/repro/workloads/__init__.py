@@ -1,0 +1,24 @@
+"""Workload generators and the Section 2 photo-sharing application."""
+
+from repro.workloads.generator import (
+    KeyDistribution,
+    OltpMix,
+    WorkloadRunner,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.workloads.photo_sharing import PhotoSharingApp
+from repro.workloads.rdf_store import TripleStore
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+__all__ = [
+    "KeyDistribution",
+    "OltpMix",
+    "PhotoSharingApp",
+    "TripleStore",
+    "WorkloadRunner",
+    "YcsbConfig",
+    "YcsbWorkload",
+    "uniform_keys",
+    "zipf_keys",
+]

@@ -1,0 +1,149 @@
+"""The Section 2 application: a Web 2.0 photo-sharing platform.
+
+The paper's motivating example: user accounts, photo ownership and access
+rights, thematic groups, tags and reviews — "consistent under high update
+rates; so there is a significant OLTP aspect" — plus *application-specific
+index structures* (a phrase index over review text) that no relational
+cloud service would provide, but that a home-grown DC can host while
+renting transactional services from a TC.
+
+The app uses heterogeneous access methods behind one DC:
+
+- B-trees for users, photos, reviews, group membership;
+- a fixed-page hashed heap for the phrase index (the "home-grown index
+  manager"), keyed by (phrase, photo) pairs;
+
+and multi-record transactions for the referential-integrity rules the
+paper calls out (a review must reference an existing photo; deleting a
+photo removes its tags, reviews and phrase-index entries atomically).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional
+
+from repro.common.errors import NoSuchRecordError, ReproError
+from repro.common.records import KEY_MAX, KEY_MIN
+from repro.kernel.unbundled import UnbundledKernel
+
+_WORD = re.compile(r"[a-z0-9]+")
+
+
+def extract_phrases(text: str, max_phrases: int = 16) -> list[str]:
+    """Adjacent word pairs — the "phrases that express opinions" index."""
+    words = _WORD.findall(text.lower())
+    phrases = [f"{a} {b}" for a, b in zip(words, words[1:])]
+    return phrases[:max_phrases]
+
+
+class PhotoSharingApp:
+    """The photo-sharing platform, running on an unbundled kernel."""
+
+    def __init__(self, kernel: Optional[UnbundledKernel] = None) -> None:
+        self.kernel = kernel or UnbundledKernel()
+        self.kernel.create_table("users")
+        self.kernel.create_table("photos")
+        self.kernel.create_table("photo_tags")  # key (tag, photo_id)
+        self.kernel.create_table("reviews")  # key (photo_id, user_id)
+        self.kernel.create_table("groups")  # key (group, user_id)
+        # The home-grown text index: a simple hashed heap is all it needs.
+        self.kernel.create_table("phrase_index", kind="heap", bucket_count=64)
+
+    # -- accounts -------------------------------------------------------------
+
+    def register_user(self, user_id: str, profile: dict) -> None:
+        with self.kernel.begin() as txn:
+            txn.insert("users", user_id, profile)
+
+    def join_group(self, group: str, user_id: str) -> None:
+        with self.kernel.begin() as txn:
+            if txn.read("users", user_id) is None:
+                raise NoSuchRecordError("users", user_id)
+            txn.insert("groups", (group, user_id), {"member": True})
+
+    def group_members(self, group: str) -> list[str]:
+        with self.kernel.begin() as txn:
+            rows = txn.scan("groups", (group, KEY_MIN), (group, KEY_MAX))
+        return [user_id for (_group, user_id), _v in rows]
+
+    # -- photos ---------------------------------------------------------------------
+
+    def upload_photo(
+        self, photo_id: str, owner: str, meta: dict, tags: list[str]
+    ) -> None:
+        """Photo + ownership + tags, atomically (the OLTP aspect)."""
+        with self.kernel.begin() as txn:
+            if txn.read("users", owner) is None:
+                raise NoSuchRecordError("users", owner)
+            txn.insert("photos", photo_id, {"owner": owner, **meta})
+            for tag in tags:
+                txn.insert("photo_tags", (tag, photo_id), {"by": owner})
+
+    def photos_by_tag(self, tag: str) -> list[str]:
+        with self.kernel.begin() as txn:
+            rows = txn.scan("photo_tags", (tag, KEY_MIN), (tag, KEY_MAX))
+        return [photo_id for (_tag, photo_id), _v in rows]
+
+    def delete_photo(self, photo_id: str) -> None:
+        """Referential integrity: remove reviews, tags and phrase entries
+        together with the photo — one transaction, several tables."""
+        with self.kernel.begin() as txn:
+            photo = txn.read("photos", photo_id)
+            if photo is None:
+                raise NoSuchRecordError("photos", photo_id)
+            for (pid, user), review in txn.scan(
+                "reviews", (photo_id, KEY_MIN), (photo_id, KEY_MAX)
+            ):
+                txn.delete("reviews", (pid, user))
+                for phrase in extract_phrases(review["text"]):
+                    try:
+                        txn.delete("phrase_index", (phrase, photo_id))
+                    except NoSuchRecordError:
+                        pass  # duplicate phrases index once
+            # Tags are keyed (tag, photo): without a secondary index this
+            # is a filtered scan — the price of the simple physical schema.
+            for (tag, pid), _v in txn.scan("photo_tags"):
+                if pid == photo_id:
+                    txn.delete("photo_tags", (tag, pid))
+            txn.delete("photos", photo_id)
+
+    # -- reviews & the phrase index ---------------------------------------------------
+
+    def review_photo(self, photo_id: str, user_id: str, text: str, rating: int) -> None:
+        if not 1 <= rating <= 5:
+            raise ReproError("rating must be between 1 and 5")
+        with self.kernel.begin() as txn:
+            if txn.read("photos", photo_id) is None:
+                raise NoSuchRecordError("photos", photo_id)
+            if txn.read("users", user_id) is None:
+                raise NoSuchRecordError("users", user_id)
+            txn.insert(
+                "reviews", (photo_id, user_id), {"text": text, "rating": rating}
+            )
+            for phrase in set(extract_phrases(text)):
+                # the index records that the photo matches the phrase; a
+                # second reviewer using the same phrase adds nothing new
+                if txn.read("phrase_index", (phrase, photo_id)) is None:
+                    txn.insert(
+                        "phrase_index", (phrase, photo_id), {"user": user_id}
+                    )
+
+    def reviews_of(self, photo_id: str) -> list[dict]:
+        with self.kernel.begin() as txn:
+            rows = txn.scan("reviews", (photo_id, KEY_MIN), (photo_id, KEY_MAX))
+        return [review for _key, review in rows]
+
+    def photos_matching_phrase(self, phrase: str) -> list[str]:
+        """Query the home-grown index: which photos have this opinion?"""
+        with self.kernel.begin() as txn:
+            rows = txn.scan(
+                "phrase_index", (phrase, KEY_MIN), (phrase, KEY_MAX)
+            )
+        return [photo_id for (_phrase, photo_id), _v in rows]
+
+    def average_rating(self, photo_id: str) -> Optional[float]:
+        reviews = self.reviews_of(photo_id)
+        if not reviews:
+            return None
+        return sum(review["rating"] for review in reviews) / len(reviews)

@@ -1,0 +1,171 @@
+"""An RDF-style triple store built on the unbundled kernel (Section 1.1).
+
+The paper's second industry imperative: "one might build an RDF engine as
+a DC with transactional functionality added as a separate layer."  This
+module is that engine in miniature: triples (subject, predicate, object)
+are stored under three clustered orderings — SPO, POS and OSP — as three
+physical tables maintained in one transaction per assertion, so every
+basic graph pattern with at least one bound position is a clustered range
+scan.  Transactions, recovery, idempotence: all rented from the TC.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.common.errors import DuplicateKeyError, NoSuchRecordError
+from repro.common.records import KEY_MAX, KEY_MIN
+from repro.kernel.unbundled import UnbundledKernel
+
+Triple = tuple[str, str, str]
+
+
+class TripleStore:
+    """A transactional subject-predicate-object store."""
+
+    #: physical orderings: table name -> permutation applied to (s, p, o)
+    _ORDERINGS = {
+        "spo": (0, 1, 2),
+        "pos": (1, 2, 0),
+        "osp": (2, 0, 1),
+    }
+
+    def __init__(self, kernel: Optional[UnbundledKernel] = None) -> None:
+        self.kernel = kernel or UnbundledKernel()
+        for table in self._ORDERINGS:
+            self.kernel.create_table(f"triples_{table}")
+
+    @staticmethod
+    def _permute(triple: Triple, order: tuple[int, int, int]) -> Triple:
+        return (triple[order[0]], triple[order[1]], triple[order[2]])
+
+    # -- assertions ------------------------------------------------------------
+
+    def add(self, subject: str, predicate: str, obj: str) -> bool:
+        """Assert a triple in all three orderings, atomically.
+
+        Returns False when the triple was already present.
+        """
+        triple = (subject, predicate, obj)
+        txn = self.kernel.begin()
+        try:
+            for table, order in self._ORDERINGS.items():
+                txn.insert(f"triples_{table}", self._permute(triple, order), True)
+        except DuplicateKeyError:
+            txn.abort()
+            return False
+        txn.commit()
+        return True
+
+    def remove(self, subject: str, predicate: str, obj: str) -> bool:
+        """Retract a triple from all three orderings, atomically."""
+        triple = (subject, predicate, obj)
+        txn = self.kernel.begin()
+        try:
+            for table, order in self._ORDERINGS.items():
+                txn.delete(f"triples_{table}", self._permute(triple, order))
+        except NoSuchRecordError:
+            txn.abort()
+            return False
+        txn.commit()
+        return True
+
+    def add_all(self, triples: list[Triple]) -> int:
+        """Assert many triples in one transaction (all or nothing)."""
+        added = 0
+        with self.kernel.begin() as txn:
+            for triple in triples:
+                try:
+                    for table, order in self._ORDERINGS.items():
+                        txn.insert(
+                            f"triples_{table}", self._permute(triple, order), True
+                        )
+                    added += 1
+                except DuplicateKeyError:
+                    continue
+        return added
+
+    # -- pattern matching ----------------------------------------------------------
+
+    def match(
+        self,
+        subject: Optional[str] = None,
+        predicate: Optional[str] = None,
+        obj: Optional[str] = None,
+    ) -> list[Triple]:
+        """All triples matching the pattern (None = wildcard).
+
+        Picks the ordering whose clustered prefix covers the bound
+        positions, so every query with >= 1 bound position is one range
+        scan on one physical table.
+        """
+        pattern = (subject, predicate, obj)
+        table, order = self._pick_ordering(pattern)
+        bound = [pattern[order[0]], pattern[order[1]], pattern[order[2]]]
+        low: list[object] = []
+        high: list[object] = []
+        for value in bound:
+            if value is None:
+                low.append(KEY_MIN)
+                high.append(KEY_MAX)
+            else:
+                low.append(value)
+                high.append(value)
+        with self.kernel.begin() as txn:
+            rows = txn.scan(f"triples_{table}", tuple(low), tuple(high))
+        inverse = [0, 0, 0]
+        for position, source in enumerate(order):
+            inverse[source] = position
+        results = []
+        for key, _true in rows:
+            triple = (key[inverse[0]], key[inverse[1]], key[inverse[2]])
+            if all(p is None or p == t for p, t in zip(pattern, triple)):
+                results.append(triple)
+        return results
+
+    def _pick_ordering(self, pattern: tuple) -> tuple[str, tuple[int, int, int]]:
+        """Longest bound prefix wins; SPO is the fallback for all-wildcard."""
+        best_table, best_order, best_len = "spo", self._ORDERINGS["spo"], -1
+        for table, order in self._ORDERINGS.items():
+            prefix = 0
+            for source in order:
+                if pattern[source] is None:
+                    break
+                prefix += 1
+            if prefix > best_len:
+                best_table, best_order, best_len = table, order, prefix
+        return best_table, best_order
+
+    # -- convenience graph queries ------------------------------------------------------
+
+    def objects(self, subject: str, predicate: str) -> list[str]:
+        return [o for _s, _p, o in self.match(subject, predicate, None)]
+
+    def subjects(self, predicate: str, obj: str) -> list[str]:
+        return [s for s, _p, _o in self.match(None, predicate, obj)]
+
+    def predicates_of(self, subject: str) -> list[str]:
+        return sorted({p for _s, p, _o in self.match(subject, None, None)})
+
+    def has(self, subject: str, predicate: str, obj: str) -> bool:
+        return bool(self.match(subject, predicate, obj))
+
+    def count(self) -> int:
+        with self.kernel.begin() as txn:
+            return len(txn.scan("triples_spo"))
+
+    def neighbors(self, subject: str, max_hops: int = 1) -> set[str]:
+        """Nodes reachable from ``subject`` within ``max_hops`` edges."""
+        frontier = {subject}
+        seen: set[str] = set()
+        for _hop in range(max_hops):
+            next_frontier: set[str] = set()
+            for node in frontier:
+                for _s, _p, obj in self.match(node, None, None):
+                    if obj not in seen and obj != subject:
+                        next_frontier.add(obj)
+            seen |= next_frontier
+            frontier = next_frontier
+            if not frontier:
+                break
+        return seen

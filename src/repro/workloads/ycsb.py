@@ -1,0 +1,130 @@
+"""YCSB-style workload presets.
+
+The Yahoo! Cloud Serving Benchmark's core workloads are the lingua franca
+for exactly the "cloud data serving" systems the paper targets; exposing
+them as presets over :class:`~repro.workloads.generator.WorkloadRunner`
+lets the experiments speak that language.
+
+| preset | mix | the YCSB analogue |
+|---|---|---|
+| A | 50% reads / 50% updates | update heavy ("session store") |
+| B | 95% reads / 5% updates | read mostly ("photo tagging") |
+| C | 100% reads | read only ("user profile cache") |
+| D | 95% reads / 5% inserts | read latest ("user status updates") |
+| E | 95% short scans / 5% inserts | short ranges ("threaded conversations") |
+| F | 50% reads / 50% read-modify-writes | read-modify-write ("user database") |
+
+Read-modify-write is modelled with :meth:`Transaction.increment` (the
+logical operation), making preset F a genuine exactly-once stressor.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.common.errors import (
+    DuplicateKeyError,
+    NoSuchRecordError,
+    ReproError,
+    TransactionAborted,
+)
+from repro.workloads.generator import KeyDistribution, RunStats, uniform_keys, zipf_keys
+
+#: preset -> (reads, updates, inserts, scans, rmw) fractions
+PRESETS: dict[str, tuple[float, float, float, float, float]] = {
+    "A": (0.50, 0.50, 0.00, 0.00, 0.00),
+    "B": (0.95, 0.05, 0.00, 0.00, 0.00),
+    "C": (1.00, 0.00, 0.00, 0.00, 0.00),
+    "D": (0.95, 0.00, 0.05, 0.00, 0.00),
+    "E": (0.00, 0.00, 0.05, 0.95, 0.00),
+    "F": (0.50, 0.00, 0.00, 0.00, 0.50),
+}
+
+
+@dataclass
+class YcsbConfig:
+    preset: str = "A"
+    keyspace: int = 1000
+    distribution: KeyDistribution = KeyDistribution.ZIPF
+    zipf_skew: float = 1.2
+    scan_length: int = 20
+    value_bytes: int = 100
+    seed: int = 0
+
+
+class YcsbWorkload:
+    """Run a YCSB preset against any engine with the shared txn surface."""
+
+    def __init__(
+        self,
+        begin: Callable[[], object],
+        table: str = "usertable",
+        config: Optional[YcsbConfig] = None,
+    ) -> None:
+        self._begin = begin
+        self.table = table
+        self.config = config or YcsbConfig()
+        if self.config.preset not in PRESETS:
+            raise ReproError(f"unknown YCSB preset {self.config.preset!r}")
+        self._next_insert = self.config.keyspace
+
+    def load(self) -> None:
+        """The YCSB load phase: populate the keyspace.
+
+        Numeric values so preset F's read-modify-write (increment) works.
+        """
+        for key in range(self.config.keyspace):
+            txn = self._begin()
+            try:
+                txn.insert(self.table, key, key * 10)
+                txn.commit()
+            except DuplicateKeyError:
+                txn.abort()
+
+    def _keys(self, count: int) -> list[int]:
+        cfg = self.config
+        if cfg.distribution is KeyDistribution.UNIFORM:
+            return uniform_keys(count, cfg.keyspace, cfg.seed)
+        return zipf_keys(count, cfg.keyspace, cfg.zipf_skew, cfg.seed)
+
+    def run(self, operations: int) -> RunStats:
+        reads, updates, inserts, scans, rmw = PRESETS[self.config.preset]
+        rng = random.Random(self.config.seed + 1)
+        keys = self._keys(operations)
+        stats = RunStats()
+        started = time.perf_counter()
+        for index in range(operations):
+            key = keys[index]
+            roll = rng.random()
+            txn = self._begin()
+            try:
+                if roll < reads:
+                    txn.read(self.table, key)
+                elif roll < reads + updates:
+                    txn.update(self.table, key, rng.randrange(10**6))
+                elif roll < reads + updates + inserts:
+                    self._next_insert += 1
+                    txn.insert(self.table, self._next_insert, 0)
+                elif roll < reads + updates + inserts + scans:
+                    txn.scan(self.table, key, key + self.config.scan_length)
+                else:  # read-modify-write
+                    txn.increment(self.table, key, 1)
+                txn.commit()
+                stats.committed += 1
+                stats.operations += 1
+            except (
+                TransactionAborted,
+                DuplicateKeyError,
+                NoSuchRecordError,
+            ) as exc:
+                stats.aborted += 1
+                stats.note_error(type(exc).__name__)
+                try:
+                    txn.abort()
+                except ReproError:
+                    pass
+        stats.elapsed_s = time.perf_counter() - started
+        return stats

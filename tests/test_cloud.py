@@ -1,0 +1,167 @@
+"""The Figure 2 cloud scenario and the partitioning/ownership layer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloud.movie_site import MovieSite
+from repro.cloud.partitioning import (
+    HashPartitionMap,
+    OwnershipRegistry,
+    PartitionedTable,
+)
+from repro.common.errors import OwnershipError
+
+
+@pytest.fixture
+def site():
+    site = MovieSite()
+    for mid in ("m1", "m2", "m3"):
+        site.add_movie(mid, {"title": mid.upper()})
+    for uid in ("u1", "u2", "u3", "u4"):
+        site.register_user(uid, {"name": uid})
+    site.post_review("u1", "m1", "loved it")
+    site.post_review("u2", "m1", "hated it")
+    site.post_review("u1", "m2", "fine")
+    return site
+
+
+class TestPartitioningPrimitives:
+    def test_hash_partition_stability(self):
+        pmap = HashPartitionMap(4)
+        assert pmap.partition_of("k") == pmap.partition_of("k")
+        assert 0 <= pmap.partition_of("k") < 4
+
+    def test_extract_routes_composite_keys_together(self):
+        pmap = HashPartitionMap(4, extract=lambda key: key[0])
+        assert pmap.partition_of(("m1", "u1")) == pmap.partition_of(("m1", "u9"))
+
+    def test_partitioned_table_names(self):
+        table = PartitionedTable("reviews", HashPartitionMap(2))
+        assert sorted(table.all_physical_names()) == ["reviews@0", "reviews@1"]
+        assert table.physical_name("k") in table.all_physical_names()
+
+    def test_single_partition_requires_count(self):
+        with pytest.raises(ValueError):
+            HashPartitionMap(0)
+
+    def test_ownership_registry_disjointness_check(self):
+        registry = OwnershipRegistry()
+
+        class FakeTc:
+            def __init__(self, tc_id):
+                self.tc_id = tc_id
+                self.ownership_guard = None
+
+        a, b = FakeTc(1), FakeTc(2)
+        registry.grant(a, "users", lambda uid: uid % 2 == 0)
+        registry.grant(b, "users", lambda uid: uid % 2 == 1)
+        registry.assert_disjoint("users", [a, b], list(range(10)))
+        registry.grant(b, "users", lambda uid: True)  # now overlapping
+        with pytest.raises(ValueError):
+            registry.assert_disjoint("users", [a, b], list(range(10)))
+
+    def test_logical_of_physical_name(self):
+        assert OwnershipRegistry.logical_of("reviews@1") == "reviews"
+        assert OwnershipRegistry.logical_of("users") == "users"
+
+
+class TestWorkloads:
+    def test_w1_single_machine_clustered_read(self, site):
+        reviews, machines = site.machines_touched(site.reviews_for_movie, "m1")
+        assert len(reviews) == 2
+        assert machines == 1
+
+    def test_w2_two_machines_no_2pc(self, site):
+        _r, machines = site.machines_touched(site.post_review, "u3", "m1", "ok")
+        assert machines == 2
+        assert site.metrics.get("twopc.messages") == 0
+
+    def test_w3_single_machine(self, site):
+        _r, machines = site.machines_touched(
+            site.update_profile, "u1", {"name": "U1", "bio": "x"}
+        )
+        assert machines == 1
+
+    def test_w4_single_machine_clustered_read(self, site):
+        mine, machines = site.machines_touched(site.my_reviews, "u1")
+        assert len(mine) == 2
+        assert machines == 1
+
+    def test_w2_maintains_both_clusterings(self, site):
+        site.post_review("u4", "m3", "new")
+        assert any(uid == "u4" for (_m, uid), _v in site.reviews_for_movie("m3"))
+        assert any(mid == "m3" for (_u, mid), _v in site.my_reviews("u4"))
+
+    def test_reviews_cluster_by_movie(self, site):
+        """All reviews of one movie live on one DC (the physical schema)."""
+        name_m1 = site.reviews.physical_name(("m1", None))
+        for uid in ("u1", "u2", "u3", "u4"):
+            assert site.reviews.physical_name(("m1", uid)) == name_m1
+
+
+class TestSharingSemantics:
+    def test_reader_sees_committed_only(self, site):
+        tc = site.owner_of("u1")
+        txn = tc.begin()
+        site.reviews.insert(txn, ("m3", "u1"), "uncommitted")
+        assert site.reviews_for_movie("m3") == []  # read committed
+        txn.commit()
+        assert len(site.reviews_for_movie("m3")) == 1
+
+    def test_aborted_review_never_visible(self, site):
+        tc = site.owner_of("u1")
+        txn = tc.begin()
+        site.reviews.insert(txn, ("m3", "u1"), "oops")
+        txn.abort()
+        assert site.reviews_for_movie("m3") == []
+
+    def test_reader_never_blocks_on_writer(self, site):
+        tc = site.owner_of("u1")
+        txn = tc.begin()
+        site.reviews.insert(txn, ("m3", "u1"), "pending")
+        for _ in range(3):
+            site.reviews_for_movie("m1")  # different movie: trivially fine
+            site.reviews_for_movie("m3")  # same movie: nonblocking via versions
+        txn.commit()
+
+    def test_ownership_enforced(self, site):
+        wrong_tc = [
+            tc for tc in site.updaters if tc is not site.owner_of("u1")
+        ][0]
+        txn = wrong_tc.begin()
+        with pytest.raises(OwnershipError):
+            txn.update("users", "u1", {"hacked": True})
+        txn.abort()
+
+
+class TestCloudFailures:
+    def test_updater_crash_leaves_reader_and_peer_running(self, site):
+        victim_index = site.updaters.index(site.owner_of("u1"))
+        txn = site.owner_of("u1").begin()
+        site.reviews.insert(txn, ("m3", "u1"), "will be lost")
+        site.crash_updater(victim_index)
+        # reader and the other updater continue unaffected
+        assert len(site.reviews_for_movie("m1")) == 2
+        # find (or mint) a user owned by the surviving updater — string
+        # hashing is randomized per process, so probe candidates
+        other_user = next(
+            uid
+            for uid in (f"candidate-{n}" for n in range(64))
+            if site.owner_of(uid) is not site.updaters[victim_index]
+        )
+        site.register_user(other_user, {"name": other_user})
+        site.post_review(other_user, "m3", "still running")
+        site.recover_updater(victim_index)
+        reviews = site.reviews_for_movie("m3")
+        assert [uid for (_m, uid), _v in reviews] == [other_user]
+        # and the recovered TC can post again
+        site.post_review("u1", "m3", "back")
+        assert len(site.reviews_for_movie("m3")) == 2
+
+    def test_review_dc_crash_recovers_from_both_tcs(self, site):
+        dc = site.movie_dcs[0]
+        dc.crash()
+        dc.recover(notify_tcs=True)
+        total = sum(len(site.reviews_for_movie(m)) for m in ("m1", "m2", "m3"))
+        assert total == 3

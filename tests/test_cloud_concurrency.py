@@ -1,0 +1,98 @@
+"""The movie site under concurrent multi-threaded load (Section 6.3)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.cloud.movie_site import MovieSite
+from repro.common.config import TcConfig
+
+
+@pytest.fixture
+def site():
+    site = MovieSite(tc_config=TcConfig(lock_timeout=10.0))
+    for movie in range(5):
+        site.add_movie(f"m{movie}", {"title": f"Movie {movie}"})
+    for user in range(12):
+        site.register_user(f"u{user}", {"name": f"User {user}"})
+    return site
+
+
+class TestConcurrentWorkloads:
+    def test_parallel_posts_from_all_users(self, site):
+        errors: list[Exception] = []
+
+        def poster(user_index: int):
+            try:
+                for movie in range(5):
+                    site.post_review(
+                        f"u{user_index}", f"m{movie}", f"review {user_index}.{movie}"
+                    )
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=poster, args=(u,)) for u in range(12)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors
+        total = sum(len(site.reviews_for_movie(f"m{m}")) for m in range(5))
+        assert total == 60
+        for movie in range(5):
+            mine = site.reviews_for_movie(f"m{movie}")
+            assert len(mine) == 12
+
+    def test_reader_runs_during_parallel_writes(self, site):
+        stop = threading.Event()
+        read_counts = {"n": 0}
+        errors: list[Exception] = []
+
+        def reader():
+            try:
+                while not stop.is_set():
+                    site.reviews_for_movie("m0")
+                    read_counts["n"] += 1
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        def writer(user_index: int):
+            try:
+                for movie in range(5):
+                    site.post_review(f"u{user_index}", f"m{movie}", "text")
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        writers = [threading.Thread(target=writer, args=(u,)) for u in range(6)]
+        for thread in writers:
+            thread.start()
+        for thread in writers:
+            thread.join(timeout=120)
+        stop.set()
+        reader_thread.join(timeout=10)
+        assert not errors
+        assert read_counts["n"] > 0  # the reader was never starved
+        assert len(site.reviews_for_movie("m0")) == 6
+
+    def test_w4_consistent_with_w1_after_concurrency(self, site):
+        """The two clusterings (by movie, by user) agree after chaos."""
+        threads = [
+            threading.Thread(
+                target=lambda u=user: [
+                    site.post_review(f"u{u}", f"m{m}", f"r{u}.{m}")
+                    for m in range(3)
+                ]
+            )
+            for user in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        by_movie = sum(len(site.reviews_for_movie(f"m{m}")) for m in range(5))
+        by_user = sum(len(site.my_reviews(f"u{u}")) for u in range(12))
+        assert by_movie == by_user == 24

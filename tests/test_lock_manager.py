@@ -1,0 +1,264 @@
+"""The TC lock manager: modes, upgrades, deadlocks, fairness, threads."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.common.errors import DeadlockError, LockTimeoutError
+from repro.sim.metrics import Metrics
+from repro.tc.lock_manager import (
+    LockManager,
+    LockMode,
+    combined_mode,
+    mode_covers,
+)
+
+
+def make_lm(timeout=0.2, deadlock=True):
+    return LockManager(Metrics(), deadlock_detection=deadlock, timeout=timeout)
+
+
+class TestCompatibility:
+    def test_shared_locks_coexist(self):
+        lm = make_lm()
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        assert lm.holds(1, "r", LockMode.S) and lm.holds(2, "r", LockMode.S)
+
+    def test_x_excludes_everything(self):
+        lm = make_lm(timeout=0.05)
+        lm.acquire(1, "r", LockMode.X)
+        for mode in (LockMode.S, LockMode.X, LockMode.IS, LockMode.IX):
+            with pytest.raises(LockTimeoutError):
+                lm.acquire(2, "r", mode, timeout=0.05)
+
+    def test_intention_modes_coexist(self):
+        lm = make_lm()
+        lm.acquire(1, "t", LockMode.IX)
+        lm.acquire(2, "t", LockMode.IX)
+        lm.acquire(3, "t", LockMode.IS)
+
+    def test_s_blocks_ix(self):
+        lm = make_lm(timeout=0.05)
+        lm.acquire(1, "t", LockMode.S)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "t", LockMode.IX, timeout=0.05)
+
+    def test_six_allows_is_only(self):
+        lm = make_lm(timeout=0.05)
+        lm.acquire(1, "t", LockMode.SIX)
+        lm.acquire(2, "t", LockMode.IS)
+        for mode in (LockMode.IX, LockMode.S, LockMode.SIX, LockMode.X):
+            with pytest.raises(LockTimeoutError):
+                lm.acquire(3, "t", mode, timeout=0.05)
+
+
+class TestReentrancyAndUpgrade:
+    def test_reacquire_same_mode_free(self):
+        lm = make_lm()
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(1, "r", LockMode.S)
+        assert lm.locks_held(1) == 1
+
+    def test_x_covers_s(self):
+        lm = make_lm()
+        lm.acquire(1, "r", LockMode.X)
+        lm.acquire(1, "r", LockMode.S)  # no-op
+        assert lm.holds(1, "r", LockMode.X)
+
+    def test_upgrade_s_to_x_when_sole_holder(self):
+        lm = make_lm()
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(1, "r", LockMode.X)
+        assert lm.holds(1, "r", LockMode.X)
+
+    def test_upgrade_ix_plus_s_is_six(self):
+        lm = make_lm()
+        lm.acquire(1, "t", LockMode.IX)
+        lm.acquire(1, "t", LockMode.S)
+        assert lm.holds(1, "t", LockMode.SIX)
+
+    def test_upgrade_blocks_on_other_holder(self):
+        lm = make_lm(timeout=0.05)
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(1, "r", LockMode.X, timeout=0.05)
+
+    def test_mode_helpers(self):
+        assert combined_mode(LockMode.IS, LockMode.IX) is LockMode.IX
+        assert combined_mode(LockMode.S, LockMode.IX) is LockMode.SIX
+        assert mode_covers(LockMode.X, LockMode.S)
+        assert not mode_covers(LockMode.S, LockMode.X)
+
+
+class TestRelease:
+    def test_release_wakes_waiter(self):
+        lm = make_lm(timeout=2.0)
+        lm.acquire(1, "r", LockMode.X)
+        acquired = threading.Event()
+
+        def waiter():
+            lm.acquire(2, "r", LockMode.X)
+            acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        assert not acquired.is_set()
+        lm.release(1, "r")
+        thread.join(timeout=2)
+        assert acquired.is_set()
+
+    def test_release_all(self):
+        lm = make_lm()
+        for resource in ("a", "b", "c"):
+            lm.acquire(1, resource, LockMode.X)
+        assert lm.release_all(1) == 3
+        assert lm.locks_held(1) == 0
+        lm.acquire(2, "a", LockMode.X)  # immediately grantable
+
+    def test_release_unheld_is_noop(self):
+        lm = make_lm()
+        lm.release(1, "nothing")
+
+    def test_clear_drops_everything(self):
+        lm = make_lm()
+        lm.acquire(1, "a", LockMode.X)
+        lm.clear()
+        assert lm.total_locks() == 0
+        lm.acquire(2, "a", LockMode.X)
+
+
+class TestDeadlockDetection:
+    def test_two_txn_cycle_detected(self):
+        lm = make_lm(timeout=5.0)
+        lm.acquire(1, "a", LockMode.X)
+        lm.acquire(2, "b", LockMode.X)
+        failure: list[Exception] = []
+        started = threading.Event()
+
+        def t1_then_blocks():
+            started.set()
+            try:
+                lm.acquire(1, "b", LockMode.X)  # blocks on txn 2
+            except DeadlockError as exc:
+                failure.append(exc)
+
+        thread = threading.Thread(target=t1_then_blocks)
+        thread.start()
+        started.wait()
+        time.sleep(0.05)
+        # txn 2 closing the cycle must be chosen as victim
+        with pytest.raises(DeadlockError) as info:
+            lm.acquire(2, "a", LockMode.X)
+        assert info.value.txn_id == 2
+        lm.release_all(2)
+        thread.join(timeout=2)
+        assert not failure  # txn 1 got its lock after the victim released
+
+    def test_upgrade_deadlock_detected(self):
+        """Two S holders both upgrading to X — the classic conversion
+        deadlock."""
+        lm = make_lm(timeout=5.0)
+        lm.acquire(1, "r", LockMode.S)
+        lm.acquire(2, "r", LockMode.S)
+        results: list[object] = []
+
+        def upgrade(txn_id):
+            try:
+                lm.acquire(txn_id, "r", LockMode.X)
+                results.append(("ok", txn_id))
+            except DeadlockError:
+                results.append(("deadlock", txn_id))
+                lm.release_all(txn_id)
+
+        threads = [threading.Thread(target=upgrade, args=(t,)) for t in (1, 2)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=5)
+        outcomes = {kind for kind, _ in results}
+        assert "deadlock" in outcomes and "ok" in outcomes
+
+    def test_timeout_fallback_without_detection(self):
+        lm = make_lm(timeout=0.05, deadlock=False)
+        lm.acquire(1, "r", LockMode.X)
+        with pytest.raises(LockTimeoutError):
+            lm.acquire(2, "r", LockMode.X)
+
+
+class TestFairness:
+    def test_waiting_writer_not_starved_by_new_readers(self):
+        lm = make_lm(timeout=5.0)
+        lm.acquire(1, "r", LockMode.S)
+        writer_granted = threading.Event()
+
+        def writer():
+            lm.acquire(2, "r", LockMode.X)
+            writer_granted.set()
+
+        thread = threading.Thread(target=writer)
+        thread.start()
+        time.sleep(0.05)
+        # A new reader must queue behind the waiting writer (FIFO).
+        reader_granted = threading.Event()
+
+        def reader():
+            lm.acquire(3, "r", LockMode.S)
+            reader_granted.set()
+
+        reader_thread = threading.Thread(target=reader)
+        reader_thread.start()
+        time.sleep(0.05)
+        assert not reader_granted.is_set()
+        lm.release_all(1)
+        thread.join(timeout=2)
+        assert writer_granted.is_set()
+        lm.release_all(2)
+        reader_thread.join(timeout=2)
+        assert reader_granted.is_set()
+
+
+class TestConcurrentStress:
+    def test_many_threads_disjoint_resources(self):
+        lm = make_lm(timeout=5.0)
+        errors: list[Exception] = []
+
+        def worker(txn_id):
+            try:
+                for i in range(50):
+                    resource = ("rec", txn_id, i)
+                    lm.acquire(txn_id, resource, LockMode.X)
+                lm.release_all(txn_id)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(1, 9)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10)
+        assert not errors
+        assert lm.total_locks() == 0
+
+    def test_contended_counter_serializes(self):
+        lm = make_lm(timeout=10.0)
+        counter = {"value": 0}
+
+        def worker(txn_id):
+            for _ in range(100):
+                lm.acquire(txn_id, "counter", LockMode.X)
+                value = counter["value"]
+                counter["value"] = value + 1
+                lm.release(txn_id, "counter")
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(1, 5)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        assert counter["value"] == 400

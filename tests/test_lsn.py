@@ -1,0 +1,216 @@
+"""AbstractLsn algebra (Section 5.1.2) — unit and property-based tests."""
+
+from __future__ import annotations
+
+import threading
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.lsn import LSN_ENCODED_BYTES, AbstractLsn, LsnGenerator, NULL_LSN
+
+
+class TestLsnGenerator:
+    def test_monotonic(self):
+        gen = LsnGenerator()
+        values = [gen.next() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+
+    def test_last_tracks_issued(self):
+        gen = LsnGenerator()
+        assert gen.last == NULL_LSN
+        gen.next()
+        gen.next()
+        assert gen.last == 2
+
+    def test_advance_to(self):
+        gen = LsnGenerator()
+        gen.advance_to(50)
+        assert gen.next() == 51
+
+    def test_advance_to_never_regresses(self):
+        gen = LsnGenerator()
+        for _ in range(10):
+            gen.next()
+        gen.advance_to(3)
+        assert gen.next() == 11
+
+    def test_thread_safety_uniqueness(self):
+        gen = LsnGenerator()
+        seen: list[int] = []
+        lock = threading.Lock()
+
+        def worker():
+            local = [gen.next() for _ in range(500)]
+            with lock:
+                seen.extend(local)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(seen) == len(set(seen)) == 4000
+
+
+class TestAbstractLsnBasics:
+    def test_null_contains_nothing(self):
+        ablsn = AbstractLsn()
+        assert not ablsn.contains(1)
+        assert ablsn.contains(0)  # the null LSN precedes everything
+        assert ablsn.is_null()
+
+    def test_include_and_contains(self):
+        ablsn = AbstractLsn()
+        ablsn.include(7)
+        assert ablsn.contains(7)
+        assert not ablsn.contains(6)
+        assert not ablsn.contains(8)
+
+    def test_contains_below_low_water(self):
+        ablsn = AbstractLsn(low_water=10)
+        for lsn in range(11):
+            assert ablsn.contains(lsn)
+        assert not ablsn.contains(11)
+
+    def test_out_of_order_includes(self):
+        """The motivating case: a later op reaches the page first."""
+        ablsn = AbstractLsn()
+        ablsn.include(9)  # later op applied first
+        assert ablsn.contains(9)
+        assert not ablsn.contains(5)  # earlier op NOT claimed — the
+        # traditional pageLSN test would wrongly claim it (Section 5.1.1)
+        ablsn.include(5)
+        assert ablsn.contains(5)
+
+    def test_include_below_low_water_is_noop(self):
+        ablsn = AbstractLsn(low_water=10)
+        ablsn.include(5)
+        assert ablsn.pending_count() == 0
+
+    def test_advance_low_water_prunes(self):
+        ablsn = AbstractLsn()
+        for lsn in (2, 4, 6, 9):
+            ablsn.include(lsn)
+        ablsn.advance_low_water(6)
+        assert ablsn.low_water == 6
+        assert ablsn.included == frozenset({9})
+        assert ablsn.contains(3)  # covered by the new low water
+        assert ablsn.contains(9)
+
+    def test_advance_low_water_never_regresses(self):
+        ablsn = AbstractLsn(low_water=10)
+        ablsn.advance_low_water(5)
+        assert ablsn.low_water == 10
+
+    def test_max_lsn(self):
+        ablsn = AbstractLsn(low_water=3)
+        assert ablsn.max_lsn() == 3
+        ablsn.include(8)
+        assert ablsn.max_lsn() == 8
+
+    def test_lsns_above(self):
+        ablsn = AbstractLsn(low_water=5, included=[7, 9])
+        assert ablsn.lsns_above(6) == frozenset({7, 9})
+        assert ablsn.lsns_above(8) == frozenset({9})
+        assert ablsn.lsns_above(9) == frozenset()
+        # a low water beyond the bound also signals reflected loss
+        assert AbstractLsn(low_water=12).lsns_above(10) == frozenset({12})
+
+    def test_merge_is_union(self):
+        a = AbstractLsn(low_water=4, included=[6, 8])
+        b = AbstractLsn(low_water=5, included=[7])
+        merged = a.merge(b)
+        assert merged.low_water == 5
+        assert merged.included == frozenset({6, 7, 8})
+        for lsn in (1, 5, 6, 7, 8):
+            assert merged.contains(lsn)
+        assert not merged.contains(9)
+
+    def test_merge_prunes_below_max_low_water(self):
+        a = AbstractLsn(low_water=2, included=[3])
+        b = AbstractLsn(low_water=10)
+        merged = a.merge(b)
+        assert merged.included == frozenset()
+        assert merged.contains(3)
+
+    def test_snapshot_is_independent(self):
+        ablsn = AbstractLsn(low_water=1, included=[5])
+        snap = ablsn.snapshot()
+        ablsn.include(9)
+        assert not snap.contains(9)
+        assert snap == AbstractLsn(low_water=1, included=[5])
+
+    def test_equality_and_hash(self):
+        a = AbstractLsn(low_water=3, included=[5])
+        b = AbstractLsn(low_water=3, included=[5])
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != AbstractLsn(low_water=3, included=[6])
+
+    def test_encoded_size(self):
+        assert AbstractLsn().encoded_size() == LSN_ENCODED_BYTES
+        assert (
+            AbstractLsn(included=[1, 2, 3]).encoded_size() == 4 * LSN_ENCODED_BYTES
+        )
+
+    def test_iter_sorted(self):
+        ablsn = AbstractLsn(included=[9, 3, 7])
+        assert list(ablsn) == [3, 7, 9]
+
+
+@settings(max_examples=200)
+@given(
+    low=st.integers(min_value=0, max_value=50),
+    includes=st.lists(st.integers(min_value=1, max_value=100), max_size=20),
+    probe=st.integers(min_value=0, max_value=120),
+)
+def test_contains_matches_reference_model(low, includes, probe):
+    """abLSN containment == the obvious set-of-applied-ops model."""
+    ablsn = AbstractLsn(low_water=low)
+    applied = set(range(low + 1))
+    for lsn in includes:
+        ablsn.include(lsn)
+        applied.add(lsn)
+    assert ablsn.contains(probe) == (probe <= low or probe in applied)
+
+
+@settings(max_examples=200)
+@given(
+    low_a=st.integers(min_value=0, max_value=30),
+    inc_a=st.sets(st.integers(min_value=1, max_value=60), max_size=10),
+    low_b=st.integers(min_value=0, max_value=30),
+    inc_b=st.sets(st.integers(min_value=1, max_value=60), max_size=10),
+    probe=st.integers(min_value=0, max_value=70),
+)
+def test_merge_covers_both_inputs(low_a, inc_a, low_b, inc_b, probe):
+    """Consolidation contract: anything either page reflected, the merged
+    page's abLSN must also claim (Section 5.2.2)."""
+    a = AbstractLsn(low_water=low_a, included=inc_a)
+    b = AbstractLsn(low_water=low_b, included=inc_b)
+    merged = a.merge(b)
+    if a.contains(probe) or b.contains(probe):
+        assert merged.contains(probe)
+
+
+@settings(max_examples=200)
+@given(
+    includes=st.sets(st.integers(min_value=1, max_value=100), max_size=20),
+    lwm_steps=st.lists(st.integers(min_value=0, max_value=100), max_size=5),
+    probe=st.integers(min_value=0, max_value=100),
+)
+def test_low_water_advance_preserves_containment(includes, lwm_steps, probe):
+    """Pruning {LSNin} with a valid LWM never un-claims an operation.
+
+    Validity: the TC only sends an LWM when every op at or below it has
+    completed, so we only probe LSNs that were included or <= some LWM.
+    """
+    ablsn = AbstractLsn()
+    for lsn in includes:
+        ablsn.include(lsn)
+    was_contained = ablsn.contains(probe)
+    for lwm in lwm_steps:
+        ablsn.advance_low_water(lwm)
+    if was_contained:
+        assert ablsn.contains(probe)

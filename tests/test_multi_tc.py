@@ -1,0 +1,225 @@
+"""Multiple TCs sharing one DC (Section 6): per-TC abLSNs, record-level
+reset, versioned read-committed sharing, dirty reads, no 2PC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import DcConfig
+from repro.common.errors import OwnershipError
+from repro.common.ops import ReadFlavor
+from repro.dc.data_component import DataComponent
+from repro.sim.metrics import Metrics
+from repro.storage.buffer import ResetMode
+from repro.tc.transactional_component import TransactionalComponent
+
+
+def shared_dc_setup(versioned=False, page_size=4096):
+    """One DC, two updater TCs with disjoint (even/odd) key ownership."""
+    metrics = Metrics()
+    dc = DataComponent("dc", config=DcConfig(page_size=page_size), metrics=metrics)
+    dc.create_table("t", versioned=versioned)
+    tc1 = TransactionalComponent(metrics=metrics)
+    tc2 = TransactionalComponent(metrics=metrics)
+    for tc in (tc1, tc2):
+        tc.attach_dc(dc)
+    tc1.ownership_guard = lambda table, key: key % 2 == 0
+    tc2.ownership_guard = lambda table, key: key % 2 == 1
+    return dc, tc1, tc2, metrics
+
+
+class TestDisjointUpdates:
+    def test_interleaved_updates_by_two_tcs(self):
+        dc, tc1, tc2, _m = shared_dc_setup()
+        for key in range(20):
+            tc = tc1 if key % 2 == 0 else tc2
+            with tc.begin() as txn:
+                txn.insert("t", key, f"tc{1 if key % 2 == 0 else 2}-{key}")
+        with tc1.begin() as txn:
+            rows = txn.scan("t")
+        assert len(rows) == 20
+
+    def test_ownership_violation_rejected(self):
+        _dc, tc1, _tc2, _m = shared_dc_setup()
+        txn = tc1.begin()
+        with pytest.raises(OwnershipError):
+            txn.insert("t", 1, "odd key, not mine")
+        txn.abort()
+
+    def test_pages_carry_per_tc_ablsns(self):
+        dc, tc1, tc2, _m = shared_dc_setup()
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "even")
+        with tc2.begin() as txn:
+            txn.insert("t", 1, "odd")
+        leaf = dc.table("t").structure.find_leaf(0)
+        assert tc1.tc_id in leaf.ablsns and tc2.tc_id in leaf.ablsns
+
+    def test_record_owner_chains(self):
+        dc, tc1, tc2, _m = shared_dc_setup()
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "even")
+        with tc2.begin() as txn:
+            txn.insert("t", 1, "odd")
+        leaf = dc.table("t").structure.find_leaf(0)
+        assert leaf.get(0).owner_tc == tc1.tc_id
+        assert leaf.get(1).owner_tc == tc2.tc_id
+
+    def test_rejected_operation_never_reassigns_ownership(self):
+        """A failed (duplicate) insert from the wrong TC must not steal the
+        record's owner chain — record-level reset depends on it."""
+        dc, tc1, tc2, _m = shared_dc_setup()
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "tc1's record")
+        # drive the DC directly (the TC's own validation would reject
+        # earlier): a duplicate insert under tc2's id must fail cleanly
+        from repro.common.ops import InsertOp, OpStatus
+
+        result = dc.perform_operation(
+            tc2.tc_id, 10_000_000, InsertOp(table="t", key=0, value="steal")
+        )
+        assert result.status is OpStatus.DUPLICATE
+        leaf = dc.table("t").structure.find_leaf(0)
+        assert leaf.get(0).owner_tc == tc1.tc_id  # unchanged
+
+
+class TestTcCrashIsolation:
+    """Section 6.1.2: only the failing TC resends and recovers."""
+
+    def test_record_reset_spares_cohabitant(self):
+        dc, tc1, tc2, _m = shared_dc_setup()
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "tc1-committed")
+        with tc2.begin() as txn:
+            txn.insert("t", 1, "tc2-committed")
+        tc1.checkpoint()
+        # tc2 commits more work that is acked but not yet stable on disk
+        with tc2.begin() as txn:
+            txn.update("t", 1, "tc2-newer")
+        # tc1 now loses an in-flight update
+        loser = tc1.begin()
+        loser.update("t", 0, "tc1-lost")
+        tc2_ops_before = _m.get("tc.redo_ops")
+        tc1.crash()
+        tc1.restart(ResetMode.RECORD_RESET)
+        # tc2's cached work survived the reset without any tc2 replay
+        with tc2.begin() as txn:
+            assert txn.read("t", 1) == "tc2-newer"
+        with tc1.begin() as txn:
+            assert txn.read("t", 0) == "tc1-committed"
+
+    def test_crashed_tc_redo_does_not_involve_other_tc(self):
+        dc, tc1, tc2, metrics = shared_dc_setup()
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "a")
+        with tc2.begin() as txn:
+            txn.insert("t", 1, "b")
+        tc1.crash()
+        stats = tc1.restart()
+        # tc1 redoes only its own single mutation
+        assert stats["redo_ops"] <= 2
+
+    def test_both_tcs_crash_independently(self):
+        dc, tc1, tc2, _m = shared_dc_setup()
+        for key in range(0, 10, 2):
+            with tc1.begin() as txn:
+                txn.insert("t", key, "even")
+        for key in range(1, 10, 2):
+            with tc2.begin() as txn:
+                txn.insert("t", key, "odd")
+        tc1.crash()
+        tc1.restart()
+        tc2.crash()
+        tc2.restart()
+        with tc1.begin() as txn:
+            assert len(txn.scan("t")) == 10
+
+
+class TestVersionedSharing:
+    """Section 6.2.2: read committed via versions, without blocking."""
+
+    def test_read_committed_sees_before_version(self):
+        _dc, tc1, tc2, _m = shared_dc_setup(versioned=True)
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "v1")
+        writer = tc1.begin()
+        writer.update("t", 0, "v2")
+        # tc2 reads committed without blocking on tc1's X lock
+        assert tc2.read_other("t", 0, ReadFlavor.READ_COMMITTED) == "v1"
+        assert tc2.read_other("t", 0, ReadFlavor.DIRTY) == "v2"
+        writer.commit()
+        assert tc2.read_other("t", 0, ReadFlavor.READ_COMMITTED) == "v2"
+
+    def test_abort_never_exposes_uncommitted(self):
+        _dc, tc1, tc2, _m = shared_dc_setup(versioned=True)
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "keep")
+        writer = tc1.begin()
+        writer.update("t", 0, "discard")
+        writer.abort()
+        assert tc2.read_other("t", 0, ReadFlavor.READ_COMMITTED) == "keep"
+        assert tc2.read_other("t", 0, ReadFlavor.DIRTY) == "keep"
+
+    def test_no_blocking_reader_during_long_writer(self):
+        """Readers never block (the no-2PC, non-blocking property)."""
+        _dc, tc1, tc2, _m = shared_dc_setup(versioned=True)
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "base")
+        writer = tc1.begin()
+        writer.update("t", 0, "pending")
+        for _ in range(5):  # many reads while the writer holds its lock
+            assert tc2.read_other("t", 0) == "base"
+        writer.commit()
+
+    def test_scan_other_read_committed(self):
+        _dc, tc1, tc2, _m = shared_dc_setup(versioned=True)
+        for key in range(0, 10, 2):
+            with tc1.begin() as txn:
+                txn.insert("t", key, f"v{key}")
+        writer = tc1.begin()
+        writer.update("t", 0, "pending")
+        rows = tc2.scan_other("t")
+        assert dict(rows)[0] == "v0"
+        writer.commit()
+
+    def test_read_own_flavor_rejected_for_read_other(self):
+        _dc, _tc1, tc2, _m = shared_dc_setup(versioned=True)
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError):
+            tc2.read_other("t", 0, ReadFlavor.OWN)
+
+
+class TestNonVersionedSharing:
+    def test_dirty_reads_always_possible(self):
+        """Section 6.2.1: dirty reads need no special DC mechanism."""
+        _dc, tc1, tc2, _m = shared_dc_setup(versioned=False)
+        writer = tc1.begin()
+        writer.insert("t", 0, "uncommitted")
+        assert tc2.read_other("t", 0, ReadFlavor.DIRTY) == "uncommitted"
+        writer.abort()
+        assert tc2.read_other("t", 0, ReadFlavor.DIRTY) is None
+
+    def test_read_only_sharing(self):
+        _dc, tc1, tc2, _m = shared_dc_setup(versioned=False)
+        with tc1.begin() as txn:
+            txn.insert("t", 0, "static")
+        # both read concurrently, no coordination
+        assert tc2.read_other("t", 0, ReadFlavor.DIRTY) == "static"
+        with tc1.begin() as txn:
+            assert txn.read("t", 0) == "static"
+
+
+class TestDcCrashWithMultipleTcs:
+    def test_both_tcs_redo_after_dc_crash(self):
+        dc, tc1, tc2, _m = shared_dc_setup()
+        for key in range(0, 20, 2):
+            with tc1.begin() as txn:
+                txn.insert("t", key, "even")
+        for key in range(1, 20, 2):
+            with tc2.begin() as txn:
+                txn.insert("t", key, "odd")
+        dc.crash()
+        dc.recover(notify_tcs=True)  # prompts both TCs
+        with tc1.begin() as txn:
+            assert len(txn.scan("t")) == 20

@@ -1,0 +1,124 @@
+"""Logical operations: inverses, mutability flags, result helpers."""
+
+from __future__ import annotations
+
+from repro.common.ops import (
+    DeleteOp,
+    DiscardVersionsOp,
+    InsertOp,
+    OpResult,
+    OpStatus,
+    ProbeNextKeysOp,
+    PromoteVersionsOp,
+    RangeReadOp,
+    ReadFlavor,
+    ReadOp,
+    UpdateOp,
+    inverse_of,
+)
+
+
+class TestMutatesFlags:
+    def test_mutating_ops(self):
+        assert InsertOp(table="t", key=1, value="v").MUTATES
+        assert UpdateOp(table="t", key=1, value="v").MUTATES
+        assert DeleteOp(table="t", key=1).MUTATES
+        assert PromoteVersionsOp(table="t", keys=(1,)).MUTATES
+        assert DiscardVersionsOp(table="t", keys=(1,)).MUTATES
+
+    def test_read_ops_do_not_mutate(self):
+        assert not ReadOp(table="t", key=1).MUTATES
+        assert not RangeReadOp(table="t").MUTATES
+        assert not ProbeNextKeysOp(table="t").MUTATES
+
+
+class TestInverses:
+    """Rollback submits inverses in reverse order (Section 4.1.1, 2b)."""
+
+    def test_insert_inverts_to_delete(self):
+        op = InsertOp(table="t", key=1, value="v")
+        inverse = inverse_of(op, OpResult.okay())
+        assert isinstance(inverse, DeleteOp)
+        assert inverse.key == 1 and inverse.table == "t"
+
+    def test_delete_inverts_to_insert_of_prior(self):
+        op = DeleteOp(table="t", key=1)
+        inverse = inverse_of(op, OpResult.okay(prior="old"))
+        assert isinstance(inverse, InsertOp)
+        assert inverse.value == "old"
+
+    def test_update_inverts_to_update_of_prior(self):
+        op = UpdateOp(table="t", key=1, value="new")
+        inverse = inverse_of(op, OpResult.okay(prior="old"))
+        assert isinstance(inverse, UpdateOp)
+        assert inverse.value == "old"
+
+    def test_versioned_ops_have_no_pointwise_inverse(self):
+        """Versioned rollback is a wholesale DiscardVersions instead."""
+        for op in (
+            InsertOp(table="t", key=1, value="v", versioned=True),
+            UpdateOp(table="t", key=1, value="v", versioned=True),
+            DeleteOp(table="t", key=1, versioned=True),
+        ):
+            assert inverse_of(op, OpResult.okay(prior="x")) is None
+
+    def test_reads_have_no_inverse(self):
+        assert inverse_of(ReadOp(table="t", key=1), OpResult.okay()) is None
+
+    def test_double_inverse_roundtrip(self):
+        op = UpdateOp(table="t", key=1, value="new")
+        inv = inverse_of(op, OpResult.okay(prior="old"))
+        back = inverse_of(inv, OpResult.okay(prior="new"))
+        assert isinstance(back, UpdateOp) and back.value == "new"
+
+
+class TestOpResult:
+    def test_okay(self):
+        result = OpResult.okay(value="v", prior="p")
+        assert result.ok and result.value == "v" and result.prior == "p"
+
+    def test_statuses(self):
+        assert OpResult.not_found().status is OpStatus.NOT_FOUND
+        assert OpResult.duplicate().status is OpStatus.DUPLICATE
+        assert OpResult.error("boom").message == "boom"
+        assert not OpResult.error("boom").ok
+
+
+class TestEncodedSizes:
+    def test_insert_size_includes_payload(self):
+        small = InsertOp(table="t", key=1, value="a")
+        large = InsertOp(table="t", key=1, value="a" * 100)
+        assert large.encoded_size() - small.encoded_size() == 99
+
+    def test_cleanup_size_scales_with_keys(self):
+        one = PromoteVersionsOp(table="t", keys=(1,))
+        many = PromoteVersionsOp(table="t", keys=tuple(range(10)))
+        assert many.encoded_size() > one.encoded_size()
+
+    def test_all_ops_have_positive_size(self):
+        ops = [
+            InsertOp(table="t", key=1, value="v"),
+            UpdateOp(table="t", key=1, value="v"),
+            DeleteOp(table="t", key=1),
+            ReadOp(table="t", key=1),
+            RangeReadOp(table="t", low=1, high=2),
+            ProbeNextKeysOp(table="t", after=1),
+            PromoteVersionsOp(table="t", keys=(1,)),
+            DiscardVersionsOp(table="t", keys=(1,)),
+        ]
+        for op in ops:
+            assert op.encoded_size() > 0
+
+
+class TestReadFlavors:
+    def test_default_flavor_is_own(self):
+        assert ReadOp(table="t", key=1).flavor is ReadFlavor.OWN
+
+    def test_frozen(self):
+        op = ReadOp(table="t", key=1)
+        try:
+            op.key = 2  # type: ignore[misc]
+            raised = False
+        except AttributeError:
+            raised = True
+        assert raised

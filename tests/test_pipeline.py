@@ -1,0 +1,177 @@
+"""Pipelined (deferred) mutations: out-of-order execution end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import ChannelConfig, DcConfig
+
+
+def pipelined_kernel(phantom_protection=True, **channel_kwargs):
+    from repro.common.config import TcConfig
+
+    config = KernelConfig(
+        dc=DcConfig(page_size=1024),
+        tc=TcConfig(phantom_protection=phantom_protection),
+        channel=ChannelConfig(**channel_kwargs),
+    )
+    kernel = UnbundledKernel(config)
+    kernel.create_table("t")
+    return kernel
+
+
+class TestPipelineBasics:
+    def test_deferred_inserts_visible_after_sync(self):
+        kernel = pipelined_kernel()
+        with kernel.begin() as txn:
+            for key in range(20):
+                txn.insert("t", key, key, deferred=True)
+            txn.sync()
+            assert len(txn.scan("t")) == 20
+        assert kernel.metrics.get("tc.deferred_mutations") == 20
+
+    def test_commit_syncs_implicitly(self):
+        kernel = pipelined_kernel()
+        txn = kernel.begin()
+        for key in range(10):
+            txn.insert("t", key, key, deferred=True)
+        txn.commit()  # no explicit sync
+        with kernel.begin() as check:
+            assert len(check.scan("t")) == 10
+
+    def test_abort_syncs_then_rolls_back(self):
+        kernel = pipelined_kernel()
+        txn = kernel.begin()
+        for key in range(10):
+            txn.insert("t", key, key, deferred=True)
+        txn.abort()
+        with kernel.begin() as check:
+            assert check.scan("t") == []
+
+    def test_same_key_conflict_forces_sync(self):
+        """Two operations on one key must never be in flight together —
+        the TC's Section 1.2 obligation extends to its own pipeline."""
+        kernel = pipelined_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "first", deferred=True)
+            assert len(txn.in_flight) == 1
+            txn.update("t", 1, "second")  # implicit sync happened
+            assert txn.read("t", 1) == "second"
+        assert kernel.metrics.get("tc.pipeline_syncs") >= 1
+
+    def test_mixed_deferred_and_synchronous(self):
+        kernel = pipelined_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "a", deferred=True)
+            txn.insert("t", 2, "b")  # synchronous, different key: fine
+            txn.insert("t", 3, "c", deferred=True)
+            txn.sync()
+            assert txn.scan("t") == [(1, "a"), (2, "b"), (3, "c")]
+
+
+class TestPipelineUnderReordering:
+    def test_reordered_delivery_is_absorbed(self):
+        """The headline case of Section 5.1: the DC executes the pipeline
+        out of LSN order and the abLSNs keep everything exactly-once."""
+        kernel = pipelined_kernel(reorder_window=8, seed=17)
+        with kernel.begin() as txn:
+            for key in range(40):
+                txn.insert("t", key, f"v{key}", deferred=True)
+            txn.sync()
+        assert kernel.metrics.get("channel.batches_reordered") >= 1
+        with kernel.begin() as check:
+            assert check.scan("t") == [(key, f"v{key}") for key in range(40)]
+
+    def test_reordering_plus_loss_falls_back_to_resend(self):
+        kernel = pipelined_kernel(reorder_window=4, loss_rate=0.3, seed=23)
+        with kernel.begin() as txn:
+            for key in range(30):
+                txn.insert("t", key, key, deferred=True)
+            txn.sync()
+        with kernel.begin() as check:
+            assert len(check.scan("t")) == 30
+        assert kernel.metrics.get("tc.resends") > 0
+
+    def test_pipeline_survives_crashes(self):
+        kernel = pipelined_kernel(reorder_window=4, seed=3)
+        with kernel.begin() as txn:
+            for key in range(30):
+                txn.insert("t", key, key, deferred=True)
+        kernel.crash_all()
+        kernel.recover_all()
+        with kernel.begin() as check:
+            assert len(check.scan("t")) == 30
+
+    def test_uncommitted_pipeline_lost_with_tc(self):
+        kernel = pipelined_kernel(reorder_window=4, seed=3)
+        txn = kernel.begin()
+        for key in range(10):
+            txn.insert("t", key, key, deferred=True)
+        txn.sync()  # delivered to the DC, but never committed
+        kernel.crash_tc()
+        kernel.recover_tc()
+        with kernel.begin() as check:
+            assert check.scan("t") == []
+
+
+class TestConcurrentPipelines:
+    def test_two_transactions_share_one_channel(self):
+        """Transaction A's sync pumps the shared channel and may deliver
+        B's queued operations; B's own sync then falls back to resend, and
+        idempotence keeps everything exactly-once."""
+        # Gap guards of concurrent pipelined inserts would rightly
+        # serialize (deferred records are invisible to the other probe,
+        # so successors collide) — correct behavior, but this test is
+        # about channel sharing, so next-key locking is switched off.
+        kernel = pipelined_kernel(phantom_protection=False)
+        a = kernel.begin()
+        b = kernel.begin()
+        for key in range(0, 10, 2):
+            a.insert("t", key, "a", deferred=True)
+        for key in range(1, 10, 2):
+            b.insert("t", key, "b", deferred=True)
+        a.sync()  # delivers (possibly) both pipelines
+        b.sync()  # resend-fallback for anything a's pump consumed
+        a.commit()
+        b.commit()
+        with kernel.begin() as check:
+            rows = check.scan("t")
+        assert [key for key, _v in rows] == list(range(10))
+        assert all(v == ("a" if key % 2 == 0 else "b") for key, v in rows)
+
+    def test_interleaved_deferred_and_commit(self):
+        kernel = pipelined_kernel(phantom_protection=False)
+        a = kernel.begin()
+        a.insert("t", 1, "a", deferred=True)
+        with kernel.begin() as b:
+            b.insert("t", 2, "b")  # synchronous txn commits mid-pipeline
+        a.commit()
+        with kernel.begin() as check:
+            assert check.scan("t") == [(1, "a"), (2, "b")]
+
+
+class TestPipelineThroughput:
+    def test_pipelining_reduces_request_count_pressure(self):
+        """Deferred operations still send one message each, but batch the
+        round-trip waits; with a latency model the saving is visible in
+        simulated time."""
+        sync_kernel = pipelined_kernel(latency_ms=1.0)
+        with sync_kernel.begin() as txn:
+            for key in range(20):
+                txn.insert("t", key, key)
+        sync_time = sum(
+            c.sim_time_ms for c in sync_kernel.tc.channels().values()
+        )
+
+        pipe_kernel = pipelined_kernel(latency_ms=1.0)
+        with pipe_kernel.begin() as txn:
+            for key in range(20):
+                txn.insert("t", key, key, deferred=True)
+            txn.sync()
+        pipe_time = sum(
+            c.sim_time_ms for c in pipe_kernel.tc.channels().values()
+        )
+        # same message count, but the validation reads dominate both;
+        # the deferred path must not cost MORE
+        assert pipe_time <= sync_time

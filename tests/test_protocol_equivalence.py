@@ -1,0 +1,142 @@
+"""Property: every configuration computes the same answers.
+
+The range protocols, sync strategies, channel behaviors and engines are
+implementation choices — none may change results.  Hypothesis drives the
+same random workload through each configuration and compares final states
+pairwise.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import (
+    ChannelConfig,
+    DcConfig,
+    PageSyncStrategy,
+    RangeLockProtocol,
+    TcConfig,
+)
+from repro.common.errors import DuplicateKeyError, NoSuchRecordError
+
+step = st.tuples(
+    st.sampled_from(["insert", "update", "delete", "scan"]),
+    st.integers(min_value=0, max_value=30),
+)
+
+
+def run_workload(kernel, steps):
+    observed = []
+    for action, key in steps:
+        txn = kernel.begin()
+        try:
+            if action == "insert":
+                txn.insert("t", key, f"v{key}")
+            elif action == "update":
+                txn.update("t", key, f"u{key}")
+            elif action == "delete":
+                txn.delete("t", key)
+            else:
+                observed.append(tuple(txn.scan("t", key, key + 5)))
+            txn.commit()
+        except (DuplicateKeyError, NoSuchRecordError):
+            txn.abort()
+    with kernel.begin() as txn:
+        final = tuple(txn.scan("t"))
+    return observed, final
+
+
+def kernel_with(**kwargs):
+    config = KernelConfig(
+        dc=DcConfig(page_size=512, **kwargs.get("dc", {})),
+        tc=TcConfig(**kwargs.get("tc", {})),
+        channel=ChannelConfig(**kwargs.get("channel", {})),
+    )
+    kernel = UnbundledKernel(config)
+    kernel.create_table("t")
+    if kwargs.get("boundaries"):
+        kernel.tc.protocol.set_boundaries("t", kwargs["boundaries"])
+    return kernel
+
+
+@settings(
+    max_examples=35,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(steps=st.lists(step, max_size=40))
+def test_range_protocols_agree(steps):
+    fetch_ahead = kernel_with(tc={"range_protocol": RangeLockProtocol.FETCH_AHEAD})
+    partitions = kernel_with(
+        tc={"range_protocol": RangeLockProtocol.RANGE_PARTITION},
+        boundaries=[10, 20],
+    )
+    results = [run_workload(kernel, steps) for kernel in (fetch_ahead, partitions)]
+    assert results[0] == results[1]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(steps=st.lists(step, max_size=30))
+def test_sync_strategies_agree(steps):
+    results = []
+    for strategy in PageSyncStrategy:
+        kernel = kernel_with(dc={"sync_strategy": strategy})
+        results.append(run_workload(kernel, steps))
+    assert results[0] == results[1] == results[2]
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    steps=st.lists(step, max_size=30),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_hostile_channel_agrees_with_clean(steps, seed):
+    clean = kernel_with()
+    hostile = kernel_with(
+        channel={
+            "loss_rate": 0.2,
+            "duplicate_rate": 0.15,
+            "seed": seed,
+        }
+    )
+    assert run_workload(clean, steps) == run_workload(hostile, steps)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(steps=st.lists(step, max_size=30))
+def test_monolithic_agrees_with_unbundled(steps):
+    from repro.common.config import DcConfig as Dc
+    from repro.kernel.monolithic import MonolithicEngine
+
+    unbundled = kernel_with()
+    mono = MonolithicEngine(Dc(page_size=512))
+    mono.create_table("t")
+    assert run_workload(unbundled, steps) == run_workload(mono, steps)
+
+
+@settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(steps=st.lists(step, max_size=30))
+def test_heap_agrees_with_btree(steps):
+    btree = kernel_with()
+    heap = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=4096)))
+    heap.dc.create_table("t", kind="heap", bucket_count=16)
+    heap.tc.refresh_routes(heap.dc)
+    assert run_workload(btree, steps) == run_workload(heap, steps)

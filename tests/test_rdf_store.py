@@ -1,0 +1,136 @@
+"""The RDF triple store: Section 1.1's 'RDF engine as a DC' made concrete."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.workloads.rdf_store import TripleStore
+
+
+@pytest.fixture
+def store():
+    store = TripleStore()
+    store.add_all(
+        [
+            ("ada", "knows", "grace"),
+            ("ada", "knows", "alan"),
+            ("grace", "knows", "alan"),
+            ("ada", "works_at", "analytical-engines"),
+            ("grace", "works_at", "navy"),
+            ("alan", "works_at", "bletchley"),
+        ]
+    )
+    return store
+
+
+class TestAssertions:
+    def test_add_and_has(self, store):
+        assert store.has("ada", "knows", "grace")
+        assert not store.has("grace", "knows", "ada")
+
+    def test_duplicate_add_returns_false(self, store):
+        assert not store.add("ada", "knows", "grace")
+        assert store.count() == 6
+
+    def test_remove(self, store):
+        assert store.remove("ada", "knows", "grace")
+        assert not store.has("ada", "knows", "grace")
+        assert store.count() == 5
+
+    def test_remove_missing_returns_false(self, store):
+        assert not store.remove("nobody", "knows", "anyone")
+
+    def test_all_orderings_stay_in_sync(self, store):
+        """The three physical tables are one logical relation."""
+        store.add("x", "y", "z")
+        store.remove("ada", "knows", "alan")
+        with store.kernel.begin() as txn:
+            counts = {
+                table: len(txn.scan(f"triples_{table}"))
+                for table in ("spo", "pos", "osp")
+            }
+        assert len(set(counts.values())) == 1
+
+    def test_add_all_skips_duplicates(self, store):
+        added = store.add_all(
+            [("ada", "knows", "grace"), ("new", "knows", "ada")]
+        )
+        assert added == 1
+
+
+class TestPatterns:
+    def test_fully_bound(self, store):
+        assert store.match("ada", "knows", "grace") == [("ada", "knows", "grace")]
+
+    def test_subject_bound(self, store):
+        rows = store.match("ada", None, None)
+        assert len(rows) == 3
+        assert all(s == "ada" for s, _p, _o in rows)
+
+    def test_predicate_bound(self, store):
+        rows = store.match(None, "works_at", None)
+        assert len(rows) == 3
+
+    def test_object_bound(self, store):
+        rows = store.match(None, None, "alan")
+        assert {s for s, _p, _o in rows} == {"ada", "grace"}
+
+    def test_predicate_object_bound(self, store):
+        rows = store.match(None, "knows", "alan")
+        assert {s for s, _p, _o in rows} == {"ada", "grace"}
+
+    def test_subject_object_bound_uses_osp(self, store):
+        rows = store.match("ada", None, "alan")
+        assert rows == [("ada", "knows", "alan")]
+
+    def test_all_wildcards(self, store):
+        assert len(store.match()) == 6
+
+    def test_no_match(self, store):
+        assert store.match("nobody", None, None) == []
+
+    def test_ordering_choice(self, store):
+        assert store._pick_ordering(("s", None, None))[0] == "spo"
+        assert store._pick_ordering((None, "p", None))[0] == "pos"
+        assert store._pick_ordering((None, None, "o"))[0] == "osp"
+        assert store._pick_ordering((None, "p", "o"))[0] == "pos"
+
+
+class TestGraphQueries:
+    def test_objects_and_subjects(self, store):
+        assert sorted(store.objects("ada", "knows")) == ["alan", "grace"]
+        assert sorted(store.subjects("knows", "alan")) == ["ada", "grace"]
+
+    def test_predicates_of(self, store):
+        assert store.predicates_of("ada") == ["knows", "works_at"]
+
+    def test_neighbors_multi_hop(self, store):
+        one_hop = store.neighbors("ada", max_hops=1)
+        assert "grace" in one_hop and "alan" in one_hop
+        two_hops = store.neighbors("ada", max_hops=2)
+        assert "navy" in two_hops and "bletchley" in two_hops
+
+
+class TestTransactionality:
+    def test_assertion_is_atomic_across_orderings(self, store):
+        """A failed multi-ordering insert leaves no partial state."""
+        # force a failure midway: pre-insert the POS row only, manually
+        with store.kernel.begin() as txn:
+            txn.insert("triples_pos", ("p", "o", "s"), True)
+        assert not store.add("s", "p", "o")  # duplicate in POS -> abort
+        with store.kernel.begin() as txn:
+            assert txn.read("triples_spo", ("s", "p", "o")) is None
+            assert txn.read("triples_osp", ("o", "s", "p")) is None
+
+    def test_survives_full_crash(self, store):
+        store.kernel.crash_all()
+        store.kernel.recover_all()
+        assert store.count() == 6
+        assert store.has("grace", "works_at", "navy")
+
+    def test_survives_dc_crash_mid_usage(self, store):
+        store.add("new", "knows", "ada")
+        store.kernel.crash_dc()
+        store.kernel.recover_dc()
+        assert store.has("new", "knows", "ada")
+        assert store.count() == 7

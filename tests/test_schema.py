@@ -1,0 +1,156 @@
+"""The schema layer: secondary indexes maintained in the same transaction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import UnbundledKernel
+from repro.common.errors import ReproError
+from repro.schema import Schema
+
+
+@pytest.fixture
+def users():
+    kernel = UnbundledKernel()
+    schema = Schema(kernel)
+    table = schema.table(
+        "users",
+        indexes={
+            "by_email": lambda key, value: value["email"],
+            "by_age": lambda key, value: value["age"],
+        },
+        unique={"by_email"},
+    )
+    with kernel.begin() as txn:
+        table.insert(txn, 1, {"email": "ada@x.org", "age": 36})
+        table.insert(txn, 2, {"email": "grace@x.org", "age": 85})
+        table.insert(txn, 3, {"email": "alan@x.org", "age": 41})
+    return kernel, table
+
+
+class TestLookups:
+    def test_equality_lookup(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            assert table.lookup(txn, "by_email", "grace@x.org") == [2]
+            assert table.lookup(txn, "by_email", "nobody@x.org") == []
+
+    def test_range_lookup(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            pairs = table.lookup_range(txn, "by_age", 40, 90)
+            assert pairs == [(41, 3), (85, 2)]
+
+    def test_fetch_by(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            rows = table.fetch_by(txn, "by_age", 36)
+            assert rows == [(1, {"email": "ada@x.org", "age": 36})]
+
+    def test_unknown_index_rejected(self, users):
+        kernel, table = users
+        with pytest.raises(ReproError):
+            table.index_table("nope")
+
+
+class TestMaintenance:
+    def test_update_moves_index_entries(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            table.update(txn, 1, {"email": "countess@x.org", "age": 36})
+        with kernel.begin() as txn:
+            assert table.lookup(txn, "by_email", "ada@x.org") == []
+            assert table.lookup(txn, "by_email", "countess@x.org") == [1]
+            table.verify_indexes(txn)
+
+    def test_update_keeps_unchanged_entries(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            table.update(txn, 1, {"email": "ada@x.org", "age": 37})
+        with kernel.begin() as txn:
+            assert table.lookup(txn, "by_email", "ada@x.org") == [1]
+            assert table.lookup(txn, "by_age", 37) == [1]
+            table.verify_indexes(txn)
+
+    def test_delete_removes_entries(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            table.delete(txn, 2)
+        with kernel.begin() as txn:
+            assert table.lookup(txn, "by_email", "grace@x.org") == []
+            table.verify_indexes(txn)
+
+    def test_non_unique_index_holds_duplicates(self, users):
+        kernel, table = users
+        with kernel.begin() as txn:
+            table.insert(txn, 4, {"email": "twin@x.org", "age": 36})
+        with kernel.begin() as txn:
+            assert table.lookup(txn, "by_age", 36) == [1, 4]
+
+    def test_unique_constraint_enforced(self, users):
+        kernel, table = users
+        txn = kernel.begin()
+        with pytest.raises(ReproError):
+            table.insert(txn, 9, {"email": "ada@x.org", "age": 1})
+        txn.abort()
+        with kernel.begin() as check:
+            table.verify_indexes(check)
+
+
+class TestAtomicity:
+    def test_aborted_insert_leaves_no_index_garbage(self, users):
+        kernel, table = users
+        txn = kernel.begin()
+        table.insert(txn, 9, {"email": "ghost@x.org", "age": 1})
+        txn.abort()
+        with kernel.begin() as check:
+            assert table.lookup(check, "by_email", "ghost@x.org") == []
+            table.verify_indexes(check)
+
+    def test_mid_transaction_failure_rolls_back_everything(self, users):
+        """The unique violation fires after the index entry for by_age was
+        already written — rollback must erase it."""
+        kernel, table = users
+        txn = kernel.begin()
+        with pytest.raises(ReproError):
+            # by_age entry inserts first (dict order), then by_email's
+            # uniqueness check fails
+            table.insert(txn, 9, {"age": 99, "email": "ada@x.org"})
+        txn.abort()
+        with kernel.begin() as check:
+            assert table.lookup(check, "by_age", 99) == []
+            table.verify_indexes(check)
+
+    def test_indexes_consistent_across_crashes(self, users):
+        kernel, table = users
+        loser = kernel.begin()
+        table.update(loser, 1, {"email": "lost@x.org", "age": 1})
+        kernel.crash_all()
+        kernel.recover_all()
+        with kernel.begin() as check:
+            table.verify_indexes(check)
+            assert table.lookup(check, "by_email", "ada@x.org") == [1]
+            assert table.lookup(check, "by_email", "lost@x.org") == []
+
+
+class TestSchemaRegistry:
+    def test_duplicate_table_rejected(self):
+        kernel = UnbundledKernel()
+        schema = Schema(kernel)
+        schema.table("t")
+        with pytest.raises(ReproError):
+            schema.table("t")
+
+    def test_unique_on_unknown_index_rejected(self):
+        kernel = UnbundledKernel()
+        schema = Schema(kernel)
+        with pytest.raises(ReproError):
+            schema.table("t", indexes={}, unique={"ghost"})
+
+    def test_table_without_indexes(self):
+        kernel = UnbundledKernel()
+        schema = Schema(kernel)
+        table = schema.table("plain")
+        with kernel.begin() as txn:
+            table.insert(txn, 1, "v")
+            assert table.read(txn, 1) == "v"

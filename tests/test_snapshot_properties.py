@@ -1,0 +1,128 @@
+"""Property-based snapshot correctness: random histories vs a version model."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+from repro.common.errors import DuplicateKeyError, NoSuchRecordError
+
+# committed transactions: lists of (action, key) over a small key space
+txn_strategy = st.lists(
+    st.tuples(
+        st.sampled_from(["insert", "update", "delete"]),
+        st.integers(min_value=0, max_value=8),
+    ),
+    min_size=1,
+    max_size=4,
+)
+
+
+@settings(
+    max_examples=45,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(
+    history=st.lists(txn_strategy, max_size=12),
+    snapshot_after=st.integers(min_value=0, max_value=12),
+)
+def test_snapshot_reads_equal_model_state_at_capture_time(history, snapshot_after):
+    """A snapshot taken after the Nth committed transaction must read the
+    model state exactly as it was then, regardless of later history."""
+    kernel = UnbundledKernel(
+        KernelConfig(dc=DcConfig(page_size=512, snapshot_retention=10_000))
+    )
+    kernel.create_table("v", versioned=True)
+    model: dict[int, str] = {}
+    frozen_model: dict[int, str] | None = None
+    snapshot = None
+    for index, steps in enumerate(history):
+        if index == snapshot_after and snapshot is None:
+            snapshot = kernel.tc.begin_snapshot()
+            frozen_model = dict(model)
+        txn = kernel.begin()
+        shadow = dict(model)
+        failed = False
+        try:
+            for action, key in steps:
+                if action == "insert":
+                    if key in shadow:
+                        raise DuplicateKeyError("v", key)
+                    txn.insert("v", key, f"i{index}.{key}")
+                    shadow[key] = f"i{index}.{key}"
+                elif action == "update":
+                    if key not in shadow:
+                        raise NoSuchRecordError("v", key)
+                    txn.update("v", key, f"u{index}.{key}")
+                    shadow[key] = f"u{index}.{key}"
+                else:
+                    if key not in shadow:
+                        raise NoSuchRecordError("v", key)
+                    txn.delete("v", key)
+                    del shadow[key]
+        except (DuplicateKeyError, NoSuchRecordError):
+            failed = True
+        if failed:
+            txn.abort()
+        else:
+            txn.commit()
+            model = shadow
+    if snapshot is None:
+        snapshot = kernel.tc.begin_snapshot()
+        frozen_model = dict(model)
+    assert frozen_model is not None
+    # point reads
+    for key in range(9):
+        assert snapshot.read("v", key) == frozen_model.get(key)
+    # range read
+    assert dict(snapshot.scan("v")) == frozen_model
+    # and the live view still matches the final model
+    with kernel.begin() as txn:
+        assert dict(txn.scan("v")) == model
+
+
+@settings(
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(history=st.lists(txn_strategy, min_size=2, max_size=10))
+def test_every_snapshot_is_internally_consistent(history):
+    """Take a snapshot after every transaction; each must equal its own
+    frozen model — all of them remain valid simultaneously."""
+    kernel = UnbundledKernel(
+        KernelConfig(dc=DcConfig(snapshot_retention=10_000))
+    )
+    kernel.create_table("v", versioned=True)
+    model: dict[int, str] = {}
+    checkpoints = []
+    for index, steps in enumerate(history):
+        txn = kernel.begin()
+        shadow = dict(model)
+        try:
+            for action, key in steps:
+                if action == "insert":
+                    if key in shadow:
+                        raise DuplicateKeyError("v", key)
+                    txn.insert("v", key, f"{index}.{key}")
+                    shadow[key] = f"{index}.{key}"
+                elif action == "update":
+                    if key not in shadow:
+                        raise NoSuchRecordError("v", key)
+                    txn.update("v", key, f"{index}.{key}")
+                    shadow[key] = f"{index}.{key}"
+                else:
+                    if key not in shadow:
+                        raise NoSuchRecordError("v", key)
+                    txn.delete("v", key)
+                    del shadow[key]
+            txn.commit()
+            model = shadow
+        except (DuplicateKeyError, NoSuchRecordError):
+            txn.abort()
+        checkpoints.append((kernel.tc.begin_snapshot(), dict(model)))
+    for snapshot, frozen in checkpoints:
+        assert dict(snapshot.scan("v")) == frozen

@@ -1,0 +1,174 @@
+"""The TC's logical log: stability boundary, crash truncation, LWM."""
+
+from __future__ import annotations
+
+import threading
+
+from repro.common.lsn import NULL_LSN
+from repro.common.ops import InsertOp
+from repro.sim.metrics import Metrics
+from repro.tc.log import (
+    CommitRecord,
+    LwmTracker,
+    OpRecord,
+    TcLog,
+)
+
+
+def append_op(log, txn_id=1, key=1):
+    return log.append(
+        lambda lsn: OpRecord(
+            lsn=lsn,
+            txn_id=txn_id,
+            op=InsertOp(table="t", key=key, value="v"),
+            undo=None,
+            dc_name="dc",
+        ),
+        track_for_lwm=True,
+    )
+
+
+class TestAppendAndForce:
+    def test_lsns_increase_with_append_order(self):
+        log = TcLog(Metrics())
+        records = [append_op(log, key=index) for index in range(10)]
+        lsns = [record.lsn for record in records]
+        assert lsns == sorted(lsns)
+        assert log.all_records() == records
+
+    def test_eosl_moves_only_on_force(self):
+        log = TcLog(Metrics())
+        record = append_op(log)
+        assert log.eosl == NULL_LSN
+        assert log.needs_force(record.lsn)
+        log.force()
+        assert log.eosl == record.lsn
+        assert not log.needs_force(record.lsn)
+
+    def test_read_ids_share_the_sequence(self):
+        log = TcLog(Metrics())
+        a = append_op(log).lsn
+        read_id = log.issue_read_id()
+        b = append_op(log).lsn
+        assert a < read_id < b
+
+    def test_read_ids_do_not_appear_in_log(self):
+        log = TcLog(Metrics())
+        log.issue_read_id()
+        assert log.record_count() == 0
+
+    def test_concurrent_appends_keep_lsn_order(self):
+        log = TcLog(Metrics())
+
+        def worker(base):
+            for index in range(200):
+                append_op(log, key=base * 1000 + index)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        lsns = [record.lsn for record in log.all_records()]
+        assert lsns == sorted(lsns)
+        assert len(lsns) == 800
+
+
+class TestCrashSemantics:
+    def test_crash_truncates_volatile_tail(self):
+        log = TcLog(Metrics())
+        stable = append_op(log)
+        log.force()
+        lost_one = append_op(log)
+        lost_two = append_op(log)
+        assert log.crash() == 2
+        assert [record.lsn for record in log.stable_records()] == [stable.lsn]
+        assert log.eosl == stable.lsn
+
+    def test_lsn_generator_continues_above_stable(self):
+        log = TcLog(Metrics())
+        append_op(log)
+        log.force()
+        append_op(log)
+        log.crash()
+        log.recover_lsn_generator()
+        fresh = append_op(log)
+        assert fresh.lsn > log.stable_records()[0].lsn
+
+    def test_crash_resets_lwm(self):
+        log = TcLog(Metrics())
+        record = append_op(log)
+        log.complete_op(record.lsn)
+        assert log.lwm == record.lsn
+        log.crash()
+        assert log.lwm == NULL_LSN
+
+    def test_stable_records_from(self):
+        log = TcLog(Metrics())
+        records = [append_op(log, key=index) for index in range(5)]
+        log.force()
+        tail = list(log.stable_records_from(records[2].lsn))
+        assert [record.lsn for record in tail] == [r.lsn for r in records[2:]]
+
+
+class TestLwmTracker:
+    def test_in_order_completion(self):
+        tracker = LwmTracker()
+        for op_id in (1, 2, 3):
+            tracker.register(op_id)
+        tracker.complete(1)
+        assert tracker.lwm == 1
+        tracker.complete(2)
+        tracker.complete(3)
+        assert tracker.lwm == 3
+
+    def test_gap_holds_the_mark(self):
+        """No gaps below the LWM — Section 5.1.2, Establishing LSNlw."""
+        tracker = LwmTracker()
+        for op_id in (1, 2, 3):
+            tracker.register(op_id)
+        tracker.complete(3)
+        tracker.complete(2)
+        assert tracker.lwm == NULL_LSN  # op 1 outstanding
+        tracker.complete(1)
+        assert tracker.lwm == 3
+
+    def test_sparse_ids(self):
+        tracker = LwmTracker()
+        tracker.register(5)
+        tracker.register(9)
+        tracker.complete(5)
+        assert tracker.lwm == 5  # 6..8 were never issued, no gap
+
+    def test_outstanding_count(self):
+        tracker = LwmTracker()
+        tracker.register(1)
+        tracker.register(2)
+        assert tracker.outstanding() == 2
+        tracker.complete(1)
+        assert tracker.outstanding() == 1
+
+    def test_log_integration(self):
+        log = TcLog(Metrics())
+        a = append_op(log)
+        read_id = log.issue_read_id()
+        assert log.complete_op(a.lsn) == a.lsn  # read still outstanding? no:
+        # read_id > a.lsn, so completing `a` advances the mark to a.lsn
+        assert log.complete_op(read_id) == read_id
+
+
+class TestCommitRecords:
+    def test_mixed_record_stream(self):
+        log = TcLog(Metrics())
+        op = append_op(log, txn_id=9)
+        commit = log.append(lambda lsn: CommitRecord(lsn=lsn, txn_id=9))
+        log.force()
+        kinds = [type(r).__name__ for r in log.stable_records()]
+        assert kinds == ["OpRecord", "CommitRecord"]
+        assert commit.lsn > op.lsn
+
+    def test_bytes_metric_grows(self):
+        metrics = Metrics()
+        log = TcLog(metrics)
+        append_op(log)
+        assert metrics.get("tclog.bytes") > 0

@@ -1,0 +1,88 @@
+"""The blocking 2PC comparator (what Section 6.2.2 avoids)."""
+
+from __future__ import annotations
+
+from repro.cloud.two_pc import ParticipantState, TwoPhaseCommitSystem
+
+
+class TestProtocolOutcomes:
+    def test_all_yes_commits(self):
+        system = TwoPhaseCommitSystem(["a", "b"])
+        outcome = system.commit_transaction()
+        assert outcome.committed
+        assert all(
+            participant.state[1] is ParticipantState.COMMITTED
+            for participant in system.participants.values()
+        )
+
+    def test_one_no_vote_aborts_globally(self):
+        system = TwoPhaseCommitSystem(["a", "b"])
+        outcome = system.commit_transaction(votes={"b": False})
+        assert not outcome.committed
+        assert system.participants["a"].state[1] is ParticipantState.ABORTED
+
+    def test_crashed_participant_aborts(self):
+        system = TwoPhaseCommitSystem(["a", "b"])
+        system.crash_participant("b")
+        outcome = system.commit_transaction()
+        assert not outcome.committed
+
+
+class TestCostModel:
+    def test_message_count_is_4n(self):
+        for n in (1, 2, 5):
+            system = TwoPhaseCommitSystem([f"p{i}" for i in range(n)])
+            outcome = system.commit_transaction()
+            assert outcome.messages == 4 * n
+
+    def test_log_forces_2n_plus_1(self):
+        system = TwoPhaseCommitSystem(["a", "b", "c"])
+        outcome = system.commit_transaction()
+        assert outcome.log_forces == 2 * 3 + 1
+
+    def test_two_round_trips_of_latency(self):
+        system = TwoPhaseCommitSystem(["a", "b"], latency_ms=10.0)
+        outcome = system.commit_transaction()
+        assert outcome.round_trips == 2
+        assert outcome.sim_latency_ms == 40.0
+
+    def test_subset_of_participants(self):
+        system = TwoPhaseCommitSystem(["a", "b", "c"])
+        outcome = system.commit_transaction(involved=["a", "b"])
+        assert outcome.messages == 8
+
+
+class TestBlockingWindow:
+    def test_prepared_participants_counted_as_blocked(self):
+        system = TwoPhaseCommitSystem(["a", "b"])
+        outcome = system.commit_transaction()
+        assert outcome.blocked_participants == 2  # passed through the window
+
+    def test_indoubt_participant_stays_blocked(self):
+        """Coordinator 'dies' between phases: the YES voter is stuck —
+        the blocking the unbundled versioned design never exhibits."""
+        system = TwoPhaseCommitSystem(["a"])
+        participant = system.participants["a"]
+        participant.prepare(1)
+        assert participant.is_blocked(1)
+        assert system.blocked_transactions() == 1
+        participant.decide(1, commit=True)
+        assert system.blocked_transactions() == 0
+
+
+class TestUnbundledComparison:
+    def test_unbundled_w2_needs_fewer_forces_than_2pc(self):
+        """The FIG2 claim, in miniature: a cross-machine write needs one
+        log force on one TC, vs 2N+1 forces and 4N messages under 2PC."""
+        from repro.cloud.movie_site import MovieSite
+
+        site = MovieSite()
+        site.add_movie("m", {"title": "M"})
+        site.register_user("u", {})
+        forces_before = site.metrics.get("tclog.forces")
+        site.post_review("u", "m", "review")
+        unbundled_forces = site.metrics.get("tclog.forces") - forces_before
+
+        system = TwoPhaseCommitSystem(["dc1", "dc3"])
+        outcome = system.commit_transaction()
+        assert unbundled_forces < outcome.log_forces

@@ -1,0 +1,155 @@
+"""Workload generators and the Section 2 photo-sharing application."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+from repro.common.errors import NoSuchRecordError, ReproError
+from repro.kernel.monolithic import MonolithicEngine
+from repro.workloads.generator import (
+    KeyDistribution,
+    OltpMix,
+    WorkloadRunner,
+    uniform_keys,
+    zipf_keys,
+)
+from repro.workloads.photo_sharing import PhotoSharingApp, extract_phrases
+
+
+class TestKeyGenerators:
+    def test_uniform_deterministic_and_in_range(self):
+        keys = uniform_keys(1000, 50, seed=3)
+        assert keys == uniform_keys(1000, 50, seed=3)
+        assert all(0 <= key < 50 for key in keys)
+
+    def test_zipf_is_skewed(self):
+        keys = zipf_keys(5000, 100, skew=1.5, seed=3)
+        assert all(0 <= key < 100 for key in keys)
+        from collections import Counter
+
+        counts = Counter(keys)
+        top = counts.most_common(1)[0][1]
+        assert top > len(keys) / 20  # a genuinely hot key exists
+
+    def test_different_seeds_differ(self):
+        assert uniform_keys(100, 1000, seed=1) != uniform_keys(100, 1000, seed=2)
+
+
+class TestWorkloadRunner:
+    def _runner(self, engine_begin, **kwargs):
+        return WorkloadRunner(engine_begin, "bench", keyspace=100, **kwargs)
+
+    def test_load_then_run_on_unbundled(self):
+        kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=1024)))
+        kernel.create_table("bench")
+        runner = self._runner(kernel.begin)
+        runner.load()
+        stats = runner.run(50)
+        assert stats.committed == 50
+        assert stats.operations == 50 * runner.mix.ops_per_txn
+        assert stats.ops_per_second > 0
+
+    def test_same_runner_drives_monolithic(self):
+        engine = MonolithicEngine(DcConfig(page_size=1024))
+        engine.create_table("bench")
+        runner = self._runner(engine.begin)
+        runner.load()
+        stats = runner.run(50)
+        assert stats.committed == 50
+
+    def test_mix_with_all_operation_kinds(self):
+        kernel = UnbundledKernel()
+        kernel.create_table("bench")
+        runner = self._runner(
+            kernel.begin,
+            mix=OltpMix(updates=0.3, inserts=0.2, deletes=0.05, scans=0.1),
+            distribution=KeyDistribution.ZIPF,
+        )
+        runner.load()
+        stats = runner.run(60)
+        assert stats.committed + stats.aborted == 60
+        # deletes may make later ops miss; those abort cleanly
+        assert stats.committed > 0
+
+    def test_load_is_idempotent(self):
+        kernel = UnbundledKernel()
+        kernel.create_table("bench")
+        runner = self._runner(kernel.begin)
+        runner.load()
+        runner.load()  # duplicates ignored
+        with kernel.begin() as txn:
+            assert len(txn.scan("bench")) == 100
+
+
+class TestPhraseExtraction:
+    def test_adjacent_pairs(self):
+        assert extract_phrases("truly great shot") == ["truly great", "great shot"]
+
+    def test_normalization(self):
+        assert extract_phrases("Great, SHOT!") == ["great shot"]
+
+    def test_short_text(self):
+        assert extract_phrases("wow") == []
+        assert extract_phrases("") == []
+
+
+class TestPhotoSharingApp:
+    @pytest.fixture
+    def app(self):
+        app = PhotoSharingApp()
+        app.register_user("ada", {"name": "Ada"})
+        app.register_user("bob", {"name": "Bob"})
+        app.upload_photo("p1", "ada", {"title": "Bridge"}, ["bridge", "sf"])
+        return app
+
+    def test_referential_integrity_on_upload(self, app):
+        with pytest.raises(NoSuchRecordError):
+            app.upload_photo("p9", "nobody", {}, [])
+
+    def test_referential_integrity_on_review(self, app):
+        with pytest.raises(NoSuchRecordError):
+            app.review_photo("missing", "ada", "nice", 4)
+        with pytest.raises(NoSuchRecordError):
+            app.review_photo("p1", "nobody", "nice", 4)
+
+    def test_rating_validation(self, app):
+        with pytest.raises(ReproError):
+            app.review_photo("p1", "bob", "meh", 0)
+
+    def test_tag_queries(self, app):
+        app.upload_photo("p2", "bob", {"title": "Other"}, ["bridge"])
+        assert app.photos_by_tag("bridge") == ["p1", "p2"]
+        assert app.photos_by_tag("sf") == ["p1"]
+        assert app.photos_by_tag("nothing") == []
+
+    def test_phrase_index_round_trip(self, app):
+        app.review_photo("p1", "bob", "truly great composition", 5)
+        assert app.photos_matching_phrase("great composition") == ["p1"]
+        assert app.photos_matching_phrase("bad phrase") == []
+
+    def test_average_rating(self, app):
+        assert app.average_rating("p1") is None
+        app.review_photo("p1", "bob", "good", 4)
+        app.review_photo("p1", "ada", "great", 5)
+        assert app.average_rating("p1") == 4.5
+
+    def test_delete_photo_cascades(self, app):
+        app.review_photo("p1", "bob", "truly great composition", 5)
+        app.delete_photo("p1")
+        assert app.photos_by_tag("bridge") == []
+        assert app.reviews_of("p1") == []
+        assert app.photos_matching_phrase("great composition") == []
+
+    def test_groups(self, app):
+        app.join_group("landscape", "ada")
+        app.join_group("landscape", "bob")
+        assert app.group_members("landscape") == ["ada", "bob"]
+
+    def test_app_survives_kernel_crash(self, app):
+        app.review_photo("p1", "bob", "solid work here", 4)
+        app.kernel.crash_all()
+        app.kernel.recover_all()
+        assert app.average_rating("p1") == 4.0
+        assert app.photos_matching_phrase("solid work") == ["p1"]

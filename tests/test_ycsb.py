@@ -1,0 +1,104 @@
+"""YCSB workload presets over both engines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig
+from repro.common.errors import ReproError
+from repro.kernel.monolithic import MonolithicEngine
+from repro.workloads.generator import KeyDistribution
+from repro.workloads.ycsb import PRESETS, YcsbConfig, YcsbWorkload
+
+
+def unbundled_engine():
+    kernel = UnbundledKernel(KernelConfig(dc=DcConfig(page_size=1024)))
+    kernel.create_table("usertable")
+    return kernel
+
+
+class TestPresets:
+    def test_fractions_sum_to_one(self):
+        for preset, mix in PRESETS.items():
+            assert abs(sum(mix) - 1.0) < 1e-9, preset
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError):
+            YcsbWorkload(lambda: None, config=YcsbConfig(preset="Z"))
+
+    @pytest.mark.parametrize("preset", sorted(PRESETS))
+    def test_every_preset_runs_on_unbundled(self, preset):
+        kernel = unbundled_engine()
+        workload = YcsbWorkload(
+            kernel.begin,
+            config=YcsbConfig(preset=preset, keyspace=100, seed=3),
+        )
+        workload.load()
+        stats = workload.run(80)
+        assert stats.committed > 0
+        assert stats.committed + stats.aborted == 80
+
+    def test_preset_a_runs_on_monolithic(self):
+        engine = MonolithicEngine(DcConfig(page_size=1024))
+        engine.create_table("usertable")
+        workload = YcsbWorkload(
+            engine.begin, config=YcsbConfig(preset="A", keyspace=100)
+        )
+        workload.load()
+        stats = workload.run(80)
+        assert stats.committed > 0
+
+    def test_preset_f_rmw_conserves_counter_semantics(self):
+        """Preset F is pure read/increment: the sum of all values equals
+        the load-time sum plus exactly the committed increments."""
+        kernel = unbundled_engine()
+        workload = YcsbWorkload(
+            kernel.begin,
+            config=YcsbConfig(
+                preset="F", keyspace=50, distribution=KeyDistribution.UNIFORM
+            ),
+        )
+        workload.load()
+        base_sum = sum(key * 10 for key in range(50))
+        stats = workload.run(200)
+        with kernel.begin() as txn:
+            total = sum(value for _key, value in txn.scan("usertable"))
+        increments = total - base_sum
+        assert 0 <= increments <= 200
+        assert stats.aborted == 0
+
+    def test_preset_d_inserts_extend_keyspace(self):
+        kernel = unbundled_engine()
+        workload = YcsbWorkload(
+            kernel.begin, config=YcsbConfig(preset="D", keyspace=50, seed=8)
+        )
+        workload.load()
+        workload.run(200)
+        with kernel.begin() as txn:
+            assert len(txn.scan("usertable")) > 50
+
+    def test_deterministic_given_seed(self):
+        def run_once():
+            kernel = unbundled_engine()
+            workload = YcsbWorkload(
+                kernel.begin, config=YcsbConfig(preset="A", keyspace=50, seed=42)
+            )
+            workload.load()
+            workload.run(100)
+            with kernel.begin() as txn:
+                return tuple(txn.scan("usertable"))
+
+        assert run_once() == run_once()
+
+    def test_survives_crash_mid_benchmark(self):
+        kernel = unbundled_engine()
+        workload = YcsbWorkload(
+            kernel.begin, config=YcsbConfig(preset="A", keyspace=50)
+        )
+        workload.load()
+        workload.run(50)
+        kernel.crash_all()
+        kernel.recover_all()
+        stats = workload.run(50)
+        assert stats.committed > 0

@@ -1,0 +1,81 @@
+"""Rollbacks interrupted by a DC outage must complete on DC recovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import DcConfig, TcConfig
+from repro.common.errors import TransactionAborted
+from repro.tc.transactional_component import TransactionState
+from tests.conftest import populate
+
+
+def kernel_with_short_timeout():
+    kernel = UnbundledKernel(
+        KernelConfig(dc=DcConfig(page_size=512), tc=TcConfig(lock_timeout=0.05))
+    )
+    kernel.create_table("t")
+    return kernel
+
+
+class TestZombieRollbacks:
+    def test_deadlock_abort_during_dc_outage_is_completed_later(self):
+        """A lock-timeout abort while the DC is down cannot deliver its
+        inverse operations; the compensation must run at DC recovery so no
+        phantom uncommitted data survives."""
+        kernel = kernel_with_short_timeout()
+        populate(kernel, 10)
+        victim = kernel.begin()
+        victim.update("t", 1, "uncommitted")
+        # the DC goes down while the victim holds its X lock
+        kernel.crash_dc()
+        # another transaction's lock attempt times out; the guard force-
+        # aborts IT cleanly (it has no DC work), while the victim's later
+        # forced abort cannot reach the DC:
+        kernel.tc._force_abort(victim)
+        assert victim.state is TransactionState.ABORTED
+        assert kernel.metrics.get("tc.zombie_rollbacks") == 1
+        # DC recovers: redo repeats history (incl. the victim's update if
+        # it was stable), then the zombie compensation reverses it
+        kernel.recover_dc()
+        assert kernel.metrics.get("tc.zombie_rollbacks_completed") == 1
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "value-00001"
+
+    def test_zombie_with_unforced_ops_also_clean(self):
+        """Even if the zombie's forward ops never reached the stable log,
+        recovery + retried compensation must converge to the pre-txn state."""
+        kernel = kernel_with_short_timeout()
+        populate(kernel, 5)
+        victim = kernel.begin()
+        victim.insert("t", 99, "phantom?")
+        kernel.crash_dc()
+        kernel.tc._force_abort(victim)
+        kernel.recover_dc()
+        with kernel.begin() as check:
+            assert check.read("t", 99) is None
+
+    def test_tc_crash_clears_zombies_and_restart_undoes_from_log(self):
+        kernel = kernel_with_short_timeout()
+        populate(kernel, 5)
+        victim = kernel.begin()
+        victim.update("t", 2, "dirty")
+        kernel.tc.force_log()
+        kernel.crash_dc()
+        kernel.tc._force_abort(victim)
+        assert kernel.metrics.get("tc.zombie_rollbacks") == 1
+        # now the TC crashes too before the DC comes back
+        kernel.crash_tc()
+        kernel.recover_dc()
+        kernel.recover_tc()  # loser undo from the stable log
+        with kernel.begin() as check:
+            assert check.read("t", 2) == "value-00002"
+
+    def test_no_zombies_in_normal_operation(self):
+        kernel = kernel_with_short_timeout()
+        populate(kernel, 5)
+        txn = kernel.begin()
+        txn.update("t", 1, "x")
+        txn.abort()
+        assert kernel.metrics.get("tc.zombie_rollbacks") == 0
