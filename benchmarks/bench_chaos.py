@@ -1,0 +1,104 @@
+"""E-CHAOS — fault-tolerance cost under deterministic chaos.
+
+Not a throughput figure: this experiment measures what the robustness
+machinery *does* under injected failures, and proves it keeps the paper's
+contracts while doing it.  Series regenerated:
+
+- chaos torture at increasing fault density (rules per horizon): commits
+  vs aborts vs indeterminate-resolved outcomes, heal rounds, supervisor
+  restarts, resend/redo volume — all with zero invariant violations;
+- the fault-free control run through the same harness, so the injected
+  runs have a baseline;
+- a seed sweep at fixed density showing outcome counts are stable in
+  aggregate while every individual run stays a pure function of its seed.
+
+Each parametrised run drops ``benchmarks/results/BENCH_chaos_*.json``
+with the chaos report plus the full metrics snapshot behind it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import series, write_results
+from repro.sim.chaos import ChaosRunner
+
+#: (label, rules, seed) — density ladder: how many random fault rules are
+#: scattered over the run's horizon.  rules=0 is the fault-free control.
+DENSITIES = [
+    ("control", 0, 11),
+    ("light", 4, 11),
+    ("default", 8, 11),
+    ("heavy", 14, 11),
+]
+
+
+@pytest.mark.benchmark(group="echaos-density")
+@pytest.mark.parametrize("label,rules,seed", DENSITIES)
+def test_echaos_fault_density(benchmark, label, rules, seed):
+    state = {}
+
+    def torture():
+        runner = ChaosRunner(seed=seed, txns=150, rules=rules, horizon=800)
+        state["runner"] = runner
+        state["report"] = runner.run()
+        return state["report"]
+
+    benchmark.pedantic(torture, rounds=1, iterations=1)
+    runner, report = state["runner"], state["report"]
+    counters = runner.metrics.counters()
+    resolved = report["resolved_committed"] + report["resolved_aborted"]
+    row = {
+        "density": label,
+        "rules": rules,
+        "faults_fired": report["faults_fired"],
+        "committed": report["committed"],
+        "aborted": report["aborted"],
+        "resolved": resolved,
+        "heals": report["heals"],
+        "dc_restarts": counters.get("supervisor.dc_restarts", 0),
+        "tc_restarts": counters.get("supervisor.tc_restarts", 0),
+        "zombies_cleared": counters.get("supervisor.zombies_cleared", 0),
+        "redo_ops": counters.get("tc.redo_ops", 0),
+        "resends": counters.get("tc.resends", 0),
+        "invariant_checks": report["invariant_checks"],
+    }
+    benchmark.extra_info.update(row)
+    series("E-CHAOS density", **row)
+    write_results(f"chaos_{label}", {**row, "report": report}, runner.metrics)
+    # The run only returns at all if every invariant held after every heal.
+    assert report["committed"] + report["aborted"] + resolved == report["txns"]
+    if rules == 0:
+        assert report["faults_fired"] == 0 and report["heals"] == 0
+
+
+@pytest.mark.benchmark(group="echaos-seed-sweep")
+def test_echaos_seed_sweep(benchmark):
+    """Aggregate outcomes over a seed sweep at default density."""
+    seeds = list(range(20, 28))
+    state = {}
+
+    def sweep():
+        reports = [ChaosRunner(seed=seed, txns=80).run() for seed in seeds]
+        state["reports"] = reports
+        return reports
+
+    benchmark.pedantic(sweep, rounds=1, iterations=1)
+    reports = state["reports"]
+    row = {
+        "seeds": len(seeds),
+        "committed": sum(r["committed"] for r in reports),
+        "aborted": sum(r["aborted"] for r in reports),
+        "resolved": sum(
+            r["resolved_committed"] + r["resolved_aborted"] for r in reports
+        ),
+        "faults_fired": sum(r["faults_fired"] for r in reports),
+        "heals": sum(r["heals"] for r in reports),
+        "fault_points": sorted(
+            {point for r in reports for point in r["fault_points_hit"]}
+        ),
+    }
+    benchmark.extra_info.update(row)
+    series("E-CHAOS sweep", **row)
+    write_results("chaos_sweep", row)
+    assert row["committed"] + row["aborted"] + row["resolved"] == 80 * len(seeds)

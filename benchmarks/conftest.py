@@ -9,9 +9,15 @@ paper-style writeup in EXPERIMENTS.md quotes.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+
 from repro import KernelConfig, UnbundledKernel
 from repro.common.config import ChannelConfig, DcConfig, TcConfig
 from repro.kernel.monolithic import MonolithicEngine
+
+#: Where ``write_results`` drops its files (gitignored run artifacts).
+RESULTS_DIR = Path(__file__).parent / "results"
 
 
 def fresh_unbundled(
@@ -47,3 +53,20 @@ def load_keys(engine, count: int, table: str = "t", width: int = 24) -> None:
 def series(label: str, **fields: object) -> None:
     parts = "  ".join(f"{name}={value}" for name, value in fields.items())
     print(f"\n[{label}] {parts}")
+
+
+def write_results(name: str, payload: dict, metrics=None) -> Path:
+    """Persist one benchmark's machine-readable results.
+
+    Writes ``benchmarks/results/BENCH_<name>.json``; when a
+    :class:`~repro.sim.metrics.Metrics` object is passed its
+    ``snapshot()`` rides along under a ``"metrics"`` key, so a result
+    file carries both the headline series and the raw counters behind it.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    document = dict(payload)
+    if metrics is not None:
+        document["metrics"] = metrics.snapshot()
+    path = RESULTS_DIR / f"BENCH_{name}.json"
+    path.write_text(json.dumps(document, indent=2, sort_keys=True, default=str))
+    return path

@@ -19,7 +19,7 @@ aggregate instrumentation.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.cloud.partitioning import HashPartitionMap, OwnershipRegistry, PartitionedTable
 from repro.common.config import ChannelConfig, DcConfig, TcConfig
@@ -28,6 +28,9 @@ from repro.common.records import Key
 from repro.dc.data_component import DataComponent
 from repro.sim.metrics import Metrics
 from repro.tc.transactional_component import TransactionalComponent
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.sim.faults import FaultInjector
 
 
 class CloudDeployment:
@@ -38,10 +41,12 @@ class CloudDeployment:
         metrics: Optional[Metrics] = None,
         dc_config: Optional[DcConfig] = None,
         tc_config: Optional[TcConfig] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.metrics = metrics or Metrics()
         self._dc_config = dc_config
         self._tc_config = tc_config
+        self.faults = faults
         self.dcs: dict[str, DataComponent] = {}
         self.tcs: dict[str, TransactionalComponent] = {}
         self._tc_read_only: dict[str, bool] = {}
@@ -62,7 +67,12 @@ class CloudDeployment:
     ) -> DataComponent:
         if name in self.dcs:
             raise ReproError(f"DC {name!r} already declared")
-        dc = DataComponent(name, config=config or self._dc_config, metrics=self.metrics)
+        dc = DataComponent(
+            name,
+            config=config or self._dc_config,
+            metrics=self.metrics,
+            faults=self.faults,
+        )
         self.dcs[name] = dc
         self._channel_configs[name] = ChannelConfig(latency_ms=latency_ms, seed=seed)
         return dc
@@ -73,7 +83,7 @@ class CloudDeployment:
         if name in self.tcs:
             raise ReproError(f"TC {name!r} already declared")
         tc = TransactionalComponent(
-            config=config or self._tc_config, metrics=self.metrics
+            config=config or self._tc_config, metrics=self.metrics, faults=self.faults
         )
         self.tcs[name] = tc
         self._tc_read_only[name] = read_only

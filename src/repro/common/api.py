@@ -72,6 +72,15 @@ class OperationReply(Message):
 
 
 @dataclass(frozen=True)
+class ControlAck(Message):
+    """Acknowledges a control message that carries no other reply.
+
+    Control messages that change contract state (``RestartBegin``,
+    ``EndOfStableLog``) must be *delivered*, not merely sent: over a lossy
+    channel the sender resends until this ack arrives."""
+
+
+@dataclass(frozen=True)
 class EndOfStableLog(Message):
     """``end_of_stable_log(EOSL)``: causality/WAL enforcement point."""
 

@@ -86,6 +86,45 @@ class TcConfig:
     lwm_interval: int = 8
     #: Operations re-sent after this many ticks without a reply.
     resend_timeout: float = 0.5
+    #: Base simulated backoff between resend attempts (doubles per retry).
+    resend_backoff_ms: float = 0.1
+    #: Ceiling for the exponential backoff.
+    resend_backoff_max_ms: float = 25.0
+    #: Total simulated backoff one operation may accumulate before the TC
+    #: gives up with ResendExhaustedError (the per-operation timeout budget).
+    op_timeout_budget_ms: float = 5_000.0
+
+    def retry_policy(self) -> "RetryPolicy":
+        return RetryPolicy(
+            max_attempts=self.max_resend_attempts,
+            base_backoff_ms=self.resend_backoff_ms,
+            max_backoff_ms=self.resend_backoff_max_ms,
+            timeout_budget_ms=self.op_timeout_budget_ms,
+        )
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Unified resend policy: exponential backoff under a total budget.
+
+    Backoff is *simulated* (charged to channel/metrics time, never slept)
+    so retry storms are visible in experiments without slowing tests.  An
+    operation is abandoned when either bound trips: attempts or budget.
+    """
+
+    max_attempts: int = 1000
+    base_backoff_ms: float = 0.1
+    max_backoff_ms: float = 25.0
+    timeout_budget_ms: float = 5_000.0
+
+    def backoff_ms(self, attempt: int) -> float:
+        """Deterministic exponential backoff for the given attempt (1-based)."""
+        if attempt <= 0:
+            return 0.0
+        return min(self.base_backoff_ms * (2.0 ** (attempt - 1)), self.max_backoff_ms)
+
+    def exhausted(self, attempts: int, waited_ms: float) -> bool:
+        return attempts >= self.max_attempts or waited_ms >= self.timeout_budget_ms
 
 
 @dataclass

@@ -52,6 +52,50 @@ class CrashedError(ReproError):
         self.component = component
 
 
+class ComponentUnavailableError(CrashedError):
+    """An operation was addressed to a component that is known to be down.
+
+    Raised instead of retrying into a dead component so callers fail fast
+    within their timeout budget; the supervisor heals the component and the
+    caller may then retry.  Subclasses :class:`CrashedError` so existing
+    ``except CrashedError`` handlers keep working.
+    """
+
+    def __init__(self, component: str, attempts: int = 0, waited_ms: float = 0.0) -> None:
+        CrashedError.__init__(self, component)
+        self.attempts = attempts
+        self.waited_ms = waited_ms
+
+
+class ResendExhaustedError(ReproError):
+    """An operation's resend policy ran out of attempts or timeout budget.
+
+    The component was not known to be crashed — the channel simply never
+    delivered an acknowledgement (sustained loss or a partition).
+    """
+
+    def __init__(
+        self, op_id: object, component: str, attempts: int, waited_ms: float = 0.0
+    ) -> None:
+        super().__init__(
+            f"operation {op_id} to {component} unacknowledged after "
+            f"{attempts} attempts ({waited_ms:.1f}ms of backoff)"
+        )
+        self.op_id = op_id
+        self.component = component
+        self.attempts = attempts
+        self.waited_ms = waited_ms
+
+
+class InjectedFault(ReproError):
+    """A fault deliberately raised by the fault-injection engine."""
+
+    def __init__(self, point: str, note: str = "") -> None:
+        super().__init__(f"injected fault at {point}" + (f": {note}" if note else ""))
+        self.point = point
+        self.note = note
+
+
 class OwnershipError(ReproError):
     """A TC tried to update data outside its ownership partition.
 

@@ -23,11 +23,15 @@ from __future__ import annotations
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Optional, Union
+from typing import TYPE_CHECKING, Callable, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.sim.faults import FaultInjector
 
 from repro.common.api import (
     CheckpointReply,
     CheckpointRequest,
+    ControlAck,
     EndOfStableLog,
     LowWaterMark,
     Message,
@@ -88,12 +92,22 @@ class DataComponent:
         config: Optional[DcConfig] = None,
         metrics: Optional[Metrics] = None,
         storage: Optional[StableStorage] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.name = name
         self.config = config or DcConfig()
         self.metrics = metrics or Metrics()
         self.storage = storage or StableStorage(self.metrics)
+        self.faults = faults
+        if faults is not None:
+            faults.register_component(self.name, "dc", self.crash)
+            self.storage.bind_faults(faults, self.name)
         self.dclog = DcLog(self.storage, self.metrics)
+        if faults is not None:
+            self.dclog.faults = faults
+            self.dclog.owner = self.name
+        #: Crash listeners installed by the supervisor: fn(name, kind).
+        self.on_crash: list[Callable[[str, str], None]] = []
         self.recovery = DcRecoveryManager(self.storage, self.metrics)
         self.buffer = BufferPool(
             self.storage, self.config, self.metrics, loader=self.recovery.load_page
@@ -272,7 +286,7 @@ class DataComponent:
             )
         if isinstance(message, EndOfStableLog):
             self.end_of_stable_log(message.tc_id, message.eosl)
-            return None
+            return ControlAck(tc_id=message.tc_id)
         if isinstance(message, LowWaterMark):
             self.low_water_mark(message.tc_id, message.lwm)
             return None
@@ -283,7 +297,7 @@ class DataComponent:
             self.begin_restart(
                 message.tc_id, message.stable_lsn, ResetMode(message.reset_mode)
             )
-            return None
+            return ControlAck(tc_id=message.tc_id)
         if isinstance(message, WatermarkRequest):
             return WatermarkReply(
                 tc_id=message.tc_id,
@@ -311,6 +325,10 @@ class DataComponent:
                 if op.MUTATES:
                     return self._apply_mutation(handle, tc_id, op_id, op)
                 return self._execute_read(handle, tc_id, op)
+            except CrashedError:
+                # an injected fault crashed a component mid-operation; the
+                # channel surfaces it as a lost message, never as a result
+                raise
             except PageOverflowError as exc:
                 return OpResult.error(str(exc))
             except ReproError as exc:
@@ -680,6 +698,8 @@ class DataComponent:
         self.buffer.crash()
         self._tables.clear()
         self.metrics.incr("dc.crashes")
+        for listener in list(self.on_crash):
+            listener(self.name, "dc")
 
     def recover(self, notify_tcs: bool = True) -> dict[str, object]:
         """DC restart: rebuild catalog + well-formed structures (Section 5.2.2).
@@ -689,6 +709,10 @@ class DataComponent:
         the well-formedness contract.  Optionally prompts registered TCs to
         begin their redo ("an out-of-band prompt is passed to TC").
         """
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.DC_RESTART, self.name)
         with self._admin_lock:
             self.buffer.crash()
             catalog = self.recovery.recover_catalog()
@@ -732,9 +756,16 @@ class DataComponent:
             self._crashed = False
             self.metrics.incr("dc.recoveries")
         if notify_tcs:
-            for prompt in list(self._restart_prompt.values()):
-                prompt(self)
+            self.prompt_redo()
         return {"tables": len(self._tables)}
+
+    def prompt_redo(self) -> None:
+        """Out-of-band prompt to every registered TC: this DC restarted and
+        lost its cache, begin redo from the redo scan start point.  Safe to
+        repeat — a duplicate prompt's redo stream is absorbed by abLSNs —
+        so a supervisor can retry it until it completes."""
+        for prompt in list(self._restart_prompt.values()):
+            prompt(self)
 
     def _recover_version_clock(self) -> None:
         """Resume the commit-sequence clock above every stamped version so

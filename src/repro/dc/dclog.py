@@ -124,6 +124,11 @@ class DcLog:
         self._dlsns = LsnGenerator()
         self._lock = threading.Lock()
         self.metrics = metrics or Metrics()
+        #: Installed by the owning DC so system-transaction commits are a
+        #: fault hook point (crash "between the split halves": the staged
+        #: records exist in memory but nothing is stable yet).
+        self.faults = None
+        self.owner = ""
 
     def next_dlsn(self) -> Lsn:
         return self._dlsns.next()
@@ -137,6 +142,10 @@ class DcLog:
 
     def commit(self, kind: str, records: list[DcLogRecord]) -> None:
         """Force the system transaction's records to the stable DC log."""
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.DC_SYSTXN, self.owner)
         with self._lock:
             batch: list[DcLogRecord] = list(records)
             batch.append(SysTxnCommitRecord(dlsn=self.next_dlsn(), kind=kind))

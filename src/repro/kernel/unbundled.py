@@ -10,13 +10,16 @@ partitioning.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.config import KernelConfig
 from repro.dc.data_component import DataComponent
 from repro.sim.metrics import Metrics
 from repro.storage.buffer import ResetMode
 from repro.tc.transactional_component import Transaction, TransactionalComponent
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.sim.faults import FaultInjector
 
 
 class UnbundledKernel:
@@ -27,16 +30,20 @@ class UnbundledKernel:
         config: Optional[KernelConfig] = None,
         metrics: Optional[Metrics] = None,
         dc_count: int = 1,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.config = config or KernelConfig()
         self.metrics = metrics or Metrics()
+        self.faults = faults
         self.dcs: dict[str, DataComponent] = {}
         self.tc = TransactionalComponent(
-            config=self.config.tc, metrics=self.metrics
+            config=self.config.tc, metrics=self.metrics, faults=faults
         )
         for index in range(dc_count):
             name = f"dc{index + 1}" if dc_count > 1 else "dc"
-            dc = DataComponent(name, config=self.config.dc, metrics=self.metrics)
+            dc = DataComponent(
+                name, config=self.config.dc, metrics=self.metrics, faults=faults
+            )
             self.dcs[name] = dc
             self.tc.attach_dc(dc, self.config.channel)
 

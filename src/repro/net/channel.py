@@ -20,13 +20,16 @@ cloud experiments can charge round trips without real sleeping.
 from __future__ import annotations
 
 import random
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.api import Message, OperationReply, PerformOperation
 from repro.common.config import ChannelConfig
 from repro.common.errors import CrashedError
 from repro.dc.data_component import DataComponent
 from repro.sim.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.sim.faults import FaultInjector
 
 
 class MessageChannel:
@@ -38,11 +41,13 @@ class MessageChannel:
         config: Optional[ChannelConfig] = None,
         metrics: Optional[Metrics] = None,
         name: str = "",
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.dc = dc
         self.config = config or ChannelConfig()
         self.metrics = metrics or Metrics()
         self.name = name or f"chan->{dc.name}"
+        self.faults = faults
         self._rng = random.Random(self.config.seed)
         self._outbox: list[Message] = []
         self.sim_time_ms = 0.0
@@ -76,6 +81,9 @@ class MessageChannel:
         if isinstance(message, PerformOperation):
             self.ops_sent += 1
         self._charge_latency()
+        if self._fault_lost("send"):
+            self.metrics.incr("channel.requests_lost")
+            return None
         if self._drop():
             self.metrics.incr("channel.requests_lost")
             return None
@@ -86,6 +94,7 @@ class MessageChannel:
             return None
         if self._duplicate():
             self.metrics.incr("channel.requests_duplicated")
+            self._charge_latency()  # the duplicate is its own trip on the wire
             try:
                 self.dc.handle(message)  # idempotence absorbs the duplicate
             except CrashedError:
@@ -93,6 +102,9 @@ class MessageChannel:
         if reply is None:
             return None
         self._charge_latency()
+        if self._fault_lost("recv"):
+            self.metrics.incr("channel.replies_lost")
+            return None
         if self._drop():
             self.metrics.incr("channel.replies_lost")
             return None
@@ -122,7 +134,15 @@ class MessageChannel:
         replies: list[Message] = []
         for index in order:
             reply = self.request(batch[index])
-            if reply is not None:
+            if reply is None:
+                continue
+            replies.append(reply)
+            if self._duplicate():
+                # The reply leg misbehaves independently of the request leg:
+                # a duplicated reply arrives twice (its own trip on the wire)
+                # and the TC's reply handling must absorb it.
+                self.metrics.incr("channel.replies_duplicated")
+                self._charge_latency()
                 replies.append(reply)
         if order != sorted(order):
             self.metrics.incr("channel.batches_reordered")
@@ -141,6 +161,32 @@ class MessageChannel:
         return result
 
     # -- misbehavior ------------------------------------------------------------------
+
+    def _fault_lost(self, leg: str) -> bool:
+        """Consult the fault injector for one wire leg; True = message lost.
+
+        A ``delay`` outcome charges the spike to simulated time and lets the
+        message through; ``drop``/``partition`` lose it; a ``crash`` rule
+        fail-stops the target component mid-flight, which also loses the
+        message (the caller's resend logic then observes the crash).
+        """
+        if self.faults is None:
+            return False
+        from repro.sim.faults import FaultAction, FaultPoint
+
+        point = FaultPoint.CHANNEL_SEND if leg == "send" else FaultPoint.CHANNEL_RECV
+        try:
+            outcome = self.faults.hit(point, self.dc.name)
+        except CrashedError:
+            self.metrics.incr("channel.requests_to_crashed_dc")
+            return True
+        if outcome is None:
+            return False
+        if outcome.action == FaultAction.DELAY:
+            self.sim_time_ms += outcome.delay_ms
+            self.metrics.observe("channel.fault_delay_ms", outcome.delay_ms)
+            return False
+        return True
 
     def _drop(self) -> bool:
         return self.config.loss_rate > 0 and self._rng.random() < self.config.loss_rate

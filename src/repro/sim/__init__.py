@@ -1,5 +1,32 @@
-"""Simulation support: metrics collection and crash/failure injection."""
+"""Simulation support: metrics, fault injection, supervision, chaos."""
 
+from repro.sim.faults import FaultAction, FaultInjector, FaultPoint, FaultRule
 from repro.sim.metrics import Metrics
+from repro.sim.supervisor import CrashNotice, HealReport, Supervisor, SupervisorGaveUp
 
-__all__ = ["Metrics"]
+__all__ = [
+    "ChaosRunner",
+    "ChaosViolation",
+    "CrashNotice",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPoint",
+    "FaultRule",
+    "HealReport",
+    "HistoryRecorder",
+    "Metrics",
+    "Supervisor",
+    "SupervisorGaveUp",
+]
+
+#: chaos drives a whole kernel, whose modules import this package for
+#: metrics/faults — resolve those names lazily to keep the cycle open.
+_CHAOS_EXPORTS = {"ChaosRunner", "ChaosViolation", "HistoryRecorder"}
+
+
+def __getattr__(name: str):
+    if name in _CHAOS_EXPORTS:
+        from repro.sim import chaos
+
+        return getattr(chaos, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,379 @@
+"""Invariant-checking chaos runner: torture the kernel, prove it honest.
+
+The runner drives a seeded transaction workload against an
+:class:`~repro.kernel.unbundled.UnbundledKernel` wired through a
+:class:`~repro.sim.faults.FaultInjector`, lets the
+:class:`~repro.sim.supervisor.Supervisor` heal every failure, and checks
+after each heal (and at the end) that the survivors tell a consistent
+story:
+
+- **durability** — every acknowledged commit is visible in full;
+- **atomicity** — no partial transaction is ever visible: a transaction's
+  effects are all there or all absent;
+- **well-formedness** — every B-tree validates after every heal.
+
+Transactions whose ``commit()`` call *raised* are **indeterminate**: the
+commit record may or may not have become stable before the crash.  The
+runner never touches such a handle again (its log state is unknowable from
+outside); instead, after the heal it reads the touched keys back and
+classifies the transaction — all post-images visible means it committed,
+all pre-images means it aborted, anything else is an atomicity violation.
+
+Every assertion message ends with the injector's ``(seed, schedule)``
+recipe, so a failing run is reproducible with::
+
+    ChaosRunner(seed=<seed>).run()          # random mode
+    ChaosRunner(schedule=[...]).run()       # scripted mode
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.common.config import KernelConfig, TcConfig
+from repro.common.errors import (
+    ComponentUnavailableError,
+    ReproError,
+    SnapshotTooOldError,
+    TransactionAborted,
+)
+from repro.common.ops import ReadFlavor
+from repro.kernel.unbundled import UnbundledKernel
+from repro.sim.faults import FaultInjector, FaultRule
+from repro.sim.metrics import Metrics
+from repro.sim.supervisor import Supervisor, SupervisorGaveUp
+
+
+@dataclass
+class _TxnEffects:
+    """Intended effects of one transaction: (table, key) -> (pre, post).
+
+    ``pre`` is the model value when the transaction first touched the key
+    (None = absent), ``post`` the value it meant to leave behind.  Values
+    are unique per transaction, so pre/post images discriminate outcomes.
+    """
+
+    txn_no: int
+    writes: dict[tuple[str, object], tuple[object, object]] = field(
+        default_factory=dict
+    )
+
+    def record(self, table: str, key: object, pre: object, post: object) -> None:
+        slot = self.writes.get((table, key))
+        if slot is None:
+            self.writes[(table, key)] = (pre, post)
+        else:
+            self.writes[(table, key)] = (slot[0], post)
+
+
+class HistoryRecorder:
+    """The committed model: what a perfect kernel would contain."""
+
+    def __init__(self) -> None:
+        self.model: dict[tuple[str, object], object] = {}
+        self.committed = 0
+        self.aborted = 0
+        self.resolved_committed = 0
+        self.resolved_aborted = 0
+
+    def value(self, table: str, key: object) -> Optional[object]:
+        return self.model.get((table, key))
+
+    def apply(self, effects: _TxnEffects) -> None:
+        for (table, key), (_pre, post) in effects.writes.items():
+            if post is None:
+                self.model.pop((table, key), None)
+            else:
+                self.model[(table, key)] = post
+
+    def table_items(self, table: str) -> dict[object, object]:
+        return {
+            key: value
+            for (tbl, key), value in self.model.items()
+            if tbl == table
+        }
+
+
+class ChaosViolation(AssertionError):
+    """An invariant failed; the message carries the reproduction recipe."""
+
+
+class ChaosRunner:
+    """Seeded chaos: random (or scripted) faults under a random workload.
+
+    ``schedule=None`` generates ``rules`` random fault rules from ``seed``
+    once the kernel's component names are known; a scripted ``schedule``
+    is executed as given.  The *workload* is always derived from ``seed``,
+    so either way the whole run is a pure function of its arguments.
+    """
+
+    TABLES = ("t", "v")  # "t" plain B-tree, "v" versioned
+
+    def __init__(
+        self,
+        seed: int = 0,
+        schedule: Optional[Sequence[FaultRule]] = None,
+        txns: int = 250,
+        rules: int = 8,
+        horizon: int = 600,
+        dc_count: int = 2,
+        keyspace: int = 48,
+        deferred_rate: float = 0.25,
+        checkpoint_every: int = 41,
+        snapshot_every: int = 29,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        self.seed = seed
+        self.txns = txns
+        self.keyspace = keyspace
+        self.deferred_rate = deferred_rate
+        self.checkpoint_every = checkpoint_every
+        self.snapshot_every = snapshot_every
+        self.metrics = metrics or Metrics()
+        self.injector = FaultInjector(seed=seed, metrics=self.metrics)
+        # Force every commit: the durability invariant checks *acknowledged*
+        # commits, and an acknowledgement only means durable when the log
+        # was forced through the commit record.
+        config = KernelConfig(tc=TcConfig(group_commit_size=1))
+        self.kernel = UnbundledKernel(
+            config=config,
+            metrics=self.metrics,
+            dc_count=dc_count,
+            faults=self.injector,
+        )
+        dc_names = list(self.kernel.dcs)
+        self.kernel.create_table("t", kind="btree", dc_name=dc_names[0])
+        self.kernel.create_table(
+            "v", kind="btree", versioned=True, dc_name=dc_names[-1]
+        )
+        if schedule is None:
+            schedule = FaultInjector.random_rules(
+                seed,
+                dc_names=self.injector.component_names("dc"),
+                tc_names=self.injector.component_names("tc"),
+                rules=rules,
+                horizon=horizon,
+            )
+        self.injector.load_schedule(schedule)
+        self.supervisor = Supervisor(self.injector, self.metrics)
+        self.supervisor.watch_kernel(self.kernel)
+        self.history = HistoryRecorder()
+        self._indeterminate: list[_TxnEffects] = []
+        self.heals = 0
+        self.checks = 0
+
+    # -- the run -----------------------------------------------------------
+
+    def run(self) -> dict[str, object]:
+        rng = random.Random(self.seed ^ 0xC0FFEE)
+        tc = self.kernel.tc
+        for txn_no in range(self.txns):
+            if self.checkpoint_every and txn_no % self.checkpoint_every == 7:
+                self._probe(tc.checkpoint)
+            if self.snapshot_every and txn_no % self.snapshot_every == 11:
+                self._snapshot_probe(rng)
+            self._run_txn(rng, txn_no)
+        self._heal_and_check()
+        return self.report()
+
+    def report(self) -> dict[str, object]:
+        return {
+            "seed": self.seed,
+            "txns": self.txns,
+            "committed": self.history.committed,
+            "aborted": self.history.aborted,
+            "resolved_committed": self.history.resolved_committed,
+            "resolved_aborted": self.history.resolved_aborted,
+            "heals": self.heals,
+            "invariant_checks": self.checks,
+            "faults_fired": len(self.injector.fired),
+            "fault_points_hit": sorted(
+                {entry.split("[", 1)[0] for entry in self.injector.fired}
+            ),
+            "recipe": self.injector.describe(),
+        }
+
+    # -- one transaction ---------------------------------------------------
+
+    def _run_txn(self, rng: random.Random, txn_no: int) -> None:
+        effects = _TxnEffects(txn_no)
+        stage = "begin"
+        txn = None
+        try:
+            txn = self.kernel.begin()
+            stage = "ops"
+            for op_no in range(rng.randint(1, 4)):
+                self._one_op(rng, txn, effects, txn_no, op_no)
+            stage = "commit"
+            txn.commit()
+        except TransactionAborted:
+            # Determinate: rolled back (deadlock-free here, so this is the
+            # commit-time "DC unavailable" conversion or a forced abort).
+            self.history.aborted += 1
+            self._heal_and_check()
+        except ReproError:
+            if stage == "commit":
+                # Indeterminate: never touch this handle again.
+                self._indeterminate.append(effects)
+            else:
+                if txn is not None:
+                    self._abandon(txn)
+                self.history.aborted += 1
+            self._heal_and_check()
+        else:
+            self.history.apply(effects)
+            self.history.committed += 1
+
+    def _one_op(
+        self,
+        rng: random.Random,
+        txn,
+        effects: _TxnEffects,
+        txn_no: int,
+        op_no: int,
+    ) -> None:
+        table = rng.choice(self.TABLES)
+        key = rng.randrange(self.keyspace)
+        pre = self._pending_value(effects, table, key)
+        value = f"s{self.seed}.t{txn_no}.o{op_no}"
+        deferred = rng.random() < self.deferred_rate
+        if pre is None:
+            txn.insert(table, key, value, deferred=deferred)
+            effects.record(table, key, pre, value)
+        elif rng.random() < 0.25:
+            txn.delete(table, key, deferred=deferred)
+            effects.record(table, key, pre, None)
+        else:
+            txn.update(table, key, value, deferred=deferred)
+            effects.record(table, key, pre, value)
+
+    def _pending_value(
+        self, effects: _TxnEffects, table: str, key: object
+    ) -> Optional[object]:
+        slot = effects.writes.get((table, key))
+        if slot is not None:
+            return slot[1]
+        return self.history.value(table, key)
+
+    def _abandon(self, txn) -> None:
+        """Roll back a transaction that failed mid-operation; tolerate the
+        abort itself failing (the supervisor finishes it as a zombie)."""
+        try:
+            txn.abort()
+        except ReproError:
+            pass
+
+    def _probe(self, call) -> None:
+        """Run an auxiliary call (checkpoint); heal if it takes a crash."""
+        try:
+            call()
+        except ReproError:
+            self._heal_and_check()
+
+    def _snapshot_probe(self, rng: random.Random) -> None:
+        """Degraded-mode snapshot reads: healthy DCs answer, down DCs raise
+        ComponentUnavailableError instead of hanging."""
+        tc = self.kernel.tc
+        try:
+            reader = tc.begin_snapshot(allow_degraded=True)
+            for _ in range(3):
+                table = rng.choice(self.TABLES)
+                key = rng.randrange(self.keyspace)
+                try:
+                    reader.read(table, key)
+                except (ComponentUnavailableError, SnapshotTooOldError):
+                    pass
+        except ReproError:
+            self._heal_and_check()
+
+    # -- heal + invariants -------------------------------------------------
+
+    def _heal_and_check(self) -> None:
+        """Heal, resolve indeterminates, verify — repeating if the
+        verification traffic itself takes fresh faults."""
+        for _ in range(8):
+            try:
+                report = self.supervisor.heal()
+            except SupervisorGaveUp as exc:
+                raise ChaosViolation(f"heal did not converge: {exc}") from exc
+            if report.acted:
+                self.heals += 1
+            try:
+                self._resolve_indeterminate()
+                self.check_invariants()
+                return
+            except ChaosViolation:
+                raise
+            except ReproError:
+                continue  # a new crash mid-verification; heal again
+        self._fail("healing/verification kept crashing and never converged")
+
+    def _resolve_indeterminate(self) -> None:
+        # Consume only after classification, so a crash mid-resolution
+        # (handled by the caller's retry loop) loses nothing.
+        while self._indeterminate:
+            effects = self._indeterminate[0]
+            post_hits = 0
+            pre_hits = 0
+            for (table, key), (pre, post) in effects.writes.items():
+                actual = self._read_actual(table, key)
+                if actual == post:
+                    post_hits += 1
+                if actual == pre:
+                    pre_hits += 1
+            total = len(effects.writes)
+            if post_hits == total:
+                self.history.apply(effects)
+                self.history.resolved_committed += 1
+            elif pre_hits == total:
+                self.history.resolved_aborted += 1
+            else:
+                self._fail(
+                    f"txn {effects.txn_no} is partially visible after heal: "
+                    f"{post_hits}/{total} post-images, {pre_hits}/{total} "
+                    f"pre-images ({effects.writes!r})"
+                )
+            self._indeterminate.pop(0)
+
+    def _read_actual(self, table: str, key: object) -> Optional[object]:
+        return self.kernel.tc.read_other(
+            table, key, flavor=ReadFlavor.READ_COMMITTED
+        )
+
+    def check_invariants(self) -> None:
+        """Model equality per table, plus structural validation per DC."""
+        self.checks += 1
+        for table in self.TABLES:
+            expected = self.history.table_items(table)
+            actual = dict(
+                self.kernel.tc.scan_other(
+                    table, flavor=ReadFlavor.READ_COMMITTED
+                )
+            )
+            if actual != expected:
+                missing = sorted(set(expected) - set(actual))
+                extra = sorted(set(actual) - set(expected))
+                wrong = sorted(
+                    key
+                    for key in set(actual) & set(expected)
+                    if actual[key] != expected[key]
+                )
+                self._fail(
+                    f"table {table!r} diverged from the committed model: "
+                    f"missing={missing} extra={extra} wrong={wrong}"
+                )
+        for dc in self.kernel.dcs.values():
+            for name in dc.table_names():
+                structure = dc.table(name).structure
+                if hasattr(structure, "validate"):
+                    try:
+                        structure.validate()
+                    except ReproError as exc:
+                        self._fail(f"structure {name!r} on {dc.name}: {exc}")
+
+    def _fail(self, message: str) -> None:
+        raise ChaosViolation(
+            f"{message}\nreproduce with: {self.injector.describe()}"
+        )

@@ -79,6 +79,30 @@ class Metrics:
             mine[name] = mine.get(name, 0) + value
         return mine
 
+    def snapshot(self) -> dict[str, object]:
+        """A point-in-time copy of everything: counters plus distribution
+        summaries, as plain built-in types (JSON-serializable as-is)."""
+        with self._lock:
+            return {
+                "counters": dict(sorted(self._counters.items())),
+                "distributions": {
+                    name: {
+                        "count": dist.count,
+                        "total": dist.total,
+                        "mean": dist.mean,
+                        "min": dist.minimum if dist.count else None,
+                        "max": dist.maximum if dist.count else None,
+                    }
+                    for name, dist in sorted(self._distributions.items())
+                },
+            }
+
+    def to_json(self, indent: int = 2) -> str:
+        """The snapshot rendered as JSON (benchmark result files)."""
+        import json
+
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
     def __repr__(self) -> str:
         items = ", ".join(f"{k}={v}" for k, v in sorted(self.counters().items()))
         return f"Metrics({items})"

@@ -1,0 +1,244 @@
+"""Self-healing supervision for unbundled deployments.
+
+The paper's recovery story (Sections 5.2-5.3) is mechanism: each component
+knows how to restart itself and re-establish its contracts.  What it leaves
+implicit is *policy* — something must notice a crash, decide a restart
+order, and re-drive the work the outage interrupted.  In a cloud setting
+that role belongs to the control plane; here it is the :class:`Supervisor`.
+
+The supervisor watches components through their crash listeners (and, for
+belt and braces, by polling ``crashed`` flags at heal time — a crash
+callback can be lost if the crash happens while the callback list is being
+torn down).  :meth:`heal` then repairs the deployment in dependency order:
+
+1. lift healed network partitions at the fault injector, so recovery
+   traffic can flow;
+2. if any TC crashed, recover crashed DCs *quietly* (``notify_tcs=False``)
+   and then restart the TCs — TC restart performs its own DC reset and
+   redo, so a DC-prompted redo against a half-restarted TC would be wasted
+   or wrong;
+3. otherwise recover each crashed DC with ``notify_tcs=True`` — the normal
+   Section 5.2.1 path where the TC resends its redo stream;
+4. ask every healthy TC to re-drive interrupted work (zombie rollbacks and
+   post-commit cleanups).
+
+Recovery itself passes through fault hook points (``dc.restart``,
+``tc.log_force``, ``buffer.flush``...), so a heal round can *cause* new
+crashes.  :meth:`heal` therefore loops until a round completes with
+everything up, bounded by ``max_rounds``; exceeding the bound raises
+:class:`SupervisorGaveUp` carrying the injector's reproduction recipe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional
+
+from repro.common.errors import CrashedError, ReproError, ResendExhaustedError
+from repro.sim.metrics import Metrics
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.dc.data_component import DataComponent
+    from repro.sim.faults import FaultInjector
+    from repro.tc.transactional_component import TransactionalComponent
+
+
+class SupervisorGaveUp(ReproError):
+    """Healing did not converge within the supervisor's round budget."""
+
+    def __init__(self, rounds: int, detail: str) -> None:
+        super().__init__(f"supervisor gave up after {rounds} heal rounds: {detail}")
+        self.rounds = rounds
+
+
+@dataclass
+class CrashNotice:
+    """One observed crash: which component, of what kind, and whether a
+    subsequent :meth:`Supervisor.heal` round repaired it."""
+
+    component: str
+    kind: str
+    healed: bool = False
+
+
+@dataclass
+class HealReport:
+    """What one :meth:`Supervisor.heal` call did."""
+
+    rounds: int = 0
+    dc_restarts: int = 0
+    tc_restarts: int = 0
+    partitions_lifted: int = 0
+    zombies_cleared: int = 0
+    notices: list[CrashNotice] = field(default_factory=list)
+
+    @property
+    def acted(self) -> bool:
+        return bool(
+            self.dc_restarts
+            or self.tc_restarts
+            or self.partitions_lifted
+            or self.zombies_cleared
+        )
+
+
+class Supervisor:
+    """Watches TCs and DCs; restarts what crashes, re-drives what stalled."""
+
+    def __init__(
+        self,
+        injector: Optional["FaultInjector"] = None,
+        metrics: Optional[Metrics] = None,
+        max_rounds: int = 10,
+    ) -> None:
+        self.injector = injector
+        self.metrics = metrics or Metrics()
+        self.max_rounds = max_rounds
+        self._dcs: dict[str, "DataComponent"] = {}
+        self._tcs: dict[str, "TransactionalComponent"] = {}
+        #: DCs recovered but whose TC redo prompt has not completed yet —
+        #: retried every round until it lands (the prompt is idempotent).
+        self._pending_prompts: set[str] = set()
+        #: Crash notices in arrival order (also the UI/audit trail).
+        self.notices: list[CrashNotice] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def watch_dc(self, dc: "DataComponent") -> None:
+        self._dcs[dc.name] = dc
+        dc.on_crash.append(self._on_crash)
+
+    def watch_tc(self, tc: "TransactionalComponent") -> None:
+        self._tcs[tc.name] = tc
+        tc.on_crash.append(self._on_crash)
+
+    def watch_kernel(self, kernel) -> None:
+        """Watch an :class:`~repro.kernel.unbundled.UnbundledKernel`."""
+        self.watch_tc(kernel.tc)
+        for dc in kernel.dcs.values():
+            self.watch_dc(dc)
+
+    def watch_deployment(self, deployment) -> None:
+        """Watch a :class:`~repro.cloud.deployment.CloudDeployment`."""
+        for tc in deployment.tcs.values():
+            self.watch_tc(tc)
+        for dc in deployment.dcs.values():
+            self.watch_dc(dc)
+
+    def _on_crash(self, name: str, kind: str) -> None:
+        self.notices.append(CrashNotice(name, kind))
+        self.metrics.incr(f"supervisor.crash_notices.{kind}")
+
+    # -- state -------------------------------------------------------------
+
+    def crashed_components(self) -> list[CrashNotice]:
+        """Poll the watched components for down state (listener-independent)."""
+        down = [
+            CrashNotice(dc.name, "dc") for dc in self._dcs.values() if dc.crashed
+        ]
+        down.extend(
+            CrashNotice(tc.name, "tc") for tc in self._tcs.values() if tc.crashed
+        )
+        return down
+
+    def all_healthy(self) -> bool:
+        if self.crashed_components():
+            return False
+        if self._pending_prompts:
+            return False
+        if self.injector is not None and any(
+            self.injector.partitioned(name) for name in self._dcs
+        ):
+            return False
+        return all(tc.pending_zombies() == 0 for tc in self._tcs.values())
+
+    # -- healing -----------------------------------------------------------
+
+    def heal(self) -> HealReport:
+        """Repair the deployment; loops until a round converges.
+
+        Idempotent and safe to call when nothing is wrong (returns a
+        no-op report).  Raises :class:`SupervisorGaveUp` when
+        ``max_rounds`` rounds still leave something down — the message
+        carries the injector's ``(seed, schedule)`` recipe when one is
+        attached.
+        """
+        report = HealReport()
+        for _ in range(self.max_rounds):
+            report.rounds += 1
+            # No early exit on a "no-progress" round: repair traffic moves
+            # hit counters, so a fault rule (e.g. a partition) can trigger
+            # *during* a round and only be liftable in the next one.
+            self._heal_round(report)
+            if self.all_healthy():
+                for notice in self.notices:
+                    notice.healed = True
+                report.notices = list(self.notices)
+                self.metrics.incr("supervisor.heals")
+                return report
+        detail = ", ".join(
+            f"{notice.kind}:{notice.component}" for notice in self.crashed_components()
+        ) or "pending zombies or partitions remain"
+        if self.injector is not None:
+            detail += f" | {self.injector.describe()}"
+        raise SupervisorGaveUp(report.rounds, detail)
+
+    def _heal_round(self, report: HealReport) -> None:
+        """One repair pass."""
+        if self.injector is not None:
+            lifted = self.injector.heal()
+            if lifted:
+                report.partitions_lifted += lifted
+                self.metrics.incr("supervisor.partitions_lifted", lifted)
+        crashed_tcs = [tc for tc in self._tcs.values() if tc.crashed]
+        crashed_dcs = [dc for dc in self._dcs.values() if dc.crashed]
+        for dc in crashed_dcs:
+            # Recover quietly; the TC redo prompt is driven separately
+            # below so a prompt that fails (new fault, partition triggered
+            # mid-heal) is retried next round instead of silently lost.
+            try:
+                dc.recover(notify_tcs=False)
+            except (CrashedError, ResendExhaustedError):
+                # A fault during recovery took the DC down again; the next
+                # round retries.
+                self.metrics.incr("supervisor.restart_interrupted")
+                continue
+            report.dc_restarts += 1
+            self.metrics.incr("supervisor.dc_restarts")
+            # A duplicate prompt after a TC restart (which runs its own
+            # reset + redo) is absorbed by abLSNs, so always queue it.
+            self._pending_prompts.add(dc.name)
+        for tc in crashed_tcs:
+            try:
+                tc.restart()
+                report.tc_restarts += 1
+                self.metrics.incr("supervisor.tc_restarts")
+            except (CrashedError, ResendExhaustedError):
+                self.metrics.incr("supervisor.restart_interrupted")
+        for name in sorted(self._pending_prompts):
+            dc = self._dcs.get(name)
+            if dc is None or dc.crashed:
+                continue
+            if any(tc.crashed for tc in self._tcs.values()):
+                break  # prompt once the TCs are back up
+            try:
+                dc.prompt_redo()
+            except (CrashedError, ResendExhaustedError):
+                self.metrics.incr("supervisor.restart_interrupted")
+                continue
+            self._pending_prompts.discard(name)
+        for tc in self._tcs.values():
+            if tc.crashed:
+                continue
+            pending = tc.pending_zombies()
+            if not pending:
+                continue
+            try:
+                tc.retry_pending()
+            except (CrashedError, ResendExhaustedError):
+                self.metrics.incr("supervisor.restart_interrupted")
+                continue
+            cleared = pending - tc.pending_zombies()
+            if cleared:
+                report.zombies_cleared += cleared
+                self.metrics.incr("supervisor.zombies_cleared", cleared)

@@ -222,6 +222,10 @@ class BufferPool:
         if not self._sync_ready(page):
             self.metrics.incr("buffer.flush_delayed_sync")
             return False
+        if self._storage.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self._storage.faults.hit(FaultPoint.BUFFER_FLUSH, self._storage.owner)
         image = page.snapshot()
         self.metrics.observe(
             "buffer.flushed_ablsn_bytes", page.ablsn_overhead_bytes()

@@ -17,11 +17,14 @@ disk volume owned by one DC.
 from __future__ import annotations
 
 import threading
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.common.lsn import Lsn, NULL_LSN
 from repro.sim.metrics import Metrics
 from repro.storage.page import PageImage
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.faults import FaultInjector
 
 
 class StableStorage:
@@ -34,6 +37,13 @@ class StableStorage:
         self._next_page_id = 1
         self._lock = threading.Lock()
         self.metrics = metrics or Metrics()
+        self.faults: Optional["FaultInjector"] = None
+        self.owner = ""
+
+    def bind_faults(self, faults: Optional["FaultInjector"], owner: str) -> None:
+        """Install the owning DC's fault injector (called by the DC)."""
+        self.faults = faults
+        self.owner = owner
 
     # -- page allocation ----------------------------------------------------
 
@@ -58,6 +68,13 @@ class StableStorage:
     # -- pages ---------------------------------------------------------------
 
     def write_page(self, image: PageImage) -> None:
+        # A crash fault here models a torn/partial write: atomic page
+        # semantics make torn = nothing, and the volume's DC fail-stops
+        # (the raise aborts the call before anything is installed).
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.DISK_PAGE_WRITE, self.owner)
         with self._lock:
             self._pages[image.page_id] = image
             self.metrics.incr("disk.page_writes")
@@ -95,6 +112,12 @@ class StableStorage:
 
     def append_dc_log(self, entries: list[object]) -> None:
         """Force a batch of DC-log records (a system-transaction commit)."""
+        # A crash fault here is the "failed fsync": the batch never reaches
+        # the stable log, so the system transaction simply never happened.
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.DISK_LOG_FORCE, self.owner)
         with self._lock:
             self._dc_log.extend(entries)
             self.metrics.incr("disk.dclog_forces")

@@ -71,11 +71,18 @@ class CompensationRecord(TcLogRecord):
     ``undo_next`` points at the LSN of the next (earlier) operation still
     to be undone, making rollback idempotent across TC crashes, exactly
     like an ARIES CLR — but logical.
+
+    A compensation record with ``op=None`` and ``canceled`` set is a
+    *cancel marker*: the forward operation at LSN ``canceled`` was
+    definitively rejected by its DC (it never executed and holds no undo
+    obligation), so restart redo must not replay it — replaying a
+    never-executed operation into a later state could make it succeed.
     """
 
     op: Optional[LogicalOperation] = None
     undo_next: Lsn = NULL_LSN
     dc_name: str = ""
+    canceled: Lsn = NULL_LSN
 
     def encoded_size(self) -> int:
         size = super().encoded_size() + 8

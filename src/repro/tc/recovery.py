@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.api import EndOfStableLog, RestartBegin
+from repro.common.errors import CrashedError, ReproError, ResendExhaustedError
 from repro.common.lsn import Lsn, NULL_LSN
 from repro.common.ops import (
     DeleteOp,
@@ -60,15 +61,33 @@ def resend_redo_stream(
     Returns the number of operations resent.
     """
     resent = 0
+    canceled = {
+        record.canceled
+        for record in tc.log.stable_records()
+        if isinstance(record, CompensationRecord) and record.canceled != NULL_LSN
+    }
     for record in tc.log.stable_records_from(tc.rssp):
         if not isinstance(record, (OpRecord, CompensationRecord)):
             continue
         if record.op is None or not record.op.MUTATES:
             continue
+        if record.lsn in canceled:
+            # The DC definitively rejected this operation when it was
+            # live; replaying it into today's state could make it succeed.
+            continue
         if dc_names is not None and record.dc_name not in dc_names:
             continue
         result = tc._perform(record.dc_name, record.op, record.lsn, resend=True)
-        tc._expect_ok(result, record.op)
+        try:
+            tc._expect_ok(result, record.op)
+        except (CrashedError, ResendExhaustedError):
+            raise
+        except ReproError:
+            # A rejected operation whose cancel marker was lost with the
+            # volatile log tail rejects again deterministically (it was
+            # validated under locks): note it and repeat history onward.
+            tc.metrics.incr("tc.redo_rejected")
+            continue
         resent += 1
     tc.metrics.incr("tc.redo_ops", resent)
     return resent
@@ -78,6 +97,9 @@ def resend_redo_stream(
 class _TxnInfo:
     ops: list[OpRecord] = field(default_factory=list)
     clrs: list[CompensationRecord] = field(default_factory=list)
+    #: LSNs of forward operations canceled by a marker record: the DC
+    #: definitively rejected them, so they carry no undo obligation.
+    canceled: set[Lsn] = field(default_factory=set)
     committed: bool = False
     aborted: bool = False
     ended: bool = False
@@ -106,15 +128,20 @@ class TcRestart:
         }
 
         # 1. Reset every DC's cache of our lost operations, refresh EOSL.
-        for name, channel in tc.channels().items():
-            channel.request(
+        # Acked delivery: a silently-dropped reset would leave the DC
+        # holding state from operations the crash erased from the log.
+        for name in tc.channels():
+            tc._request_acked(
+                name,
                 RestartBegin(
                     tc_id=tc.tc_id,
                     stable_lsn=stable_lsn,
                     reset_mode=reset_mode.value,
-                )
+                ),
             )
-            channel.request(EndOfStableLog(tc_id=tc.tc_id, eosl=stable_lsn))
+            tc._request_acked(
+                name, EndOfStableLog(tc_id=tc.tc_id, eosl=stable_lsn)
+            )
 
         # 2. Redo: repeat history from the redo scan start point.
         tc._crashed = False  # the component is operational from here on
@@ -150,7 +177,13 @@ class TcRestart:
                 if isinstance(record.op, PromoteVersionsOp):
                     info.has_promote = True
             elif isinstance(record, CompensationRecord):
-                info.clrs.append(record)
+                if record.canceled != NULL_LSN:
+                    # A cancel marker is logged mid-transaction, before any
+                    # rollback starts: it must not influence the CLR-based
+                    # resume point.
+                    info.canceled.add(record.canceled)
+                else:
+                    info.clrs.append(record)
             elif isinstance(record, CommitRecord):
                 info.committed = True
             elif isinstance(record, AbortRecord):
@@ -181,15 +214,18 @@ class TcRestart:
         to_undo = [
             record
             for record in info.ops
-            if record.undo is not None and (resume is None or record.lsn <= resume)
+            if record.undo is not None
+            and record.lsn not in info.canceled
+            and (resume is None or record.lsn <= resume)
         ]
         to_undo.sort(key=lambda record: record.lsn, reverse=True)
         # Versioned work is discarded wholesale — idempotent, so always
         # re-issued even if a pre-crash discard partially ran.
         versioned = self._versioned_keys(info)
+        undone = len(to_undo)  # rollback consumes the list in place
         tc.rollback_operations(txn_id, to_undo, versioned)
         tc.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn_id))
-        return len(to_undo)
+        return undone
 
     @staticmethod
     def _versioned_keys(info: _TxnInfo) -> dict[str, set[Key]]:

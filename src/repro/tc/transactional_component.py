@@ -30,7 +30,7 @@ import enum
 import itertools
 import threading
 from dataclasses import replace
-from typing import Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.common.api import (
     CheckpointReply,
@@ -42,10 +42,12 @@ from repro.common.api import (
 )
 from repro.common.config import ChannelConfig, RangeLockProtocol, TcConfig
 from repro.common.errors import (
+    ComponentUnavailableError,
     CrashedError,
     DuplicateKeyError,
     NoSuchRecordError,
     ReproError,
+    ResendExhaustedError,
     TransactionAborted,
 )
 from repro.common.lsn import Lsn, NULL_LSN
@@ -81,6 +83,9 @@ from repro.tc.log import (
 )
 from repro.tc.range_protocols import FetchAheadProtocol, RangePartitionProtocol
 
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.sim.faults import FaultInjector
+
 
 class _Absent:
     """Cached knowledge that a key does not exist (under our lock)."""
@@ -114,6 +119,17 @@ class Transaction:
         #: Pipelined mutations posted but not yet acknowledged:
         #: (table, key) -> the op record awaiting its reply.
         self.in_flight: dict[tuple[str, Key], OpRecord] = {}
+        #: Rollback progress, set once an abort starts (see
+        #: ``TransactionalComponent.rollback_operations``): the records
+        #: whose inverses are not yet stably applied, newest first.  A
+        #: retry after a DC outage resumes exactly here.
+        self.undo_pending: Optional[list] = None
+        #: LSNs of logged operations whose only delivery attempt failed
+        #: with the DC unreachable — the DC may or may not have executed
+        #: them.  Rollback must repeat history (resend with the original
+        #: LSN) before inverting such a record; see
+        #: ``TransactionalComponent.rollback_operations``.
+        self.unconfirmed: set[Lsn] = set()
 
     # -- operations ---------------------------------------------------------
 
@@ -196,7 +212,13 @@ class SnapshotReader:
 
     def _as_of(self, table: str) -> int:
         route = self._tc._route(table)
-        return self.watermarks.get(route.dc_name, 0)
+        watermark = self.watermarks.get(route.dc_name)
+        if watermark is None:
+            # Degraded snapshot: this DC was down at begin_snapshot time.
+            from repro.common.errors import ComponentUnavailableError
+
+            raise ComponentUnavailableError(f"DC {route.dc_name}")
+        return watermark
 
     def read(self, table: str, key: Key) -> Optional[Value]:
         return self._tc.read_snapshot(table, key, self._as_of(table))
@@ -229,10 +251,17 @@ class TransactionalComponent:
         tc_id: Optional[int] = None,
         config: Optional[TcConfig] = None,
         metrics: Optional[Metrics] = None,
+        faults: Optional["FaultInjector"] = None,
     ) -> None:
         self.tc_id = tc_id if tc_id is not None else next(self._ids)
         self.config = config or TcConfig()
         self.metrics = metrics or Metrics()
+        self.name = f"tc{self.tc_id}"
+        self.faults = faults
+        if faults is not None:
+            faults.register_component(self.name, "tc", self.crash)
+        #: Crash listeners ``(name, kind)`` — the supervisor subscribes.
+        self.on_crash: list[Callable[[str, str], None]] = []
         self.log = TcLog(self.metrics)
         self.locks = LockManager(
             self.metrics, self.config.deadlock_detection, self.config.lock_timeout
@@ -252,6 +281,9 @@ class TransactionalComponent:
         self._rssp_hints: dict[str, Lsn] = {}
         #: Aborted transactions whose compensation a DC outage interrupted.
         self._zombie_rollbacks: list[Transaction] = []
+        #: Committed transactions whose post-commit version cleanup a DC
+        #: outage interrupted (the commit itself is durable and acked).
+        self._zombie_completions: list[Transaction] = []
         self._completions_since_lwm = 0
         self._unforced_commits = 0
         self._crashed = False
@@ -268,7 +300,7 @@ class TransactionalComponent:
     ) -> MessageChannel:
         """Connect to a DC; installs the causality/restart hooks and learns
         the DC's table routes."""
-        channel = MessageChannel(dc, channel_config, self.metrics)
+        channel = MessageChannel(dc, channel_config, self.metrics, faults=self.faults)
         with self._admin:
             self._channels[dc.name] = channel
             self._dcs[dc.name] = dc
@@ -312,18 +344,47 @@ class TransactionalComponent:
 
     def commit(self, txn: Transaction) -> None:
         """Commit: force the log through the commit record, then run
-        version cleanup, then release locks (strict through cleanup)."""
+        version cleanup, then release locks (strict through cleanup).
+
+        If a DC outage interrupts the *post-commit* cleanup, the commit
+        decision stands: the commit record is forced, locks are released
+        and the commit is acknowledged, while the cleanup is parked as a
+        zombie completion for the supervisor to re-drive after the heal.
+        """
         self._check_up()
         txn._check_active()
-        self.sync_pipeline(txn)
+        try:
+            self.sync_pipeline(txn)
+        except ReproError as exc:
+            # No commit record exists yet, so the outcome is determinate:
+            # roll back (outage-tolerantly) and report a plain abort rather
+            # than leaving the caller to guess.
+            if self._crashed:
+                txn.state = TransactionState.ABORTED  # crash cleared the rest
+            else:
+                self.abort(txn)
+            raise TransactionAborted(
+                txn.txn_id, f"commit abandoned: {exc}"
+            ) from exc
         self.log.append(lambda lsn: CommitRecord(lsn=lsn, txn_id=txn.txn_id))
         self._unforced_commits += 1
         if self._unforced_commits >= self.config.group_commit_size:
             self.force_log()
         # Post-commit version cleanup: logged after the commit record so a
         # crash-time loser is never seen with promoted versions.
-        for table, keys in sorted(txn.versioned_keys.items()):
-            self._send_version_cleanup(txn.txn_id, table, keys, promote=True)
+        try:
+            for table, keys in sorted(txn.versioned_keys.items()):
+                self._send_version_cleanup(txn.txn_id, table, keys, promote=True)
+        except (CrashedError, ResendExhaustedError):
+            self.force_log()
+            self.locks.release_all(txn.txn_id)
+            txn.state = TransactionState.COMMITTED
+            with self._admin:
+                self._active.pop(txn.txn_id, None)
+                self._zombie_completions.append(txn)
+            self.metrics.incr("tc.zombie_completions")
+            self.metrics.incr("tc.commits")
+            return
         self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
         self.locks.release_all(txn.txn_id)
         txn.state = TransactionState.COMMITTED
@@ -332,17 +393,29 @@ class TransactionalComponent:
         self.metrics.incr("tc.commits")
 
     def abort(self, txn: Transaction) -> None:
-        """Roll back: inverse operations in reverse chronological order."""
+        """Roll back: inverse operations in reverse chronological order.
+
+        Tolerates a DC outage at any point: unacknowledged pipelined
+        operations and un-applied inverses stay recorded on the
+        transaction, locks are released so the rest of the system makes
+        progress, and the rollback resumes (from the exact compensation
+        record where it stopped) when the DC heals.
+        """
         self._check_up()
         if txn.state is not TransactionState.ACTIVE:
             return
-        self.sync_pipeline(txn)
         self.log.append(lambda lsn: AbortRecord(lsn=lsn, txn_id=txn.txn_id))
-        self.rollback_operations(
-            txn.txn_id,
-            [record for record in reversed(txn.op_records) if record.undo is not None],
-            txn.versioned_keys,
-        )
+        try:
+            self._drive_rollback(txn)
+        except (CrashedError, ResendExhaustedError):
+            self.locks.release_all(txn.txn_id)
+            txn.state = TransactionState.ABORTED
+            with self._admin:
+                self._active.pop(txn.txn_id, None)
+                self._zombie_rollbacks.append(txn)
+            self.metrics.incr("tc.zombie_rollbacks")
+            self.metrics.incr("tc.aborts")
+            return
         self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
         self.locks.release_all(txn.txn_id)
         txn.state = TransactionState.ABORTED
@@ -350,31 +423,109 @@ class TransactionalComponent:
             self._active.pop(txn.txn_id, None)
         self.metrics.incr("tc.aborts")
 
+    def _drive_rollback(self, txn: Transaction) -> None:
+        """Sync outstanding pipelined ops, then apply (remaining) inverses."""
+        try:
+            self.sync_pipeline(txn)
+        except (CrashedError, ResendExhaustedError):
+            raise
+        except ReproError:
+            # A deferred op was semantically rejected: it never executed
+            # and sync already pruned it from the undo chain.
+            pass
+        if txn.undo_pending is None:
+            txn.undo_pending = [
+                record for record in reversed(txn.op_records) if record.undo is not None
+            ]
+        self.rollback_operations(
+            txn.txn_id, txn.undo_pending, txn.versioned_keys, txn.unconfirmed
+        )
+
     def rollback_operations(
         self,
         txn_id: int,
-        to_undo: list[OpRecord],
+        to_undo: list,
         versioned_keys: dict[str, set[Key]],
+        unconfirmed: Optional[set[Lsn]] = None,
     ) -> None:
         """Shared by runtime abort and restart undo.  ``to_undo`` holds the
         forward records whose inverses must still be applied, newest first;
         each inverse is logged as a compensation record whose ``undo_next``
-        makes rollback restartable."""
-        for index, record in enumerate(to_undo):
-            undo_next = to_undo[index + 1].lsn if index + 1 < len(to_undo) else NULL_LSN
-            assert record.undo is not None
-            clr = self.log.append(
-                lambda lsn, r=record, nxt=undo_next: CompensationRecord(
-                    lsn=lsn, txn_id=txn_id, op=r.undo, undo_next=nxt, dc_name=r.dc_name
-                ),
-                track_for_lwm=True,
-            )
-            result = self._perform(record.dc_name, clr.op, clr.lsn)  # type: ignore[arg-type]
+        makes rollback restartable.
+
+        The list is consumed in place: an entry is removed only once its
+        inverse is acknowledged, and a logged-but-unacknowledged
+        compensation record replaces its forward record at the head.  A
+        retry after a DC outage therefore resends the *same* CLR (same
+        LSN), so the DC's idempotence test absorbs it — never a second
+        inverse for one operation.
+        """
+        while to_undo:
+            head = to_undo[0]
+            if isinstance(head, CompensationRecord):
+                clr = head
+                resend = True
+            else:
+                if unconfirmed and head.lsn in unconfirmed:
+                    # The forward operation's only delivery attempt failed
+                    # mid-flight, so whether the DC executed it is unknown —
+                    # yet a TC restart's redo WOULD execute it (it is in the
+                    # log).  Repeat history first: a resend with the
+                    # original LSN either executes it now or is absorbed by
+                    # the DC's idempotence test, after which the inverse
+                    # below is always valid.
+                    forward = self._perform(
+                        head.dc_name, head.op, head.lsn, resend=True
+                    )
+                    self._complete_op(head.lsn)
+                    unconfirmed.discard(head.lsn)
+                    try:
+                        self._expect_ok(forward, head.op)
+                    except (CrashedError, ResendExhaustedError):
+                        raise
+                    except ReproError:
+                        # Definitively rejected: it never executed, so there
+                        # is nothing to invert — but its record is in the
+                        # log, so restart redo must be told to skip it.
+                        # Forced immediately: rollback may be running after
+                        # the locks were released, so a replay of this
+                        # record into a changed state could succeed.
+                        self._cancel_record(txn_id, head)
+                        self.force_log()
+                        to_undo.pop(0)
+                        continue
+                undo_next = to_undo[1].lsn if len(to_undo) > 1 else NULL_LSN
+                assert head.undo is not None
+                clr = self.log.append(
+                    lambda lsn, r=head, nxt=undo_next: CompensationRecord(
+                        lsn=lsn, txn_id=txn_id, op=r.undo, undo_next=nxt, dc_name=r.dc_name
+                    ),
+                    track_for_lwm=True,
+                )
+                to_undo[0] = clr
+                resend = False
+            result = self._perform(clr.dc_name, clr.op, clr.lsn, resend=resend)  # type: ignore[arg-type]
             self._expect_ok(result, clr.op)  # type: ignore[arg-type]
             self._complete_op(clr.lsn)
+            to_undo.pop(0)
             self.metrics.incr("tc.undo_ops")
         for table, keys in sorted(versioned_keys.items()):
             self._send_version_cleanup(txn_id, table, keys, promote=False)
+
+    def _cancel_record(self, txn_id: int, record: OpRecord) -> None:
+        """Log a cancel marker: ``record``'s operation was definitively
+        rejected by its DC.  It never executed, holds no undo obligation,
+        and restart redo must skip it (see :class:`CompensationRecord`)."""
+        self.log.append(
+            lambda lsn: CompensationRecord(
+                lsn=lsn,
+                txn_id=txn_id,
+                op=None,
+                dc_name=record.dc_name,
+                canceled=record.lsn,
+            )
+        )
+        self.metrics.incr("tc.canceled_ops")
 
     def _send_version_cleanup(
         self, txn_id: int, table: str, keys: set[Key], promote: bool
@@ -571,7 +722,7 @@ class TransactionalComponent:
 
     # -- snapshot reads (Section 6.3 extension) ----------------------------------------------
 
-    def begin_snapshot(self) -> "SnapshotReader":
+    def begin_snapshot(self, allow_degraded: bool = False) -> "SnapshotReader":
         """Capture a per-DC commit-sequence watermark and return a reader.
 
         Snapshot reads never block and never lock; each DC's reads are
@@ -579,20 +730,41 @@ class TransactionalComponent:
         different DCs are captured independently — a cross-DC snapshot is
         per-DC consistent, not globally consistent (the extension stops
         where the paper's "we also see potential" stops).
+
+        With ``allow_degraded=True`` an unreachable DC is simply left out
+        of the snapshot: reads of healthy DCs proceed, reads routed to the
+        missing DC raise :class:`ComponentUnavailableError`.  Otherwise an
+        unreachable DC fails the whole call within the retry budget.
         """
         self._check_up()
         from repro.common.api import WatermarkReply, WatermarkRequest
 
+        policy = self.config.retry_policy()
         watermarks: dict[str, int] = {}
         for name, channel in self._channels.items():
             reply = None
             attempts = 0
-            while reply is None and attempts < self.config.max_resend_attempts:
+            waited_ms = 0.0
+            down = channel.dc.crashed or (
+                channel.faults is not None and channel.faults.partitioned(name)
+            )
+            while reply is None and not down and not policy.exhausted(attempts, waited_ms):
                 reply = channel.request(WatermarkRequest(tc_id=self.tc_id))
                 attempts += 1
-            if not isinstance(reply, WatermarkReply):
-                raise ReproError(f"no watermark from DC {name}")
-            watermarks[name] = reply.watermark
+                if reply is None:
+                    down = channel.dc.crashed
+                    backoff = policy.backoff_ms(attempts)
+                    waited_ms += backoff
+                    channel.sim_time_ms += backoff
+            if isinstance(reply, WatermarkReply):
+                watermarks[name] = reply.watermark
+                continue
+            if allow_degraded:
+                self.metrics.incr("tc.degraded_snapshots")
+                continue
+            if down:
+                raise ComponentUnavailableError(f"DC {name}", attempts, waited_ms)
+            raise ResendExhaustedError(f"watermark:{name}", name, attempts, waited_ms)
         self.metrics.incr("tc.snapshots")
         return SnapshotReader(self, watermarks)
 
@@ -753,12 +925,28 @@ class TransactionalComponent:
             txn.in_flight[(op.table, getattr(op, "key", None))] = record  # type: ignore[index]
             self.metrics.incr("tc.deferred_mutations")
         else:
-            result = self._perform(route.dc_name, op, record.lsn)
+            try:
+                result = self._perform(route.dc_name, op, record.lsn)
+            except (CrashedError, ResendExhaustedError):
+                # The record is logged but the DC's fate for it is unknown
+                # (a lost reply means it may well have executed — and a TC
+                # restart's redo would execute it even if it didn't).  It
+                # must therefore stay on the undo chain, flagged so that
+                # rollback repeats history before inverting it.
+                txn.op_records.append(record)  # type: ignore[arg-type]
+                txn.unconfirmed.add(record.lsn)
+                raise
             self._complete_op(record.lsn)
             # Only operations that actually executed enter the undo chain;
             # a DC-side failure (e.g. page overflow on a fixed structure)
             # must not leave an inverse behind for rollback to misapply.
-            self._expect_ok(result, op)
+            try:
+                self._expect_ok(result, op)
+            except (CrashedError, ResendExhaustedError):
+                raise
+            except ReproError:
+                self._cancel_record(txn.txn_id, record)
+                raise
             txn.op_records.append(record)  # type: ignore[arg-type]
         self.metrics.incr("tc.mutations")
 
@@ -787,11 +975,15 @@ class TransactionalComponent:
                 self._complete_op(record.lsn)
                 try:
                     self._expect_ok(result, record.op)
+                except (CrashedError, ResendExhaustedError):
+                    raise
                 except ReproError:
                     # the deferred op never executed: drop it from the
-                    # undo chain before surfacing the failure
+                    # undo chain (and tell restart redo to skip it) before
+                    # surfacing the failure
                     if record in txn.op_records:
                         txn.op_records.remove(record)
+                    self._cancel_record(txn.txn_id, record)
                     txn.in_flight.clear()
                     raise
             else:
@@ -833,11 +1025,7 @@ class TransactionalComponent:
             zombies, self._zombie_rollbacks = self._zombie_rollbacks, []
         for txn in zombies:
             try:
-                self.rollback_operations(
-                    txn.txn_id,
-                    [r for r in reversed(txn.op_records) if r.undo is not None],
-                    txn.versioned_keys,
-                )
+                self._drive_rollback(txn)
                 self.log.append(
                     lambda lsn, t=txn.txn_id: TxnEndRecord(lsn=lsn, txn_id=t)
                 )
@@ -845,6 +1033,33 @@ class TransactionalComponent:
             except ReproError:
                 with self._admin:
                     self._zombie_rollbacks.append(txn)  # still unreachable
+
+    def _retry_zombie_completions(self) -> None:
+        """Finish post-commit version cleanup interrupted by a DC outage."""
+        with self._admin:
+            zombies, self._zombie_completions = self._zombie_completions, []
+        for txn in zombies:
+            try:
+                for table, keys in sorted(txn.versioned_keys.items()):
+                    self._send_version_cleanup(txn.txn_id, table, keys, promote=True)
+                self.log.append(
+                    lambda lsn, t=txn.txn_id: TxnEndRecord(lsn=lsn, txn_id=t)
+                )
+                self.metrics.incr("tc.zombie_completions_finished")
+            except ReproError:
+                with self._admin:
+                    self._zombie_completions.append(txn)  # still unreachable
+
+    def retry_pending(self) -> None:
+        """Re-drive interrupted rollbacks/cleanups (the supervisor's heal
+        hook; also runs automatically on DC restart prompts)."""
+        self._check_up()
+        self._retry_zombie_rollbacks()
+        self._retry_zombie_completions()
+
+    def pending_zombies(self) -> int:
+        with self._admin:
+            return len(self._zombie_rollbacks) + len(self._zombie_completions)
 
     @staticmethod
     def _expect_ok(result: OpResult, op: LogicalOperation) -> None:
@@ -861,10 +1076,29 @@ class TransactionalComponent:
     def _perform(
         self, dc_name: str, op: LogicalOperation, op_id: Lsn, resend: bool = False
     ) -> OpResult:
-        """Send with resend-until-acknowledged (exactly-once end to end)."""
+        """Send with resend-until-acknowledged (exactly-once end to end).
+
+        Resends follow the TC's :class:`~repro.common.config.RetryPolicy`:
+        exponential backoff charged to simulated channel time (never
+        slept), bounded by both an attempt count and a per-operation
+        timeout budget.  A DC known to be down — crashed, or behind an
+        unhealed partition — fails fast with
+        :class:`ComponentUnavailableError` instead of burning the budget;
+        an exhausted budget raises :class:`ResendExhaustedError` so the
+        caller (or supervisor) can tell "slow" from "gone".
+        """
         channel = self._channels[dc_name]
+        policy = self.config.retry_policy()
         attempts = 0
-        while attempts < self.config.max_resend_attempts:
+        waited_ms = 0.0
+        while not policy.exhausted(attempts, waited_ms):
+            # The TC itself may have been crashed mid-operation (e.g. by a
+            # fault during a DC-prompted log force) — stop immediately.
+            self._check_up()
+            if channel.dc.crashed or (
+                channel.faults is not None and channel.faults.partitioned(dc_name)
+            ):
+                raise ComponentUnavailableError(f"DC {dc_name}", attempts, waited_ms)
             message = PerformOperation(
                 tc_id=self.tc_id,
                 op_id=op_id,
@@ -876,15 +1110,46 @@ class TransactionalComponent:
             attempts += 1
             if reply is None:
                 if channel.dc.crashed:
-                    raise CrashedError(f"DC {dc_name}")
+                    raise ComponentUnavailableError(f"DC {dc_name}", attempts, waited_ms)
+                backoff = policy.backoff_ms(attempts)
+                waited_ms += backoff
+                channel.sim_time_ms += backoff
                 self.metrics.incr("tc.resends")
                 continue
             assert isinstance(reply, OperationReply)
             assert reply.result is not None
             return reply.result
-        raise ReproError(
-            f"operation {op_id} to {dc_name} unacknowledged after {attempts} attempts"
-        )
+        raise ResendExhaustedError(op_id, dc_name, attempts, waited_ms)
+
+    def _request_acked(self, dc_name: str, message) -> object:
+        """Deliver a control message reliably: resend until a reply arrives.
+
+        Contract-state control messages (``RestartBegin``,
+        ``EndOfStableLog`` at restart) must not be silently lost on a lossy
+        channel — the DC acks them and this helper retries under the same
+        policy envelope as :meth:`_perform`.  The messages themselves are
+        idempotent, so a reply lost after delivery just costs a resend.
+        """
+        channel = self._channels[dc_name]
+        policy = self.config.retry_policy()
+        attempts = 0
+        waited_ms = 0.0
+        while not policy.exhausted(attempts, waited_ms):
+            if channel.dc.crashed or (
+                channel.faults is not None and channel.faults.partitioned(dc_name)
+            ):
+                raise ComponentUnavailableError(f"DC {dc_name}", attempts, waited_ms)
+            reply = channel.request(message)
+            attempts += 1
+            if reply is not None:
+                return reply
+            if channel.dc.crashed:
+                raise ComponentUnavailableError(f"DC {dc_name}", attempts, waited_ms)
+            backoff = policy.backoff_ms(attempts)
+            waited_ms += backoff
+            channel.sim_time_ms += backoff
+            self.metrics.incr("tc.resends")
+        raise ResendExhaustedError(0, dc_name, attempts, waited_ms)
 
     def _complete_op(self, op_id: Lsn) -> None:
         lwm = self.log.complete_op(op_id)
@@ -905,6 +1170,12 @@ class TransactionalComponent:
     def force_log(self) -> Lsn:
         """Force the log; the new EOSL piggybacks on subsequent operations
         (checkpoint and restart still push it explicitly)."""
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            # A crash here loses the volatile log tail — the classic
+            # "commit record never reached the disk" failure.
+            self.faults.hit(FaultPoint.TC_LOG_FORCE, self.name)
         eosl = self.log.force()
         self._unforced_commits = 0
         return eosl
@@ -928,6 +1199,10 @@ class TransactionalComponent:
     def checkpoint(self) -> bool:
         """Advance the redo scan start point; False when a DC is blocked."""
         self._check_up()
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.TC_CHECKPOINT, self.name)
         self.force_log()
         self.broadcast_eosl()
         self.broadcast_lwm()
@@ -985,15 +1260,27 @@ class TransactionalComponent:
         with self._admin:
             self._active.clear()
             self._zombie_rollbacks.clear()
+            self._zombie_completions.clear()
         self._completions_since_lwm = 0
         self.metrics.incr("tc.crashes")
+        for listener in list(self.on_crash):
+            listener(self.name, "tc")
         return lost
 
     def restart(self, reset_mode: Optional[ResetMode] = None) -> dict[str, int]:
         """Recover from a TC crash (Section 5.3.2 "TC Failure")."""
         from repro.tc.recovery import TcRestart
 
-        stats = TcRestart(self).run(reset_mode or self.reset_mode)
+        try:
+            stats = TcRestart(self).run(reset_mode or self.reset_mode)
+        except (CrashedError, ResendExhaustedError):
+            # The restart itself was interrupted (a fresh fault, or a DC
+            # became unreachable mid-redo).  Restart clears the crashed
+            # flag early so its own redo traffic passes _check_up; a
+            # half-restarted TC must not pass for operational, so re-mark
+            # it and let the supervisor retry the whole restart.
+            self._crashed = True
+            raise
         self._crashed = False
         return stats
 
@@ -1004,11 +1291,12 @@ class TransactionalComponent:
         from repro.tc.recovery import resend_redo_stream
 
         eosl = self.log.force()
-        channel = self._channels.get(dc.name)
-        if channel is not None:
-            channel.request(EndOfStableLog(tc_id=self.tc_id, eosl=eosl))
+        if dc.name in self._channels:
+            # Acked: redo below relies on the DC knowing the current EOSL.
+            self._request_acked(dc.name, EndOfStableLog(tc_id=self.tc_id, eosl=eosl))
         resend_redo_stream(self, dc_names={dc.name})
         self._retry_zombie_rollbacks()
+        self._retry_zombie_completions()
         self.broadcast_lwm()
         self.metrics.incr("tc.dc_restart_redos")
 

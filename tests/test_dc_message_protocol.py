@@ -7,6 +7,7 @@ import pytest
 from repro.common.api import (
     CheckpointReply,
     CheckpointRequest,
+    ControlAck,
     EndOfStableLog,
     LowWaterMark,
     Message,
@@ -50,10 +51,12 @@ class TestDispatch:
         )
         assert dc.buffer.eosl_for(1) == 42
 
-    def test_fire_and_forget_messages_return_none(self, dc):
-        assert dc.handle(EndOfStableLog(tc_id=1, eosl=5)) is None
+    def test_control_message_replies(self, dc):
+        # Contract-state control messages are acked, so a lossy channel can
+        # resend them until delivery; LWM is an advisory hint and is not.
+        assert isinstance(dc.handle(EndOfStableLog(tc_id=1, eosl=5)), ControlAck)
         assert dc.handle(LowWaterMark(tc_id=1, lwm=3)) is None
-        assert dc.handle(RestartBegin(tc_id=1, stable_lsn=0)) is None
+        assert isinstance(dc.handle(RestartBegin(tc_id=1, stable_lsn=0)), ControlAck)
 
     def test_checkpoint_request_reply(self, dc):
         dc.handle(
