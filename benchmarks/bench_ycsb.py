@@ -8,12 +8,16 @@ scan-heavy E widen it — scans pay probes, RMW pays validation reads).
 
 from __future__ import annotations
 
+import json
+import time
+
 import pytest
 
-from benchmarks.conftest import series
+from benchmarks.conftest import RESULTS_DIR, series, write_results
 from repro import KernelConfig, UnbundledKernel
 from repro.common.config import DcConfig
 from repro.kernel.monolithic import MonolithicEngine
+from repro.obs import Tracer, validate_chrome_trace, write_chrome_trace
 from repro.workloads.ycsb import PRESETS, YcsbConfig, YcsbWorkload
 
 OPS = 200
@@ -53,4 +57,74 @@ def test_ycsb_preset(benchmark, preset, engine_kind):
         engine=engine_kind,
         ops_per_s=round(stats.ops_per_second),
         committed=stats.committed,
+    )
+
+
+def test_ycsb_traced_smoke():
+    """One fully traced preset-A run: the CI observability gate.
+
+    Exports ``benchmarks/results/TRACE_ycsb.json`` (Chrome trace-event
+    JSON — drag into https://ui.perfetto.dev), validates its shape, and
+    asserts the tentpole property: a committed transaction's root span
+    links its lock waits, log forces, channel sends and DC execution in
+    one tree.  No pytest-benchmark machinery — this is a smoke test, not
+    a timing.
+    """
+    seed = 7
+    tracer = Tracer()
+    kernel = UnbundledKernel(
+        KernelConfig(dc=DcConfig(page_size=1024)), tracer=tracer
+    )
+    kernel.create_table("usertable")
+    workload = YcsbWorkload(
+        kernel.begin, config=YcsbConfig(preset="A", keyspace=300, seed=seed)
+    )
+    workload.load()
+    started = time.perf_counter()
+    stats = workload.run(OPS)
+    wall_time_s = time.perf_counter() - started
+    assert stats.committed > 0
+
+    trace_path = write_chrome_trace(RESULTS_DIR / "TRACE_ycsb.json", tracer)
+    document = json.loads(trace_path.read_text())
+    problems = validate_chrome_trace(document)
+    assert not problems, problems
+
+    committed_roots = [
+        span
+        for span in tracer.finished_spans()
+        if span.name == "txn" and span.tags.get("outcome") == "committed"
+    ]
+    assert committed_roots
+    required = {"tc.lock_wait", "tc.log_force", "channel.send", "dc.execute"}
+    assert any(
+        required <= tracer.descendant_names(root) for root in committed_roots
+    ), "no committed transaction trace contains all required child spans"
+
+    result_path = write_results(
+        "ycsb_traced",
+        {
+            "preset": "A",
+            "engine": "unbundled",
+            "ops": OPS,
+            "committed": stats.committed,
+            "ops_per_s": round(stats.ops_per_second),
+            "spans": len(tracer.finished_spans()),
+            "trace_file": trace_path.name,
+        },
+        kernel.metrics,
+        seed=seed,
+        wall_time_s=wall_time_s,
+    )
+    percentiles = json.loads(result_path.read_text())["percentiles"]
+    latency = percentiles["tc.commit_latency_ms"]
+    assert latency["p50"] is not None
+    assert latency["p95"] is not None
+    assert latency["p99"] is not None
+    series(
+        "YCSB-A traced",
+        committed=stats.committed,
+        spans=len(tracer.finished_spans()),
+        p50_ms=round(latency["p50"], 3),
+        p99_ms=round(latency["p99"], 3),
     )

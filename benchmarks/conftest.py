@@ -55,18 +55,50 @@ def series(label: str, **fields: object) -> None:
     print(f"\n[{label}] {parts}")
 
 
-def write_results(name: str, payload: dict, metrics=None) -> Path:
+def write_results(
+    name: str,
+    payload: dict,
+    metrics=None,
+    seed: int | None = None,
+    wall_time_s: float | None = None,
+) -> Path:
     """Persist one benchmark's machine-readable results.
 
-    Writes ``benchmarks/results/BENCH_<name>.json``; when a
-    :class:`~repro.sim.metrics.Metrics` object is passed its
-    ``snapshot()`` rides along under a ``"metrics"`` key, so a result
-    file carries both the headline series and the raw counters behind it.
+    Writes ``benchmarks/results/BENCH_<name>.json`` with one standard
+    shape so downstream tooling (CI artifact checks, EXPERIMENTS.md
+    regeneration) never guesses per benchmark:
+
+    - ``schema``/``name``/``seed``/``wall_time_s`` — provenance;
+    - ``series`` — the benchmark's headline row (the payload);
+    - ``counters`` — the raw counters behind it;
+    - ``percentiles`` — count/p50/p95/p99 per observed distribution
+      (``tc.commit_latency_ms`` makes every traced/untraced run report
+      commit-latency percentiles);
+    - ``metrics`` — the full snapshot, for anything the above dropped.
     """
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    document = dict(payload)
+    document: dict = {
+        "schema": "repro-bench/v2",
+        "name": name,
+        "seed": seed,
+        "wall_time_s": wall_time_s,
+        "series": dict(payload),
+        "counters": {},
+        "percentiles": {},
+    }
     if metrics is not None:
-        document["metrics"] = metrics.snapshot()
+        snapshot = metrics.snapshot()
+        document["counters"] = snapshot["counters"]
+        document["percentiles"] = {
+            dist_name: {
+                "count": row["count"],
+                "p50": row["p50"],
+                "p95": row["p95"],
+                "p99": row["p99"],
+            }
+            for dist_name, row in snapshot["distributions"].items()
+        }
+        document["metrics"] = snapshot
     path = RESULTS_DIR / f"BENCH_{name}.json"
     path.write_text(json.dumps(document, indent=2, sort_keys=True, default=str))
     return path

@@ -41,6 +41,7 @@ from repro.common.ops import ReadFlavor
 from repro.dc.data_component import DataComponent
 from repro.kernel.unbundled import UnbundledKernel
 from repro.net.channel import MessageChannel
+from repro.obs import NULL_TRACER, NullTracer, Tracer
 from repro.sim.metrics import Metrics
 from repro.storage.buffer import ResetMode
 from repro.tc.transactional_component import Transaction, TransactionalComponent
@@ -61,13 +62,16 @@ __all__ = [
     "MessageChannel",
     "Metrics",
     "NULL_LSN",
+    "NULL_TRACER",
     "NoSuchRecordError",
+    "NullTracer",
     "PageSyncStrategy",
     "RangeLockProtocol",
     "ReadFlavor",
     "ReproError",
     "ResetMode",
     "TcConfig",
+    "Tracer",
     "Transaction",
     "TransactionAborted",
     "TransactionalComponent",

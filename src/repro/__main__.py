@@ -5,6 +5,9 @@ Commands:
 - ``demo``        — a two-minute guided tour of the unbundled kernel
 - ``stats``       — build a sample workload and print component stats
 - ``experiments`` — list the experiment index (benchmarks per paper claim)
+- ``trace [preset] [out.json]`` — run a traced YCSB workload (preset A-F,
+  default A), write Chrome trace-event JSON (open in chrome://tracing or
+  https://ui.perfetto.dev) and print the per-phase latency breakdown
 """
 
 from __future__ import annotations
@@ -86,8 +89,45 @@ def _experiments() -> None:
     print("\nrun one:  pytest benchmarks/<file> -s")
 
 
+def _trace(args: list[str]) -> int:
+    from repro import KernelConfig, UnbundledKernel
+    from repro.common.config import DcConfig
+    from repro.obs import Tracer, latency_breakdown, write_chrome_trace
+    from repro.workloads.ycsb import PRESETS, YcsbConfig, YcsbWorkload
+
+    preset = (args[0] if args else "A").upper()
+    if preset not in PRESETS:
+        print(f"unknown YCSB preset {preset!r}; choose from {sorted(PRESETS)}")
+        return 1
+    out = args[1] if len(args) > 1 else f"trace_ycsb_{preset}.json"
+    tracer = Tracer()
+    kernel = UnbundledKernel(
+        KernelConfig(dc=DcConfig(page_size=1024)), tracer=tracer
+    )
+    kernel.create_table("usertable")
+    workload = YcsbWorkload(
+        kernel.begin, config=YcsbConfig(preset=preset, keyspace=300, seed=7)
+    )
+    workload.load()
+    stats = workload.run(400)
+    path = write_chrome_trace(out, tracer)
+    print(f"YCSB-{preset}: {stats.committed} committed, "
+          f"{len(tracer.finished_spans())} spans")
+    print(f"trace written to {path} "
+          "(drag into https://ui.perfetto.dev or chrome://tracing)\n")
+    print(latency_breakdown(tracer))
+    latency = kernel.metrics.dist("tc.commit_latency_ms")
+    if latency.count:
+        print(f"\ncommit latency ms: p50={latency.percentile(0.5):.3f} "
+              f"p95={latency.percentile(0.95):.3f} "
+              f"p99={latency.percentile(0.99):.3f}  (n={latency.count})")
+    return 0
+
+
 def main(argv: list[str]) -> int:
     commands = {"demo": _demo, "stats": _stats, "experiments": _experiments}
+    if argv and argv[0] == "trace":
+        return _trace(argv[1:])
     if len(argv) != 1 or argv[0] not in commands:
         print(__doc__)
         return 1

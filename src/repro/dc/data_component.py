@@ -67,6 +67,7 @@ from repro.common.records import RecordView, TOMBSTONE, VersionedRecord
 from repro.dc.dclog import DcLog
 from repro.dc.recovery import DcRecoveryManager, TableDescriptor
 from repro.dc.system_txn import SystemTransaction
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool, ResetMode
@@ -93,16 +94,27 @@ class DataComponent:
         metrics: Optional[Metrics] = None,
         storage: Optional[StableStorage] = None,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.name = name
         self.config = config or DcConfig()
         self.metrics = metrics or Metrics()
         self.storage = storage or StableStorage(self.metrics)
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if (
+            not self.tracer.enabled
+            and type(self).perform_operation is DataComponent.perform_operation
+        ):
+            # No tracing: operations dispatch straight to the untraced body
+            # (skipped when a subclass overrides perform_operation).
+            self.perform_operation = self._perform_operation
+        self.storage.tracer = self.tracer
         if faults is not None:
             faults.register_component(self.name, "dc", self.crash)
             self.storage.bind_faults(faults, self.name)
         self.dclog = DcLog(self.storage, self.metrics)
+        self.dclog.tracer = self.tracer
         if faults is not None:
             self.dclog.faults = faults
             self.dclog.owner = self.name
@@ -110,7 +122,11 @@ class DataComponent:
         self.on_crash: list[Callable[[str, str], None]] = []
         self.recovery = DcRecoveryManager(self.storage, self.metrics)
         self.buffer = BufferPool(
-            self.storage, self.config, self.metrics, loader=self.recovery.load_page
+            self.storage,
+            self.config,
+            self.metrics,
+            loader=self.recovery.load_page,
+            tracer=self.tracer,
         )
         self._tables: dict[str, TableHandle] = {}
         self._admin_lock = threading.RLock()
@@ -309,6 +325,19 @@ class DataComponent:
     # -- perform_operation ---------------------------------------------------------------
 
     def perform_operation(
+        self, tc_id: int, op_id: Lsn, op: LogicalOperation, resend: bool = False
+    ) -> OpResult:
+        with self.tracer.span(
+            "dc.execute",
+            component=self.name,
+            request_id=op_id,
+            op=type(op).__name__,
+            op_id=op_id,
+            resend=resend,
+        ):
+            return self._perform_operation(tc_id, op_id, op, resend)
+
+    def _perform_operation(
         self, tc_id: int, op_id: Lsn, op: LogicalOperation, resend: bool = False
     ) -> OpResult:
         self._check_up()

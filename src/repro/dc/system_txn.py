@@ -38,6 +38,7 @@ from repro.dc.dclog import (
     PageImageRecord,
     RootChangedRecord,
 )
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.page import Page, PageImage, PageKind
 
@@ -60,6 +61,9 @@ class SystemTransaction:
         self.kind = kind
         self._dclog = dclog
         self._metrics = metrics
+        # Picked up from the owning DC's log so call sites (btree, heap,
+        # catalog) need no signature change.
+        self._tracer = getattr(dclog, "tracer", NULL_TRACER)
         self._ensure_stable = ensure_stable
         self._records: list[DcLogRecord] = []
         self._committed = False
@@ -126,6 +130,14 @@ class SystemTransaction:
 
     def commit(self) -> None:
         """Gate on causality, then force the batch to the stable DC log."""
+        if not self._tracer.enabled:
+            return self._commit()
+        with self._tracer.span(
+            "dc.systxn", component="dc", kind=self.kind, records=len(self._records)
+        ):
+            return self._commit()
+
+    def _commit(self) -> None:
         if self._committed:
             raise RuntimeError("system transaction already committed")
         needed = self._stability_requirements()

@@ -27,6 +27,7 @@ import bisect
 import enum
 import itertools
 import threading
+import time
 from dataclasses import dataclass
 from typing import Optional
 
@@ -41,6 +42,7 @@ from repro.common.errors import (
 )
 from repro.common.lsn import Lsn, LsnGenerator, NULL_LSN
 from repro.common.records import Key, Value, VersionedRecord, sizeof_key, sizeof_value
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.page import InnerPage, LeafPage, Page, PageImage
 from repro.tc.lock_manager import LockManager, LockMode
@@ -177,21 +179,57 @@ class MonoTransaction:
         self.txn_id = txn_id
         self.state = MonoTxnState.ACTIVE
         self.undo_chain: list[MonoUpdate] = []
+        self._started = time.perf_counter()
+        #: Root span (NULL_SPAN when tracing is off), mirroring the
+        #: unbundled Transaction so traces compare side by side.
+        if engine.tracer.enabled:
+            self.span = engine.tracer.start_trace(
+                "txn", component="mono", txn_id=txn_id
+            )
+        else:
+            self.span = NULL_SPAN
 
     def insert(self, table: str, key: Key, value: Value) -> None:
-        self._engine.do_insert(self, table, key, value)
+        if not self._engine.tracer.enabled:
+            return self._engine.do_insert(self, table, key, value)
+        try:
+            with self._engine.tracer.activate(self.span):
+                self._engine.do_insert(self, table, key, value)
+        finally:
+            self._close_span_if_done()
 
     def update(self, table: str, key: Key, value: Value) -> None:
-        self._engine.do_update(self, table, key, value)
+        if not self._engine.tracer.enabled:
+            return self._engine.do_update(self, table, key, value)
+        try:
+            with self._engine.tracer.activate(self.span):
+                self._engine.do_update(self, table, key, value)
+        finally:
+            self._close_span_if_done()
 
     def delete(self, table: str, key: Key) -> None:
-        self._engine.do_delete(self, table, key)
+        if not self._engine.tracer.enabled:
+            return self._engine.do_delete(self, table, key)
+        try:
+            with self._engine.tracer.activate(self.span):
+                self._engine.do_delete(self, table, key)
+        finally:
+            self._close_span_if_done()
 
     def increment(self, table: str, key: Key, delta: float) -> None:
-        self._engine.do_increment(self, table, key, delta)
+        if not self._engine.tracer.enabled:
+            return self._engine.do_increment(self, table, key, delta)
+        try:
+            with self._engine.tracer.activate(self.span):
+                self._engine.do_increment(self, table, key, delta)
+        finally:
+            self._close_span_if_done()
 
     def read(self, table: str, key: Key) -> Optional[Value]:
-        return self._engine.do_read(self, table, key)
+        if not self._engine.tracer.enabled:
+            return self._engine.do_read(self, table, key)
+        with self._engine.tracer.activate(self.span):
+            return self._engine.do_read(self, table, key)
 
     def scan(
         self,
@@ -200,13 +238,49 @@ class MonoTransaction:
         high: Optional[Key] = None,
         limit: Optional[int] = None,
     ) -> list[tuple[Key, Value]]:
-        return self._engine.do_scan(self, table, low, high, limit)
+        if not self._engine.tracer.enabled:
+            return self._engine.do_scan(self, table, low, high, limit)
+        with self._engine.tracer.activate(self.span):
+            return self._engine.do_scan(self, table, low, high, limit)
 
     def commit(self) -> None:
-        self._engine.commit(self)
+        tracer = self._engine.tracer
+        if not tracer.enabled:
+            try:
+                self._engine.commit(self)
+            finally:
+                self._observe_commit_latency()
+            return
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "mono.commit", component="mono"
+            ):
+                self._engine.commit(self)
+        finally:
+            self._observe_commit_latency()
+            self._close_span_if_done()
+
+    def _observe_commit_latency(self) -> None:
+        if self.state is MonoTxnState.COMMITTED:
+            self._engine._commit_latency.append(
+                (time.perf_counter() - self._started) * 1000.0
+            )
 
     def abort(self) -> None:
-        self._engine.abort(self)
+        tracer = self._engine.tracer
+        if not tracer.enabled:
+            return self._engine.abort(self)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "mono.abort", component="mono"
+            ):
+                self._engine.abort(self)
+        finally:
+            self._close_span_if_done()
+
+    def _close_span_if_done(self) -> None:
+        if self.state is not MonoTxnState.ACTIVE:
+            self.span.finish(outcome=self.state.value)
 
     def __enter__(self) -> "MonoTransaction":
         return self
@@ -216,7 +290,7 @@ class MonoTransaction:
             if exc_type is None:
                 self.commit()
             else:
-                self._engine.abort(self)
+                self.abort()
 
     def _check_active(self) -> None:
         if self.state is not MonoTxnState.ACTIVE:
@@ -231,14 +305,26 @@ class MonolithicEngine:
         config: Optional[DcConfig] = None,
         tc_config: Optional[TcConfig] = None,
         metrics: Optional[Metrics] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.config = config or DcConfig()
         self.tc_config = tc_config or TcConfig()
         self.metrics = metrics or Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if (
+            not self.tracer.enabled
+            and type(self).force_log is MonolithicEngine.force_log
+        ):
+            # No tracing: log forces dispatch straight to the untraced body.
+            self.force_log = self._force_log
+        #: Commit latencies land in a lock-free buffer; ``metrics`` folds
+        #: them into the ``mono.commit_latency_ms`` distribution lazily.
+        self._commit_latency = self.metrics.buffer("mono.commit_latency_ms")
         self.locks = LockManager(
             self.metrics,
             self.tc_config.deadlock_detection,
             self.tc_config.lock_timeout,
+            tracer=self.tracer,
         )
         self._lsns = LsnGenerator()
         self._log: list[MonoLogRecord] = []
@@ -262,6 +348,10 @@ class MonolithicEngine:
         return record
 
     def force_log(self) -> Lsn:
+        with self.tracer.span("mono.log_force", component="mono"):
+            return self._force_log()
+
+    def _force_log(self) -> Lsn:
         self._stable_count = len(self._log)
         self.metrics.incr("mono.log_forces")
         return self._log[-1].lsn if self._log else NULL_LSN

@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.common.config import KernelConfig
 from repro.dc.data_component import DataComponent
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.buffer import ResetMode
 from repro.tc.transactional_component import Transaction, TransactionalComponent
@@ -31,18 +32,27 @@ class UnbundledKernel:
         metrics: Optional[Metrics] = None,
         dc_count: int = 1,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.config = config or KernelConfig()
         self.metrics = metrics or Metrics()
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dcs: dict[str, DataComponent] = {}
         self.tc = TransactionalComponent(
-            config=self.config.tc, metrics=self.metrics, faults=faults
+            config=self.config.tc,
+            metrics=self.metrics,
+            faults=faults,
+            tracer=self.tracer,
         )
         for index in range(dc_count):
             name = f"dc{index + 1}" if dc_count > 1 else "dc"
             dc = DataComponent(
-                name, config=self.config.dc, metrics=self.metrics, faults=faults
+                name,
+                config=self.config.dc,
+                metrics=self.metrics,
+                faults=faults,
+                tracer=self.tracer,
             )
             self.dcs[name] = dc
             self.tc.attach_dc(dc, self.config.channel)

@@ -26,6 +26,7 @@ from repro.common.api import Message, OperationReply, PerformOperation
 from repro.common.config import ChannelConfig
 from repro.common.errors import CrashedError
 from repro.dc.data_component import DataComponent
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -42,12 +43,17 @@ class MessageChannel:
         metrics: Optional[Metrics] = None,
         name: str = "",
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.dc = dc
         self.config = config or ChannelConfig()
         self.metrics = metrics or Metrics()
         self.name = name or f"chan->{dc.name}"
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if not self.tracer.enabled and type(self).request is MessageChannel.request:
+            # No tracing: requests dispatch straight to the untraced body.
+            self.request = self._request
         self._rng = random.Random(self.config.seed)
         self._outbox: list[Message] = []
         self.sim_time_ms = 0.0
@@ -76,6 +82,21 @@ class MessageChannel:
         crashed DC is surfaced as a lost message plus a flag the TC can
         inspect via :attr:`dc`.
         """
+        op_id = getattr(message, "op_id", None)
+        with self.tracer.span(
+            "channel.send",
+            component=self.name,
+            request_id=op_id,
+            kind=type(message).__name__,
+            op_id=op_id,
+            resend=bool(getattr(message, "resend", False)),
+        ) as span:
+            reply = self._request(message)
+            if reply is None:
+                span.tags["lost"] = True
+            return reply
+
+    def _request(self, message: Message) -> Optional[Message]:
         self.metrics.incr("channel.requests")
         self.requests_sent += 1
         if isinstance(message, PerformOperation):

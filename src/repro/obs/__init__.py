@@ -1,0 +1,34 @@
+"""End-to-end tracing & profiling for the unbundled kernel.
+
+- :mod:`repro.obs.tracing` — causal spans piggybacking on the request ids
+  the interaction contracts already require; :data:`NULL_TRACER` is the
+  zero-overhead default every component holds.
+- :mod:`repro.obs.hist` — fixed-bucket log-scale histograms with
+  p50/p95/p99 (also backs :class:`repro.sim.metrics.Distribution`).
+- :mod:`repro.obs.export` — Chrome trace-event JSON (chrome://tracing,
+  Perfetto) and plain-text per-phase latency breakdowns.
+"""
+
+from repro.obs.hist import Histogram
+from repro.obs.export import (
+    chrome_trace,
+    latency_breakdown,
+    percentile_block,
+    validate_chrome_trace,
+    write_chrome_trace,
+)
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Histogram",
+    "NULL_SPAN",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "chrome_trace",
+    "latency_breakdown",
+    "percentile_block",
+    "validate_chrome_trace",
+    "write_chrome_trace",
+]

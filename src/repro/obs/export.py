@@ -1,0 +1,158 @@
+"""Trace export: Chrome trace-event JSON and plain-text latency breakdowns.
+
+The JSON format is the Trace Event Format consumed by ``chrome://tracing``
+and Perfetto (https://ui.perfetto.dev — drag the file in).  Each finished
+span becomes one complete ("ph": "X") event; components map to processes
+(so the TC, each DC, the channel and the disk get their own swim lanes)
+and traces map to threads within them, which renders one transaction's
+hops across components as aligned rows.
+
+The text breakdown answers the other 90% of questions without a browser:
+per-phase (span name) count and p50/p95/p99 duration, sorted by total
+time, straight from :meth:`Tracer.duration_histograms`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.obs.hist import Histogram
+from repro.obs.tracing import Span, Tracer
+
+
+def chrome_trace(tracer_or_spans: Union[Tracer, list[Span]]) -> dict:
+    """The trace as a Trace Event Format document (a plain dict)."""
+    if isinstance(tracer_or_spans, Tracer):
+        spans = tracer_or_spans.finished_spans()
+    else:
+        spans = list(tracer_or_spans)
+    events: list[dict] = []
+    pids: dict[str, int] = {}
+    for span in spans:
+        component = span.component or "kernel"
+        pid = pids.get(component)
+        if pid is None:
+            pid = len(pids) + 1
+            pids[component] = pid
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": component},
+                }
+            )
+        args = {str(k): _jsonable(v) for k, v in span.tags.items()}
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "name": span.name,
+                "cat": component,
+                "ph": "X",
+                "ts": round(span.start_us, 3),
+                "dur": round(span.duration_us or 0.0, 3),
+                "pid": pid,
+                "tid": span.trace_id,
+                "args": args,
+            }
+        )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _jsonable(value: object) -> object:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def write_chrome_trace(
+    path: Union[str, Path], tracer_or_spans: Union[Tracer, list[Span]]
+) -> Path:
+    """Serialize to ``path``; open the file in chrome://tracing or Perfetto."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(tracer_or_spans)))
+    return path
+
+
+def validate_chrome_trace(document: dict) -> list[str]:
+    """Shape-check an exported document; returns problems (empty = valid).
+
+    Used by CI so a malformed export fails the build rather than failing
+    silently in a viewer months later.
+    """
+    problems: list[str] = []
+    events = document.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for index, event in enumerate(events):
+        if not isinstance(event, dict):
+            problems.append(f"event {index} is not an object")
+            continue
+        phase = event.get("ph")
+        if phase not in ("X", "M"):
+            problems.append(f"event {index} has unknown phase {phase!r}")
+            continue
+        if "name" not in event or "pid" not in event:
+            problems.append(f"event {index} lacks name/pid")
+        if phase == "X":
+            for field in ("ts", "dur", "tid"):
+                if not isinstance(event.get(field), (int, float)):
+                    problems.append(f"event {index} field {field!r} not numeric")
+        if len(problems) >= 20:
+            problems.append("... (truncated)")
+            break
+    return problems
+
+
+def latency_breakdown(
+    tracer: Tracer, histograms: Optional[dict[str, Histogram]] = None
+) -> str:
+    """A per-phase latency table (durations in microseconds)."""
+    histograms = histograms if histograms is not None else tracer.duration_histograms()
+    if not histograms:
+        return "(no finished spans)"
+    rows = []
+    for name, histogram in histograms.items():
+        summary = histogram.summary()
+        rows.append(
+            (
+                name,
+                histogram.count,
+                summary["p50"],
+                summary["p95"],
+                summary["p99"],
+                histogram.count * summary["p50"],  # rough total: rank key
+            )
+        )
+    rows.sort(key=lambda row: row[5], reverse=True)
+    width = max(len(row[0]) for row in rows)
+    lines = [
+        f"{'phase':<{width}}  {'count':>8}  {'p50_us':>10}  {'p95_us':>10}  {'p99_us':>10}"
+    ]
+    for name, count, p50, p95, p99, _ in rows:
+        lines.append(
+            f"{name:<{width}}  {count:>8}  {p50:>10.1f}  {p95:>10.1f}  {p99:>10.1f}"
+        )
+    return "\n".join(lines)
+
+
+def percentile_block(tracer: Tracer) -> dict[str, dict[str, float]]:
+    """``{span_name: {count, p50_us, p95_us, p99_us}}`` for result files."""
+    block: dict[str, dict[str, float]] = {}
+    for name, histogram in sorted(tracer.duration_histograms().items()):
+        summary = histogram.summary()
+        block[name] = {
+            "count": histogram.count,
+            "p50_us": round(summary["p50"], 3),
+            "p95_us": round(summary["p95"], 3),
+            "p99_us": round(summary["p99"], 3),
+        }
+    return block

@@ -124,6 +124,7 @@ class ChaosRunner:
         checkpoint_every: int = 41,
         snapshot_every: int = 29,
         metrics: Optional[Metrics] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.seed = seed
         self.txns = txns
@@ -132,6 +133,9 @@ class ChaosRunner:
         self.checkpoint_every = checkpoint_every
         self.snapshot_every = snapshot_every
         self.metrics = metrics or Metrics()
+        #: When a real tracer is passed, invariant failures dump the run's
+        #: trace next to the benchmark results (see :meth:`_fail`).
+        self.tracer = tracer
         self.injector = FaultInjector(seed=seed, metrics=self.metrics)
         # Force every commit: the durability invariant checks *acknowledged*
         # commits, and an acknowledgement only means durable when the log
@@ -142,6 +146,7 @@ class ChaosRunner:
             metrics=self.metrics,
             dc_count=dc_count,
             faults=self.injector,
+            tracer=tracer,
         )
         dc_names = list(self.kernel.dcs)
         self.kernel.create_table("t", kind="btree", dc_name=dc_names[0])
@@ -374,6 +379,29 @@ class ChaosRunner:
                         self._fail(f"structure {name!r} on {dc.name}: {exc}")
 
     def _fail(self, message: str) -> None:
+        trace_note = ""
+        path = self._dump_trace()
+        if path is not None:
+            trace_note = f"\ntrace dumped to: {path}"
         raise ChaosViolation(
-            f"{message}\nreproduce with: {self.injector.describe()}"
+            f"{message}\nreproduce with: {self.injector.describe()}{trace_note}"
         )
+
+    def _dump_trace(self) -> Optional[str]:
+        """Export the failing run's spans for post-mortem (Perfetto)."""
+        if self.tracer is None or not getattr(self.tracer, "enabled", False):
+            return None
+        from pathlib import Path
+
+        from repro.obs.export import write_chrome_trace
+
+        target = (
+            Path(__file__).resolve().parents[3]
+            / "benchmarks"
+            / "results"
+            / f"CHAOS_TRACE_seed{self.seed}.json"
+        )
+        try:
+            return str(write_chrome_trace(target, self.tracer))
+        except OSError:  # pragma: no cover - read-only checkout etc.
+            return None

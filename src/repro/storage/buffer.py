@@ -27,6 +27,7 @@ from typing import Callable, Iterator, Optional
 from repro.common.config import DcConfig, PageSyncStrategy
 from repro.common.errors import WriteAheadViolation
 from repro.common.lsn import Lsn, NULL_LSN
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.disk import StableStorage
 from repro.storage.page import LeafPage, Page, PageImage, PageKind
@@ -63,10 +64,12 @@ class BufferPool:
         config: Optional[DcConfig] = None,
         metrics: Optional[Metrics] = None,
         loader: Optional[Callable[[int], Optional["PageImage"]]] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self._storage = storage
         self.config = config or DcConfig()
         self.metrics = metrics or Metrics()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: How misses are satisfied.  The DC installs the stable-page-state
         #: reconstructor (disk + DC-log replay) so pages living only as
         #: DC-log images are still fetchable; plain disk reads otherwise.
@@ -222,6 +225,14 @@ class BufferPool:
         if not self._sync_ready(page):
             self.metrics.incr("buffer.flush_delayed_sync")
             return False
+        if not self.tracer.enabled:
+            self._flush(page)
+            return True
+        with self.tracer.span("buffer.flush", component="dc", page_id=page.page_id):
+            self._flush(page)
+        return True
+
+    def _flush(self, page: Page) -> None:
         if self._storage.faults is not None:
             from repro.sim.faults import FaultPoint
 
@@ -234,7 +245,6 @@ class BufferPool:
         self._storage.write_page(image)
         page.dirty = False
         self.metrics.incr("buffer.flushes")
-        return True
 
     def flush_page_strict(self, page: Page) -> None:
         """Flush or raise — used by tests asserting the WAL invariant."""

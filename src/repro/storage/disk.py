@@ -20,6 +20,7 @@ import threading
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.lsn import Lsn, NULL_LSN
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.page import PageImage
 
@@ -38,6 +39,8 @@ class StableStorage:
         self._lock = threading.Lock()
         self.metrics = metrics or Metrics()
         self.faults: Optional["FaultInjector"] = None
+        #: Set by the owning DC; NULL_TRACER keeps standalone use silent.
+        self.tracer = NULL_TRACER
         self.owner = ""
 
     def bind_faults(self, faults: Optional["FaultInjector"], owner: str) -> None:
@@ -68,6 +71,14 @@ class StableStorage:
     # -- pages ---------------------------------------------------------------
 
     def write_page(self, image: PageImage) -> None:
+        if not self.tracer.enabled:
+            return self._write_page(image)
+        with self.tracer.span(
+            "disk.page_write", component=self.owner or "disk", page_id=image.page_id
+        ):
+            return self._write_page(image)
+
+    def _write_page(self, image: PageImage) -> None:
         # A crash fault here models a torn/partial write: atomic page
         # semantics make torn = nothing, and the volume's DC fail-stops
         # (the raise aborts the call before anything is installed).
@@ -112,6 +123,14 @@ class StableStorage:
 
     def append_dc_log(self, entries: list[object]) -> None:
         """Force a batch of DC-log records (a system-transaction commit)."""
+        if not self.tracer.enabled:
+            return self._append_dc_log(entries)
+        with self.tracer.span(
+            "disk.log_force", component=self.owner or "disk", records=len(entries)
+        ):
+            return self._append_dc_log(entries)
+
+    def _append_dc_log(self, entries: list[object]) -> None:
         # A crash fault here is the "failed fsync": the batch never reaches
         # the stable log, so the system transaction simply never happened.
         if self.faults is not None:

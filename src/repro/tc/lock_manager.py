@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Hashable, Optional
 
 from repro.common.errors import DeadlockError, LockTimeoutError
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 
 Resource = Hashable
@@ -102,10 +103,16 @@ class LockManager:
         metrics: Optional[Metrics] = None,
         deadlock_detection: bool = True,
         timeout: float = 1.0,
+        tracer: Optional[object] = None,
     ) -> None:
         self.metrics = metrics or Metrics()
         self.deadlock_detection = deadlock_detection
         self.timeout = timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        if not self.tracer.enabled and type(self).acquire is LockManager.acquire:
+            # No tracing: dispatch straight to the untraced body so the
+            # lock hot path pays nothing for instrumentation.
+            self.acquire = self._acquire
         self._cv = threading.Condition()
         self._table: dict[Resource, _LockEntry] = {}
         self._held_by_txn: dict[int, set[Resource]] = {}
@@ -127,6 +134,18 @@ class LockManager:
         :class:`LockTimeoutError`.  Re-acquiring a covered mode is free;
         upgrades wait for conflicting holders to drain.
         """
+        with self.tracer.span(
+            "tc.lock_wait", component="tc", resource=repr(resource), mode=mode.value
+        ):
+            return self._acquire(txn_id, resource, mode, timeout)
+
+    def _acquire(
+        self,
+        txn_id: int,
+        resource: Resource,
+        mode: LockMode,
+        timeout: Optional[float] = None,
+    ) -> None:
         deadline = time.monotonic() + (timeout if timeout is not None else self.timeout)
         with self._cv:
             entry = self._table.setdefault(resource, _LockEntry())

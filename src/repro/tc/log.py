@@ -30,6 +30,7 @@ from typing import Callable, Iterator, Optional
 
 from repro.common.lsn import Lsn, LsnGenerator, NULL_LSN
 from repro.common.ops import LogicalOperation
+from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
 
 
@@ -150,6 +151,10 @@ class TcLog:
 
     def __init__(self, metrics: Optional[Metrics] = None) -> None:
         self.metrics = metrics or Metrics()
+        #: Set by the owning TC; NULL_TRACER keeps standalone use silent.
+        self.tracer = NULL_TRACER
+        if type(self).force is TcLog.force:
+            self.force = self._force  # rebound by use_tracer when tracing is on
         self._records: list[TcLogRecord] = []
         self._stable_count = 0
         self._lsns = LsnGenerator()
@@ -191,8 +196,26 @@ class TcLog:
 
     # -- stability -------------------------------------------------------------
 
+    def use_tracer(self, tracer: object) -> None:
+        """Adopt the owning TC's tracer.
+
+        When tracing is off, ``force`` is rebound straight to the untraced
+        body so the group-commit hot path pays no wrapper dispatch at all.
+        """
+        self.tracer = tracer
+        if type(self).force is not TcLog.force:
+            return
+        if tracer.enabled:
+            self.__dict__.pop("force", None)
+        else:
+            self.force = self._force
+
     def force(self) -> Lsn:
         """Make every appended record stable; returns the new EOSL."""
+        with self.tracer.span("tc.log_force", component="tc"):
+            return self._force()
+
+    def _force(self) -> Lsn:
         with self._mutex:
             if self._stable_count < len(self._records):
                 self._stable_count = len(self._records)

@@ -29,6 +29,7 @@ from __future__ import annotations
 import enum
 import itertools
 import threading
+import time
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Optional
 
@@ -69,6 +70,7 @@ from repro.common.ops import (
 from repro.common.records import Key, RecordView, Value
 from repro.dc.data_component import DataComponent
 from repro.net.channel import MessageChannel
+from repro.obs.tracing import NULL_SPAN, NULL_TRACER
 from repro.sim.metrics import Metrics
 from repro.storage.buffer import ResetMode
 from repro.tc.lock_manager import LockManager
@@ -110,6 +112,16 @@ class Transaction:
         self._tc = tc
         self.txn_id = txn_id
         self.state = TransactionState.ACTIVE
+        self._started = time.perf_counter()
+        #: Root span of this transaction's trace (NULL_SPAN when tracing is
+        #: off).  Every user call re-activates it, so lock waits, channel
+        #: sends and DC execution all land in one tree.
+        if tc.tracer.enabled:
+            self.span = tc.tracer.start_trace(
+                "txn", component=tc.name, txn_id=txn_id
+            )
+        else:
+            self.span = NULL_SPAN
         #: Forward op records, in order (the undo chain).
         self.op_records: list[OpRecord] = []
         #: Values known under our locks: (table, key) -> value | ABSENT.
@@ -142,29 +154,83 @@ class Transaction:
         order — the abLSN machinery (Section 5.1) absorbs it.  Call
         :meth:`sync` (or commit/abort, which sync implicitly) to collect
         acknowledgements."""
-        self._tc.do_insert(self, table, key, value, deferred=deferred)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.do_insert(self, table, key, value, deferred=deferred)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.insert", component=self._tc.name, table=table
+            ):
+                self._tc.do_insert(self, table, key, value, deferred=deferred)
+        finally:
+            self._close_span_if_done()
 
     def update(
         self, table: str, key: Key, value: Value, deferred: bool = False
     ) -> None:
-        self._tc.do_update(self, table, key, value, deferred=deferred)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.do_update(self, table, key, value, deferred=deferred)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.update", component=self._tc.name, table=table
+            ):
+                self._tc.do_update(self, table, key, value, deferred=deferred)
+        finally:
+            self._close_span_if_done()
 
     def delete(self, table: str, key: Key, deferred: bool = False) -> None:
-        self._tc.do_delete(self, table, key, deferred=deferred)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.do_delete(self, table, key, deferred=deferred)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.delete", component=self._tc.name, table=table
+            ):
+                self._tc.do_delete(self, table, key, deferred=deferred)
+        finally:
+            self._close_span_if_done()
 
     def increment(
         self, table: str, key: Key, delta: float, deferred: bool = False
     ) -> None:
         """Add ``delta`` to a numeric record (logical undo: the negated
         delta — no prior value enters the log)."""
-        self._tc.do_increment(self, table, key, delta, deferred=deferred)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.do_increment(self, table, key, delta, deferred=deferred)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.increment", component=self._tc.name, table=table
+            ):
+                self._tc.do_increment(self, table, key, delta, deferred=deferred)
+        finally:
+            self._close_span_if_done()
 
     def sync(self) -> None:
         """Deliver all pipelined operations and collect their replies."""
-        self._tc.sync_pipeline(self)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.sync_pipeline(self)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.sync", component=self._tc.name
+            ):
+                self._tc.sync_pipeline(self)
+        finally:
+            self._close_span_if_done()
 
     def read(self, table: str, key: Key) -> Optional[Value]:
-        return self._tc.do_read(self, table, key)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.do_read(self, table, key)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.read", component=self._tc.name, table=table
+            ):
+                return self._tc.do_read(self, table, key)
+        finally:
+            self._close_span_if_done()
 
     def scan(
         self,
@@ -173,13 +239,57 @@ class Transaction:
         high: Optional[Key] = None,
         limit: Optional[int] = None,
     ) -> list[tuple[Key, Value]]:
-        return self._tc.do_scan(self, table, low, high, limit)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.do_scan(self, table, low, high, limit)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.scan", component=self._tc.name, table=table
+            ):
+                return self._tc.do_scan(self, table, low, high, limit)
+        finally:
+            self._close_span_if_done()
 
     def commit(self) -> None:
-        self._tc.commit(self)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            try:
+                self._tc.commit(self)
+            finally:
+                self._observe_commit_latency()
+            return
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.commit", component=self._tc.name
+            ):
+                self._tc.commit(self)
+        finally:
+            self._observe_commit_latency()
+            self._close_span_if_done()
+
+    def _observe_commit_latency(self) -> None:
+        if self.state is TransactionState.COMMITTED:
+            self._tc._commit_latency.append(
+                (time.perf_counter() - self._started) * 1000.0
+            )
 
     def abort(self) -> None:
-        self._tc.abort(self)
+        tracer = self._tc.tracer
+        if not tracer.enabled:
+            return self._tc.abort(self)
+        try:
+            with tracer.activate(self.span), tracer.span(
+                "tc.abort", component=self._tc.name
+            ):
+                self._tc.abort(self)
+        finally:
+            self._close_span_if_done()
+
+    def _close_span_if_done(self) -> None:
+        """Finish the root span once the transaction reaches a terminal
+        state (idempotent; forced aborts inside an operation land here)."""
+        if self.state is not TransactionState.ACTIVE:
+            self.span.finish(outcome=self.state.value)
 
     # -- context manager: abort-on-error safety net ------------------------------
 
@@ -191,7 +301,7 @@ class Transaction:
             if exc_type is None:
                 self.commit()
             else:
-                self._tc.abort(self)
+                self.abort()
 
     def _check_active(self) -> None:
         if self.state is not TransactionState.ACTIVE:
@@ -252,19 +362,28 @@ class TransactionalComponent:
         config: Optional[TcConfig] = None,
         metrics: Optional[Metrics] = None,
         faults: Optional["FaultInjector"] = None,
+        tracer: Optional[object] = None,
     ) -> None:
         self.tc_id = tc_id if tc_id is not None else next(self._ids)
         self.config = config or TcConfig()
         self.metrics = metrics or Metrics()
         self.name = f"tc{self.tc_id}"
         self.faults = faults
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Commit latencies land in a lock-free buffer; ``metrics`` folds
+        #: them into the ``tc.commit_latency_ms`` distribution lazily.
+        self._commit_latency = self.metrics.buffer("tc.commit_latency_ms")
         if faults is not None:
             faults.register_component(self.name, "tc", self.crash)
         #: Crash listeners ``(name, kind)`` — the supervisor subscribes.
         self.on_crash: list[Callable[[str, str], None]] = []
         self.log = TcLog(self.metrics)
+        self.log.use_tracer(self.tracer)
         self.locks = LockManager(
-            self.metrics, self.config.deadlock_detection, self.config.lock_timeout
+            self.metrics,
+            self.config.deadlock_detection,
+            self.config.lock_timeout,
+            tracer=self.tracer,
         )
         if self.config.range_protocol is RangeLockProtocol.FETCH_AHEAD:
             self.protocol = FetchAheadProtocol(self)
@@ -300,7 +419,9 @@ class TransactionalComponent:
     ) -> MessageChannel:
         """Connect to a DC; installs the causality/restart hooks and learns
         the DC's table routes."""
-        channel = MessageChannel(dc, channel_config, self.metrics, faults=self.faults)
+        channel = MessageChannel(
+            dc, channel_config, self.metrics, faults=self.faults, tracer=self.tracer
+        )
         with self._admin:
             self._channels[dc.name] = channel
             self._dcs[dc.name] = dc
@@ -1091,6 +1212,10 @@ class TransactionalComponent:
         policy = self.config.retry_policy()
         attempts = 0
         waited_ms = 0.0
+        if self.tracer.enabled:
+            # The op id *is* the trace context: DC-side spans started later
+            # (e.g. redo after a crash) can recover this request's trace.
+            self.tracer.bind_request(op_id)
         while not policy.exhausted(attempts, waited_ms):
             # The TC itself may have been crashed mid-operation (e.g. by a
             # fault during a DC-prompted log force) — stop immediately.
@@ -1152,6 +1277,8 @@ class TransactionalComponent:
         raise ResendExhaustedError(0, dc_name, attempts, waited_ms)
 
     def _complete_op(self, op_id: Lsn) -> None:
+        if self.tracer.enabled:
+            self.tracer.release_request(op_id)
         lwm = self.log.complete_op(op_id)
         self._completions_since_lwm += 1
         if self._completions_since_lwm >= self.config.lwm_interval:
@@ -1290,14 +1417,24 @@ class TransactionalComponent:
             return
         from repro.tc.recovery import resend_redo_stream
 
-        eosl = self.log.force()
-        if dc.name in self._channels:
-            # Acked: redo below relies on the DC knowing the current EOSL.
-            self._request_acked(dc.name, EndOfStableLog(tc_id=self.tc_id, eosl=eosl))
-        resend_redo_stream(self, dc_names={dc.name})
-        self._retry_zombie_rollbacks()
-        self._retry_zombie_completions()
-        self.broadcast_lwm()
+        root = self.tracer.start_trace(
+            "tc.dc_restart_redo", component=self.name, dc=dc.name
+        )
+        try:
+            with self.tracer.activate(root):
+                eosl = self.log.force()
+                if dc.name in self._channels:
+                    # Acked: redo below relies on the DC knowing the
+                    # current EOSL.
+                    self._request_acked(
+                        dc.name, EndOfStableLog(tc_id=self.tc_id, eosl=eosl)
+                    )
+                resend_redo_stream(self, dc_names={dc.name})
+                self._retry_zombie_rollbacks()
+                self._retry_zombie_completions()
+                self.broadcast_lwm()
+        finally:
+            root.finish()
         self.metrics.incr("tc.dc_restart_redos")
 
     @property

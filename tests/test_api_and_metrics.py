@@ -88,7 +88,38 @@ class TestMetrics:
         a.incr("x", 2)
         b.incr("x", 3)
         b.incr("y")
-        assert a.merged_with(b) == {"x": 5, "y": 1}
+        merged = a.merged_with(b)
+        assert merged["counters"] == {"x": 5, "y": 1}
+        assert merged["distributions"] == {}
+
+    def test_merged_with_keeps_distributions(self):
+        a, b = Metrics(), Metrics()
+        for value in (1.0, 2.0):
+            a.observe("lat", value)
+        for value in (3.0, 5.0):
+            b.observe("lat", value)
+        b.observe("bytes", 128.0)
+        merged = a.merged_with(b)
+        lat = merged["distributions"]["lat"]
+        assert lat["count"] == 4
+        assert lat["total"] == 11.0
+        assert lat["min"] == 1.0 and lat["max"] == 5.0
+        assert lat["p50"] is not None and lat["p99"] is not None
+        assert merged["distributions"]["bytes"]["count"] == 1
+        # neither source is mutated by the merge
+        assert a.dist("lat").count == 2 and b.dist("lat").count == 2
+
+    def test_snapshot_has_percentiles(self):
+        metrics = Metrics()
+        for value in range(1, 101):
+            metrics.observe("lat", float(value))
+        row = metrics.snapshot()["distributions"]["lat"]
+        # log-bucket estimates: relative error is bounded by the bucket
+        # ratio (~9%), so check a band, not equality
+        assert 0.85 * 50 <= row["p50"] <= 1.15 * 50
+        assert 0.85 * 95 <= row["p95"] <= 1.15 * 95
+        assert 0.85 * 99 <= row["p99"] <= 1.15 * 99
+        assert metrics.dist("lat").percentile(0.5) == row["p50"]
 
     def test_thread_safety(self):
         metrics = Metrics()
