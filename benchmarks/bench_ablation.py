@@ -50,24 +50,82 @@ def test_ablate_buffer_capacity(benchmark, capacity):
 @pytest.mark.parametrize("group_size", [1, 8, 32])
 def test_ablate_group_commit(benchmark, group_size):
     """Batching commits amortizes log forces (durability is batched too —
-    the classic trade, now spanning the TC/DC message boundary)."""
+    the classic trade, now spanning the TC/DC message boundary).
+
+    Group commit never trades durability for speed: a lone committer still
+    forces before acking, so amortization only shows up with *concurrent*
+    committers.  This ablation drives barrier-lockstep committer threads
+    and counts how many rode a peer's force instead of paying their own.
+    """
+    import sys
+    import threading
+
+    THREADS = 8
+    ROUNDS = 12
+
+    baseline = {}
 
     def run():
-        kernel = fresh_unbundled(tc=TcConfig(group_commit_size=group_size))
-        load_keys(kernel, N)
+        kernel = fresh_unbundled(
+            tc=TcConfig(group_commit_size=group_size, group_commit_deadline_ms=5.0)
+        )
+        load_keys(kernel, THREADS)
+        # The sequential load phase forces once per lone commit; measure
+        # the concurrent phase as a delta over it.
+        baseline["commits"] = kernel.metrics.get("tc.commits")
+        baseline["forces"] = kernel.metrics.get("tclog.forces")
+        barrier = threading.Barrier(THREADS)
+        errors: list[BaseException] = []
+
+        def worker(slot):
+            try:
+                for round_index in range(ROUNDS):
+                    with kernel.begin() as txn:
+                        txn.update("t", slot, f"r{round_index}")
+                        # Rendezvous *inside* the transaction so all
+                        # threads hit commit (the with-exit) together —
+                        # aligning at txn start would let fast commits
+                        # drain one by one past a lone-committer check.
+                        barrier.wait()
+            except BaseException as exc:  # pragma: no cover - asserted below
+                errors.append(exc)
+
+        # A tiny switch interval forces frequent preemption, so the
+        # committers genuinely overlap inside the coalescer window.
+        old_interval = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        try:
+            threads = [
+                threading.Thread(target=worker, args=(slot,))
+                for slot in range(THREADS)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            sys.setswitchinterval(old_interval)
+        assert not errors, errors
         return kernel
 
     kernel = benchmark.pedantic(run, rounds=1, iterations=1)
-    forces = kernel.metrics.get("tclog.forces")
+    commits = kernel.metrics.get("tc.commits") - baseline["commits"]
+    forces = kernel.metrics.get("tclog.forces") - baseline["forces"]
+    riders = kernel.metrics.get("tclog.group_commit_riders")
+    assert commits == THREADS * ROUNDS
     series(
         "ABLATE group-commit",
         group_size=group_size,
-        commits=N,
+        commits=commits,
         log_forces=forces,
-        forces_per_commit=round(forces / N, 3),
+        riders=riders,
+        forces_per_commit=round(forces / commits, 3),
     )
     if group_size > 1:
-        assert forces < N
+        # Some committers must have shared a force; with size 1 every
+        # commit forces for itself and nobody rides.
+        assert riders > 0
+        assert forces < commits
 
 
 @pytest.mark.benchmark(group="ablate-lwm")

@@ -11,6 +11,10 @@ Messages TC -> DC:
 
 - :class:`PerformOperation` — a logical operation with its unique request
   id (the LSN for mutations); resends reuse the id.
+- :class:`BatchedPerform` — a transport envelope of several
+  ``PerformOperation`` requests for the same DC, answered by one
+  :class:`BatchedReply`.  Purely an optimization: per-op ids, replies and
+  idempotence semantics are exactly those of the unbatched messages.
 - :class:`EndOfStableLog` — WAL across components: the DC may make stable
   any page whose operations are all at or below EOSL.
 - :class:`LowWaterMark` — the TC has replies for everything <= LWM, so the
@@ -69,6 +73,30 @@ class PerformOperation(Message):
 class OperationReply(Message):
     op_id: Lsn = 0
     result: Optional[OpResult] = None
+
+
+@dataclass(frozen=True)
+class BatchedPerform(Message):
+    """Several :class:`PerformOperation` requests in one round trip.
+
+    The envelope is a *transport* unit, not an atomicity unit: the DC
+    executes each enclosed operation independently (each against its own
+    abLSN idempotence test) and replies per-op.  Losing, duplicating or
+    reordering the envelope is therefore no different from losing,
+    duplicating or reordering every enclosed operation together — the
+    per-op resend/idempotence contracts of Section 4.2.1 are unchanged.
+    ``eosl`` is piggybacked once for the whole envelope.
+    """
+
+    ops: tuple[PerformOperation, ...] = ()
+    eosl: Lsn = 0
+
+
+@dataclass(frozen=True)
+class BatchedReply(Message):
+    """Per-op replies for one :class:`BatchedPerform`, correlated by op_id."""
+
+    replies: tuple[OperationReply, ...] = ()
 
 
 @dataclass(frozen=True)

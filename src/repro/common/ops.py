@@ -226,6 +226,8 @@ class OpResult:
 
     @staticmethod
     def okay(value: Value = None, prior: Value = None) -> "OpResult":
+        if value is None and prior is None:
+            return _OKAY  # frozen, so one shared instance serves every bare OK
         return OpResult(status=OpStatus.OK, value=value, prior=prior)
 
     @staticmethod
@@ -239,6 +241,9 @@ class OpResult:
     @staticmethod
     def error(message: str) -> "OpResult":
         return OpResult(status=OpStatus.ERROR, message=message)
+
+
+_OKAY = OpResult(status=OpStatus.OK)
 
 
 def inverse_of(op: LogicalOperation, result: OpResult) -> Optional[LogicalOperation]:

@@ -29,6 +29,8 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.sim.faults import FaultInjector
 
 from repro.common.api import (
+    BatchedPerform,
+    BatchedReply,
     CheckpointReply,
     CheckpointRequest,
     ControlAck,
@@ -150,6 +152,10 @@ class DataComponent:
         self._structure_factories: dict[
             str, Callable[["DataComponent", str, Optional[TableDescriptor]], object]
         ] = {}
+        # Hot-path counter slots, bound once (see Metrics.counter).
+        self._ops_slot = self.metrics.counter("dc.operations")
+        self._batches_slot = self.metrics.counter("dc.batches_received")
+        self._latches_slot = self.metrics.counter("dc.latches")
 
     # -- TC registration -----------------------------------------------------
 
@@ -300,6 +306,8 @@ class DataComponent:
             return OperationReply(
                 tc_id=message.tc_id, op_id=message.op_id, result=result
             )
+        if isinstance(message, BatchedPerform):
+            return self._handle_batch(message)
         if isinstance(message, EndOfStableLog):
             self.end_of_stable_log(message.tc_id, message.eosl)
             return ControlAck(tc_id=message.tc_id)
@@ -322,6 +330,99 @@ class DataComponent:
             )
         raise ReproError(f"DC {self.name}: unhandled message {message!r}")
 
+    def _handle_batch(self, message: BatchedPerform) -> BatchedReply:
+        """Unpack a :class:`BatchedPerform` envelope and execute per-op.
+
+        Each enclosed operation runs through the exact same
+        :meth:`perform_operation` path (same abLSN idempotence test, same
+        per-op reply) as an unbatched request — the envelope only saves
+        wire trips.  An injected crash mid-envelope escapes as
+        ``CrashedError``; the channel turns that into a lost message and
+        the TC resends the whole envelope, which per-op idempotence
+        absorbs.
+        """
+        self._batches_slot.value += 1
+        if message.eosl:
+            self.buffer.note_eosl(message.tc_id, message.eosl)
+        bound = self.__dict__.get("perform_operation")
+        if getattr(bound, "__func__", None) is DataComponent._perform_operation:
+            # Untraced, un-overridden dispatch: run the envelope through the
+            # lean loop that amortizes the table lookup, buffer bracket and
+            # structure latch over runs of same-table operations.  Each
+            # operation still gets the identical abLSN test, per-op result
+            # and per-op reply — only fixed-cost brackets are shared.
+            return self._execute_batch(message)
+        with self.tracer.span(
+            "dc.batch", component=self.name, ops=len(message.ops)
+        ):
+            replies = tuple(
+                OperationReply(
+                    tc_id=sub.tc_id,
+                    op_id=sub.op_id,
+                    result=self.perform_operation(
+                        sub.tc_id, sub.op_id, sub.op, resend=sub.resend
+                    ),
+                )
+                for sub in message.ops
+            )
+        return BatchedReply(tc_id=message.tc_id, replies=replies)
+
+    def _execute_batch(self, message: BatchedPerform) -> BatchedReply:
+        """Envelope execution with per-table amortization of fixed costs.
+
+        Exactly :meth:`_perform_operation` per enclosed op, except the
+        ``buffer.operation()`` bracket and the structure latch are taken
+        once per run of consecutive same-table operations instead of once
+        per op.  Holding them across a run is safe: the bracket only
+        defers eviction, and the structure latch is what every single-op
+        path holds for its whole mutation anyway — a longer hold changes
+        contention, never correctness.  ``CrashedError`` escapes exactly
+        as in the single-op path (the channel reports a lost message).
+        """
+        ops = message.ops
+        replies: list[OperationReply] = []
+        index, total = 0, len(ops)
+        while index < total:
+            self._check_up()
+            sub = ops[index]
+            table = sub.op.table
+            handle = self._tables.get(table)
+            if handle is None:
+                self._ops_slot.value += 1
+                replies.append(
+                    OperationReply(
+                        tc_id=sub.tc_id,
+                        op_id=sub.op_id,
+                        result=OpResult.error(str(UnknownTableError(table))),
+                    )
+                )
+                index += 1
+                continue
+            with self.buffer.operation(), handle.structure.latch:
+                while index < total and ops[index].op.table == table:
+                    sub = ops[index]
+                    self._ops_slot.value += 1
+                    if sub.resend:
+                        self.metrics.incr("dc.resends_received")
+                    try:
+                        if sub.op.MUTATES:
+                            result = self._apply_mutation(
+                                handle, sub.tc_id, sub.op_id, sub.op
+                            )
+                        else:
+                            result = self._execute_read(handle, sub.tc_id, sub.op)
+                    except CrashedError:
+                        raise
+                    except (PageOverflowError, ReproError) as exc:
+                        result = OpResult.error(str(exc))
+                    replies.append(
+                        OperationReply(
+                            tc_id=sub.tc_id, op_id=sub.op_id, result=result
+                        )
+                    )
+                    index += 1
+        return BatchedReply(tc_id=message.tc_id, replies=replies)
+
     # -- perform_operation ---------------------------------------------------------------
 
     def perform_operation(
@@ -341,7 +442,7 @@ class DataComponent:
         self, tc_id: int, op_id: Lsn, op: LogicalOperation, resend: bool = False
     ) -> OpResult:
         self._check_up()
-        self.metrics.incr("dc.operations")
+        self._ops_slot.value += 1
         if resend:
             self.metrics.incr("dc.resends_received")
         try:
@@ -378,19 +479,23 @@ class DataComponent:
             return OpResult.okay()
         versioned = handle.descriptor.versioned or getattr(op, "versioned", False)
         if isinstance(op, InsertOp):
-            result, final_leaf = self._apply_insert(handle, tc_id, op, versioned)
+            result, final_leaf = self._apply_insert(
+                handle, tc_id, op, versioned, leaf, op_id
+            )
         elif isinstance(op, UpdateOp):
-            result, final_leaf = self._apply_update(handle, tc_id, op, versioned)
+            result, final_leaf = self._apply_update(
+                handle, tc_id, op, versioned, leaf, op_id
+            )
         elif isinstance(op, DeleteOp):
-            result, final_leaf = self._apply_delete(handle, tc_id, op, versioned)
+            result, final_leaf = self._apply_delete(
+                handle, tc_id, op, versioned, leaf, op_id
+            )
         elif isinstance(op, IncrementOp):
-            result, final_leaf = self._apply_increment(handle, tc_id, op, versioned)
+            result, final_leaf = self._apply_increment(
+                handle, tc_id, op, versioned, leaf, op_id
+            )
         else:
             return OpResult.error(f"unknown mutation {type(op).__name__}")
-        if result.ok and op_id:
-            with final_leaf.latch:
-                final_leaf.ablsn_for(tc_id).include(op_id)
-                final_leaf.dirty = True
         if result.ok and isinstance(op, DeleteOp) and not versioned:
             structure.maybe_consolidate(op.key)
         return result
@@ -401,36 +506,53 @@ class DataComponent:
         tc_id: int,
         key: object,
         mutate: Callable[[Optional[VersionedRecord]], Optional[VersionedRecord]],
+        leaf: Optional[LeafPage] = None,
+        op_id: Lsn = 0,
+        outcome: Optional[dict[str, OpResult]] = None,
     ) -> tuple[Optional[VersionedRecord], LeafPage]:
         """Apply ``mutate`` to the record slot, splitting for space as needed.
 
+        ``leaf`` lets the caller reuse a descent it already made; the
+        structure latch held around every mutation keeps it valid.  When the
+        caller passes ``op_id`` + ``outcome``, a successful mutation's LSN
+        is folded into the leaf's abLSN inside the same latch bracket (the
+        exactly-once bookkeeping, saved a second latch acquisition).
         Returns ``(new_record_or_None, leaf_finally_holding_the_slot)``.
         """
         structure = handle.structure
-        leaf = structure.find_leaf(key)
+        if leaf is None:
+            leaf = structure.find_leaf(key)
         with leaf.latch:
-            self.metrics.incr("dc.latches")
+            self._latches_slot.value += 1
             old = leaf.get(key)
             new = mutate(old.clone() if old is not None else None)
             if new is None:
                 if old is not None:
                     leaf.remove(key)
+                    if op_id and outcome is not None and outcome["result"].ok:
+                        leaf.ablsn_for(tc_id).include(op_id)
                 return None, leaf
             # owner_tc is set by the mutators on *successful* changes only,
             # so a rejected operation never reassigns another TC's record
             delta = new.encoded_size() - (old.encoded_size() if old is not None else 0)
             if leaf.fits(delta, self.config.page_size):
-                leaf.put(new)
+                leaf.put(new, delta)
+                if op_id and outcome is not None and outcome["result"].ok:
+                    leaf.ablsn_for(tc_id).include(op_id)
                 return new, leaf
         # Overflow: split (a system transaction), then retry on the new leaf.
         leaf = structure.ensure_room(key, delta)
         with leaf.latch:
-            self.metrics.incr("dc.latches")
+            self._latches_slot.value += 1
             leaf.put(new)
+            if op_id and outcome is not None and outcome["result"].ok:
+                leaf.ablsn_for(tc_id).include(op_id)
             return new, leaf
 
     def _apply_insert(
-        self, handle: TableHandle, tc_id: int, op: InsertOp, versioned: bool
+        self, handle: TableHandle, tc_id: int, op: InsertOp, versioned: bool,
+        leaf: Optional[LeafPage] = None,
+        op_id: Lsn = 0,
     ) -> tuple[OpResult, LeafPage]:
         outcome: dict[str, OpResult] = {}
 
@@ -451,11 +573,15 @@ class DataComponent:
             outcome["result"] = OpResult.okay()
             return record
 
-        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        _record, leaf = self._mutate_record(
+            handle, tc_id, op.key, mutate, leaf, op_id, outcome
+        )
         return outcome["result"], leaf
 
     def _apply_update(
-        self, handle: TableHandle, tc_id: int, op: UpdateOp, versioned: bool
+        self, handle: TableHandle, tc_id: int, op: UpdateOp, versioned: bool,
+        leaf: Optional[LeafPage] = None,
+        op_id: Lsn = 0,
     ) -> tuple[OpResult, LeafPage]:
         outcome: dict[str, OpResult] = {}
 
@@ -474,11 +600,15 @@ class DataComponent:
             outcome["result"] = OpResult.okay(prior=prior)
             return old
 
-        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        _record, leaf = self._mutate_record(
+            handle, tc_id, op.key, mutate, leaf, op_id, outcome
+        )
         return outcome["result"], leaf
 
     def _apply_delete(
-        self, handle: TableHandle, tc_id: int, op: DeleteOp, versioned: bool
+        self, handle: TableHandle, tc_id: int, op: DeleteOp, versioned: bool,
+        leaf: Optional[LeafPage] = None,
+        op_id: Lsn = 0,
     ) -> tuple[OpResult, LeafPage]:
         outcome: dict[str, OpResult] = {}
 
@@ -496,11 +626,15 @@ class DataComponent:
                 return old
             return None  # physical removal
 
-        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        _record, leaf = self._mutate_record(
+            handle, tc_id, op.key, mutate, leaf, op_id, outcome
+        )
         return outcome["result"], leaf
 
     def _apply_increment(
-        self, handle: TableHandle, tc_id: int, op: IncrementOp, versioned: bool
+        self, handle: TableHandle, tc_id: int, op: IncrementOp, versioned: bool,
+        leaf: Optional[LeafPage] = None,
+        op_id: Lsn = 0,
     ) -> tuple[OpResult, LeafPage]:
         outcome: dict[str, OpResult] = {}
 
@@ -525,7 +659,9 @@ class DataComponent:
             outcome["result"] = OpResult.okay(value=updated, prior=current)
             return old
 
-        _record, leaf = self._mutate_record(handle, tc_id, op.key, mutate)
+        _record, leaf = self._mutate_record(
+            handle, tc_id, op.key, mutate, leaf, op_id, outcome
+        )
         return outcome["result"], leaf
 
     def _apply_version_cleanup(

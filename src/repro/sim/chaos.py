@@ -32,7 +32,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.common.config import KernelConfig, TcConfig
+from repro.common.config import ChannelConfig, KernelConfig, TcConfig
 from repro.common.errors import (
     ComponentUnavailableError,
     ReproError,
@@ -125,6 +125,8 @@ class ChaosRunner:
         snapshot_every: int = 29,
         metrics: Optional[Metrics] = None,
         tracer: Optional[object] = None,
+        tc_config: Optional[TcConfig] = None,
+        channel_config: Optional[ChannelConfig] = None,
     ) -> None:
         self.seed = seed
         self.txns = txns
@@ -137,10 +139,14 @@ class ChaosRunner:
         #: trace next to the benchmark results (see :meth:`_fail`).
         self.tracer = tracer
         self.injector = FaultInjector(seed=seed, metrics=self.metrics)
-        # Force every commit: the durability invariant checks *acknowledged*
-        # commits, and an acknowledgement only means durable when the log
-        # was forced through the commit record.
-        config = KernelConfig(tc=TcConfig(group_commit_size=1))
+        # The durability invariant checks *acknowledged* commits; commit
+        # acknowledgement is force-before-ack at every group_commit_size
+        # (the GroupCommitCoalescer waits for the commit record to reach
+        # the stable log), so callers may hand in any TcConfig — including
+        # the optimized fast-path one — without weakening the check.
+        config = KernelConfig(tc=tc_config or TcConfig(group_commit_size=1))
+        if channel_config is not None:
+            config.channel = channel_config
         self.kernel = UnbundledKernel(
             config=config,
             metrics=self.metrics,

@@ -69,6 +69,26 @@ class Distribution:
         }
 
 
+class CounterSlot:
+    """A pre-bound, lock-free counter for per-operation hot paths.
+
+    ``slot.value += 1`` (or :meth:`incr`) is a single attribute update —
+    no dict lookup, no lock acquisition.  Like :meth:`Metrics.buffer`, it
+    relies on the GIL making the read-modify-write effectively atomic for
+    our workloads; slot totals fold into the owning :class:`Metrics`
+    whenever any reader runs, so ``metrics.get(name)`` always sees the sum
+    of locked increments and slot increments under one name.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def incr(self, amount: int = 1) -> None:
+        self.value += amount
+
+
 class Metrics:
     """A named bag of counters and distributions.
 
@@ -82,10 +102,24 @@ class Metrics:
         self._counters: dict[str, int] = defaultdict(int)
         self._distributions: dict[str, Distribution] = defaultdict(Distribution)
         self._buffers: dict[str, deque] = {}
+        self._slots: dict[str, CounterSlot] = {}
 
     def incr(self, name: str, amount: int = 1) -> None:
         with self._lock:
             self._counters[name] += amount
+
+    def counter(self, name: str) -> CounterSlot:
+        """A cached :class:`CounterSlot` for ``name`` (hot-path counters).
+
+        Callers bind the slot once at construction and bump
+        ``slot.value`` per event; readers fold every slot's value into the
+        named counter, so mixing ``incr(name)`` and a slot is safe.
+        """
+        with self._lock:
+            slot = self._slots.get(name)
+            if slot is None:
+                slot = self._slots[name] = CounterSlot()
+            return slot
 
     def observe(self, name: str, value: float) -> None:
         with self._lock:
@@ -114,9 +148,21 @@ class Metrics:
                     break
                 dist.observe(value)
 
+    def _folded_counters(self) -> dict[str, int]:
+        """Counters plus slot totals, zero-valued names dropped (lock held)."""
+        counters = dict(self._counters)
+        for name, slot in self._slots.items():
+            if slot.value:
+                counters[name] = counters.get(name, 0) + slot.value
+        return counters
+
     def get(self, name: str) -> int:
         with self._lock:
-            return self._counters.get(name, 0)
+            value = self._counters.get(name, 0)
+            slot = self._slots.get(name)
+            if slot is not None:
+                value += slot.value
+            return value
 
     def dist(self, name: str) -> Distribution:
         with self._lock:
@@ -125,7 +171,7 @@ class Metrics:
 
     def counters(self) -> dict[str, int]:
         with self._lock:
-            return dict(self._counters)
+            return self._folded_counters()
 
     def reset(self) -> None:
         with self._lock:
@@ -133,6 +179,8 @@ class Metrics:
             self._distributions.clear()
             for buf in self._buffers.values():
                 buf.clear()
+            for slot in self._slots.values():
+                slot.value = 0
 
     def merged_with(self, other: "Metrics") -> dict[str, object]:
         """A snapshot-shaped dict of both objects' data combined.
@@ -145,7 +193,7 @@ class Metrics:
         for source in (self, other):
             with source._lock:
                 source._drain()
-                counters = dict(source._counters)
+                counters = source._folded_counters()
                 distributions = {
                     name: (dist.count, dist.total, dist.minimum, dist.maximum, dist.hist.snapshot())
                     for name, dist in source._distributions.items()
@@ -168,7 +216,7 @@ class Metrics:
         with self._lock:
             self._drain()
             return {
-                "counters": dict(sorted(self._counters.items())),
+                "counters": dict(sorted(self._folded_counters().items())),
                 "distributions": {
                     name: dist.summary()
                     for name, dist in sorted(self._distributions.items())

@@ -156,10 +156,15 @@ class LeafPage(Page):
 
     # -- record mutation ---------------------------------------------------
 
-    def put(self, record: VersionedRecord) -> int:
-        """Insert or replace the record slot; returns the byte-size delta."""
+    def put(self, record: VersionedRecord, delta: Optional[int] = None) -> int:
+        """Insert or replace the record slot; returns the byte-size delta.
+
+        ``delta`` lets a caller that already sized the records (for a
+        :meth:`fits` check) avoid re-walking both values; it must equal
+        the size difference between ``record`` and the current slot."""
         old = self._records.get(record.key)
-        delta = record.encoded_size() - (old.encoded_size() if old else 0)
+        if delta is None:
+            delta = record.encoded_size() - (old.encoded_size() if old else 0)
         if old is None:
             bisect.insort(self._keys, record.key)
         self._records[record.key] = record

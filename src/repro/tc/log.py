@@ -24,6 +24,7 @@ or below it has completed (Section 5.1.2, "Establishing LSNlw").
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Iterator, Optional
@@ -146,6 +147,120 @@ class LwmTracker:
         self._lwm = NULL_LSN
 
 
+class GroupCommitCoalescer:
+    """Lets N concurrently-committing transactions share one log force.
+
+    Durability is never relaxed: :meth:`wait_stable` returns only once the
+    caller's commit LSN is at or below EOSL — force-before-ack holds at
+    every ``group_commit_size``.  The knob changes *who* forces, not
+    *whether* stability precedes the acknowledgement.
+
+    Protocol: each committing transaction is bracketed by
+    :meth:`enter`/:meth:`exit`.  After appending its commit record it calls
+    :meth:`wait_stable`; a waiter elects itself leader — and runs the
+    force on behalf of everyone parked — as soon as any of these holds:
+
+    - a full group has gathered (``waiting >= size``),
+    - every in-flight committer is already parked (``waiting >=
+      committers``: nobody else can join, so waiting longer buys nothing —
+      this is also why a single-threaded workload forces immediately and
+      never sleeps), or
+    - the flush deadline has elapsed (bounds latency when committers
+      trickle in slower than they park).
+
+    Waits are bounded (condition timeouts), so a leader whose force raises
+    (injected TC crash) never strands the group: each waiter times out,
+    elects itself, and observes the same failure.
+    """
+
+    def __init__(
+        self,
+        log: "TcLog",
+        size: int,
+        deadline_ms: float,
+        metrics: Optional[Metrics] = None,
+    ) -> None:
+        if size < 1:
+            raise ValueError(f"group_commit_size must be >= 1, got {size}")
+        if deadline_ms < 0:
+            raise ValueError(
+                f"group_commit_deadline_ms must be >= 0, got {deadline_ms}"
+            )
+        self.log = log
+        self.size = size
+        self.deadline_ms = deadline_ms
+        self.metrics = metrics or log.metrics
+        self._cond = threading.Condition()
+        self._committers = 0
+        self._waiting = 0
+        # Hot-path counter slot (see Metrics.counter): a lone committer
+        # leads on every commit, so the lead count is per-transaction work.
+        self._leads_slot = self.metrics.counter("tclog.group_commit_leads")
+
+    def enter(self) -> None:
+        """A transaction has begun committing (before its record appends)."""
+        with self._cond:
+            self._committers += 1
+
+    def exit(self) -> None:
+        with self._cond:
+            self._committers -= 1
+            # A departing committer can turn a parked waiter into the
+            # leader (waiting >= committers now holds for it).
+            self._cond.notify_all()
+
+    def wait_stable(self, lsn: Lsn, force: Callable[[], Lsn]) -> None:
+        """Block until ``lsn`` is on the stable log, forcing as leader when
+        the election rule fires.  ``force`` is the owner's log-force hook
+        (so fault injection at the force point still applies)."""
+        if self.size <= 1:
+            if self.log.needs_force(lsn):
+                force()
+            return
+        if self._committers <= 1 and self._waiting == 0:
+            # Lone committer: nobody to coalesce with and nobody parked to
+            # notify, so lead immediately without the condition bracket
+            # (the election rule would pick us on its first iteration
+            # anyway).  The unlocked reads are GIL-atomic; a committer that
+            # enters concurrently merely misses one sharing opportunity and
+            # elects itself within the flush deadline — durability is
+            # force-before-ack on both paths.
+            if self.log.eosl < lsn:
+                force()
+                self._leads_slot.value += 1
+                self.metrics.observe("tclog.group_commit_group_size", 1)
+            return
+        deadline_s = self.deadline_ms / 1000.0
+        start = time.monotonic()
+        led = False
+        with self._cond:
+            self._waiting += 1
+            try:
+                while self.log.eosl < lsn:
+                    lead = (
+                        self._waiting >= self.size
+                        or self._waiting >= self._committers
+                        or (time.monotonic() - start) >= deadline_s
+                    )
+                    if not lead:
+                        self._cond.wait(timeout=deadline_s or None)
+                        continue
+                    led = True
+                    group = self._waiting
+                    self._cond.release()
+                    try:
+                        force()
+                    finally:
+                        self._cond.acquire()
+                        self._cond.notify_all()
+                    self._leads_slot.value += 1
+                    self.metrics.observe("tclog.group_commit_group_size", group)
+            finally:
+                self._waiting -= 1
+        if not led:
+            self.metrics.incr("tclog.group_commit_riders")
+
+
 class TcLog:
     """Append-only logical log with a stable prefix and volatile tail."""
 
@@ -160,6 +275,11 @@ class TcLog:
         self._lsns = LsnGenerator()
         self._mutex = threading.Lock()
         self.lwm_tracker = LwmTracker()
+        # Hot-path counter slots (see Metrics.counter): append runs once
+        # per logical operation and again per commit/end record, so the
+        # two metrics-dict lock acquisitions per append are worth shaving.
+        self._appends_slot = self.metrics.counter("tclog.appends")
+        self._bytes_slot = self.metrics.counter("tclog.bytes")
 
     # -- appending -----------------------------------------------------------
 
@@ -173,8 +293,8 @@ class TcLog:
             self._records.append(record)
             if track_for_lwm:
                 self.lwm_tracker.register(lsn)
-            self.metrics.incr("tclog.appends")
-            self.metrics.incr("tclog.bytes", record.encoded_size())
+            self._appends_slot.value += 1
+            self._bytes_slot.value += record.encoded_size()
             return record
 
     def issue_read_id(self) -> Lsn:
@@ -188,6 +308,14 @@ class TcLog:
         """Mark an operation replied; returns the current low-water mark."""
         with self._mutex:
             self.lwm_tracker.complete(op_id)
+            return self.lwm_tracker.lwm
+
+    def complete_ops(self, op_ids: list[Lsn]) -> Lsn:
+        """Mark several operations replied under one mutex bracket."""
+        with self._mutex:
+            complete = self.lwm_tracker.complete
+            for op_id in op_ids:
+                complete(op_id)
             return self.lwm_tracker.lwm
 
     @property

@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.common.ops import ReadFlavor
 from repro.common.records import Key
-from repro.tc.lock_manager import LockMode
+from repro.tc.lock_manager import LockMode, combined_mode, mode_covers
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.tc.transactional_component import Transaction, TransactionalComponent
@@ -53,12 +53,22 @@ class FetchAheadProtocol:
 
     # -- point operations ----------------------------------------------------
 
+    def _table_intent(self, txn: "Transaction", table: str, mode: LockMode) -> None:
+        """Acquire a table-intent lock, memoized on the transaction: under
+        strict 2PL the grant cannot be lost before transaction end, so a
+        covered re-request skips the lock manager entirely."""
+        held = txn.table_locks.get(table)
+        if held is not None and mode_covers(held, mode):
+            return
+        self._tc.locks.acquire(txn.txn_id, ("table", table), mode)
+        txn.table_locks[table] = mode if held is None else combined_mode(held, mode)
+
     def lock_for_read(self, txn: "Transaction", table: str, key: Key) -> None:
-        self._tc.locks.acquire(txn.txn_id, ("table", table), LockMode.IS)
+        self._table_intent(txn, table, LockMode.IS)
         self._tc.locks.acquire(txn.txn_id, ("rec", table, key), LockMode.S)
 
     def lock_for_update(self, txn: "Transaction", table: str, key: Key) -> None:
-        self._tc.locks.acquire(txn.txn_id, ("table", table), LockMode.IX)
+        self._table_intent(txn, table, LockMode.IX)
         self._tc.locks.acquire(txn.txn_id, ("rec", table, key), LockMode.X)
 
     def lock_for_insert(self, txn: "Transaction", table: str, key: Key) -> None:
@@ -75,10 +85,21 @@ class FetchAheadProtocol:
     def _lock_gap_above(
         self, txn: "Transaction", table: str, key: Key, mode: LockMode
     ) -> None:
-        successors = self._tc.probe_keys(table, after=key, count=1)
-        guard: object = successors[0] if successors else TABLE_END
-        self._tc.locks.acquire(txn.txn_id, ("gap", table, guard), mode)
-        self._tc.metrics.incr("tc.gap_locks")
+        tc = self._tc
+        guard: object
+        high = tc.table_high(table)
+        if high is not None and key >= high:
+            # The TC's high-water mark proves no key exists above ``key``
+            # (docs/architecture.md §9.2; ``>=`` because the bound covers
+            # the key being inserted itself): the gap is the open interval
+            # below TABLE_END, named without the probe round trip.  This
+            # is the common case for fresh-key (monotonic) inserts.
+            guard = TABLE_END
+        else:
+            successors = tc.probe_keys(table, after=key, count=1)
+            guard = successors[0] if successors else TABLE_END
+        tc.locks.acquire(txn.txn_id, ("gap", table, guard), mode)
+        tc.metrics.incr("tc.gap_locks")
 
     # -- range scans -------------------------------------------------------------
 
@@ -92,7 +113,7 @@ class FetchAheadProtocol:
     ) -> list[tuple[Key, object]]:
         """The fetch-ahead loop: probe, lock, read, validate, repeat."""
         tc = self._tc
-        tc.locks.acquire(txn.txn_id, ("table", table), LockMode.IS)
+        self._table_intent(txn, table, LockMode.IS)
         batch_size = tc.config.fetch_ahead_batch
         results: list[tuple[Key, object]] = []
         cursor = low

@@ -30,10 +30,13 @@ import enum
 import itertools
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import replace
 from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.common.api import (
+    BatchedPerform,
+    BatchedReply,
     CheckpointReply,
     CheckpointRequest,
     EndOfStableLog,
@@ -46,6 +49,7 @@ from repro.common.errors import (
     ComponentUnavailableError,
     CrashedError,
     DuplicateKeyError,
+    LockTimeoutError,
     NoSuchRecordError,
     ReproError,
     ResendExhaustedError,
@@ -79,6 +83,7 @@ from repro.tc.log import (
     CheckpointRecord,
     CommitRecord,
     CompensationRecord,
+    GroupCommitCoalescer,
     OpRecord,
     TcLog,
     TxnEndRecord,
@@ -126,6 +131,10 @@ class Transaction:
         self.op_records: list[OpRecord] = []
         #: Values known under our locks: (table, key) -> value | ABSENT.
         self.known: dict[tuple[str, Key], object] = {}
+        #: Table-intent lock memo, table -> granted mode.  Strict 2PL never
+        #: releases a lock mid-transaction, so once a table-intent mode is
+        #: granted, a covered re-request needs no lock-manager call at all.
+        self.table_locks: dict[str, object] = {}
         #: Keys touched in versioned tables, per table (cleanup targets).
         self.versioned_keys: dict[str, set[Key]] = {}
         #: Pipelined mutations posted but not yet acknowledged:
@@ -404,9 +413,58 @@ class TransactionalComponent:
         #: outage interrupted (the commit itself is durable and acked).
         self._zombie_completions: list[Transaction] = []
         self._completions_since_lwm = 0
-        self._unforced_commits = 0
         self._crashed = False
         self.reset_mode = ResetMode.RECORD_RESET
+        #: Group commit (docs/architecture.md §9.3): committing transactions
+        #: share log forces, but a commit is acknowledged only once its
+        #: record is stable — validates group_commit_size here, too.
+        self._group_commit = GroupCommitCoalescer(
+            self.log,
+            self.config.group_commit_size,
+            self.config.group_commit_deadline_ms,
+            self.metrics,
+        )
+        if self.config.batch_max_ops < 1:
+            raise ValueError(
+                f"batch_max_ops must be >= 1, got {self.config.batch_max_ops}"
+            )
+        if self.config.undo_cache_size < 1:
+            raise ValueError(
+                f"undo_cache_size must be >= 1, got {self.config.undo_cache_size}"
+            )
+        self._batch_ops = self.config.batch_ops
+        #: Undo-info cache (docs/architecture.md §9.2): committed values
+        #: this TC has learned, (table, key) -> value | ABSENT.  None when
+        #: the fast path is off.  Sound because this TC is the sole writer
+        #: of the keys it caches; every event that could falsify an entry
+        #: (own write aborted/ambiguous, DC reset, TC crash) invalidates.
+        self._undo_cache: Optional[OrderedDict] = (
+            OrderedDict() if self.config.undo_cache else None
+        )
+        #: Insert fast path (docs/architecture.md §9.2): per-table upper
+        #: bound on every key currently in the table.  ``_table_high`` is
+        #: learned from authoritative empty probe results ("no key above
+        #: X") and thereafter maintained under this TC's own inserts;
+        #: ``_insert_high`` tracks the largest key this TC has *attempted*
+        #: to insert, so an unsent batched insert can never slip above a
+        #: bound learned from a concurrent probe.  Both are overestimates
+        #: of the true maximum — always safe, since they are only used to
+        #: prove "no successor exists" (key > bound).  Trusted only while
+        #: this TC is the table's sole writer (``ownership_guard is None``).
+        self._table_high: dict[str, Key] = {}
+        self._insert_high: dict[str, Key] = {}
+        #: RetryPolicy is stateless, so the batch path reuses one instance
+        #: instead of rebuilding it per envelope.
+        self._retry_policy = self.config.retry_policy()
+        # Hot-path counter slots, bound once (see Metrics.counter).
+        self._undo_reads_slot = self.metrics.counter("tc.undo_info_reads")
+        self._cache_hits_slot = self.metrics.counter("tc.undo_cache_hits")
+        self._cache_misses_slot = self.metrics.counter("tc.undo_cache_misses")
+        self._mutations_slot = self.metrics.counter("tc.mutations")
+        self._deferred_slot = self.metrics.counter("tc.deferred_mutations")
+        self._begins_slot = self.metrics.counter("tc.begins")
+        self._commits_slot = self.metrics.counter("tc.commits")
+        self._syncs_slot = self.metrics.counter("tc.pipeline_syncs")
         #: Optional hook enforcing Section 6's disjoint update rights when
         #: several TCs share a DC: ``guard(table, key) -> bool``.  Installed
         #: by the cloud deployment layer; None means "owns everything".
@@ -460,20 +518,35 @@ class TransactionalComponent:
         txn = Transaction(self, self.tc_id * 1_000_000 + next(self._txn_ids))
         with self._admin:
             self._active[txn.txn_id] = txn
-        self.metrics.incr("tc.begins")
+        self._begins_slot.value += 1
         return txn
 
     def commit(self, txn: Transaction) -> None:
         """Commit: force the log through the commit record, then run
         version cleanup, then release locks (strict through cleanup).
 
+        Durability is force-before-ack at every ``group_commit_size``:
+        this method returns only once the commit record is on the stable
+        log.  With ``group_commit_size > 1`` concurrently-committing
+        transactions share the force (see
+        :class:`~repro.tc.log.GroupCommitCoalescer`).
+
         If a DC outage interrupts the *post-commit* cleanup, the commit
         decision stands: the commit record is forced, locks are released
         and the commit is acknowledged, while the cleanup is parked as a
         zombie completion for the supervisor to re-drive after the heal.
         """
-        self._check_up()
-        txn._check_active()
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
+        self._group_commit.enter()
+        try:
+            self._commit_inner(txn)
+        finally:
+            self._group_commit.exit()
+
+    def _commit_inner(self, txn: Transaction) -> None:
         try:
             self.sync_pipeline(txn)
         except ReproError as exc:
@@ -487,31 +560,34 @@ class TransactionalComponent:
             raise TransactionAborted(
                 txn.txn_id, f"commit abandoned: {exc}"
             ) from exc
-        self.log.append(lambda lsn: CommitRecord(lsn=lsn, txn_id=txn.txn_id))
-        self._unforced_commits += 1
-        if self._unforced_commits >= self.config.group_commit_size:
-            self.force_log()
+        record = self.log.append(
+            lambda lsn: CommitRecord(lsn=lsn, txn_id=txn.txn_id)
+        )
+        self._group_commit.wait_stable(record.lsn, self.force_log)
         # Post-commit version cleanup: logged after the commit record so a
         # crash-time loser is never seen with promoted versions.
         try:
-            for table, keys in sorted(txn.versioned_keys.items()):
-                self._send_version_cleanup(txn.txn_id, table, keys, promote=True)
+            if txn.versioned_keys:
+                for table, keys in sorted(txn.versioned_keys.items()):
+                    self._send_version_cleanup(txn.txn_id, table, keys, promote=True)
         except (CrashedError, ResendExhaustedError):
             self.force_log()
+            self._cache_committed(txn)
             self.locks.release_all(txn.txn_id)
             txn.state = TransactionState.COMMITTED
             with self._admin:
                 self._active.pop(txn.txn_id, None)
                 self._zombie_completions.append(txn)
             self.metrics.incr("tc.zombie_completions")
-            self.metrics.incr("tc.commits")
+            self._commits_slot.value += 1
             return
         self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
+        self._cache_committed(txn)
         self.locks.release_all(txn.txn_id)
         txn.state = TransactionState.COMMITTED
         with self._admin:
             self._active.pop(txn.txn_id, None)
-        self.metrics.incr("tc.commits")
+        self._commits_slot.value += 1
 
     def abort(self, txn: Transaction) -> None:
         """Roll back: inverse operations in reverse chronological order.
@@ -525,6 +601,11 @@ class TransactionalComponent:
         self._check_up()
         if txn.state is not TransactionState.ACTIVE:
             return
+        # Undo-cache invalidation first (still under the txn's locks, and
+        # before any rollback step can fail): everything this transaction
+        # observed or wrote may be about to change under compensation — or
+        # already be ambiguous at the DC.
+        self._uncache_txn(txn)
         self.log.append(lambda lsn: AbortRecord(lsn=lsn, txn_id=txn.txn_id))
         try:
             self._drive_rollback(txn)
@@ -678,13 +759,30 @@ class TransactionalComponent:
         value: Value,
         deferred: bool = False,
     ) -> None:
-        self._check_up()
-        txn._check_active()
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
         route = self._route(table)
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
-        self._guard_abort(txn, self.protocol.lock_for_insert, txn, table, key)
-        if self._known_value(txn, table, key) is not ABSENT:
+        if self.ownership_guard is None:
+            # Record the *attempted* insert before locking/queueing it so a
+            # concurrent probe-learned bound can never undercut this key
+            # (an attempt that later aborts only leaves the bound an
+            # overestimate, which stays safe).
+            high = self._insert_high.get(table)
+            if high is None or key > high:
+                self._insert_high[table] = key
+                thigh = self._table_high.get(table)
+                if thigh is not None and key > thigh:
+                    self._table_high[table] = key
+        try:
+            self.protocol.lock_for_insert(txn, table, key)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
+        if self._insert_prior(txn, table, key) is not ABSENT:
             raise DuplicateKeyError(table, key)
         op = InsertOp(table=table, key=key, value=value, versioned=route.versioned)
         undo = None if route.versioned else DeleteOp(table=table, key=key)
@@ -701,12 +799,18 @@ class TransactionalComponent:
         value: Value,
         deferred: bool = False,
     ) -> None:
-        self._check_up()
-        txn._check_active()
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
         route = self._route(table)
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
-        self._guard_abort(txn, self.protocol.lock_for_update, txn, table, key)
+        try:
+            self.protocol.lock_for_update(txn, table, key)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
         prior = self._known_value(txn, table, key)
         if prior is ABSENT:
             raise NoSuchRecordError(table, key)
@@ -724,12 +828,18 @@ class TransactionalComponent:
     def do_delete(
         self, txn: Transaction, table: str, key: Key, deferred: bool = False
     ) -> None:
-        self._check_up()
-        txn._check_active()
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
         route = self._route(table)
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
-        self._guard_abort(txn, self.protocol.lock_for_delete, txn, table, key)
+        try:
+            self.protocol.lock_for_delete(txn, table, key)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
         prior = self._known_value(txn, table, key)
         if prior is ABSENT:
             raise NoSuchRecordError(table, key)
@@ -752,12 +862,18 @@ class TransactionalComponent:
         delta: float,
         deferred: bool = False,
     ) -> None:
-        self._check_up()
-        txn._check_active()
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
         route = self._route(table)
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
-        self._guard_abort(txn, self.protocol.lock_for_update, txn, table, key)
+        try:
+            self.protocol.lock_for_update(txn, table, key)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
         prior = self._known_value(txn, table, key)
         if prior is ABSENT:
             raise NoSuchRecordError(table, key)
@@ -776,9 +892,15 @@ class TransactionalComponent:
             txn.versioned_keys.setdefault(table, set()).add(key)
 
     def do_read(self, txn: Transaction, table: str, key: Key) -> Optional[Value]:
-        self._check_up()
-        txn._check_active()
-        self._guard_abort(txn, self.protocol.lock_for_read, txn, table, key)
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
+        try:
+            self.protocol.lock_for_read(txn, table, key)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
         value = self._known_value(txn, table, key)
         return None if value is ABSENT else value
 
@@ -790,10 +912,14 @@ class TransactionalComponent:
         high: Optional[Key],
         limit: Optional[int],
     ) -> list[tuple[Key, Value]]:
-        self._check_up()
-        txn._check_active()
-        from repro.common.errors import LockTimeoutError
-
+        if self._crashed:
+            self._check_up()
+        if txn.state is not TransactionState.ACTIVE:
+            txn._check_active()
+        if self._batch_ops and txn.in_flight:
+            # A scan reads through the DC; accumulated (unsent) writes of
+            # this very transaction must be visible to it — flush first.
+            self.sync_pipeline(txn)
         try:
             results = self.protocol.locked_range_read(txn, table, low, high, limit)
         except (TransactionAborted, LockTimeoutError):
@@ -938,6 +1064,17 @@ class TransactionalComponent:
 
     # -- helpers shared with the protocols ---------------------------------------------------
 
+    def table_high(self, table: str) -> Optional[Key]:
+        """Upper bound on every key in ``table``, or None when unknown.
+
+        Only available on the fast-path family (undo cache on) with this
+        TC as sole writer; the gap-lock protocol uses it to prove "no
+        successor exists" for fresh-key inserts without a probe round trip.
+        """
+        if self._undo_cache is None or self.ownership_guard is not None:
+            return None
+        return self._table_high.get(table)
+
     def probe_keys(
         self,
         table: str,
@@ -956,7 +1093,24 @@ class TransactionalComponent:
         self._complete_op(op_id)
         self._expect_ok(result, op)
         self.metrics.incr("tc.probes")
-        return list(result.keys)
+        keys = list(result.keys)
+        if (
+            not keys
+            and until is None
+            and after is not None
+            and self._undo_cache is not None
+            and self.ownership_guard is None
+        ):
+            # Authoritative emptiness: the DC just attested that no key
+            # exists above ``after``.  Raise the bound to cover our own
+            # batched-but-unsent inserts (``_insert_high``), which the DC
+            # cannot have seen yet.
+            bound = after
+            pending = self._insert_high.get(table)
+            if pending is not None and pending > bound:
+                bound = pending
+            self._table_high[table] = bound
+        return keys
 
     def read_range_raw(
         self,
@@ -993,27 +1147,124 @@ class TransactionalComponent:
                 f"TC {self.tc_id} does not own key {key!r} of table {table!r}"
             )
 
+    def _insert_prior(self, txn: Transaction, table: str, key: Key) -> object:
+        """The duplicate-check value for an insert — optimistically ABSENT
+        on the composed fast path.
+
+        An insert is the one mutation whose undo needs no before-image: a
+        successful insert was provably inserted into absence, so its
+        inverse is always a bare delete.  The read-before-write therefore
+        serves only the duplicate check — and with batching on, the DC's
+        own duplicate rejection at flush time (a per-op semantic
+        rejection, surfacing as the same :class:`DuplicateKeyError`)
+        covers that check without the round trip.  Anything the TC
+        actually knows (transaction- or cache-local) still answers first,
+        keeping the error synchronous whenever knowledge is at hand.
+        """
+        if self._batch_ops and self._undo_cache is not None:
+            known = txn.known.get((table, key))
+            if known is not None:
+                return known
+            hit = self._undo_cache.get((table, key), None)
+            if hit is not None:
+                self._cache_hits_slot.value += 1
+                txn.known[(table, key)] = hit
+                return hit
+            return ABSENT
+        return self._known_value(txn, table, key)
+
     def _known_value(self, txn: Transaction, table: str, key: Key) -> object:
         """Value under our lock, reading through to the DC once if unknown.
 
         This read-before-write is how the unbundled TC obtains complete
-        undo information at log-append time (see module docstring).
+        undo information at log-append time (see module docstring).  With
+        :attr:`TcConfig.undo_cache` on, values this TC learned in earlier
+        transactions are served from the undo-info cache instead — the
+        caller already holds the covering lock, and this TC is the sole
+        writer of its keys, so a cached committed value is current.
         """
         cached = txn.known.get((table, key))
         if cached is not None:
             return cached
+        cache = self._undo_cache
+        if cache is not None:
+            hit = cache.get((table, key), None)
+            if hit is not None:
+                self._cache_hits_slot.value += 1
+                txn.known[(table, key)] = hit
+                return hit
+            self._cache_misses_slot.value += 1
         route = self._route(table)
         op = ReadOp(table=table, key=key, flavor=ReadFlavor.OWN)
         op_id = self.log.issue_read_id()
         result = self._perform(route.dc_name, op, op_id)
         self._complete_op(op_id)
-        self.metrics.incr("tc.undo_info_reads")
+        self._undo_reads_slot.value += 1
         if result.status is OpStatus.NOT_FOUND:
             txn.known[(table, key)] = ABSENT
+            self._cache_store(table, key, ABSENT)
             return ABSENT
         self._expect_ok(result, op)
         txn.known[(table, key)] = result.value
+        self._cache_store(table, key, result.value)
         return result.value
+
+    # -- the undo-info cache (docs/architecture.md §9.2) -------------------------------------
+
+    def _cache_store(self, table: str, key: Key, value: object) -> None:
+        """Remember a value this TC learned under a lock it held.
+
+        Only keys this TC owns are cached (with an ownership guard
+        installed, a foreign TC may mutate unowned keys behind our back).
+        FIFO eviction at ``undo_cache_size``.
+        """
+        cache = self._undo_cache
+        if cache is None:
+            return
+        if self.ownership_guard is not None and not self.ownership_guard(table, key):
+            return
+        cache[(table, key)] = value
+        if len(cache) > self.config.undo_cache_size:
+            cache.popitem(last=False)
+
+    def _cache_committed(self, txn: Transaction) -> None:
+        """Write-through at commit: everything the transaction knows under
+        its locks is now the committed state (called before lock release)."""
+        if self._undo_cache is None:
+            return
+        for (table, key), value in txn.known.items():
+            self._cache_store(table, key, value)
+
+    def _uncache_txn(self, txn: Transaction) -> None:
+        """Drop every key the transaction touched (abort/ambiguity paths)."""
+        cache = self._undo_cache
+        if cache is None:
+            return
+        for table_key in txn.known:
+            cache.pop(table_key, None)
+        for record in txn.op_records:
+            op = record.op
+            if op is not None:
+                cache.pop((op.table, getattr(op, "key", None)), None)
+        self.metrics.incr("tc.undo_cache_invalidations")
+
+    def _uncache_dc(self, dc_name: str) -> None:
+        """Drop every entry routed to ``dc_name`` (DC reset/restart: its
+        cached state was lost and is being rebuilt by redo)."""
+        cache = self._undo_cache
+        if cache is None:
+            return
+        tables = {
+            table for table, route in self._routes.items() if route.dc_name == dc_name
+        }
+        for table_key in [tk for tk in cache if tk[0] in tables]:
+            del cache[table_key]
+        for table in tables:
+            # Redo rebuilds the same key set, so a retained bound would in
+            # fact stay a valid overestimate — but the bound is volatile
+            # hint state, so it is re-learned rather than reasoned about.
+            self._table_high.pop(table, None)
+        self.metrics.incr("tc.undo_cache_invalidations")
 
     def _run_mutation(
         self,
@@ -1029,6 +1280,18 @@ class TransactionalComponent:
             ),
             track_for_lwm=True,
         )
+        if self._batch_ops:
+            # Fast path: accumulate; the envelope flushes at sync time
+            # (commit, a conflicting operation, a scan) or when the
+            # transaction's accumulation reaches batch_max_ops.  Nothing is
+            # on the wire yet — `in_flight` IS the pending envelope.
+            txn.op_records.append(record)  # type: ignore[arg-type]
+            txn.in_flight[(op.table, getattr(op, "key", None))] = record  # type: ignore[index]
+            self._deferred_slot.value += 1
+            self._mutations_slot.value += 1
+            if len(txn.in_flight) >= self.config.batch_max_ops:
+                self.sync_pipeline(txn)
+            return
         if deferred:
             txn.op_records.append(record)  # type: ignore[arg-type]
             # Pipelining: post without waiting.  The TC validated the
@@ -1044,7 +1307,7 @@ class TransactionalComponent:
                 )
             )
             txn.in_flight[(op.table, getattr(op, "key", None))] = record  # type: ignore[index]
-            self.metrics.incr("tc.deferred_mutations")
+            self._deferred_slot.value += 1
         else:
             try:
                 result = self._perform(route.dc_name, op, record.lsn)
@@ -1069,7 +1332,7 @@ class TransactionalComponent:
                 self._cancel_record(txn.txn_id, record)
                 raise
             txn.op_records.append(record)  # type: ignore[arg-type]
-        self.metrics.incr("tc.mutations")
+        self._mutations_slot.value += 1
 
     def _sync_if_conflicting(self, txn: Transaction, table: str, key: Key) -> None:
         """Never let two operations on one key be in flight together —
@@ -1079,8 +1342,31 @@ class TransactionalComponent:
 
     def sync_pipeline(self, txn: Transaction) -> None:
         """Deliver queued operations (possibly reordered by the channel),
-        collect replies, and resend anything the channel lost."""
+        collect replies, and resend anything the channel lost.
+
+        With :attr:`TcConfig.batch_ops` on, the accumulated operations go
+        out as one :class:`BatchedPerform` envelope per DC instead."""
         if not txn.in_flight:
+            return
+        if self._batch_ops:
+            while txn.in_flight:
+                dc_name = next(iter(txn.in_flight.values())).dc_name
+                keys: list[tuple[str, Key]] = []
+                records: list[OpRecord] = []
+                for table_key, record in txn.in_flight.items():
+                    if record.dc_name == dc_name:
+                        keys.append(table_key)
+                        records.append(record)
+                self._send_batch(txn, dc_name, records)
+                # Only on full success: a transport failure leaves the
+                # records in flight so a later sync (rollback repeats
+                # history) resends the same LSNs.
+                if len(keys) == len(txn.in_flight):
+                    txn.in_flight.clear()
+                else:
+                    for table_key in keys:
+                        txn.in_flight.pop(table_key, None)
+            self._syncs_slot.value += 1
             return
         acked: set[Lsn] = set()
         for dc_name in {record.dc_name for record in txn.in_flight.values()}:
@@ -1110,13 +1396,11 @@ class TransactionalComponent:
             else:
                 self._complete_op(record.lsn)
         txn.in_flight.clear()
-        self.metrics.incr("tc.pipeline_syncs")
+        self._syncs_slot.value += 1
 
     def _guard_abort(self, txn: Transaction, fn, *args: object) -> None:
         """Run a locking step; on deadlock or lock timeout, roll back —
         a transaction must never survive holding a partial lock set."""
-        from repro.common.errors import LockTimeoutError
-
         try:
             fn(*args)
         except (TransactionAborted, LockTimeoutError):
@@ -1147,6 +1431,10 @@ class TransactionalComponent:
         for txn in zombies:
             try:
                 self._drive_rollback(txn)
+                # The inverses just changed DC state for keys whose locks
+                # were released long ago — drop anything cached for them
+                # (a concurrent reader may have re-cached since the abort).
+                self._uncache_txn(txn)
                 self.log.append(
                     lambda lsn, t=txn.txn_id: TxnEndRecord(lsn=lsn, txn_id=t)
                 )
@@ -1246,6 +1534,97 @@ class TransactionalComponent:
             return reply.result
         raise ResendExhaustedError(op_id, dc_name, attempts, waited_ms)
 
+    def _send_batch(
+        self, txn: Transaction, dc_name: str, records: list[OpRecord]
+    ) -> None:
+        """Ship accumulated operations to one DC in a single envelope.
+
+        Retries resend the *whole remaining* envelope with the same per-op
+        LSNs (``resend=True``), which the DC's per-op abLSN idempotence
+        test absorbs — exactly the unbatched contract, minus round trips.
+        A semantic rejection of one operation is handled per-op, like the
+        unbatched sync path: the record leaves the undo chain, a cancel
+        marker tells restart redo to skip it, and the failure surfaces.
+        """
+        channel = self._channels[dc_name]
+        policy = self._retry_policy
+        attempts = 0
+        waited_ms = 0.0
+        pending: dict[Lsn, OpRecord] = {r.lsn: r for r in records}
+        with self.tracer.span(
+            "tc.batch_flush", component=self.name, dc=dc_name, ops=len(records)
+        ):
+            while pending:
+                if policy.exhausted(attempts, waited_ms):
+                    raise ResendExhaustedError(
+                        min(pending), dc_name, attempts, waited_ms
+                    )
+                self._check_up()
+                if channel.dc.crashed or (
+                    channel.faults is not None and channel.faults.partitioned(dc_name)
+                ):
+                    raise ComponentUnavailableError(
+                        f"DC {dc_name}", attempts, waited_ms
+                    )
+                envelope = BatchedPerform(
+                    tc_id=self.tc_id,
+                    ops=tuple(
+                        PerformOperation(
+                            tc_id=self.tc_id,
+                            op_id=record.lsn,
+                            op=record.op,
+                            resend=attempts > 0,
+                        )
+                        for record in pending.values()
+                    ),
+                    eosl=self.log.eosl,
+                )
+                reply = channel.request(envelope)
+                attempts += 1
+                if reply is None:
+                    if channel.dc.crashed:
+                        raise ComponentUnavailableError(
+                            f"DC {dc_name}", attempts, waited_ms
+                        )
+                    backoff = policy.backoff_ms(attempts)
+                    waited_ms += backoff
+                    channel.sim_time_ms += backoff
+                    self.metrics.incr("tc.resends")
+                    continue
+                assert isinstance(reply, BatchedReply)
+                # One log-mutex bracket completes the whole envelope (the
+                # finally also covers a semantic rejection mid-envelope).
+                completed: list[Lsn] = []
+                try:
+                    for sub in reply.replies:
+                        record = pending.pop(sub.op_id, None)
+                        if record is None:
+                            continue  # a duplicated reply; already confirmed
+                        completed.append(record.lsn)
+                        assert sub.result is not None and record.op is not None
+                        try:
+                            self._expect_ok(sub.result, record.op)
+                        except (CrashedError, ResendExhaustedError):
+                            raise
+                        except ReproError:
+                            # The op never executed: drop it from the undo
+                            # chain, tell restart redo to skip it, drop any
+                            # cached knowledge of the key, surface the
+                            # failure.
+                            if record in txn.op_records:
+                                txn.op_records.remove(record)
+                            self._cancel_record(txn.txn_id, record)
+                            if self._undo_cache is not None:
+                                self._undo_cache.pop(
+                                    (record.op.table, getattr(record.op, "key", None)),
+                                    None,
+                                )
+                            txn.in_flight.clear()
+                            raise
+                finally:
+                    if completed:
+                        self._complete_ops(completed)
+
     def _request_acked(self, dc_name: str, message) -> object:
         """Deliver a control message reliably: resend until a reply arrives.
 
@@ -1285,6 +1664,18 @@ class TransactionalComponent:
             self._completions_since_lwm = 0
             self.broadcast_lwm(lwm)
 
+    def _complete_ops(self, op_ids: list[Lsn]) -> None:
+        """Batch form of :meth:`_complete_op`: one tracker bracket for a
+        whole reply envelope."""
+        if self.tracer.enabled:
+            for op_id in op_ids:
+                self.tracer.release_request(op_id)
+        lwm = self.log.complete_ops(op_ids)
+        self._completions_since_lwm += len(op_ids)
+        if self._completions_since_lwm >= self.config.lwm_interval:
+            self._completions_since_lwm = 0
+            self.broadcast_lwm(lwm)
+
     def broadcast_lwm(self, lwm: Optional[Lsn] = None) -> None:
         """Ship the low-water mark to every DC (Section 5.1.2)."""
         lwm = lwm if lwm is not None else self.log.lwm
@@ -1303,9 +1694,7 @@ class TransactionalComponent:
             # A crash here loses the volatile log tail — the classic
             # "commit record never reached the disk" failure.
             self.faults.hit(FaultPoint.TC_LOG_FORCE, self.name)
-        eosl = self.log.force()
-        self._unforced_commits = 0
-        return eosl
+        return self.log.force()
 
     def broadcast_eosl(self) -> Lsn:
         """Explicitly push the current EOSL to every DC (causality, WAL)."""
@@ -1388,6 +1777,12 @@ class TransactionalComponent:
             self._active.clear()
             self._zombie_rollbacks.clear()
             self._zombie_completions.clear()
+        if self._undo_cache is not None:
+            # Volatile, and the crash may have lost logged-but-unstable
+            # operations whose effects the cached values reflect.
+            self._undo_cache.clear()
+        self._table_high.clear()
+        self._insert_high.clear()
         self._completions_since_lwm = 0
         self.metrics.incr("tc.crashes")
         for listener in list(self.on_crash):
@@ -1417,6 +1812,9 @@ class TransactionalComponent:
             return
         from repro.tc.recovery import resend_redo_stream
 
+        # The DC lost cached state; until redo finishes rebuilding it, no
+        # cached value for its tables can be trusted.
+        self._uncache_dc(dc.name)
         root = self.tracer.start_trace(
             "tc.dc_restart_redo", component=self.name, dc=dc.name
         )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import pytest
 
+from repro.common.config import ChannelConfig, TcConfig
 from repro.common.errors import CrashedError, InjectedFault
 from repro.sim.chaos import ChaosRunner, ChaosViolation, HistoryRecorder, _TxnEffects
 from repro.sim.faults import FaultAction, FaultInjector, FaultPoint, FaultRule
@@ -190,3 +191,54 @@ class TestChaosRunner:
         with pytest.raises(ChaosViolation) as excinfo:
             runner._fail("synthetic")
         assert "reproduce with: seed=3" in str(excinfo.value)
+
+
+class TestChaosFastPaths:
+    """The fast paths (batching, undo cache, group commit) under torture.
+
+    The optimized configuration changes message shapes and caching, never
+    contracts: every invariant the baseline run proves must survive the
+    same fault schedule with all three optimizations on.
+    """
+
+    def test_scripted_smoke_with_optimized_config(self):
+        runner = ChaosRunner(
+            seed=1234,
+            schedule=list(SMOKE_SCHEDULE),
+            txns=120,
+            tc_config=TcConfig.optimized(),
+        )
+        report = runner.run()  # raises ChaosViolation on any broken invariant
+        assert report["faults_fired"] >= 5
+        assert runner.supervisor.notices
+        assert all(notice.healed for notice in runner.supervisor.notices)
+        assert runner.supervisor.all_healthy()
+        # the fast paths were actually exercised, not silently off
+        assert runner.metrics.get("channel.batches") > 0
+        assert runner.metrics.get("tc.undo_cache_hits") > 0
+
+    def test_random_seeds_with_optimized_config(self):
+        for seed in range(3):
+            report = ChaosRunner(
+                seed=seed, txns=80, tc_config=TcConfig.optimized()
+            ).run()
+            assert report["committed"] + report["aborted"] + report[
+                "resolved_committed"
+            ] + report["resolved_aborted"] == 80
+
+    def test_envelopes_survive_loss_duplication_and_reordering(self):
+        """Envelope loss/duplication/reordering is per-op loss/duplication/
+        reordering of everything inside — absorbed by per-op abLSNs."""
+        runner = ChaosRunner(
+            seed=5,
+            schedule=[],  # the channel itself is the only adversary
+            txns=100,
+            tc_config=TcConfig.optimized(),
+            channel_config=ChannelConfig(
+                loss_rate=0.05, duplicate_rate=0.05, reorder_window=3, seed=9
+            ),
+        )
+        report = runner.run()
+        assert report["committed"] > 0
+        assert runner.metrics.get("channel.requests_lost") > 0
+        assert runner.metrics.get("dc.duplicate_ops") > 0

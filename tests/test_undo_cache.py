@@ -1,0 +1,219 @@
+"""The TC-side undo-info cache (docs/architecture.md §9.2).
+
+The honest cost of unbundling is the read-before-write that fetches undo
+information (Section 4.1.1); the cache elides it for keys this TC already
+learned under a lock it held.  Soundness rests on the TC being the sole
+writer of its keys — and on invalidating at every event that could
+falsify an entry: own write aborted or ambiguous, DC reset, TC crash.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import KernelConfig, UnbundledKernel
+from repro.common.config import TcConfig
+from repro.common.errors import TransactionAborted
+
+
+def cached_kernel(**tc_kwargs):
+    tc_kwargs.setdefault("undo_cache", True)
+    kernel = UnbundledKernel(KernelConfig(tc=TcConfig(**tc_kwargs)))
+    kernel.create_table("t")
+    return kernel
+
+
+def undo_reads(kernel):
+    return kernel.metrics.get("tc.undo_info_reads")
+
+
+class TestCacheHits:
+    def test_cache_is_off_by_default(self, kernel):
+        for _ in range(2):
+            with kernel.begin() as txn:
+                txn.insert("t", 1, "x") if txn.read("t", 1) is None else txn.update(
+                    "t", 1, "x"
+                )
+        assert kernel.tc._undo_cache is None
+        assert kernel.metrics.get("tc.undo_cache_hits") == 0
+        assert undo_reads(kernel) > 0
+
+    def test_repeat_writer_skips_read_before_write(self):
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")  # miss: one read learns ABSENT
+        before = undo_reads(kernel)
+        with kernel.begin() as txn:
+            txn.update("t", 1, "v2")  # committed value is cached
+        assert undo_reads(kernel) == before
+        assert kernel.metrics.get("tc.undo_cache_hits") == 1
+
+    def test_cached_undo_info_rolls_back_correctly(self):
+        """The abort restores the *cached* prior value — proving the cache
+        fed the undo information, and fed it right."""
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        with kernel.begin() as txn:
+            txn.update("t", 1, "v2")
+        before = undo_reads(kernel)
+        txn = kernel.begin()
+        txn.update("t", 1, "v3")
+        txn.abort()
+        assert undo_reads(kernel) == before  # undo info came from the cache
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "v2"
+
+    def test_absence_is_cached_too(self):
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        with kernel.begin() as txn:
+            txn.delete("t", 1)  # commits knowledge that key 1 is absent
+        before = undo_reads(kernel)
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v2")  # duplicate-check served by the cache
+        assert undo_reads(kernel) == before
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "v2"
+
+    def test_eviction_bounds_the_cache(self):
+        kernel = cached_kernel(undo_cache_size=4)
+        for key in range(10):
+            with kernel.begin() as txn:
+                txn.insert("t", key, key)
+        assert len(kernel.tc._undo_cache) <= 4
+
+    def test_ownership_guard_gates_caching(self):
+        """With an ownership guard installed (multi-TC sharing, Section 6)
+        a foreign TC may mutate unowned keys behind our back — they must
+        never enter the cache."""
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "mine")
+            txn.insert("t", 7, "theirs")
+        kernel.tc.ownership_guard = lambda table, key: key != 7
+        kernel.tc._undo_cache.clear()
+        with kernel.begin() as txn:
+            assert txn.read("t", 1) == "mine"
+            assert txn.read("t", 7) == "theirs"
+        assert ("t", 1) in kernel.tc._undo_cache
+        assert ("t", 7) not in kernel.tc._undo_cache
+
+    def test_rejects_invalid_cache_size(self):
+        with pytest.raises(ValueError):
+            UnbundledKernel(
+                KernelConfig(tc=TcConfig(undo_cache=True, undo_cache_size=0))
+            )
+
+
+class TestInvalidation:
+    def test_abort_invalidates_touched_keys(self):
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        txn = kernel.begin()
+        txn.update("t", 1, "v2")
+        txn.abort()
+        assert ("t", 1) not in kernel.tc._undo_cache
+        before = undo_reads(kernel)
+        with kernel.begin() as txn:
+            txn.update("t", 1, "v3")  # reads through again
+        assert undo_reads(kernel) == before + 1
+        assert kernel.metrics.get("tc.undo_cache_invalidations") >= 1
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "v3"
+
+    def test_tc_crash_clears_the_cache(self):
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        kernel.crash_tc()
+        assert len(kernel.tc._undo_cache) == 0
+        kernel.recover_tc()
+        before = undo_reads(kernel)
+        with kernel.begin() as txn:
+            txn.update("t", 1, "v2")
+        assert undo_reads(kernel) == before + 1
+
+    def test_dc_restart_invalidates_its_tables(self):
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        assert ("t", 1) in kernel.tc._undo_cache
+        kernel.crash_dc()
+        kernel.recover_dc()
+        assert ("t", 1) not in kernel.tc._undo_cache
+        before = undo_reads(kernel)
+        with kernel.begin() as txn:
+            txn.update("t", 1, "v2")
+        assert undo_reads(kernel) == before + 1
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "v2"
+
+    def test_zombie_rollback_invalidates_on_completion(self):
+        """A rollback interrupted by a DC outage finishes later — and only
+        then may the inverses have changed DC state, so the invalidation
+        must cover the eventual completion, not just the abort."""
+        kernel = cached_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        txn = kernel.begin()
+        txn.update("t", 1, "v2")  # delivered synchronously
+        kernel.crash_dc()
+        txn.abort()  # inverse undeliverable: parked as a zombie
+        assert kernel.tc.pending_zombies() == 1
+        kernel.recover_dc()
+        kernel.tc.retry_pending()
+        assert kernel.tc.pending_zombies() == 0
+        assert ("t", 1) not in kernel.tc._undo_cache
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "v1"
+
+
+class TestCacheWithBatching:
+    def test_fast_paths_compose_to_few_messages(self):
+        """The FIG1 headline: with batching + undo cache, a 4-op update
+        transaction costs at most 3 messages (one envelope, plus slack for
+        a piggybacked LWM broadcast) and zero undo-info reads."""
+        kernel = UnbundledKernel(KernelConfig(tc=TcConfig.optimized()))
+        kernel.create_table("t")
+        with kernel.begin() as txn:
+            for key in range(4):
+                txn.insert("t", key, "seed")
+        before_reads = undo_reads(kernel)
+        before_msgs = kernel.metrics.get("channel.requests")
+        with kernel.begin() as txn:
+            for key in range(4):
+                txn.update("t", key, "updated")
+        assert undo_reads(kernel) == before_reads
+        assert kernel.metrics.get("channel.requests") - before_msgs <= 3
+        assert kernel.metrics.get("tc.undo_cache_hits") >= 4
+        with kernel.begin() as check:
+            assert check.scan("t") == [(key, "updated") for key in range(4)]
+
+    def test_batch_rejection_drops_cached_key(self):
+        """A semantic rejection inside an envelope leaves that key's DC
+        state authoritative — the cache entry is dropped with it."""
+        from repro.common.ops import OpResult, OpStatus, UpdateOp
+
+        kernel = UnbundledKernel(KernelConfig(tc=TcConfig.optimized()))
+        kernel.create_table("t")
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "v1")
+        real = kernel.dc.perform_operation
+
+        def rejecting(tc_id, op_id, op, resend=False):
+            if isinstance(op, UpdateOp) and op.key == 1:
+                return OpResult(status=OpStatus.ERROR, message="injected")
+            return real(tc_id, op_id, op, resend=resend)
+
+        kernel.dc.perform_operation = rejecting
+        txn = kernel.begin()
+        txn.update("t", 1, "v2")
+        with pytest.raises(TransactionAborted):
+            txn.commit()
+        kernel.dc.perform_operation = real
+        assert ("t", 1) not in kernel.tc._undo_cache
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "v1"
