@@ -77,6 +77,44 @@ class CloudDeployment:
         self._channel_configs[name] = ChannelConfig(latency_ms=latency_ms, seed=seed)
         return dc
 
+    def add_remote_dc(
+        self,
+        name: str,
+        journal_path: str,
+        config: Optional[DcConfig] = None,
+        start_method: str = "",
+        request_timeout_s: float = 30.0,
+    ):
+        """A DC running as its own OS process (docs/architecture.md §10).
+
+        Mixes freely with in-process DCs declared via :meth:`add_dc`:
+        :meth:`build` picks the channel implementation per endpoint.  The
+        deployment-wide fault injector cannot reach a remote DC — kill its
+        process instead.
+        """
+        if name in self.dcs:
+            raise ReproError(f"DC {name!r} already declared")
+        if self.faults is not None:
+            raise ReproError(
+                "fault injection hooks are local-only; remote DCs exercise "
+                "failures by killing the process (docs/architecture.md §10)"
+            )
+        from repro.net.process import RemoteDc
+
+        dc = RemoteDc(
+            name,
+            config=config or self._dc_config,
+            metrics=self.metrics,
+            journal_path=journal_path,
+            start_method=start_method,
+            request_timeout_s=request_timeout_s,
+        )
+        self.dcs[name] = dc
+        self._channel_configs[name] = ChannelConfig(
+            transport="process", request_timeout_s=request_timeout_s
+        )
+        return dc
+
     def add_tc(
         self, name: str, read_only: bool = False, config: Optional[TcConfig] = None
     ) -> TransactionalComponent:
@@ -181,3 +219,16 @@ class CloudDeployment:
             dc.recover(notify_tcs=False)
         for tc in self.tcs.values():
             tc.restart()
+
+    def close(self) -> None:
+        """Shut down any remote DC server processes (no-op otherwise)."""
+        for dc in self.dcs.values():
+            shutdown = getattr(dc, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+
+    def __enter__(self) -> "CloudDeployment":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

@@ -8,6 +8,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Optional
 
 
 class PageSyncStrategy(enum.Enum):
@@ -115,6 +116,15 @@ class TcConfig:
     #: Total simulated backoff one operation may accumulate before the TC
     #: gives up with ResendExhaustedError (the per-operation timeout budget).
     op_timeout_budget_ms: float = 5_000.0
+    #: Stripes in the lock-manager hash table: concurrent committers touch
+    #: per-stripe mutexes instead of serializing on one global lock-table
+    #: mutex.  1 reproduces the old single-mutex behavior exactly.
+    lock_stripes: int = 16
+    #: Multi-DC batch flush (process transport): pre-send every DC's
+    #: envelope concurrently through the pipelined async channel path, so
+    #: one TC thread keeps N DC processes busy at once.  No effect on
+    #: transports that cannot pipeline (the in-process default).
+    pipeline_flush: bool = True
 
     def retry_policy(self) -> "RetryPolicy":
         return RetryPolicy(
@@ -172,7 +182,13 @@ class RetryPolicy:
 
 @dataclass
 class ChannelConfig:
-    """Simulated network between a TC and a DC."""
+    """The TC <-> DC transport: simulated in-process, or a real pipe.
+
+    With ``transport="process"`` each DC runs as its own OS process
+    (docs/architecture.md §10) and the misbehavior knobs below must stay
+    zero — a pipe delivers reliably in order; resend/idempotence get
+    exercised by killing the process instead.
+    """
 
     #: One-way latency per message, simulated milliseconds.
     latency_ms: float = 0.0
@@ -184,6 +200,14 @@ class ChannelConfig:
     reorder_window: int = 0
     #: Seed for the channel's private RNG (determinism).
     seed: int = 0
+    #: ``"inproc"`` (default) or ``"process"`` — where DCs live.
+    transport: str = "inproc"
+    #: Process transport: real-time bound one request waits for its reply
+    #: before the TC treats it as lost and its resend policy takes over.
+    request_timeout_s: float = 30.0
+    #: Process transport start method: "" = auto (fork where available,
+    #: else spawn), or an explicit multiprocessing start method name.
+    process_start_method: str = ""
 
 
 @dataclass
@@ -193,3 +217,7 @@ class KernelConfig:
     dc: DcConfig = field(default_factory=DcConfig)
     tc: TcConfig = field(default_factory=TcConfig)
     channel: ChannelConfig = field(default_factory=ChannelConfig)
+    #: Process transport: directory holding per-DC journal volumes.  None
+    #: = a kernel-owned temporary directory, removed on ``close()``; a
+    #: caller-provided path persists across kernels (restart experiments).
+    data_dir: Optional[str] = None

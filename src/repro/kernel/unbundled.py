@@ -10,9 +10,13 @@ partitioning.
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 from typing import TYPE_CHECKING, Optional
 
 from repro.common.config import KernelConfig
+from repro.common.errors import ReproError
 from repro.dc.data_component import DataComponent
 from repro.obs.tracing import NULL_TRACER
 from repro.sim.metrics import Metrics
@@ -39,21 +43,48 @@ class UnbundledKernel:
         self.faults = faults
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.dcs: dict[str, DataComponent] = {}
+        self._data_dir: Optional[str] = None
+        self._owns_data_dir = False
+        process_mode = self.config.channel.transport == "process"
+        if process_mode and faults is not None:
+            raise ReproError(
+                "fault injection hooks are local-only; the process transport "
+                "exercises failures by killing DC processes instead "
+                "(docs/architecture.md §10)"
+            )
         self.tc = TransactionalComponent(
             config=self.config.tc,
             metrics=self.metrics,
             faults=faults,
             tracer=self.tracer,
         )
+        if process_mode:
+            from repro.net.process import RemoteDc
+
+            self._data_dir = self.config.data_dir or tempfile.mkdtemp(
+                prefix="repro-dcs-"
+            )
+            self._owns_data_dir = self.config.data_dir is None
+            os.makedirs(self._data_dir, exist_ok=True)
         for index in range(dc_count):
             name = f"dc{index + 1}" if dc_count > 1 else "dc"
-            dc = DataComponent(
-                name,
-                config=self.config.dc,
-                metrics=self.metrics,
-                faults=faults,
-                tracer=self.tracer,
-            )
+            if process_mode:
+                dc = RemoteDc(
+                    name,
+                    config=self.config.dc,
+                    metrics=self.metrics,
+                    journal_path=os.path.join(self._data_dir, f"{name}.journal"),
+                    start_method=self.config.channel.process_start_method,
+                    request_timeout_s=self.config.channel.request_timeout_s,
+                )
+            else:
+                dc = DataComponent(
+                    name,
+                    config=self.config.dc,
+                    metrics=self.metrics,
+                    faults=faults,
+                    tracer=self.tracer,
+                )
             self.dcs[name] = dc
             self.tc.attach_dc(dc, self.config.channel)
 
@@ -113,3 +144,22 @@ class UnbundledKernel:
         for dc in self.dcs.values():
             dc.recover(notify_tcs=False)
         self.tc.restart()
+
+    # -- lifecycle (process deployment mode) -------------------------------------------
+
+    def close(self) -> None:
+        """Shut down DC server processes and reclaim a kernel-owned data
+        directory.  A no-op for the in-process transport."""
+        for dc in self.dcs.values():
+            shutdown = getattr(dc, "shutdown", None)
+            if shutdown is not None:
+                shutdown()
+        if self._owns_data_dir and self._data_dir is not None:
+            shutil.rmtree(self._data_dir, ignore_errors=True)
+            self._data_dir = None
+
+    def __enter__(self) -> "UnbundledKernel":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        self.close()

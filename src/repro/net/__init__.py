@@ -1,5 +1,15 @@
-"""Simulated transport between TCs and DCs."""
+"""Transports between TCs and DCs: simulated in-process and real pipes.
 
-from repro.net.channel import MessageChannel
+- :mod:`repro.net.channel` — the in-process simulated network (loss,
+  duplication, reordering, latency) plus the transport-selection factory.
+- :mod:`repro.net.wire` — the self-describing codec for every message.
+- :mod:`repro.net.rpc` — control-plane messages and frame envelopes.
+- :mod:`repro.net.journal` — file-backed stable storage for DC servers.
+- :mod:`repro.net.dcserver` — the DC server process entry point.
+- :mod:`repro.net.process` — client proxy, transport and channel for the
+  process deployment mode (docs/architecture.md §10).
+"""
 
-__all__ = ["MessageChannel"]
+from repro.net.channel import MessageChannel, build_channel
+
+__all__ = ["MessageChannel", "build_channel"]

@@ -36,6 +36,11 @@ if TYPE_CHECKING:  # pragma: no cover - annotation only
 class MessageChannel:
     """One ordered-by-default channel between a TC and a DC."""
 
+    #: Channels that can pipeline (send now, complete the reply future out
+    #: of order) advertise True and implement ``request_async`` /
+    #: ``finish_async`` — see :class:`repro.net.process.ProcessChannel`.
+    supports_async = False
+
     def __init__(
         self,
         dc: DataComponent,
@@ -103,7 +108,8 @@ class MessageChannel:
                 span.tags["lost"] = True
             return reply
 
-    def _request(self, message: Message) -> Optional[Message]:
+    def _note_request(self, message: Message) -> None:
+        """Per-request accounting, shared by every transport."""
         self._requests_slot.value += 1
         self.requests_sent += 1
         kind = type(message)
@@ -116,6 +122,9 @@ class MessageChannel:
             self.ops_sent += count
             self._batches_slot.value += 1
             self._batched_ops_slot.value += count
+
+    def _request(self, message: Message) -> Optional[Message]:
+        self._note_request(message)
         self._charge_latency()
         if self._fault_lost("send"):
             self.metrics.incr("channel.requests_lost")
@@ -238,3 +247,28 @@ class MessageChannel:
         if latency:
             self.sim_time_ms += latency
             self.metrics.observe("channel.latency_ms", latency)
+
+
+def build_channel(
+    dc,
+    config: Optional[ChannelConfig] = None,
+    metrics: Optional[Metrics] = None,
+    name: str = "",
+    faults: Optional["FaultInjector"] = None,
+    tracer: Optional[object] = None,
+) -> MessageChannel:
+    """Pick the channel implementation for a DC endpoint.
+
+    An out-of-process DC (:class:`~repro.net.process.RemoteDc`) gets a
+    :class:`~repro.net.process.ProcessChannel` over its pipe; anything
+    else gets the simulated in-process :class:`MessageChannel`.  Keyed on
+    the endpoint type, not on ``ChannelConfig.transport``, so a mixed
+    deployment (some DCs local, some out-of-process) just works.
+    """
+    from repro.net.process import ProcessChannel, RemoteDc
+
+    if isinstance(dc, RemoteDc):
+        return ProcessChannel(
+            dc, config, metrics, name=name, faults=faults, tracer=tracer
+        )
+    return MessageChannel(dc, config, metrics, name=name, faults=faults, tracer=tracer)

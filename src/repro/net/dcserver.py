@@ -1,0 +1,210 @@
+"""The DC server: one data component living in its own OS process.
+
+:func:`serve` is the child-process entry point.  It opens (and replays)
+the DC's journal volume, builds an ordinary
+:class:`~repro.dc.data_component.DataComponent` on top, announces itself
+with a :class:`~repro.net.rpc.Hello` push, then runs a single-threaded
+request loop over one ``multiprocessing`` connection:
+
+- §4.2.1 data/control messages (``PerformOperation``, ``BatchedPerform``,
+  EOSL/LWM/checkpoint/restart traffic) dispatch to ``dc.handle`` exactly
+  as the in-process transport would;
+- the small control plane of :mod:`repro.net.rpc` (register, catalog,
+  stats, shutdown) is served here;
+- the **causality gate** is bridged: when a DC system transaction needs
+  the TC log forced (Section 4.2.2), the server sends a
+  ``SERVER_REQUEST`` ``ForceLogRequest`` and blocks until the matching
+  ``CLIENT_REPLY`` arrives, stashing any pipelined client requests that
+  land in between into an inbox that the main loop drains afterwards.
+
+Single-threadedness is deliberate: one DC process is one core's worth of
+DC work (the scale-out unit is the *process*), and it keeps the server's
+view of request order identical to arrival order.  Parallelism comes from
+running many DC processes, which is the point of the deployment mode.
+
+If the parent dies (EOF on the pipe), the server exits; if the parent
+SIGKILLs it, the journal's flushed frames survive in the OS page cache
+and the next :func:`serve` on the same path replays them — the real-death
+analogue of the in-memory store's crash separation.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from collections import deque
+from typing import Optional
+
+from repro.common.api import ControlAck, Message
+from repro.common.config import DcConfig
+from repro.common.errors import CrashedError, ReproError
+from repro.dc.data_component import DataComponent
+from repro.net import rpc
+from repro.net.journal import JournalStorage
+from repro.net.rpc import (
+    CheckpointDcLog,
+    CheckpointDcLogReply,
+    CreateTable,
+    ForceLogReply,
+    ForceLogRequest,
+    Hello,
+    RegisterTc,
+    RemoteError,
+    RsspHint,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+    TableList,
+    TableListReply,
+)
+
+
+class _DcServer:
+    def __init__(self, conn, name: str, config: Optional[DcConfig], journal_path: str):
+        self._conn = conn
+        self._storage = JournalStorage(journal_path)
+        self._dc = DataComponent(
+            name, config=config, metrics=self._storage.metrics, storage=self._storage
+        )
+        self._recovered = False
+        if self._storage.replayed:
+            # A previous incarnation wrote this volume: rebuild structures
+            # from the stable catalog before accepting any traffic.  The
+            # TC-side redo prompt is driven by the client after reconnect.
+            self._dc.recover(notify_tcs=False)
+            self._recovered = True
+        #: Frames received while blocked inside a force-log bridge.
+        self._inbox: deque = deque()
+        self._sreq_seq = itertools.count(1)
+
+    # -- framing ------------------------------------------------------------
+
+    def _send(self, kind: int, seq: int, payload: object) -> None:
+        self._conn.send_bytes(rpc.pack_frame(kind, seq, payload))
+
+    def _next_frame(self) -> tuple[int, int, object]:
+        if self._inbox:
+            return self._inbox.popleft()
+        return rpc.unpack_frame(self._conn.recv_bytes())
+
+    # -- the causality-gate bridge -----------------------------------------
+
+    def _force_bridge(self, tc_id: int):
+        def force(lsn):
+            seq = next(self._sreq_seq)
+            self._send(
+                rpc.SERVER_REQUEST, seq, ForceLogRequest(tc_id=tc_id, lsn=lsn)
+            )
+            while True:
+                kind, rseq, payload = rpc.unpack_frame(self._conn.recv_bytes())
+                if kind == rpc.CLIENT_REPLY and rseq == seq:
+                    if isinstance(payload, ForceLogReply):
+                        return payload.eosl
+                    return lsn
+                # A pipelined client request raced the reply; serve it
+                # after the gate clears (arrival order is preserved).
+                self._inbox.append((kind, rseq, payload))
+
+        return force
+
+    def _push_hint(self, dc_name: str, lsn: int) -> None:
+        self._send(rpc.PUSH, 0, RsspHint(tc_id=0, dc_name=dc_name, lsn=lsn))
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _catalog(self) -> tuple:
+        tables = []
+        for name in self._dc.table_names():
+            handle = self._dc.table(name)
+            tables.append(
+                (name, handle.descriptor.kind, handle.descriptor.versioned)
+            )
+        return tuple(tables)
+
+    def _dispatch(self, message: Message) -> Optional[Message]:
+        if isinstance(message, RegisterTc):
+            self._dc.register_tc(
+                message.tc_id,
+                force_log=self._force_bridge(message.tc_id),
+                on_rssp_hint=self._push_hint,
+            )
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, CreateTable):
+            self._dc.create_table(
+                message.name,
+                kind=message.kind,
+                versioned=message.versioned,
+                bucket_count=message.bucket_count,
+            )
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, TableList):
+            return TableListReply(tc_id=message.tc_id, tables=self._catalog())
+        if isinstance(message, StatsRequest):
+            return StatsReply(
+                tc_id=message.tc_id,
+                payload={
+                    "dc": self._dc.stats(),
+                    "counters": self._dc.metrics.counters(),
+                    "pid": os.getpid(),
+                    "recovered": self._recovered,
+                },
+            )
+        if isinstance(message, CheckpointDcLog):
+            return CheckpointDcLogReply(
+                tc_id=message.tc_id, advanced=self._dc.checkpoint_dc_log()
+            )
+        if isinstance(message, Shutdown):
+            return ControlAck(tc_id=message.tc_id)
+        return self._dc.handle(message)
+
+    # -- main loop ----------------------------------------------------------
+
+    def run(self) -> None:
+        self._send(
+            rpc.PUSH,
+            0,
+            Hello(
+                tc_id=0,
+                dc_name=self._dc.name,
+                pid=os.getpid(),
+                recovered=self._recovered,
+                tables=self._catalog(),
+            ),
+        )
+        try:
+            while True:
+                try:
+                    kind, seq, message = self._next_frame()
+                except (EOFError, OSError):
+                    return  # parent is gone; nothing to serve
+                if kind != rpc.REQUEST:
+                    continue  # stray frame (e.g. a stale CLIENT_REPLY)
+                try:
+                    reply = self._dispatch(message)
+                except CrashedError:
+                    # The in-process transport maps a crashed DC to a lost
+                    # message; mirror that (should not occur server-side).
+                    reply = None
+                except ReproError as exc:
+                    reply = RemoteError(
+                        tc_id=getattr(message, "tc_id", 0),
+                        kind=type(exc).__name__,
+                        text=str(exc),
+                    )
+                try:
+                    self._send(rpc.REPLY, seq, reply)
+                except (BrokenPipeError, OSError):
+                    return
+                if isinstance(message, Shutdown):
+                    return
+        finally:
+            self._storage.close()
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+
+
+def serve(conn, name: str, config: Optional[DcConfig], journal_path: str) -> None:
+    """Child-process entry point (target of ``multiprocessing.Process``)."""
+    _DcServer(conn, name, config, journal_path).run()

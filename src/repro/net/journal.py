@@ -1,0 +1,197 @@
+"""File-backed stable storage for out-of-process DCs.
+
+The in-memory :class:`~repro.storage.disk.StableStorage` gives crash
+*semantics* (atomic pages, crash separation) but lives in the process it
+models — fine for simulated crashes, useless when the supervisor delivers
+a real ``SIGKILL``.  :class:`JournalStorage` keeps the same interface and
+in-memory read path, but additionally appends every durable mutation to a
+length-prefixed frame journal on disk.  A restarted server process replays
+the journal to rebuild pages, metadata, the stable DC log and the page-id
+allocation high-water, then runs ordinary DC recovery on top.
+
+Durability model: each frame is written and ``flush()``-ed before the
+mutating call returns, which moves the bytes into the OS page cache — and
+the OS survives the *child's* SIGKILL, which is precisely the crash the
+process deployment mode injects.  Whole-machine durability would add an
+``fsync`` per force; the experiments here kill processes, not kernels, so
+the journal trades that cost away (documented in docs/architecture.md §10).
+
+Frames are pickled ``(tag, payload)`` tuples.  Pickle is acceptable here —
+unlike the TC/DC request path, the journal is written and read only by the
+same trusted server binary on its own volume.  A torn tail (partial last
+frame) is discarded on replay: the mutating call that wrote it never
+returned, so nothing downstream depends on it — exactly torn-write = no
+write, the atomicity the in-memory store promises.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+from typing import Optional
+
+from repro.common.lsn import Lsn, NULL_LSN
+from repro.sim.metrics import Metrics
+from repro.storage.disk import StableStorage
+from repro.storage.page import PageImage
+
+_LEN = struct.Struct("<I")
+
+_TAG_PAGE = 0
+_TAG_FREE = 1
+_TAG_META = 2
+_TAG_LOG = 3
+_TAG_TRUNC = 4
+_TAG_ALLOC = 5
+
+
+class JournalStorage(StableStorage):
+    """Stable storage whose mutations also land in an on-disk journal."""
+
+    def __init__(self, path: str, metrics: Optional[Metrics] = None) -> None:
+        super().__init__(metrics)
+        self._path = path
+        self._file = None
+        self.replayed = self._replay()
+        self._file = open(path, "ab")
+
+    # -- journaling ---------------------------------------------------------
+
+    def _journal(self, tag: int, payload: object) -> None:
+        # Callers hold self._lock, so frame order matches apply order.
+        frame = pickle.dumps((tag, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        self._file.write(_LEN.pack(len(frame)))
+        self._file.write(frame)
+        self._file.flush()
+        self.metrics.incr("journal.frames")
+
+    def _replay(self) -> bool:
+        try:
+            with open(self._path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return False
+        pos = 0
+        applied = 0
+        size = len(data)
+        while pos + _LEN.size <= size:
+            (length,) = _LEN.unpack_from(data, pos)
+            if pos + _LEN.size + length > size:
+                break  # torn tail: the write never returned, drop it
+            try:
+                tag, payload = pickle.loads(
+                    data[pos + _LEN.size : pos + _LEN.size + length]
+                )
+            except Exception:
+                break
+            self._apply(tag, payload)
+            applied += 1
+            pos += _LEN.size + length
+        if pos < size:
+            # Truncate the torn tail so the append handle continues from a
+            # clean frame boundary.
+            with open(self._path, "ab") as handle:
+                handle.truncate(pos)
+        self.metrics.incr("journal.replayed_frames", applied)
+        return applied > 0
+
+    def _apply(self, tag: int, payload: object) -> None:
+        if tag == _TAG_PAGE:
+            image: PageImage = payload
+            self._pages[image.page_id] = image
+            if image.page_id >= self._next_page_id:
+                self._next_page_id = image.page_id + 1
+        elif tag == _TAG_FREE:
+            self._pages.pop(payload, None)
+        elif tag == _TAG_META:
+            key, value = payload
+            self._metadata[key] = value
+        elif tag == _TAG_LOG:
+            self._dc_log.extend(payload)
+        elif tag == _TAG_TRUNC:
+            self._dc_log = [
+                entry
+                for entry in self._dc_log
+                if getattr(entry, "dlsn", NULL_LSN) >= payload
+            ]
+        elif tag == _TAG_ALLOC:
+            if payload >= self._next_page_id:
+                self._next_page_id = payload + 1
+
+    # -- overridden mutators ------------------------------------------------
+
+    def allocate_page_id(self) -> int:
+        with self._lock:
+            page_id = self._next_page_id
+            self._next_page_id += 1
+            self._journal(_TAG_ALLOC, page_id)
+            return page_id
+
+    def note_allocated(self, page_id: int) -> None:
+        with self._lock:
+            if page_id >= self._next_page_id:
+                self._next_page_id = page_id + 1
+                self._journal(_TAG_ALLOC, page_id)
+
+    def _write_page(self, image: PageImage) -> None:
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.DISK_PAGE_WRITE, self.owner)
+        with self._lock:
+            self._pages[image.page_id] = image
+            self._journal(_TAG_PAGE, image)
+            self.metrics.incr("disk.page_writes")
+            self.metrics.observe("disk.page_bytes", image.encoded_size())
+
+    def free_page(self, page_id: int) -> None:
+        with self._lock:
+            self._pages.pop(page_id, None)
+            self._journal(_TAG_FREE, page_id)
+            self.metrics.incr("disk.page_frees")
+
+    def write_metadata(self, key: str, value: object) -> None:
+        with self._lock:
+            self._metadata[key] = value
+            self._journal(_TAG_META, (key, value))
+
+    def _append_dc_log(self, entries: list[object]) -> None:
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            self.faults.hit(FaultPoint.DISK_LOG_FORCE, self.owner)
+        with self._lock:
+            self._dc_log.extend(entries)
+            self._journal(_TAG_LOG, list(entries))
+            self.metrics.incr("disk.dclog_forces")
+
+    def truncate_dc_log(self, keep_from_dlsn: Lsn) -> None:
+        with self._lock:
+            self._dc_log = [
+                entry
+                for entry in self._dc_log
+                if getattr(entry, "dlsn", NULL_LSN) >= keep_from_dlsn
+            ]
+            self._journal(_TAG_TRUNC, keep_from_dlsn)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._file is not None:
+            try:
+                self._file.flush()
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
+
+    @property
+    def path(self) -> str:
+        return self._path
+
+    def journal_bytes(self) -> int:
+        try:
+            return os.path.getsize(self._path)
+        except OSError:
+            return 0

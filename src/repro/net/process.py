@@ -1,0 +1,594 @@
+"""Client side of the process deployment mode: proxy, transport, channel.
+
+Three layers, bottom up:
+
+- :class:`DcProcess` — the OS-process lifecycle: spawn a
+  :func:`repro.net.dcserver.serve` child over a ``multiprocessing`` pipe,
+  ``SIGKILL`` it, join it.  The journal path outlives the process, which
+  is what makes kill-and-restart a *recovery* event rather than data loss.
+- :class:`RemoteDc` — a proxy implementing the surface the TC, kernel and
+  supervisor already use on an in-process ``DataComponent`` (``handle``
+  via futures, ``register_tc``, catalog lookups, ``crashed`` /
+  ``crash()`` / ``recover()`` / ``prompt_redo()``), so the rest of the
+  system is oblivious to where the DC lives.  One proxy multiplexes any
+  number of TCs over a single connection.
+- :class:`ProcessChannel` — the :class:`~repro.net.channel.MessageChannel`
+  request/post/pump surface over that proxy, plus the **pipelined async**
+  path (:meth:`request_async` / :meth:`finish_async`): requests carry
+  transport sequence numbers, a receiver thread completes futures as
+  replies arrive — out of order is fine, because §4.2.1's unique request
+  ids and DC-side idempotence were designed for exactly that delivery
+  model.
+
+The simulated-misbehavior knobs (loss/duplication/reordering, fault
+injection) are **local-only**: this transport is a real pipe that
+delivers reliably and in order, and the §4.2.1 resend machinery instead
+gets exercised by killing the *process* (see docs/architecture.md §10).
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing as mp
+import os
+import threading
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeout
+from queue import SimpleQueue
+from typing import Callable, Optional
+
+from repro.common.api import Message
+from repro.common.config import ChannelConfig, DcConfig
+from repro.common.errors import ReproError
+from repro.dc.recovery import TableDescriptor
+from repro.net import dcserver, rpc
+from repro.net.channel import MessageChannel
+from repro.net.rpc import (
+    CheckpointDcLog,
+    CreateTable,
+    ForceLogReply,
+    ForceLogRequest,
+    Hello,
+    RegisterTc,
+    RemoteError,
+    RsspHint,
+    Shutdown,
+    StatsRequest,
+    TableList,
+)
+from repro.sim.metrics import Metrics
+
+
+def default_start_method() -> str:
+    """``fork`` where the platform offers it (fast, no re-import); else
+    ``spawn``.  Overridable via ``ChannelConfig.process_start_method``."""
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class DcProcess:
+    """One spawned DC server process and its pipe."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[DcConfig],
+        journal_path: str,
+        start_method: str = "",
+    ) -> None:
+        method = start_method or default_start_method()
+        ctx = mp.get_context(method)
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=dcserver.serve,
+            args=(child_conn, name, config, journal_path),
+            name=f"repro-dc-{name}",
+            daemon=True,
+        )
+        self.process.start()
+        # The parent must drop its copy of the child end, or a dead child
+        # would never read as EOF.
+        child_conn.close()
+
+    def wait_hello(self, timeout: float = 30.0) -> Hello:
+        if not self.conn.poll(timeout):
+            self.kill()
+            raise ReproError("DC server did not say hello in time")
+        kind, _seq, payload = rpc.unpack_frame(self.conn.recv_bytes())
+        if kind != rpc.PUSH or not isinstance(payload, Hello):
+            self.kill()
+            raise ReproError(f"unexpected first frame from DC server: {payload!r}")
+        return payload
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def kill(self) -> None:
+        """SIGKILL — the real process death the chaos tests rely on."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.process.join(timeout)
+
+
+class _Transport:
+    """Framed, multiplexed, bidirectional traffic over one connection.
+
+    A receiver thread completes request futures by sequence number (out
+    of order), forwards server-initiated traffic (force-log requests,
+    RSSP-hint pushes) to a control thread — so a long TC log force never
+    stalls reply delivery — and on EOF fails every outstanding future
+    with ``None`` (the "lost reply" the resend contracts absorb).
+    """
+
+    def __init__(
+        self,
+        conn,
+        *,
+        on_server_request: Callable[[Message], Message],
+        on_push: Callable[[Message], None],
+        on_down: Callable[[], None],
+    ) -> None:
+        self._conn = conn
+        self._on_server_request = on_server_request
+        self._on_push = on_push
+        self._on_down = on_down
+        self._futures: dict[int, Future] = {}
+        self._flock = threading.Lock()
+        self._wlock = threading.Lock()
+        self._seq = itertools.count(1)
+        self._down = False
+        self._ctrl: SimpleQueue = SimpleQueue()
+        self._recv_thread = threading.Thread(
+            target=self._recv_loop, name="dc-transport-recv", daemon=True
+        )
+        self._ctrl_thread = threading.Thread(
+            target=self._ctrl_loop, name="dc-transport-ctrl", daemon=True
+        )
+        self._recv_thread.start()
+        self._ctrl_thread.start()
+
+    def submit(self, message: Message) -> Future:
+        """Send one request; the returned future resolves to the reply
+        message, or ``None`` if the connection died first."""
+        future: Future = Future()
+        seq = next(self._seq)
+        with self._flock:
+            if self._down:
+                future.set_result(None)
+                return future
+            self._futures[seq] = future
+        try:
+            self._send(rpc.REQUEST, seq, message)
+        except (OSError, ValueError):
+            with self._flock:
+                self._futures.pop(seq, None)
+            if not future.done():
+                future.set_result(None)
+        return future
+
+    def _send(self, kind: int, seq: int, payload: object) -> None:
+        data = rpc.pack_frame(kind, seq, payload)
+        with self._wlock:
+            self._conn.send_bytes(data)
+
+    def _recv_loop(self) -> None:
+        while True:
+            try:
+                data = self._conn.recv_bytes()
+            except (EOFError, OSError):
+                break
+            kind, seq, payload = rpc.unpack_frame(data)
+            if kind == rpc.REPLY:
+                with self._flock:
+                    future = self._futures.pop(seq, None)
+                if future is not None and not future.done():
+                    future.set_result(payload)
+            elif kind in (rpc.SERVER_REQUEST, rpc.PUSH):
+                self._ctrl.put((kind, seq, payload))
+        with self._flock:
+            self._down = True
+            stranded = list(self._futures.values())
+            self._futures.clear()
+        for future in stranded:
+            if not future.done():
+                future.set_result(None)
+        self._ctrl.put(None)
+        self._on_down()
+
+    def _ctrl_loop(self) -> None:
+        while True:
+            item = self._ctrl.get()
+            if item is None:
+                return
+            kind, seq, payload = item
+            if kind == rpc.SERVER_REQUEST:
+                try:
+                    reply = self._on_server_request(payload)
+                except ReproError as exc:
+                    reply = RemoteError(tc_id=0, kind=type(exc).__name__, text=str(exc))
+                try:
+                    self._send(rpc.CLIENT_REPLY, seq, reply)
+                except (OSError, ValueError):
+                    pass
+            else:
+                self._on_push(payload)
+
+    @property
+    def down(self) -> bool:
+        return self._down
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class _RemoteTableHandle:
+    """Catalog-only stand-in for ``TableHandle`` (no structure object —
+    record access goes through messages, as §4.2.1 intends)."""
+
+    __slots__ = ("descriptor",)
+
+    def __init__(self, descriptor: TableDescriptor) -> None:
+        self.descriptor = descriptor
+
+
+class RemoteDc:
+    """Proxy for a DC server process; drop-in for the TC/kernel surface."""
+
+    def __init__(
+        self,
+        name: str,
+        config: Optional[DcConfig] = None,
+        metrics: Optional[Metrics] = None,
+        journal_path: str = "",
+        start_method: str = "",
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        if not journal_path:
+            raise ReproError("RemoteDc needs a journal_path (the DC's volume)")
+        self.name = name
+        self.config = config
+        self.metrics = metrics or Metrics()
+        self.journal_path = journal_path
+        self.start_method = start_method
+        self.request_timeout_s = request_timeout_s
+        #: Crash listeners ``fn(name, kind)`` — the supervisor subscribes.
+        self.on_crash: list[Callable[[str, str], None]] = []
+        #: tc_id -> callbacks, kept client-side and re-installed (via
+        #: :class:`RegisterTc`) on every restart of the server process.
+        self._registrations: dict[int, dict] = {}
+        self._tables: dict[str, _RemoteTableHandle] = {}
+        self._lock = threading.Lock()
+        self._crashed = False
+        self._down_handled = False
+        self._closing = False
+        self.restarts = 0
+        self.last_pid: Optional[int] = None
+        self._start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _start(self) -> None:
+        self._process = DcProcess(
+            self.name, self.config, self.journal_path, self.start_method
+        )
+        hello = self._process.wait_hello()
+        self.last_pid = hello.pid
+        self._prime_tables(hello.tables)
+        self._down_handled = False
+        self._transport = _Transport(
+            self._process.conn,
+            on_server_request=self._serve_force,
+            on_push=self._serve_push,
+            on_down=self._note_down,
+        )
+
+    def _prime_tables(self, tables: tuple) -> None:
+        with self._lock:
+            for name, kind, versioned in tables:
+                self._tables[name] = _RemoteTableHandle(
+                    TableDescriptor(name=name, kind=kind, versioned=versioned)
+                )
+
+    def _note_down(self) -> None:
+        fire = False
+        with self._lock:
+            if not self._down_handled:
+                self._down_handled = True
+                if not self._closing:
+                    self._crashed = True
+                    fire = True
+        if fire:
+            self.metrics.incr("remote_dc.process_deaths")
+            for listener in list(self.on_crash):
+                listener(self.name, "dc")
+
+    @property
+    def crashed(self) -> bool:
+        if not self._crashed and not self._closing and not self._process.alive:
+            # Poll fallback: the receiver thread may not have seen EOF yet.
+            self._note_down()
+        return self._crashed
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid
+
+    def crash(self) -> None:
+        """SIGKILL the server process — a *real* fail-stop, not a flag."""
+        self._process.kill()
+        self._note_down()
+
+    def recover(self, notify_tcs: bool = True) -> dict[str, object]:
+        """Restart the server on the same journal; re-register every TC.
+
+        The new process replays the journal and runs DC-local recovery
+        before saying hello; with ``notify_tcs`` the §5.2.1 redo prompt
+        then runs client-side so the TC resends its redo stream over the
+        new connection.
+        """
+        if self._process.alive:
+            self._process.kill()
+        self._transport.close()
+        self._start()
+        self._crashed = False
+        self.restarts += 1
+        self.metrics.incr("remote_dc.restarts")
+        with self._lock:
+            tc_ids = list(self._registrations)
+        for tc_id in tc_ids:
+            self.control(RegisterTc(tc_id=tc_id))
+        if notify_tcs:
+            self.prompt_redo()
+        return {"restarted": True, "pid": self.last_pid, "restarts": self.restarts}
+
+    def prompt_redo(self) -> None:
+        """Re-drive the out-of-band restart prompt (idempotent)."""
+        with self._lock:
+            prompts = [
+                reg["on_dc_restart"]
+                for reg in self._registrations.values()
+                if reg.get("on_dc_restart") is not None
+            ]
+        for prompt in prompts:
+            prompt(self)
+
+    def shutdown(self) -> None:
+        """Graceful stop: ask the server to exit, then make sure it did."""
+        self._closing = True
+        try:
+            self.call(Shutdown(tc_id=0), timeout=5.0)
+        except ReproError:
+            pass
+        self._process.join(5.0)
+        self._process.kill()
+        self._transport.close()
+
+    # -- messaging ----------------------------------------------------------
+
+    def submit(self, message: Message) -> Future:
+        return self._transport.submit(message)
+
+    def call(self, message: Message, timeout: Optional[float] = None) -> object:
+        """Send and wait; ``None`` on timeout or a dead connection (the
+        caller's resend machinery takes over, as for any lost reply)."""
+        future = self._transport.submit(message)
+        try:
+            return future.result(
+                timeout if timeout is not None else self.request_timeout_s
+            )
+        except FutureTimeout:
+            self.metrics.incr("remote_dc.request_timeouts")
+            return None
+
+    def control(self, message: Message, timeout: Optional[float] = None) -> Message:
+        """A call that must succeed: raises on loss, death or RemoteError."""
+        reply = self.call(message, timeout)
+        if reply is None:
+            raise ReproError(
+                f"DC {self.name}: no reply to {type(message).__name__}"
+                + (" (process down)" if self.crashed else "")
+            )
+        if isinstance(reply, RemoteError):
+            raise ReproError(f"DC {self.name}: {reply.kind}: {reply.text}")
+        return reply
+
+    def handle(self, message: Message) -> Optional[Message]:
+        """In-process-compatible synchronous dispatch (used by tests and
+        the base channel); the TC's hot path goes through ProcessChannel."""
+        reply = self.call(message)
+        if isinstance(reply, RemoteError):
+            raise ReproError(f"DC {self.name}: {reply.kind}: {reply.text}")
+        return reply
+
+    # -- the server-initiated legs ------------------------------------------
+
+    def _serve_force(self, message: Message) -> Message:
+        if not isinstance(message, ForceLogRequest):
+            raise ReproError(f"unexpected server request: {message!r}")
+        with self._lock:
+            registration = self._registrations.get(message.tc_id)
+        force = registration.get("force_log") if registration else None
+        eosl = force(message.lsn) if force is not None else message.lsn
+        return ForceLogReply(tc_id=message.tc_id, eosl=eosl)
+
+    def _serve_push(self, message: Message) -> None:
+        if isinstance(message, RsspHint):
+            with self._lock:
+                hints = [
+                    reg["on_rssp_hint"]
+                    for reg in self._registrations.values()
+                    if reg.get("on_rssp_hint") is not None
+                ]
+            for hint in hints:
+                hint(message.dc_name or self.name, message.lsn)
+
+    # -- the DataComponent surface ------------------------------------------
+
+    def register_tc(
+        self,
+        tc_id: int,
+        force_log=None,
+        on_dc_restart=None,
+        on_rssp_hint=None,
+    ) -> None:
+        with self._lock:
+            self._registrations[tc_id] = {
+                "force_log": force_log,
+                "on_dc_restart": on_dc_restart,
+                "on_rssp_hint": on_rssp_hint,
+            }
+        self.control(RegisterTc(tc_id=tc_id))
+
+    def unregister_tc(self, tc_id: int) -> None:
+        with self._lock:
+            self._registrations.pop(tc_id, None)
+
+    def create_table(
+        self,
+        name: str,
+        kind: str = "btree",
+        versioned: bool = False,
+        bucket_count: int = 16,
+    ) -> None:
+        self.control(
+            CreateTable(
+                tc_id=0,
+                name=name,
+                kind=kind,
+                versioned=versioned,
+                bucket_count=bucket_count,
+            )
+        )
+        with self._lock:
+            self._tables[name] = _RemoteTableHandle(
+                TableDescriptor(name=name, kind=kind, versioned=versioned)
+            )
+
+    def table_names(self) -> list[str]:
+        with self._lock:
+            return list(self._tables)
+
+    def table(self, name: str) -> _RemoteTableHandle:
+        with self._lock:
+            handle = self._tables.get(name)
+        if handle is None:
+            self.refresh_catalog()
+            with self._lock:
+                handle = self._tables.get(name)
+        if handle is None:
+            raise ReproError(f"DC {self.name}: no table {name!r}")
+        return handle
+
+    def refresh_catalog(self) -> None:
+        reply = self.control(TableList(tc_id=0))
+        self._prime_tables(reply.tables)
+
+    def checkpoint_dc_log(self) -> bool:
+        reply = self.control(CheckpointDcLog(tc_id=0))
+        return reply.advanced
+
+    def stats(self) -> dict[str, object]:
+        reply = self.control(StatsRequest(tc_id=0))
+        return reply.payload
+
+
+class ProcessChannel(MessageChannel):
+    """The MessageChannel surface over a :class:`RemoteDc`, plus pipelining.
+
+    ``request`` is synchronous (send, await the future).  ``post``/``pump``
+    and :meth:`request_async`/:meth:`finish_async` expose the pipelined
+    path: many requests in flight at once, futures completed out of order
+    by the transport's receiver thread.  The §4.2.1 contracts make that
+    safe — every request carries its unique id, replies correlate by id,
+    and resends are absorbed by DC-side idempotence.
+    """
+
+    supports_async = True
+
+    def __init__(
+        self,
+        dc: RemoteDc,
+        config: Optional[ChannelConfig] = None,
+        metrics=None,
+        name: str = "",
+        faults=None,
+        tracer=None,
+    ) -> None:
+        config = config or ChannelConfig()
+        if (
+            config.loss_rate
+            or config.duplicate_rate
+            or config.reorder_window
+            or faults is not None
+        ):
+            raise ReproError(
+                "simulated misbehavior and fault injection are local-only; "
+                "the process transport delivers reliably — kill the DC "
+                "process instead (docs/architecture.md §10)"
+            )
+        super().__init__(dc, config, metrics, name=name, tracer=tracer)
+        self._timeout_s = config.request_timeout_s
+        self._in_flight: list[Future] = []
+
+    # -- synchronous --------------------------------------------------------
+
+    def _request(self, message: Message) -> Optional[Message]:
+        self._note_request(message)
+        self._charge_latency()
+        reply = self.dc.call(message, self._timeout_s)
+        return self._accept(reply)
+
+    def _accept(self, reply: object) -> Optional[Message]:
+        if reply is None:
+            return None
+        if isinstance(reply, RemoteError):
+            raise ReproError(f"DC {self.dc.name}: {reply.kind}: {reply.text}")
+        self._charge_latency()
+        return reply
+
+    # -- pipelined ----------------------------------------------------------
+
+    def request_async(self, message: Message) -> Future:
+        """Send now, return the reply future (completed out of order)."""
+        self._note_request(message)
+        self._charge_latency()
+        return self.dc.submit(message)
+
+    def finish_async(self, future: Future) -> Optional[Message]:
+        """Await one pipelined reply; ``None`` = lost (resend applies)."""
+        try:
+            reply = future.result(self._timeout_s)
+        except FutureTimeout:
+            self.metrics.incr("remote_dc.request_timeouts")
+            return None
+        return self._accept(reply)
+
+    def post(self, message: Message) -> None:
+        self.metrics.incr("channel.posted")
+        self._in_flight.append(self.request_async(message))
+
+    def pending(self) -> int:
+        return len(self._in_flight)
+
+    def pump(self) -> list[Message]:
+        futures, self._in_flight = self._in_flight, []
+        replies: list[Message] = []
+        for future in futures:
+            reply = self.finish_async(future)
+            if reply is not None:
+                replies.append(reply)
+        return replies

@@ -1,0 +1,146 @@
+"""Control-plane messages and frame envelopes for the process transport.
+
+The data plane of the process deployment mode is exactly the §4.2.1
+message set of :mod:`repro.common.api`.  What §4.2.1 leaves to "the
+environment" — how a TC finds a DC's tables, how the DC-prompted log
+force crosses the process boundary, how the server announces itself —
+is this module's small control plane.  Every control message is a
+``Message`` subclass so the wire codec picks it up automatically.
+
+Frames on the pipe are ``wire.encode((kind, seq, payload))``:
+
+- ``REQUEST``/``REPLY`` — client RPC, correlated by ``seq``.  Requests
+  are pipelined: the client may have many in flight and the server's
+  replies complete client-side futures out of order, which is exactly
+  the delivery model the §4.2.1 unique-id/idempotence contracts assume.
+- ``SERVER_REQUEST``/``CLIENT_REPLY`` — the reverse direction, used for
+  the causality gate: a DC system transaction that must not outrun the
+  TC log sends :class:`ForceLogRequest` and blocks until the TC's force
+  completes (Section 4.2.2's "DC prompts the TC to force its log").
+- ``PUSH`` — one-way server-to-client traffic: the :class:`Hello`
+  banner and spontaneous :class:`RsspHint` contract terminations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.api import Message
+from repro.net import wire
+
+# Envelope kinds (first element of every frame tuple).
+REQUEST = 0
+REPLY = 1
+SERVER_REQUEST = 2
+CLIENT_REPLY = 3
+PUSH = 4
+
+
+def pack_frame(kind: int, seq: int, payload: object) -> bytes:
+    return wire.encode((kind, seq, payload))
+
+
+def unpack_frame(data: bytes) -> tuple[int, int, object]:
+    frame = wire.decode(data, expect=tuple)
+    if len(frame) != 3 or not isinstance(frame[0], int) or not isinstance(frame[1], int):
+        raise wire.WireDecodeError(f"malformed frame envelope: {frame!r}")
+    return frame  # type: ignore[return-value]
+
+
+# -- server -> client ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Hello(Message):
+    """First frame a DC server sends: identity plus the table catalog, so
+    a reconnecting client can prime its routes without an extra RPC."""
+
+    dc_name: str = ""
+    pid: int = 0
+    #: True when the server replayed a journal and ran DC-local recovery
+    #: before accepting traffic (the kill -9 restart path).
+    recovered: bool = False
+    #: ``(name, kind, versioned)`` per hosted table.
+    tables: tuple = ()
+
+
+@dataclass(frozen=True)
+class ForceLogRequest(Message):
+    """Causality gate: block this DC system transaction until the TC log
+    is stable through ``lsn`` (carried on a SERVER_REQUEST frame)."""
+
+    lsn: int = 0
+
+
+@dataclass(frozen=True)
+class ForceLogReply(Message):
+    eosl: int = 0
+
+
+@dataclass(frozen=True)
+class RsspHint(Message):
+    """Spontaneous contract termination (§4.2.1): everything below
+    ``lsn`` is stable at ``dc_name``."""
+
+    dc_name: str = ""
+    lsn: int = 0
+
+
+@dataclass(frozen=True)
+class RemoteError(Message):
+    """A server-side exception, reflected back instead of a reply."""
+
+    kind: str = ""
+    text: str = ""
+
+
+# -- client -> server ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegisterTc(Message):
+    """Install the §4.2.1 per-TC hooks server-side; the client bridges
+    force-log and RSSP-hint callbacks back over the pipe."""
+
+
+@dataclass(frozen=True)
+class CreateTable(Message):
+    name: str = ""
+    kind: str = "btree"
+    versioned: bool = False
+    bucket_count: int = 16
+
+
+@dataclass(frozen=True)
+class TableList(Message):
+    """Ask for the catalog (same shape as :attr:`Hello.tables`)."""
+
+
+@dataclass(frozen=True)
+class TableListReply(Message):
+    tables: tuple = ()
+
+
+@dataclass(frozen=True)
+class StatsRequest(Message):
+    """Fetch the server-side ``dc.stats()`` and metric counters."""
+
+
+@dataclass(frozen=True)
+class StatsReply(Message):
+    payload: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CheckpointDcLog(Message):
+    """Run a DC-local log checkpoint (may emit RsspHint pushes)."""
+
+
+@dataclass(frozen=True)
+class CheckpointDcLogReply(Message):
+    advanced: bool = False
+
+
+@dataclass(frozen=True)
+class Shutdown(Message):
+    """Graceful stop: the server acks, closes its journal and exits."""

@@ -1,0 +1,397 @@
+"""A compact, self-describing wire codec for the TC/DC message set.
+
+The process deployment mode (docs/architecture.md §10) moves each DC into
+its own OS process, so every :class:`~repro.common.api.Message` must cross
+a real pipe as bytes.  This codec is deliberately *self-describing*: each
+value carries a one-byte type tag, registered dataclasses are encoded as
+``(type name, {field name: value})`` and enums as ``(type name, value)``.
+That buys two properties the §4.2.1 contracts need:
+
+- **version skew is loud, not silent** — decoding a frame that names an
+  unknown message type raises :class:`UnknownTypeError`, and a known type
+  carrying an unknown field raises :class:`UnknownFieldError` (both are
+  :class:`WireDecodeError`).  A field the sender omitted simply takes the
+  dataclass default, so adding a defaulted field is backward compatible.
+- **no pickle on the request path** — frames can only decode into the
+  registered message/operation vocabulary, never arbitrary objects.
+
+Scalars use varints (zigzag for sign), so the common small ints (LSNs,
+op ids) cost one or two bytes.  The sentinels ``TOMBSTONE`` / ``KEY_MIN`` /
+``KEY_MAX`` get their own tags and decode back to the canonical singletons
+— identity checks like ``value is TOMBSTONE`` keep working across the wire.
+
+Registered out of the box: every ``Message`` subclass (including the
+control-plane messages of :mod:`repro.net.rpc`), every
+``LogicalOperation``, ``OpResult``/``RecordView`` and the enums they
+embed.  Extensions register their own payload dataclasses with
+:func:`register`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import struct
+from typing import Any, Optional
+
+from repro.common.errors import ReproError
+
+__all__ = [
+    "WireError",
+    "WireEncodeError",
+    "WireDecodeError",
+    "UnknownTypeError",
+    "UnknownFieldError",
+    "register",
+    "registered_types",
+    "encode",
+    "decode",
+]
+
+
+class WireError(ReproError):
+    """Base class for codec failures."""
+
+
+class WireEncodeError(WireError):
+    """The value contains a type the codec does not speak."""
+
+
+class WireDecodeError(WireError):
+    """The frame is truncated, malformed or has trailing garbage."""
+
+
+class UnknownTypeError(WireDecodeError):
+    """The frame names a dataclass/enum this process has not registered."""
+
+
+class UnknownFieldError(WireDecodeError):
+    """A registered type arrived with a field this process does not know."""
+
+
+# -- type tags ----------------------------------------------------------------
+
+_T_NONE = 0x00
+_T_TRUE = 0x01
+_T_FALSE = 0x02
+_T_INT = 0x03
+_T_FLOAT = 0x04
+_T_STR = 0x05
+_T_BYTES = 0x06
+_T_TUPLE = 0x07
+_T_LIST = 0x08
+_T_DICT = 0x09
+_T_SET = 0x0A
+_T_FROZENSET = 0x0B
+_T_OBJ = 0x0C
+_T_ENUM = 0x0D
+_T_TOMBSTONE = 0x0E
+_T_KEY_MIN = 0x0F
+_T_KEY_MAX = 0x10
+
+_FLOAT = struct.Struct(">d")
+
+# -- registry -----------------------------------------------------------------
+
+_BY_NAME: dict[str, type] = {}
+_FIELDS: dict[type, tuple[str, ...]] = {}
+_FIELD_SETS: dict[type, frozenset] = {}
+_bootstrapped = False
+
+
+def register(cls: type) -> type:
+    """Add a dataclass or enum to the wire vocabulary (idempotent).
+
+    Names must be unique — the type name *is* the wire identifier.
+    Usable as a decorator on extension payload types.
+    """
+    existing = _BY_NAME.get(cls.__name__)
+    if existing is not None and existing is not cls:
+        raise WireError(
+            f"wire name collision: {cls.__name__!r} already registered "
+            f"for {existing!r}"
+        )
+    _BY_NAME[cls.__name__] = cls
+    if dataclasses.is_dataclass(cls):
+        names = tuple(f.name for f in dataclasses.fields(cls))
+        _FIELDS[cls] = names
+        _FIELD_SETS[cls] = frozenset(names)
+    elif not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
+        raise WireError(f"only dataclasses and enums can be registered: {cls!r}")
+    return cls
+
+
+def registered_types() -> dict[str, type]:
+    """The current wire vocabulary (name -> type); bootstraps lazily."""
+    _bootstrap()
+    return dict(_BY_NAME)
+
+
+def _walk_subclasses(base: type) -> None:
+    for sub in base.__subclasses__():
+        register(sub)
+        _walk_subclasses(sub)
+
+
+def _bootstrap() -> None:
+    global _bootstrapped
+    if _bootstrapped:
+        return
+    _bootstrapped = True
+    # The control-plane messages are Message subclasses; import them first
+    # so one subclass walk collects the whole vocabulary.
+    import repro.net.rpc  # noqa: F401  (registers via the Message walk)
+    from repro.common import api, ops, records
+
+    register(api.Message)
+    _walk_subclasses(api.Message)
+    _walk_subclasses(ops.LogicalOperation)
+    register(ops.OpResult)
+    register(ops.OpStatus)
+    register(ops.ReadFlavor)
+    register(records.RecordView)
+
+
+# -- encoding -----------------------------------------------------------------
+
+
+def _put_uvarint(out: bytearray, value: int) -> None:
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return
+
+
+def _put_str(out: bytearray, text: str) -> None:
+    raw = text.encode("utf-8")
+    _put_uvarint(out, len(raw))
+    out += raw
+
+
+def _encode(out: bytearray, value: Any) -> None:
+    if value is None:
+        out.append(_T_NONE)
+        return
+    if value is True:
+        out.append(_T_TRUE)
+        return
+    if value is False:
+        out.append(_T_FALSE)
+        return
+    kind = type(value)
+    if kind is int:
+        out.append(_T_INT)
+        # zigzag so small negatives stay small
+        zz = (value << 1) ^ (-1 if value < 0 else 0)
+        _put_uvarint(out, zz)
+        return
+    if kind is float:
+        out.append(_T_FLOAT)
+        out += _FLOAT.pack(value)
+        return
+    if kind is str:
+        out.append(_T_STR)
+        _put_str(out, value)
+        return
+    if kind is bytes:
+        out.append(_T_BYTES)
+        _put_uvarint(out, len(value))
+        out += value
+        return
+    if kind is tuple or kind is list or kind is set or kind is frozenset:
+        out.append(
+            {tuple: _T_TUPLE, list: _T_LIST, set: _T_SET, frozenset: _T_FROZENSET}[
+                kind
+            ]
+        )
+        _put_uvarint(out, len(value))
+        for item in value:
+            _encode(out, item)
+        return
+    if kind is dict:
+        out.append(_T_DICT)
+        _put_uvarint(out, len(value))
+        for key, item in value.items():
+            _encode(out, key)
+            _encode(out, item)
+        return
+    # Sentinels: compared by identity everywhere, so they need their own
+    # tags to survive a process hop.
+    from repro.common.records import KEY_MAX, KEY_MIN, TOMBSTONE
+
+    if value is TOMBSTONE:
+        out.append(_T_TOMBSTONE)
+        return
+    if value is KEY_MIN:
+        out.append(_T_KEY_MIN)
+        return
+    if value is KEY_MAX:
+        out.append(_T_KEY_MAX)
+        return
+    if isinstance(value, enum.Enum):
+        if _BY_NAME.get(kind.__name__) is not kind:
+            raise WireEncodeError(f"unregistered enum: {kind.__name__}")
+        out.append(_T_ENUM)
+        _put_str(out, kind.__name__)
+        _encode(out, value.value)
+        return
+    fields = _FIELDS.get(kind)
+    if fields is not None:
+        out.append(_T_OBJ)
+        _put_str(out, kind.__name__)
+        _put_uvarint(out, len(fields))
+        for name in fields:
+            _put_str(out, name)
+            _encode(out, getattr(value, name))
+        return
+    raise WireEncodeError(f"cannot encode {kind.__name__}: {value!r}")
+
+
+def encode(value: Any) -> bytes:
+    """Serialize one value (typically a ``Message``) to bytes."""
+    _bootstrap()
+    out = bytearray()
+    _encode(out, value)
+    return bytes(out)
+
+
+# -- decoding -----------------------------------------------------------------
+
+
+class _Reader:
+    __slots__ = ("data", "pos", "end")
+
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+        self.end = len(data)
+
+    def byte(self) -> int:
+        if self.pos >= self.end:
+            raise WireDecodeError("truncated frame")
+        value = self.data[self.pos]
+        self.pos += 1
+        return value
+
+    def take(self, count: int) -> bytes:
+        if self.pos + count > self.end:
+            raise WireDecodeError("truncated frame")
+        chunk = self.data[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def uvarint(self) -> int:
+        shift = 0
+        result = 0
+        while True:
+            byte = self.byte()
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+
+    def text(self) -> str:
+        raw = self.take(self.uvarint())
+        try:
+            return raw.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError(f"bad utf-8 in frame: {exc}") from exc
+
+
+def _decode(reader: _Reader) -> Any:
+    tag = reader.byte()
+    if tag == _T_NONE:
+        return None
+    if tag == _T_TRUE:
+        return True
+    if tag == _T_FALSE:
+        return False
+    if tag == _T_INT:
+        zz = reader.uvarint()
+        return (zz >> 1) ^ -(zz & 1)
+    if tag == _T_FLOAT:
+        return _FLOAT.unpack(reader.take(8))[0]
+    if tag == _T_STR:
+        return reader.text()
+    if tag == _T_BYTES:
+        return reader.take(reader.uvarint())
+    if tag in (_T_TUPLE, _T_LIST, _T_SET, _T_FROZENSET):
+        count = reader.uvarint()
+        items = [_decode(reader) for _ in range(count)]
+        if tag == _T_TUPLE:
+            return tuple(items)
+        if tag == _T_LIST:
+            return items
+        if tag == _T_SET:
+            return set(items)
+        return frozenset(items)
+    if tag == _T_DICT:
+        count = reader.uvarint()
+        return {_decode(reader): _decode(reader) for _ in range(count)}
+    if tag == _T_TOMBSTONE:
+        from repro.common.records import TOMBSTONE
+
+        return TOMBSTONE
+    if tag == _T_KEY_MIN:
+        from repro.common.records import KEY_MIN
+
+        return KEY_MIN
+    if tag == _T_KEY_MAX:
+        from repro.common.records import KEY_MAX
+
+        return KEY_MAX
+    if tag == _T_ENUM:
+        name = reader.text()
+        cls = _BY_NAME.get(name)
+        if cls is None or not issubclass(cls, enum.Enum):
+            raise UnknownTypeError(f"unknown enum on wire: {name!r}")
+        value = _decode(reader)
+        try:
+            return cls(value)
+        except ValueError as exc:
+            raise WireDecodeError(f"bad {name} value: {value!r}") from exc
+    if tag == _T_OBJ:
+        name = reader.text()
+        cls = _BY_NAME.get(name)
+        if cls is None:
+            raise UnknownTypeError(f"unknown type on wire: {name!r}")
+        known = _FIELD_SETS.get(cls)
+        if known is None:
+            raise UnknownTypeError(f"{name!r} is not a wire dataclass")
+        count = reader.uvarint()
+        kwargs: dict[str, Any] = {}
+        for _ in range(count):
+            field_name = reader.text()
+            value = _decode(reader)
+            if field_name not in known:
+                raise UnknownFieldError(f"{name} has no field {field_name!r}")
+            kwargs[field_name] = value
+        try:
+            return cls(**kwargs)
+        except TypeError as exc:
+            raise WireDecodeError(f"cannot build {name}: {exc}") from exc
+    raise WireDecodeError(f"unknown wire tag 0x{tag:02x}")
+
+
+def decode(data: bytes, expect: Optional[type] = None) -> Any:
+    """Deserialize one value; raises :class:`WireDecodeError` subclasses.
+
+    ``expect`` optionally asserts the top-level type (transport framing
+    uses it to reject cross-protocol garbage early).
+    """
+    _bootstrap()
+    reader = _Reader(data)
+    value = _decode(reader)
+    if reader.pos != reader.end:
+        raise WireDecodeError(
+            f"trailing garbage: {reader.end - reader.pos} bytes after value"
+        )
+    if expect is not None and not isinstance(value, expect):
+        raise WireDecodeError(
+            f"expected {expect.__name__}, decoded {type(value).__name__}"
+        )
+    return value

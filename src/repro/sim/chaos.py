@@ -24,6 +24,15 @@ recipe, so a failing run is reproducible with::
 
     ChaosRunner(seed=<seed>).run()          # random mode
     ChaosRunner(schedule=[...]).run()       # scripted mode
+
+With ``channel_config=ChannelConfig(transport="process")`` the runner
+drives DC *server processes* instead.  Fault-injection hooks are
+local-only there (architecture.md §10), so scripted schedules are
+rejected; pass ``kill_every=N`` and every N transactions a seeded-random
+DC process takes a real ``kill -9``.  The same durability/atomicity/
+well-formedness invariants are then proven across genuine process
+kill-and-restart — journal replay, TC resend, and abLSN idempotence
+doing the converging.
 """
 
 from __future__ import annotations
@@ -127,6 +136,7 @@ class ChaosRunner:
         tracer: Optional[object] = None,
         tc_config: Optional[TcConfig] = None,
         channel_config: Optional[ChannelConfig] = None,
+        kill_every: int = 0,
     ) -> None:
         self.seed = seed
         self.txns = txns
@@ -138,7 +148,27 @@ class ChaosRunner:
         #: When a real tracer is passed, invariant failures dump the run's
         #: trace next to the benchmark results (see :meth:`_fail`).
         self.tracer = tracer
-        self.injector = FaultInjector(seed=seed, metrics=self.metrics)
+        process_mode = (
+            channel_config is not None
+            and channel_config.transport == "process"
+        )
+        self.kill_every = kill_every
+        self.kills = 0
+        if process_mode:
+            # Fault-injection hooks are local-only (architecture.md §10):
+            # against DC server processes the only fault is the real one —
+            # a SIGKILL, scheduled every ``kill_every`` transactions on a
+            # seeded-random victim.  The rest of the runner (workload,
+            # heal loop, indeterminate resolution, invariant checks) is
+            # transport-agnostic and runs unchanged over the wire.
+            if schedule is not None:
+                raise ReproError(
+                    "scripted fault schedules are local-only; in process "
+                    "mode crashes are real kills (use kill_every=N)"
+                )
+            self.injector = None
+        else:
+            self.injector = FaultInjector(seed=seed, metrics=self.metrics)
         # The durability invariant checks *acknowledged* commits; commit
         # acknowledgement is force-before-ack at every group_commit_size
         # (the GroupCommitCoalescer waits for the commit record to reach
@@ -159,15 +189,16 @@ class ChaosRunner:
         self.kernel.create_table(
             "v", kind="btree", versioned=True, dc_name=dc_names[-1]
         )
-        if schedule is None:
-            schedule = FaultInjector.random_rules(
-                seed,
-                dc_names=self.injector.component_names("dc"),
-                tc_names=self.injector.component_names("tc"),
-                rules=rules,
-                horizon=horizon,
-            )
-        self.injector.load_schedule(schedule)
+        if self.injector is not None:
+            if schedule is None:
+                schedule = FaultInjector.random_rules(
+                    seed,
+                    dc_names=self.injector.component_names("dc"),
+                    tc_names=self.injector.component_names("tc"),
+                    rules=rules,
+                    horizon=horizon,
+                )
+            self.injector.load_schedule(schedule)
         self.supervisor = Supervisor(self.injector, self.metrics)
         self.supervisor.watch_kernel(self.kernel)
         self.history = HistoryRecorder()
@@ -179,8 +210,11 @@ class ChaosRunner:
 
     def run(self) -> dict[str, object]:
         rng = random.Random(self.seed ^ 0xC0FFEE)
+        kill_rng = random.Random(self.seed ^ 0x51D)
         tc = self.kernel.tc
         for txn_no in range(self.txns):
+            if self.kill_every and txn_no % self.kill_every == self.kill_every - 1:
+                self._kill_one(kill_rng)
             if self.checkpoint_every and txn_no % self.checkpoint_every == 7:
                 self._probe(tc.checkpoint)
             if self.snapshot_every and txn_no % self.snapshot_every == 11:
@@ -190,6 +224,14 @@ class ChaosRunner:
         return self.report()
 
     def report(self) -> dict[str, object]:
+        if self.injector is not None:
+            faults_fired = len(self.injector.fired)
+            points = sorted(
+                {entry.split("[", 1)[0] for entry in self.injector.fired}
+            )
+        else:
+            faults_fired = self.kills
+            points = ["process.kill"] if self.kills else []
         return {
             "seed": self.seed,
             "txns": self.txns,
@@ -199,12 +241,31 @@ class ChaosRunner:
             "resolved_aborted": self.history.resolved_aborted,
             "heals": self.heals,
             "invariant_checks": self.checks,
-            "faults_fired": len(self.injector.fired),
-            "fault_points_hit": sorted(
-                {entry.split("[", 1)[0] for entry in self.injector.fired}
-            ),
-            "recipe": self.injector.describe(),
+            "faults_fired": faults_fired,
+            "fault_points_hit": points,
+            "recipe": self._recipe(),
         }
+
+    def _recipe(self) -> str:
+        if self.injector is not None:
+            return self.injector.describe()
+        return (
+            f"seed={self.seed} kill_every={self.kill_every} "
+            f"channel_config=ChannelConfig(transport='process') "
+            f"(kills fired: {self.kills})"
+        )
+
+    def _kill_one(self, rng: random.Random) -> None:
+        """The process-mode fault: SIGKILL a live DC server process.
+
+        ``crash()`` on a :class:`~repro.net.process.RemoteDc` is a real
+        ``kill -9``; the supervisor later restarts the server, which
+        replays its journal before the §5.2.1 redo prompt.
+        """
+        victims = [dc for dc in self.kernel.dcs.values() if not dc.crashed]
+        if victims:
+            rng.choice(victims).crash()
+            self.kills += 1
 
     # -- one transaction ---------------------------------------------------
 
@@ -377,7 +438,9 @@ class ChaosRunner:
                 )
         for dc in self.kernel.dcs.values():
             for name in dc.table_names():
-                structure = dc.table(name).structure
+                # Remote DC handles are catalog-only: the structure lives
+                # in the server process and validates itself on recovery.
+                structure = getattr(dc.table(name), "structure", None)
                 if hasattr(structure, "validate"):
                     try:
                         structure.validate()
@@ -390,7 +453,7 @@ class ChaosRunner:
         if path is not None:
             trace_note = f"\ntrace dumped to: {path}"
         raise ChaosViolation(
-            f"{message}\nreproduce with: {self.injector.describe()}{trace_note}"
+            f"{message}\nreproduce with: {self._recipe()}{trace_note}"
         )
 
     def _dump_trace(self) -> Optional[str]:

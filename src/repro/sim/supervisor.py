@@ -27,6 +27,13 @@ Recovery itself passes through fault hook points (``dc.restart``,
 crashes.  :meth:`heal` therefore loops until a round completes with
 everything up, bounded by ``max_rounds``; exceeding the bound raises
 :class:`SupervisorGaveUp` carrying the injector's reproduction recipe.
+
+The same policy heals the process deployment mode unchanged: a
+:class:`~repro.net.process.RemoteDc` exposes the identical ``crashed`` /
+``on_crash`` / ``recover()`` surface, except that a "crash" is a real
+``SIGKILL``-ed OS process and ``recover()`` spawns a fresh server that
+replays its journal before the §5.2.1 redo prompt runs.  The supervisor
+cannot tell the difference — which is the point.
 """
 
 from __future__ import annotations

@@ -95,8 +95,31 @@ class _LockEntry:
     waiters: list[tuple[int, LockMode]] = field(default_factory=list)
 
 
+class _Stripe:
+    """One shard of the lock table: its own mutex + condition + dict."""
+
+    __slots__ = ("cv", "table")
+
+    def __init__(self) -> None:
+        # A plain (non-reentrant) Lock under the condition: nothing here
+        # re-enters, and the uncontended grant path enters/exits this lock
+        # twice per operation.
+        self.cv = threading.Condition(threading.Lock())
+        self.table: dict[Resource, _LockEntry] = {}
+
+
 class LockManager:
-    """A classic lock table; one instance per TC."""
+    """A classic lock table; one instance per TC.
+
+    The table is hash-striped (``TcConfig.lock_stripes``): each stripe has
+    its own mutex and condition, so concurrent committers touching
+    different resources stop serializing on a single lock-table mutex.  A
+    grant/release touches exactly one stripe; the deadlock detector is the
+    only multi-stripe path, and it takes every stripe mutex (in order,
+    under a detector mutex, while the detecting waiter itself holds none)
+    to read a globally consistent waits-for snapshot.  ``stripes=1``
+    reproduces the old single-mutex behavior exactly.
+    """
 
     def __init__(
         self,
@@ -104,6 +127,7 @@ class LockManager:
         deadlock_detection: bool = True,
         timeout: float = 1.0,
         tracer: Optional[object] = None,
+        stripes: int = 16,
     ) -> None:
         self.metrics = metrics or Metrics()
         self.deadlock_detection = deadlock_detection
@@ -113,11 +137,15 @@ class LockManager:
             # No tracing: dispatch straight to the untraced body so the
             # lock hot path pays nothing for instrumentation.
             self.acquire = self._acquire
-        # A plain (non-reentrant) Lock under the condition: nothing here
-        # re-enters, and the uncontended grant path enters/exits this lock
-        # twice per operation.
-        self._cv = threading.Condition(threading.Lock())
-        self._table: dict[Resource, _LockEntry] = {}
+        self._stripes = tuple(_Stripe() for _ in range(max(1, int(stripes))))
+        self._stripe_count = len(self._stripes)
+        #: Guards _held_by_txn and _waiting_on.  Lock order is always
+        #: stripe -> admin (never admin -> stripe), and no thread holds
+        #: two stripe mutexes except the detector, which owns them all.
+        self._admin = threading.Lock()
+        #: Serializes deadlock detectors so at most one thread ever tries
+        #: to collect the full stripe set.
+        self._detect = threading.Lock()
         self._held_by_txn: dict[int, set[Resource]] = {}
         #: txn -> resource it is currently waiting on (waits-for edges).
         self._waiting_on: dict[int, Resource] = {}
@@ -127,6 +155,25 @@ class LockManager:
         self._requests_slot = self.metrics.counter("locks.requests")
         self._granted_slot = self.metrics.counter("locks.granted")
         self._released_slot = self.metrics.counter("locks.released")
+
+    def _stripe_of(self, resource: Resource) -> _Stripe:
+        return self._stripes[hash(resource) % self._stripe_count]
+
+    @property
+    def stripe_count(self) -> int:
+        return self._stripe_count
+
+    def _note_held(self, txn_id: int, resource: Resource) -> None:
+        with self._admin:
+            self._held_by_txn.setdefault(txn_id, set()).add(resource)
+
+    def _note_waiting(self, txn_id: int, resource: Resource) -> None:
+        with self._admin:
+            self._waiting_on[txn_id] = resource
+
+    def _clear_waiting(self, txn_id: int) -> None:
+        with self._admin:
+            self._waiting_on.pop(txn_id, None)
 
     # -- acquisition -------------------------------------------------------------
 
@@ -155,26 +202,27 @@ class LockManager:
         mode: LockMode,
         timeout: Optional[float] = None,
     ) -> None:
+        stripe = self._stripe_of(resource)
         # Covered re-acquire without the condition bracket: only the owning
         # transaction ever strengthens or releases its own hold, so a hold
         # observed here (GIL-atomic dict reads) is current for the caller —
         # about half of all acquires are table-intent re-acquires.
-        probe = self._table.get(resource)
+        probe = stripe.table.get(resource)
         if probe is not None:
             held = probe.holders.get(txn_id)
             if held is not None and mode_covers(held, mode):
                 self._reacquired_slot.value += 1
                 return
-        with self._cv:
-            entry = self._table.get(resource)
+        with stripe.cv:
+            entry = stripe.table.get(resource)
             if entry is None:
                 # Uncontended fresh resource: grant without touching the
                 # waiter queue (the overwhelmingly common case).
-                entry = self._table[resource] = _LockEntry()
+                entry = stripe.table[resource] = _LockEntry()
                 entry.holders[txn_id] = mode
-                self._held_by_txn.setdefault(txn_id, set()).add(resource)
                 self._requests_slot.value += 1
                 self._granted_slot.value += 1
+                self._note_held(txn_id, resource)
                 return
             held = entry.holders.get(txn_id)
             if held is not None and mode_covers(held, mode):
@@ -185,36 +233,48 @@ class LockManager:
                 entry.holders[txn_id] = (
                     combined_mode(held, mode) if held is not None else mode
                 )
-                self._held_by_txn.setdefault(txn_id, set()).add(resource)
                 self._granted_slot.value += 1
+                self._note_held(txn_id, resource)
                 return
             deadline = time.monotonic() + (
                 timeout if timeout is not None else self.timeout
             )
             entry.waiters.append((txn_id, mode))
-            try:
-                while not self._grantable(entry, txn_id, mode):
-                    self._waiting_on[txn_id] = resource
-                    if self.deadlock_detection:
-                        cycle = self._find_cycle(txn_id)
-                        if cycle is not None:
-                            self.metrics.incr("locks.deadlocks")
-                            raise DeadlockError(txn_id, cycle)
+            self._note_waiting(txn_id, resource)
+        # Blocked.  The wait loop holds the stripe mutex only around the
+        # grant re-check and the condition wait; deadlock detection runs
+        # with *no* stripe mutex held (it collects them all itself).
+        try:
+            while True:
+                if self.deadlock_detection:
+                    cycle = self._find_cycle(txn_id)
+                    if cycle is not None:
+                        self.metrics.incr("locks.deadlocks")
+                        raise DeadlockError(txn_id, cycle)
+                with stripe.cv:
+                    if self._grantable(entry, txn_id, mode):
+                        current = entry.holders.get(txn_id)
+                        entry.holders[txn_id] = (
+                            combined_mode(current, mode)
+                            if current is not None
+                            else mode
+                        )
+                        self._granted_slot.value += 1
+                        self._note_held(txn_id, resource)
+                        return
                     self.metrics.incr("locks.waits")
                     remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not self._cv.wait(timeout=remaining):
+                    if remaining <= 0 or not stripe.cv.wait(timeout=remaining):
                         if deadline - time.monotonic() <= 0:
                             self.metrics.incr("locks.timeouts")
                             raise LockTimeoutError(txn_id, resource)
-            finally:
-                self._waiting_on.pop(txn_id, None)
-                entry.waiters.remove((txn_id, mode))
-            current = entry.holders.get(txn_id)
-            entry.holders[txn_id] = (
-                combined_mode(current, mode) if current is not None else mode
-            )
-            self._held_by_txn.setdefault(txn_id, set()).add(resource)
-            self._granted_slot.value += 1
+        finally:
+            self._clear_waiting(txn_id)
+            with stripe.cv:
+                try:
+                    entry.waiters.remove((txn_id, mode))
+                except ValueError:
+                    pass
 
     def _grantable(self, entry: _LockEntry, txn_id: int, mode: LockMode) -> bool:
         for holder, held_mode in entry.holders.items():
@@ -235,11 +295,11 @@ class LockManager:
 
     # -- deadlock detection ------------------------------------------------------------
 
-    def _blockers_of(self, txn_id: int) -> set[int]:
-        resource = self._waiting_on.get(txn_id)
+    def _blockers_of(self, txn_id: int, waiting: dict[int, Resource]) -> set[int]:
+        resource = waiting.get(txn_id)
         if resource is None:
             return set()
-        entry = self._table.get(resource)
+        entry = self._stripe_of(resource).table.get(resource)
         if entry is None:
             return set()
         wanted = next(
@@ -254,73 +314,104 @@ class LockManager:
         }
 
     def _find_cycle(self, start: int) -> Optional[tuple[int, ...]]:
-        """DFS over waits-for edges; returns a cycle through ``start``."""
-        stack: list[tuple[int, list[int]]] = [(start, [start])]
-        seen: set[int] = set()
-        while stack:
-            node, path = stack.pop()
-            for blocker in self._blockers_of(node):
-                if blocker == start:
-                    return tuple(path + [start])
-                if blocker not in seen:
-                    seen.add(blocker)
-                    stack.append((blocker, path + [blocker]))
-        return None
+        """DFS over waits-for edges; returns a cycle through ``start``.
+
+        Runs under the detector mutex with *every* stripe mutex held (taken
+        in index order to stay deadlock-free against grant/release paths),
+        so the waits-for graph it walks is a globally consistent snapshot.
+        The caller holds no stripe mutex while calling this.
+        """
+        with self._detect:
+            for stripe in self._stripes:
+                stripe.cv.acquire()
+            try:
+                with self._admin:
+                    waiting = dict(self._waiting_on)
+                stack: list[tuple[int, list[int]]] = [(start, [start])]
+                seen: set[int] = set()
+                while stack:
+                    node, path = stack.pop()
+                    for blocker in self._blockers_of(node, waiting):
+                        if blocker == start:
+                            return tuple(path + [start])
+                        if blocker not in seen:
+                            seen.add(blocker)
+                            stack.append((blocker, path + [blocker]))
+                return None
+            finally:
+                for stripe in reversed(self._stripes):
+                    stripe.cv.release()
 
     # -- release -----------------------------------------------------------------------
 
     def release(self, txn_id: int, resource: Resource) -> None:
-        with self._cv:
-            entry = self._table.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.cv:
+            entry = stripe.table.get(resource)
             if entry is None or txn_id not in entry.holders:
                 return
             del entry.holders[txn_id]
+            if not entry.holders and not entry.waiters:
+                del stripe.table[resource]
+            self._released_slot.value += 1
+            stripe.cv.notify_all()
+        with self._admin:
             held = self._held_by_txn.get(txn_id)
             if held is not None:
                 held.discard(resource)
-            if not entry.holders and not entry.waiters:
-                del self._table[resource]
-            self._released_slot.value += 1
-            self._cv.notify_all()
 
     def release_all(self, txn_id: int) -> int:
         """Drop every lock of the transaction (commit/abort/crash)."""
-        with self._cv:
+        with self._admin:
             resources = self._held_by_txn.pop(txn_id, set())
-            for resource in resources:
-                entry = self._table.get(resource)
-                if entry is None:
-                    continue
-                entry.holders.pop(txn_id, None)
-                if not entry.holders and not entry.waiters:
-                    del self._table[resource]
-            if resources:
-                self._released_slot.value += len(resources)
-                self._cv.notify_all()
-            return len(resources)
+        if not resources:
+            return 0
+        by_stripe: dict[int, list[Resource]] = {}
+        for resource in resources:
+            index = hash(resource) % self._stripe_count
+            by_stripe.setdefault(index, []).append(resource)
+        for index, group in by_stripe.items():
+            stripe = self._stripes[index]
+            with stripe.cv:
+                for resource in group:
+                    entry = stripe.table.get(resource)
+                    if entry is None:
+                        continue
+                    entry.holders.pop(txn_id, None)
+                    if not entry.holders and not entry.waiters:
+                        del stripe.table[resource]
+                stripe.cv.notify_all()
+        self._released_slot.value += len(resources)
+        return len(resources)
 
     def clear(self) -> None:
         """Volatile state is lost with the TC (crash injection)."""
-        with self._cv:
-            self._table.clear()
+        for stripe in self._stripes:
+            with stripe.cv:
+                stripe.table.clear()
+                stripe.cv.notify_all()
+        with self._admin:
             self._held_by_txn.clear()
             self._waiting_on.clear()
-            self._cv.notify_all()
 
     # -- introspection ---------------------------------------------------------------------
 
     def holds(self, txn_id: int, resource: Resource, mode: LockMode) -> bool:
-        with self._cv:
-            entry = self._table.get(resource)
+        stripe = self._stripe_of(resource)
+        with stripe.cv:
+            entry = stripe.table.get(resource)
             if entry is None:
                 return False
             held = entry.holders.get(txn_id)
             return held is not None and mode_covers(held, mode)
 
     def locks_held(self, txn_id: int) -> int:
-        with self._cv:
+        with self._admin:
             return len(self._held_by_txn.get(txn_id, ()))
 
     def total_locks(self) -> int:
-        with self._cv:
-            return sum(len(entry.holders) for entry in self._table.values())
+        total = 0
+        for stripe in self._stripes:
+            with stripe.cv:
+                total += sum(len(entry.holders) for entry in stripe.table.values())
+        return total

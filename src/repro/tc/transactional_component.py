@@ -393,6 +393,7 @@ class TransactionalComponent:
             self.config.deadlock_detection,
             self.config.lock_timeout,
             tracer=self.tracer,
+            stripes=self.config.lock_stripes,
         )
         if self.config.range_protocol is RangeLockProtocol.FETCH_AHEAD:
             self.protocol = FetchAheadProtocol(self)
@@ -476,8 +477,15 @@ class TransactionalComponent:
         self, dc: DataComponent, channel_config: Optional[ChannelConfig] = None
     ) -> MessageChannel:
         """Connect to a DC; installs the causality/restart hooks and learns
-        the DC's table routes."""
-        channel = MessageChannel(
+        the DC's table routes.
+
+        The channel implementation follows the endpoint: an in-process DC
+        gets the simulated :class:`MessageChannel`, an out-of-process
+        :class:`~repro.net.process.RemoteDc` gets a pipelining
+        :class:`~repro.net.process.ProcessChannel` over its pipe."""
+        from repro.net.channel import build_channel
+
+        channel = build_channel(
             dc, channel_config, self.metrics, faults=self.faults, tracer=self.tracer
         )
         with self._admin:
@@ -1349,23 +1357,37 @@ class TransactionalComponent:
         if not txn.in_flight:
             return
         if self._batch_ops:
-            while txn.in_flight:
-                dc_name = next(iter(txn.in_flight.values())).dc_name
-                keys: list[tuple[str, Key]] = []
-                records: list[OpRecord] = []
-                for table_key, record in txn.in_flight.items():
-                    if record.dc_name == dc_name:
-                        keys.append(table_key)
-                        records.append(record)
-                self._send_batch(txn, dc_name, records)
+            groups: dict[str, tuple[list, list]] = {}
+            for table_key, record in txn.in_flight.items():
+                keys, records = groups.setdefault(record.dc_name, ([], []))
+                keys.append(table_key)
+                records.append(record)
+            # Pipelined flush (process transport): pre-send every DC's
+            # first-attempt envelope before collecting any reply, so N DC
+            # processes execute concurrently while this one TC thread
+            # waits.  Out-of-order completion is §4.2.1-safe: per-op ids
+            # correlate replies, resends are absorbed by idempotence.  A
+            # presend whose reply is never collected (an earlier group
+            # failed) is indistinguishable from a lost reply — the records
+            # stay in flight and a later sync resends the same LSNs.
+            presends: dict[str, object] = {}
+            if self.config.pipeline_flush and len(groups) > 1:
+                for dc_name, (_keys, records) in groups.items():
+                    channel = self._channels[dc_name]
+                    if not channel.supports_async or channel.dc.crashed:
+                        continue
+                    presends[dc_name] = channel.request_async(
+                        self._batch_envelope(records, resend=False)
+                    )
+            for dc_name, (keys, records) in groups.items():
+                self._send_batch(
+                    txn, dc_name, records, presend=presends.pop(dc_name, None)
+                )
                 # Only on full success: a transport failure leaves the
                 # records in flight so a later sync (rollback repeats
                 # history) resends the same LSNs.
-                if len(keys) == len(txn.in_flight):
-                    txn.in_flight.clear()
-                else:
-                    for table_key in keys:
-                        txn.in_flight.pop(table_key, None)
+                for table_key in keys:
+                    txn.in_flight.pop(table_key, None)
             self._syncs_slot.value += 1
             return
         acked: set[Lsn] = set()
@@ -1534,8 +1556,29 @@ class TransactionalComponent:
             return reply.result
         raise ResendExhaustedError(op_id, dc_name, attempts, waited_ms)
 
+    def _batch_envelope(
+        self, records: list[OpRecord], resend: bool
+    ) -> BatchedPerform:
+        return BatchedPerform(
+            tc_id=self.tc_id,
+            ops=tuple(
+                PerformOperation(
+                    tc_id=self.tc_id,
+                    op_id=record.lsn,
+                    op=record.op,
+                    resend=resend,
+                )
+                for record in records
+            ),
+            eosl=self.log.eosl,
+        )
+
     def _send_batch(
-        self, txn: Transaction, dc_name: str, records: list[OpRecord]
+        self,
+        txn: Transaction,
+        dc_name: str,
+        records: list[OpRecord],
+        presend: Optional[object] = None,
     ) -> None:
         """Ship accumulated operations to one DC in a single envelope.
 
@@ -1545,6 +1588,10 @@ class TransactionalComponent:
         A semantic rejection of one operation is handled per-op, like the
         unbatched sync path: the record leaves the undo chain, a cancel
         marker tells restart redo to skip it, and the failure surfaces.
+
+        ``presend`` is an already-dispatched first attempt (a pipelined
+        reply future from :meth:`sync_pipeline`'s concurrent flush); the
+        first loop iteration awaits it instead of sending again.
         """
         channel = self._channels[dc_name]
         policy = self._retry_policy
@@ -1566,20 +1613,13 @@ class TransactionalComponent:
                     raise ComponentUnavailableError(
                         f"DC {dc_name}", attempts, waited_ms
                     )
-                envelope = BatchedPerform(
-                    tc_id=self.tc_id,
-                    ops=tuple(
-                        PerformOperation(
-                            tc_id=self.tc_id,
-                            op_id=record.lsn,
-                            op=record.op,
-                            resend=attempts > 0,
-                        )
-                        for record in pending.values()
-                    ),
-                    eosl=self.log.eosl,
-                )
-                reply = channel.request(envelope)
+                if presend is not None:
+                    reply = channel.finish_async(presend)
+                    presend = None
+                else:
+                    reply = channel.request(
+                        self._batch_envelope(list(pending.values()), attempts > 0)
+                    )
                 attempts += 1
                 if reply is None:
                     if channel.dc.crashed:

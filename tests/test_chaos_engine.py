@@ -226,6 +226,50 @@ class TestChaosFastPaths:
                 "resolved_committed"
             ] + report["resolved_aborted"] == 80
 
+    def test_process_mode_rejects_scripted_schedules(self):
+        from repro.common.errors import ReproError
+
+        with pytest.raises(ReproError, match="local-only"):
+            ChaosRunner(
+                schedule=list(SMOKE_SCHEDULE),
+                channel_config=ChannelConfig(transport="process"),
+            )
+
+    def test_process_mode_kill9_zero_violations(self):
+        """The ISSUE 4 acceptance run: DC *processes* under the chaos
+        runner, with real ``kill -9`` as the fault.  Every kill is healed
+        by the supervisor (journal replay + §5.2.1 redo prompt + resend),
+        and the §4.2.1 contract invariants — durability of acknowledged
+        commits, atomicity, structural well-formedness — must hold after
+        every heal, under the optimized fast paths (batched envelopes
+        make mid-transaction kills surface at commit, exercising the
+        indeterminate-resolution path)."""
+        runner = ChaosRunner(
+            seed=11,
+            txns=48,
+            kill_every=12,
+            checkpoint_every=17,
+            tc_config=TcConfig.optimized(lock_timeout=30.0),
+            channel_config=ChannelConfig(
+                transport="process", request_timeout_s=15.0
+            ),
+        )
+        try:
+            report = runner.run()  # raises ChaosViolation on any violation
+        finally:
+            runner.kernel.close()
+        assert report["committed"] + report["aborted"] + report[
+            "resolved_committed"
+        ] + report["resolved_aborted"] == 48
+        assert report["committed"] > 0
+        assert report["fault_points_hit"] == ["process.kill"]
+        assert report["faults_fired"] == runner.kills >= 3
+        # every kill was a real process death, healed by a real restart
+        restarts = sum(dc.restarts for dc in runner.kernel.dcs.values())
+        assert restarts == runner.kills
+        assert runner.supervisor.all_healthy()
+        assert "kill_every=12" in report["recipe"]
+
     def test_envelopes_survive_loss_duplication_and_reordering(self):
         """Envelope loss/duplication/reordering is per-op loss/duplication/
         reordering of everything inside — absorbed by per-op abLSNs."""

@@ -1,0 +1,276 @@
+"""The process deployment mode end to end (docs/architecture.md §10).
+
+Each DC is a real OS process behind a ``multiprocessing`` pipe; these
+tests drive the full stack — wire codec, framed transport, journal-backed
+storage, pipelined channel — through the same TC code paths the in-process
+mode uses, then make failure *real*: ``SIGKILL`` the server mid-stream and
+check the §4.2.1 resend/idempotence contracts converge across an actual
+process death and journal replay.
+
+Increments are the canary throughout: a non-idempotent operation applied
+twice (a resend not absorbed by its abLSN) or zero times (a lost redo)
+shows up as a wrong sum, not a silently plausible value.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from repro.cloud.deployment import CloudDeployment
+from repro.common.config import ChannelConfig, KernelConfig, TcConfig
+from repro.common.errors import ReproError
+from repro.kernel.unbundled import UnbundledKernel
+from repro.net.process import ProcessChannel, RemoteDc
+from repro.sim.faults import FaultInjector
+from repro.sim.supervisor import Supervisor
+
+
+def process_config(**tc_overrides) -> KernelConfig:
+    return KernelConfig(
+        tc=TcConfig.optimized(**tc_overrides),
+        channel=ChannelConfig(transport="process", request_timeout_s=15.0),
+    )
+
+
+def kill_dc(dc: RemoteDc) -> None:
+    """A real ``kill -9``, then wait for the proxy to notice the death."""
+    os.kill(dc.pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while not dc.crashed and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert dc.crashed
+
+
+class TestProcessKernel:
+    def test_commit_and_read_across_two_dc_processes(self):
+        with UnbundledKernel(config=process_config(), dc_count=2) as kernel:
+            kernel.create_table("t", dc_name="dc1")
+            kernel.create_table("u", dc_name="dc2")
+            txn = kernel.begin()
+            txn.insert("t", 1, {"v": 10})
+            txn.insert("u", 2, {"v": 20})
+            txn.commit()
+            txn = kernel.begin()
+            assert txn.read("t", 1) == {"v": 10}
+            assert txn.read("u", 2) == {"v": 20}
+            txn.commit()
+            # The DCs really are separate processes (and not this one).
+            pids = {dc.pid for dc in kernel.dcs.values()}
+            assert len(pids) == 2 and os.getpid() not in pids
+
+    def test_abort_undoes_across_the_wire(self):
+        with UnbundledKernel(config=process_config(), dc_count=1) as kernel:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", 1, "committed")
+            txn.commit()
+            txn = kernel.begin()
+            txn.update("t", 1, "doomed")
+            txn.insert("t", 2, "also doomed")
+            txn.abort()
+            txn = kernel.begin()
+            assert txn.read("t", 1) == "committed"
+            assert txn.read("t", 2) is None
+            txn.commit()
+
+    def test_pipelined_flush_presends_to_every_dc(self):
+        with UnbundledKernel(config=process_config(), dc_count=2) as kernel:
+            kernel.create_table("t", dc_name="dc1")
+            kernel.create_table("u", dc_name="dc2")
+            txn = kernel.begin()
+            for key in range(4):
+                txn.insert("t", key, key)
+                txn.insert("u", key, key)
+            txn.commit()
+            counters = kernel.metrics.counters()
+            # Both DC envelopes went out as batches over the async path.
+            assert counters.get("channel.batches", 0) >= 2
+            txn = kernel.begin()
+            assert [txn.read("t", k) for k in range(4)] == list(range(4))
+            assert [txn.read("u", k) for k in range(4)] == list(range(4))
+            txn.commit()
+
+    def test_deployment_mode_knobs_are_validated(self):
+        bad = KernelConfig(channel=ChannelConfig(transport="process", loss_rate=0.5))
+        with pytest.raises(ReproError):
+            UnbundledKernel(config=bad, dc_count=1)
+        with pytest.raises(ReproError):
+            UnbundledKernel(
+                config=process_config(), dc_count=1, faults=FaultInjector()
+            )
+
+    def test_close_terminates_server_processes(self):
+        kernel = UnbundledKernel(config=process_config(), dc_count=1)
+        kernel.create_table("t")
+        pid = kernel.dc.pid
+        kernel.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            try:
+                os.kill(pid, 0)
+            except ProcessLookupError:
+                break
+            time.sleep(0.05)
+        else:
+            pytest.fail(f"DC server {pid} still alive after close()")
+
+
+class TestKillAndRecover:
+    def test_journal_survives_sigkill(self, tmp_path):
+        config = process_config()
+        config.data_dir = str(tmp_path)
+        with UnbundledKernel(config=config, dc_count=1) as kernel:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            for key in range(16):
+                txn.insert("t", key, {"v": key})
+            txn.commit()
+            kill_dc(kernel.dc)
+            info = kernel.dc.recover(notify_tcs=True)
+            assert info["restarted"] and kernel.dc.restarts == 1
+            txn = kernel.begin()
+            assert [txn.read("t", k)["v"] for k in range(16)] == list(range(16))
+            txn.commit()
+
+    def test_kill_mid_transaction_under_optimized_config_converges(self):
+        """The ISSUE acceptance scenario: kill -9 mid-transaction under
+        ``TcConfig.optimized()``; resend + abLSN idempotence converge."""
+        with UnbundledKernel(config=process_config(), dc_count=1) as kernel:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", "counter", 0)
+            txn.commit()
+            supervisor = Supervisor(metrics=kernel.metrics)
+            supervisor.watch_kernel(kernel)
+            txn = kernel.begin()
+            # batch_max_ops=8: the first increments flush to the DC before
+            # the kill, the rest after the heal — the commit-time resends
+            # must not double-apply the already-performed prefix.
+            for _ in range(12):
+                txn.increment("t", "counter", 1)
+            kill_dc(kernel.dc)
+            report = supervisor.heal()
+            assert report.dc_restarts == 1
+            txn.commit()
+            txn = kernel.begin()
+            assert txn.read("t", "counter") == 12
+            txn.commit()
+            assert kernel.dc.restarts == 1
+
+    def test_repeated_kills_keep_converging(self):
+        with UnbundledKernel(config=process_config(), dc_count=1) as kernel:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", "counter", 0)
+            txn.commit()
+            supervisor = Supervisor(metrics=kernel.metrics)
+            supervisor.watch_kernel(kernel)
+            for round_number in range(3):
+                txn = kernel.begin()
+                for _ in range(10):
+                    txn.increment("t", "counter", 1)
+                kill_dc(kernel.dc)
+                supervisor.heal()
+                txn.commit()
+            txn = kernel.begin()
+            assert txn.read("t", "counter") == 30
+            txn.commit()
+            assert kernel.dc.restarts == 3
+
+    def test_data_dir_persists_across_kernels(self, tmp_path):
+        config = process_config()
+        config.data_dir = str(tmp_path)
+        with UnbundledKernel(config=config, dc_count=1) as kernel:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", 1, "durable")
+            txn.commit()
+            # A graceful handoff needs a checkpoint: without it the
+            # committed state lives partly in the (old) TC's redo stream,
+            # which a *new* TC does not have.  SIGKILL recovery is covered
+            # above precisely because there the same TC resends its redo.
+            # The TC checkpoint broadcasts LWM/EOSL (unblocking page
+            # flushes), then the DC flushes everything and truncates.
+            assert kernel.checkpoint()
+            assert kernel.dc.checkpoint_dc_log()
+        # A brand-new kernel on the same volume: the journal replays, the
+        # catalog primes from the server's hello, reads see the commit.
+        with UnbundledKernel(config=config, dc_count=1) as kernel:
+            assert "t" in kernel.dc.table_names()
+            kernel.tc.refresh_routes(kernel.dc)
+            txn = kernel.begin()
+            assert txn.read("t", 1) == "durable"
+            txn.commit()
+
+
+class TestChannelAndDeployment:
+    def test_process_channel_rejects_simulated_misbehavior(self, tmp_path):
+        dc = RemoteDc("dcx", journal_path=str(tmp_path / "dcx.journal"))
+        try:
+            with pytest.raises(ReproError):
+                ProcessChannel(dc, ChannelConfig(loss_rate=0.1))
+            with pytest.raises(ReproError):
+                ProcessChannel(dc, ChannelConfig(reorder_window=2))
+        finally:
+            dc.shutdown()
+
+    def test_mixed_deployment_local_and_remote_dcs(self, tmp_path):
+        deployment = CloudDeployment()
+        deployment.add_dc("local-dc")
+        deployment.add_remote_dc(
+            "remote-dc", journal_path=str(tmp_path / "remote.journal")
+        )
+        deployment.add_tc("tc")
+        deployment.create_table("near", dc="local-dc")
+        deployment.create_table("far", dc="remote-dc")
+        deployment.grant("tc", "near", lambda key: True)
+        deployment.grant("tc", "far", lambda key: True)
+        with deployment.build():
+            tc = deployment.tc("tc")
+            channels = tc.channels()
+            assert not channels["local-dc"].supports_async
+            assert channels["remote-dc"].supports_async
+            txn = tc.begin()
+            txn.insert("near", 1, "a")
+            txn.insert("far", 1, "b")
+            txn.commit()
+            txn = tc.begin()
+            assert txn.read("near", 1) == "a"
+            assert txn.read("far", 1) == "b"
+            txn.commit()
+
+    def test_concurrent_committers_one_dc_process(self):
+        """Thread safety of the shared transport under concurrent load."""
+        with UnbundledKernel(config=process_config(), dc_count=1) as kernel:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            for worker in range(4):
+                txn.insert("t", f"w{worker}", 0)
+            txn.commit()
+            errors: list[BaseException] = []
+
+            def run(worker: int) -> None:
+                try:
+                    for _ in range(10):
+                        txn = kernel.begin()
+                        txn.increment("t", f"w{worker}", 1)
+                        txn.commit()
+                except BaseException as exc:  # pragma: no cover - diagnostics
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=run, args=(worker,)) for worker in range(4)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            assert not errors
+            txn = kernel.begin()
+            assert [txn.read("t", f"w{w}") for w in range(4)] == [10] * 4
+            txn.commit()

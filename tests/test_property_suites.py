@@ -69,7 +69,8 @@ def test_lock_table_never_holds_incompatible_pairs(steps):
         except Exception:
             manager.release_all(txn)  # victims release their locks
         for entry_resource in range(4):
-            entry = manager._table.get(entry_resource)
+            stripe = manager._stripe_of(entry_resource)
+            entry = stripe.table.get(entry_resource)
             if entry is None:
                 continue
             holders = list(entry.holders.items())

@@ -210,6 +210,45 @@ class TestSupervisorHealing:
         assert report.rounds == 1
         assert not report.acted
 
+    def test_heals_sigkilled_dc_process(self):
+        """Process deployment mode: the 'crash' is a real ``kill -9`` of a
+        DC server process, mid-transaction, under the optimized fast-path
+        config — the supervisor restarts it (journal replay + §5.2.1 redo
+        prompt) and resend + abLSN idempotence converge on exactly-once."""
+        import os
+        import signal
+        import time
+
+        from repro.common.config import ChannelConfig
+
+        config = KernelConfig(
+            tc=TcConfig.optimized(),
+            channel=ChannelConfig(transport="process", request_timeout_s=15.0),
+        )
+        with UnbundledKernel(config=config, dc_count=1) as kernel:
+            kernel.create_table("t")
+            supervisor = Supervisor()
+            supervisor.watch_kernel(kernel)
+            txn = kernel.begin()
+            txn.insert("t", "n", 0)
+            txn.commit()
+            txn = kernel.begin()
+            for _ in range(12):  # batch_max_ops=8: a prefix reaches the DC
+                txn.increment("t", "n", 1)
+            os.kill(kernel.dc.pid, signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            while not kernel.dc.crashed and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert not supervisor.all_healthy()
+            report = supervisor.heal()
+            assert report.dc_restarts == 1
+            assert supervisor.all_healthy()
+            txn.commit()
+            txn = kernel.begin()
+            assert txn.read("t", "n") == 12  # not 11, not 13: exactly once
+            txn.commit()
+            assert kernel.dc.restarts == 1
+
     def test_gave_up_carries_reproduction_recipe(self):
         injector = FaultInjector(seed=77)
         kernel = build_kernel(injector)

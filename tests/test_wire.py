@@ -1,0 +1,271 @@
+"""The wire codec (process deployment mode): every message round-trips.
+
+The process transport can only honor the §4.2.1 contracts if the codec is
+*total* over the message vocabulary: every :class:`~repro.common.api.Message`
+subclass, every logical operation, every reply payload — including the
+identity-compared sentinels (``TOMBSTONE``, ``KEY_MIN``, ``KEY_MAX``) and
+``None``-heavy control messages — must decode to an equal value.  Schema
+drift must fail *loudly*: an unknown type or field on the wire raises a
+typed error instead of silently dropping data.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import api
+from repro.common.ops import (
+    DeleteOp,
+    IncrementOp,
+    InsertOp,
+    OpResult,
+    OpStatus,
+    ProbeNextKeysOp,
+    RangeReadOp,
+    ReadFlavor,
+    ReadOp,
+    UpdateOp,
+)
+from repro.common.records import KEY_MAX, KEY_MIN, TOMBSTONE, RecordView
+from repro.net import rpc, wire
+from repro.net.wire import (
+    UnknownFieldError,
+    UnknownTypeError,
+    WireDecodeError,
+    WireEncodeError,
+    decode,
+    encode,
+)
+
+
+def roundtrip(value):
+    return decode(encode(value))
+
+
+# -- total coverage of the message vocabulary ---------------------------------
+
+
+def _sample_for(cls, field):
+    """A representative non-default value for one dataclass field."""
+    overrides = {
+        "op": InsertOp(table="t", key=("k", 3), value={"v": [1, 2.5, None]}),
+        "ops": (
+            api.PerformOperation(tc_id=1, op_id=7, op=ReadOp(table="t", key=1)),
+            api.PerformOperation(
+                tc_id=1, op_id=8, op=DeleteOp(table="t", key=2), resend=True
+            ),
+        ),
+        "replies": (
+            api.OperationReply(tc_id=1, op_id=7, result=OpResult.okay("x")),
+            api.OperationReply(tc_id=1, op_id=8, result=None),
+        ),
+        "result": OpResult(
+            status=OpStatus.NOT_FOUND,
+            value=TOMBSTONE,
+            prior={"old": True},
+            records=(RecordView(key=1, value="a"),),
+            keys=(1, (2, "b")),
+            message="gone",
+        ),
+        "flavor": ReadFlavor.READ_COMMITTED,
+        "tables": (("t", "btree", False), ("v", "heap", True)),
+        "payload": {"dc": {"tables": {"t": 1}}, "pid": 42},
+        "low": KEY_MIN,
+        "high": KEY_MAX,
+        "keys": (1, "two", (3, 4)),
+        "records": (RecordView(key=9, value=None),),
+    }
+    if field.name in overrides:
+        return overrides[field.name]
+    kind = str(field.type)
+    if "bool" in kind:
+        return True
+    if "int" in kind or "Lsn" in kind:
+        return 12345
+    if "float" in kind:
+        return 2.5
+    if "str" in kind:
+        return "sample"
+    if field.default is not dataclasses.MISSING:
+        return field.default
+    return None
+
+
+def _all_message_types():
+    types = [
+        cls
+        for cls in wire.registered_types().values()
+        if isinstance(cls, type)
+        and dataclasses.is_dataclass(cls)
+        and issubclass(cls, api.Message)
+    ]
+    assert len(types) >= 25, "subclass walk should find api + rpc messages"
+    return types
+
+
+@pytest.mark.parametrize("cls", _all_message_types(), ids=lambda c: c.__name__)
+def test_every_message_type_roundtrips(cls):
+    kwargs = {f.name: _sample_for(cls, f) for f in dataclasses.fields(cls)}
+    message = cls(**kwargs)
+    assert roundtrip(message) == message
+    # Defaults-only construction (the None/empty shape) must survive too.
+    bare = cls(tc_id=0)
+    assert roundtrip(bare) == bare
+
+
+def test_vocabulary_covers_all_api_messages():
+    """A Message subclass added to api.py is registered automatically."""
+    names = set(wire.registered_types())
+    for cls in api.Message.__subclasses__():
+        assert cls.__name__ in names
+
+
+# -- domain shapes ------------------------------------------------------------
+
+
+def test_sentinels_decode_to_canonical_singletons():
+    assert roundtrip(TOMBSTONE) is TOMBSTONE
+    assert roundtrip(KEY_MIN) is KEY_MIN
+    assert roundtrip(KEY_MAX) is KEY_MAX
+    # Nested inside a reply payload, identity still holds.
+    reply = api.OperationReply(
+        tc_id=1, op_id=2, result=OpResult(status=OpStatus.OK, value=TOMBSTONE)
+    )
+    assert roundtrip(reply).result.value is TOMBSTONE
+
+
+def test_none_payload_control_messages():
+    lwm = api.LowWaterMark(tc_id=3, lwm=0)
+    assert roundtrip(lwm) == lwm
+    assert roundtrip(api.OperationReply(tc_id=1, op_id=5, result=None)).result is None
+
+
+def test_large_batched_envelope():
+    ops = tuple(
+        api.PerformOperation(
+            tc_id=1,
+            op_id=i,
+            op=UpdateOp(table="t", key=i, value={"n": i, "blob": "x" * 100}),
+            eosl=i - 1,
+        )
+        for i in range(1, 501)
+    )
+    envelope = api.BatchedPerform(tc_id=1, ops=ops, eosl=500)
+    assert roundtrip(envelope) == envelope
+
+
+def test_operation_variants_roundtrip():
+    samples = [
+        IncrementOp(table="t", key=1, delta=-2.5),
+        RangeReadOp(table="t", low=KEY_MIN, high=(5, KEY_MAX), limit=10),
+        ProbeNextKeysOp(table="t", after=None, count=4, inclusive=True),
+    ]
+    for op in samples:
+        message = api.PerformOperation(tc_id=9, op_id=1, op=op)
+        assert roundtrip(message) == message
+
+
+def test_frame_pack_unpack():
+    message = rpc.Hello(tc_id=0, dc_name="dc1", pid=77, recovered=True)
+    kind, seq, payload = rpc.unpack_frame(rpc.pack_frame(rpc.PUSH, 9, message))
+    assert (kind, seq, payload) == (rpc.PUSH, 9, message)
+
+
+# -- typed decode errors ------------------------------------------------------
+
+
+def _obj_frame(type_name: str, fields: dict) -> bytes:
+    """Handcraft an object frame (to simulate a peer with a newer schema)."""
+    out = bytearray([0x0C])  # _T_OBJ
+    wire._put_str(out, type_name)
+    wire._put_uvarint(out, len(fields))
+    for name, value in fields.items():
+        wire._put_str(out, name)
+        out += encode(value)
+    return bytes(out)
+
+
+def test_unknown_type_raises_typed_error():
+    with pytest.raises(UnknownTypeError):
+        decode(_obj_frame("NoSuchMessage", {"tc_id": 1}))
+
+
+def test_unknown_field_raises_typed_error():
+    frame = _obj_frame("ControlAck", {"tc_id": 1, "new_field": "future"})
+    with pytest.raises(UnknownFieldError):
+        decode(frame)
+
+
+def test_missing_fields_take_defaults():
+    # Forward compatibility the other way: an older peer omitting a field
+    # with a default still decodes.
+    frame = _obj_frame("PerformOperation", {"tc_id": 4, "op_id": 11})
+    message = decode(frame)
+    assert message == api.PerformOperation(tc_id=4, op_id=11)
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(WireDecodeError):
+        decode(encode(api.ControlAck(tc_id=1)) + b"\x00")
+
+
+def test_truncated_frame_rejected():
+    data = encode(api.PerformOperation(tc_id=1, op_id=2, op=ReadOp(table="t")))
+    with pytest.raises(WireDecodeError):
+        decode(data[:-3])
+
+
+def test_expect_mismatch_rejected():
+    data = encode(api.ControlAck(tc_id=1))
+    with pytest.raises(WireDecodeError):
+        decode(data, expect=api.PerformOperation)
+
+
+def test_unregistered_object_rejected_at_encode():
+    class NotOnTheWire:
+        pass
+
+    with pytest.raises(WireEncodeError):
+        encode(NotOnTheWire())
+
+
+def test_register_rejects_name_collision():
+    @dataclasses.dataclass(frozen=True)
+    class ControlAck:  # same name, different class
+        x: int = 0
+
+    with pytest.raises(wire.WireError):
+        wire.register(ControlAck)
+
+
+# -- property: primitives and containers --------------------------------------
+
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**63), max_value=2**63),
+    st.floats(allow_nan=False),
+    st.text(max_size=20),
+    st.binary(max_size=20),
+    st.sampled_from([TOMBSTONE, KEY_MIN, KEY_MAX]),
+)
+
+_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.lists(children, max_size=4).map(tuple),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=20,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(value=_values)
+def test_value_roundtrip_property(value):
+    assert roundtrip(value) == value
