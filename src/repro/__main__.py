@@ -8,6 +8,11 @@ Commands:
 - ``trace [preset] [out.json]`` — run a traced YCSB workload (preset A-F,
   default A), write Chrome trace-event JSON (open in chrome://tracing or
   https://ui.perfetto.dev) and print the per-phase latency breakdown
+- ``explore``     — deterministic schedule exploration with the
+  serializability + recovery-ordering oracle; ``--replay artifact.json``
+  re-executes a saved failing ``(seed, trace)`` exactly
+- ``chaos``       — seeded invariant-checking chaos run (``--process``
+  for real DC processes and ``kill -9`` faults)
 """
 
 from __future__ import annotations
@@ -124,10 +129,134 @@ def _trace(args: list[str]) -> int:
     return 0
 
 
+def _explore(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from repro.sim.explore import (
+        ExploreConfig,
+        explore,
+        load_artifact,
+        minimize_failure,
+        replay_artifact,
+        save_artifact,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro explore",
+        description="Explore transaction interleavings under a "
+        "deterministic scheduler; judge each history with the "
+        "serializability + recovery-ordering oracle.",
+    )
+    parser.add_argument("--schedules", type=int, default=200,
+                        help="schedules per strategy/crash variant group")
+    parser.add_argument("--seed", type=int, default=0, help="base seed")
+    parser.add_argument("--strategy", default="random,pct",
+                        help="comma list of random|pct|rr")
+    parser.add_argument("--crash", action="store_true",
+                        help="also explore schedules with an injected "
+                        "DC crash + interleaved recovery")
+    parser.add_argument("--weaken-read-locks", action="store_true",
+                        help="negative control: drop read locks and let "
+                        "the oracle find the cycle")
+    parser.add_argument("--txns", type=int, default=3)
+    parser.add_argument("--ops", type=int, default=3)
+    parser.add_argument("--keyspace", type=int, default=4)
+    parser.add_argument("--out", default=None,
+                        help="where to write a failing (seed, trace) "
+                        "artifact [explore_failure_seed<N>.json]")
+    parser.add_argument("--replay", default=None, metavar="ARTIFACT",
+                        help="re-execute a saved failing artifact instead "
+                        "of exploring")
+    opts = parser.parse_args(args)
+
+    if opts.replay is not None:
+        outcome = replay_artifact(load_artifact(opts.replay))
+        anomaly = outcome.report.anomaly()
+        print(f"replayed seed={outcome.seed} strategy={outcome.strategy} "
+              f"steps={outcome.steps}")
+        print(f"anomaly: {anomaly or 'none — schedule is clean'}")
+        return 0 if anomaly else 1  # a saved failure should reproduce
+
+    config = ExploreConfig(
+        txns=opts.txns,
+        ops_per_txn=opts.ops,
+        keyspace=opts.keyspace,
+        skip_read_locks=opts.weaken_read_locks,
+    )
+    strategies = tuple(s.strip() for s in opts.strategy.split(",") if s.strip())
+    crash_modes = (False, True) if opts.crash else (False,)
+    summary = explore(
+        config,
+        schedules=opts.schedules,
+        strategies=strategies,
+        crash_modes=crash_modes,
+        base_seed=opts.seed,
+        stop_on_anomaly=True,
+    )
+    print(json.dumps(summary.to_dict(), indent=2))
+    failure = summary.first_failure
+    if failure is None:
+        print(f"\nclean: {summary.explored} schedules, no anomalies")
+        return 0
+    print(f"\nANOMALY at seed={failure.seed} strategy={failure.strategy}: "
+          f"{failure.anomaly}")
+    artifact = minimize_failure(failure, config)
+    out = opts.out or f"explore_failure_seed{failure.seed}.json"
+    save_artifact(artifact, out)
+    print(f"minimized to {len(artifact['trace'])} decisions "
+          f"(from {len(failure.decisions)}); artifact: {out}")
+    print(f"reproduce with: python -m repro explore --replay {out}")
+    return 1
+
+
+def _chaos(args: list[str]) -> int:
+    import argparse
+    import json
+
+    from repro.common.config import ChannelConfig
+    from repro.sim.chaos import ChaosRunner, ChaosViolation
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro chaos",
+        description="Seeded chaos run: random faults under a random "
+        "workload, durability/atomicity/well-formedness checked after "
+        "every heal.",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--txns", type=int, default=250)
+    parser.add_argument("--process", action="store_true",
+                        help="DCs as real server processes; faults are "
+                        "real kill -9 (see --kill-every)")
+    parser.add_argument("--kill-every", type=int, default=0, metavar="N",
+                        help="process mode: SIGKILL a random DC every N "
+                        "transactions")
+    opts = parser.parse_args(args)
+
+    kwargs: dict[str, object] = {"seed": opts.seed, "txns": opts.txns}
+    if opts.process:
+        kwargs["channel_config"] = ChannelConfig(transport="process")
+        kwargs["kill_every"] = opts.kill_every or 25
+    runner = ChaosRunner(**kwargs)
+    try:
+        report = runner.run()
+    except ChaosViolation as violation:
+        print(f"INVARIANT VIOLATION\n{violation}")
+        return 1
+    finally:
+        runner.kernel.close()
+    print(json.dumps(report, indent=2))
+    return 0
+
+
 def main(argv: list[str]) -> int:
     commands = {"demo": _demo, "stats": _stats, "experiments": _experiments}
     if argv and argv[0] == "trace":
         return _trace(argv[1:])
+    if argv and argv[0] == "explore":
+        return _explore(argv[1:])
+    if argv and argv[0] == "chaos":
+        return _chaos(argv[1:])
     if len(argv) != 1 or argv[0] not in commands:
         print(__doc__)
         return 1

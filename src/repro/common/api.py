@@ -67,6 +67,12 @@ class PerformOperation(Message):
     #: a dedicated message per log force (an explicit
     #: :class:`EndOfStableLog` is still sent at checkpoint/restart time).
     eosl: Lsn = 0
+    #: Part of a redo stream replay after a component restart.  A DC in its
+    #: redo window accepts only these; ordinary operations bounce until
+    #: the TC signals :class:`RedoComplete` (recovery ordering, Section
+    #: 5.2.2 — an operation validated against not-yet-redone state would
+    #: read committed records as absent).
+    redo: bool = False
 
 
 @dataclass(frozen=True)
@@ -113,6 +119,16 @@ class EndOfStableLog(Message):
     """``end_of_stable_log(EOSL)``: causality/WAL enforcement point."""
 
     eosl: Lsn = 0
+
+
+@dataclass(frozen=True)
+class RedoComplete(Message):
+    """This TC's redo stream for a restarted DC has been fully resent.
+
+    Closes the DC's redo window for the sending TC: ordinary operations
+    are accepted again, and LWM advances may once more prune its abLSNs.
+    Must be delivered (ControlAck + resend), like other contract-state
+    control messages."""
 
 
 @dataclass(frozen=True)

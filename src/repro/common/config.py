@@ -125,6 +125,11 @@ class TcConfig:
     #: one TC thread keeps N DC processes busy at once.  No effect on
     #: transports that cannot pipeline (the in-process default).
     pipeline_flush: bool = True
+    #: TEST ONLY — skip read locks entirely, breaking strict 2PL on
+    #: purpose.  The schedule explorer's negative control flips this to
+    #: prove the serializability oracle catches the resulting r/w cycles;
+    #: never enable it for anything that should be correct.
+    unsafe_skip_read_locks: bool = False
 
     def retry_policy(self) -> "RetryPolicy":
         return RetryPolicy(

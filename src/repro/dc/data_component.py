@@ -39,6 +39,7 @@ from repro.common.api import (
     Message,
     OperationReply,
     PerformOperation,
+    RedoComplete,
     RestartBegin,
     WatermarkReply,
     WatermarkRequest,
@@ -70,7 +71,9 @@ from repro.dc.dclog import DcLog
 from repro.dc.recovery import DcRecoveryManager, TableDescriptor
 from repro.dc.system_txn import SystemTransaction
 from repro.obs.tracing import NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
+from repro.sim.schedule import YieldPoint
 from repro.storage.btree import BTree
 from repro.storage.buffer import BufferPool, ResetMode
 from repro.storage.disk import StableStorage
@@ -145,6 +148,15 @@ class DataComponent:
         #: Spontaneous contract termination (Section 4.2.1: the DC "could
         #: spontaneously inform TC that the RSSP can advance").
         self._rssp_hint: dict[int, Callable[[str, Lsn], None]] = {}
+        #: TCs whose redo streams this (restarted) DC is still waiting on.
+        #: While a TC is pending, its ordinary data operations bounce and
+        #: its LWM advances are dropped — see :meth:`handle`.
+        self._redo_pending: set[int] = set()
+        #: Bumped on every crash.  A request dispatched against one
+        #: incarnation must not complete against the next: in a real
+        #: process the crash kills its thread, so the simulated DC refuses
+        #: any in-flight operation that straddled a crash/recover.
+        self._incarnation = 0
         #: Plug-in access methods (Section 1.1 extensibility):
         #: kind -> factory(dc, name, descriptor_or_None) -> structure.
         #: Called with descriptor=None to create a fresh table, or with the
@@ -296,6 +308,29 @@ class DataComponent:
     def handle(self, message: Message) -> Optional[Message]:
         """Transport-level dispatch used by :mod:`repro.net.channel`."""
         self._check_up()
+        if isinstance(message, RedoComplete):
+            # Idempotent: a duplicate close of an already-closed window acks.
+            self._redo_pending.discard(message.tc_id)
+            return ControlAck(tc_id=message.tc_id)
+        if message.tc_id in self._redo_pending:
+            # Recovery ordering (Section 5.2.2): structures are well-formed
+            # but record state is still being rebuilt by this TC's redo
+            # stream.  An ordinary operation validated against that partial
+            # state would see committed records as absent (and a definitive
+            # rejection logged from it would diverge from repeat history),
+            # and a pre-crash LWM would falsely mark unreplayed operations
+            # as contained in rebuilt pages.  Bounce data traffic, drop LWM
+            # advances; redo-stream traffic and other control flows pass.
+            if isinstance(
+                message, (PerformOperation, BatchedPerform)
+            ) and not getattr(message, "redo", False):
+                self.metrics.incr("dc.bounced_in_redo_window")
+                raise CrashedError(
+                    f"DC {self.name} awaiting redo from TC {message.tc_id}"
+                )
+            if isinstance(message, LowWaterMark):
+                self.metrics.incr("dc.lwm_dropped_in_redo_window")
+                return None
         if isinstance(message, PerformOperation):
             assert message.op is not None
             if message.eosl:
@@ -382,8 +417,12 @@ class DataComponent:
         ops = message.ops
         replies: list[OperationReply] = []
         index, total = 0, len(ops)
+        incarnation = self._incarnation
         while index < total:
             self._check_up()
+            if incarnation != self._incarnation:
+                self.metrics.incr("dc.stale_incarnation_ops")
+                raise CrashedError(f"DC {self.name} restarted mid-request")
             sub = ops[index]
             table = sub.op.table
             handle = self._tables.get(table)
@@ -442,6 +481,7 @@ class DataComponent:
         self, tc_id: int, op_id: Lsn, op: LogicalOperation, resend: bool = False
     ) -> OpResult:
         self._check_up()
+        incarnation = self._incarnation
         self._ops_slot.value += 1
         if resend:
             self.metrics.incr("dc.resends_received")
@@ -450,6 +490,19 @@ class DataComponent:
         except UnknownTableError as exc:
             return OpResult.error(str(exc))
         structure = handle.structure
+        if _sched.ACTIVE is not None:
+            # The yield sits *before* the latch bracket: inside it the task
+            # is in a critical section and must not park (see sim.schedule).
+            _sched.maybe_yield(
+                YieldPoint.BUFFER_LATCH, self.name, op=type(op).__name__
+            )
+        if incarnation != self._incarnation:
+            # The DC crashed while this request was in flight; its thread
+            # died with the old incarnation.  Surface as a lost message —
+            # validating against rebuilt (possibly not-yet-redone) state
+            # would produce a divergent answer.
+            self.metrics.incr("dc.stale_incarnation_ops")
+            raise CrashedError(f"DC {self.name} restarted mid-request")
         with self.buffer.operation(), structure.latch:
             try:
                 if op.MUTATES:
@@ -469,6 +522,14 @@ class DataComponent:
     def _apply_mutation(
         self, handle: TableHandle, tc_id: int, op_id: Lsn, op: LogicalOperation
     ) -> OpResult:
+        if _sched.ACTIVE is not None:
+            _sched.note_event(
+                "dc.apply",
+                self.name,
+                op=type(op).__name__,
+                table=op.table,
+                key=getattr(op, "key", None),
+            )
         if isinstance(op, (PromoteVersionsOp, DiscardVersionsOp)):
             return self._apply_version_cleanup(handle, tc_id, op_id, op)
         structure = handle.structure
@@ -859,7 +920,10 @@ class DataComponent:
 
     def crash(self) -> None:
         """Lose all volatile state; stable storage survives."""
+        if _sched.ACTIVE is not None:
+            _sched.note_event("dc.crash", self.name)
         self._crashed = True
+        self._incarnation += 1
         self.buffer.crash()
         self._tables.clear()
         self.metrics.incr("dc.crashes")
@@ -878,6 +942,8 @@ class DataComponent:
             from repro.sim.faults import FaultPoint
 
             self.faults.hit(FaultPoint.DC_RESTART, self.name)
+        if _sched.ACTIVE is not None:
+            _sched.note_event("dc.recover.begin", self.name)
         with self._admin_lock:
             self.buffer.crash()
             catalog = self.recovery.recover_catalog()
@@ -918,8 +984,16 @@ class DataComponent:
                 structure.validate()
                 self._tables[name] = TableHandle(descriptor, structure)
             self._recover_version_clock()
+            # Open the redo window: every TC we are about to prompt must
+            # finish its redo resend (RedoComplete) before its ordinary
+            # operations are served again.  Without prompts there is no
+            # resender, so no window.
+            self._redo_pending = set(self._restart_prompt) if notify_tcs else set()
             self._crashed = False
             self.metrics.incr("dc.recoveries")
+        if _sched.ACTIVE is not None:
+            # Structures are rebuilt and validated: redo may now apply.
+            _sched.note_event("dc.recover.ready", self.name)
         if notify_tcs:
             self.prompt_redo()
         return {"tables": len(self._tables)}

@@ -39,7 +39,9 @@ from repro.dc.dclog import (
     RootChangedRecord,
 )
 from repro.obs.tracing import NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
+from repro.sim.schedule import YieldPoint
 from repro.storage.page import Page, PageImage, PageKind
 
 #: Callback the DC installs so a system transaction can demand log forcing:
@@ -140,6 +142,13 @@ class SystemTransaction:
     def _commit(self) -> None:
         if self._committed:
             raise RuntimeError("system transaction already committed")
+        if _sched.ACTIVE is not None:
+            # Usually reached under a structure latch, where the critical-
+            # section depth makes this record-only; it parks only for
+            # latch-free commits (e.g. table creation).
+            _sched.maybe_yield(
+                YieldPoint.DC_SYSTXN, self.kind, records=len(self._records)
+            )
         needed = self._stability_requirements()
         if needed:
             if self._ensure_stable is None:

@@ -27,7 +27,9 @@ from repro.common.config import ChannelConfig
 from repro.common.errors import CrashedError
 from repro.dc.data_component import DataComponent
 from repro.obs.tracing import NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
+from repro.sim.schedule import YieldPoint
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.sim.faults import FaultInjector
@@ -124,6 +126,10 @@ class MessageChannel:
             self._batched_ops_slot.value += count
 
     def _request(self, message: Message) -> Optional[Message]:
+        if _sched.ACTIVE is not None:
+            _sched.maybe_yield(
+                YieldPoint.CHANNEL_SEND, self.dc.name, kind=type(message).__name__
+            )
         self._note_request(message)
         self._charge_latency()
         if self._fault_lost("send"):
@@ -153,6 +159,10 @@ class MessageChannel:
         if self._drop():
             self.metrics.incr("channel.replies_lost")
             return None
+        if _sched.ACTIVE is not None:
+            _sched.maybe_yield(
+                YieldPoint.CHANNEL_RECV, self.dc.name, kind=type(reply).__name__
+            )
         return reply
 
     # -- queued (reordering) path ----------------------------------------------

@@ -16,12 +16,16 @@ process deployment mode injects.  Whole-machine durability would add an
 ``fsync`` per force; the experiments here kill processes, not kernels, so
 the journal trades that cost away (documented in docs/architecture.md §10).
 
-Frames are pickled ``(tag, payload)`` tuples.  Pickle is acceptable here —
-unlike the TC/DC request path, the journal is written and read only by the
-same trusted server binary on its own volume.  A torn tail (partial last
-frame) is discarded on replay: the mutating call that wrote it never
-returned, so nothing downstream depends on it — exactly torn-write = no
-write, the atomicity the in-memory store promises.
+Frames are pickled ``(tag, payload)`` tuples behind a ``<length, crc32>``
+header.  Pickle is acceptable here — unlike the TC/DC request path, the
+journal is written and read only by the same trusted server binary on its
+own volume.  A torn tail (partial last frame) is discarded on replay: the
+mutating call that wrote it never returned, so nothing downstream depends
+on it — exactly torn-write = no write, the atomicity the in-memory store
+promises.  The CRC is what makes torn-tail detection *sound* rather than
+best-effort: a truncated pickle usually raises, but a cut that happens to
+land on a self-delimiting prefix would otherwise replay as a different,
+shorter frame.
 """
 
 from __future__ import annotations
@@ -29,6 +33,7 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import zlib
 from typing import Optional
 
 from repro.common.lsn import Lsn, NULL_LSN
@@ -36,7 +41,8 @@ from repro.sim.metrics import Metrics
 from repro.storage.disk import StableStorage
 from repro.storage.page import PageImage
 
-_LEN = struct.Struct("<I")
+#: Frame header: payload length, then CRC-32 of the payload bytes.
+_HEADER = struct.Struct("<II")
 
 _TAG_PAGE = 0
 _TAG_FREE = 1
@@ -61,7 +67,7 @@ class JournalStorage(StableStorage):
     def _journal(self, tag: int, payload: object) -> None:
         # Callers hold self._lock, so frame order matches apply order.
         frame = pickle.dumps((tag, payload), protocol=pickle.HIGHEST_PROTOCOL)
-        self._file.write(_LEN.pack(len(frame)))
+        self._file.write(_HEADER.pack(len(frame), zlib.crc32(frame)))
         self._file.write(frame)
         self._file.flush()
         self.metrics.incr("journal.frames")
@@ -75,19 +81,24 @@ class JournalStorage(StableStorage):
         pos = 0
         applied = 0
         size = len(data)
-        while pos + _LEN.size <= size:
-            (length,) = _LEN.unpack_from(data, pos)
-            if pos + _LEN.size + length > size:
+        while pos + _HEADER.size <= size:
+            length, crc = _HEADER.unpack_from(data, pos)
+            if pos + _HEADER.size + length > size:
                 break  # torn tail: the write never returned, drop it
+            frame = data[pos + _HEADER.size : pos + _HEADER.size + length]
+            if zlib.crc32(frame) != crc:
+                # Torn inside the payload (or a corrupted header): without
+                # the CRC a truncation landing on a valid pickle prefix
+                # would replay as a different frame.
+                self.metrics.incr("journal.crc_rejected")
+                break
             try:
-                tag, payload = pickle.loads(
-                    data[pos + _LEN.size : pos + _LEN.size + length]
-                )
+                tag, payload = pickle.loads(frame)
             except Exception:
                 break
             self._apply(tag, payload)
             applied += 1
-            pos += _LEN.size + length
+            pos += _HEADER.size + length
         if pos < size:
             # Truncate the torn tail so the append handle continues from a
             # clean frame boundary.

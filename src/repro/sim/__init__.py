@@ -2,12 +2,25 @@
 
 from repro.sim.faults import FaultAction, FaultInjector, FaultPoint, FaultRule
 from repro.sim.metrics import Metrics
+from repro.sim.oracle import OracleReport, SerializationOracle
+from repro.sim.schedule import (
+    DeterministicScheduler,
+    PctStrategy,
+    RandomWalkStrategy,
+    RoundRobinStrategy,
+    ScheduleInterrupted,
+    TraceStrategy,
+    YieldPoint,
+    minimize_trace,
+)
 from repro.sim.supervisor import CrashNotice, HealReport, Supervisor, SupervisorGaveUp
 
 __all__ = [
     "ChaosRunner",
     "ChaosViolation",
     "CrashNotice",
+    "DeterministicScheduler",
+    "ExploreConfig",
     "FaultAction",
     "FaultInjector",
     "FaultPoint",
@@ -15,13 +28,32 @@ __all__ = [
     "HealReport",
     "HistoryRecorder",
     "Metrics",
+    "OracleReport",
+    "PctStrategy",
+    "RandomWalkStrategy",
+    "RoundRobinStrategy",
+    "ScheduleInterrupted",
+    "SerializationOracle",
     "Supervisor",
     "SupervisorGaveUp",
+    "TraceStrategy",
+    "YieldPoint",
+    "minimize_failure",
+    "minimize_trace",
+    "replay_artifact",
+    "run_schedule",
 ]
 
 #: chaos drives a whole kernel, whose modules import this package for
 #: metrics/faults — resolve those names lazily to keep the cycle open.
+#: explore builds kernels too, so its exports resolve the same way.
 _CHAOS_EXPORTS = {"ChaosRunner", "ChaosViolation", "HistoryRecorder"}
+_EXPLORE_EXPORTS = {
+    "ExploreConfig",
+    "minimize_failure",
+    "replay_artifact",
+    "run_schedule",
+}
 
 
 def __getattr__(name: str):
@@ -29,4 +61,8 @@ def __getattr__(name: str):
         from repro.sim import chaos
 
         return getattr(chaos, name)
+    if name in _EXPLORE_EXPORTS:
+        from repro.sim import explore
+
+        return getattr(explore, name)
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

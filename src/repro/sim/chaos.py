@@ -152,6 +152,12 @@ class ChaosRunner:
             channel_config is not None
             and channel_config.transport == "process"
         )
+        self._process_mode = process_mode
+        if channel_config is not None and channel_config.seed == 0:
+            # One top-level seed reproduces everything — workload, fault
+            # schedule, *and* channel misbehavior — so a failing run is a
+            # single ``--seed`` away, in process mode too.
+            channel_config.seed = seed
         self.kill_every = kill_every
         self.kills = 0
         if process_mode:
@@ -254,6 +260,17 @@ class ChaosRunner:
             f"channel_config=ChannelConfig(transport='process') "
             f"(kills fired: {self.kills})"
         )
+
+    def repro_command(self) -> str:
+        """A copy-pasteable command line reproducing this exact run."""
+        parts = [f"python -m repro chaos --seed {self.seed}"]
+        if self.txns != 250:
+            parts.append(f"--txns {self.txns}")
+        if self._process_mode:
+            parts.append("--process")
+            if self.kill_every:
+                parts.append(f"--kill-every {self.kill_every}")
+        return " ".join(parts)
 
     def _kill_one(self, rng: random.Random) -> None:
         """The process-mode fault: SIGKILL a live DC server process.
@@ -453,7 +470,8 @@ class ChaosRunner:
         if path is not None:
             trace_note = f"\ntrace dumped to: {path}"
         raise ChaosViolation(
-            f"{message}\nreproduce with: {self._recipe()}{trace_note}"
+            f"{message}\nreproduce with: {self.repro_command()}"
+            f"\nrecipe: {self._recipe()}{trace_note}"
         )
 
     def _dump_trace(self) -> Optional[str]:

@@ -1,0 +1,300 @@
+"""History-level oracles for explored schedules.
+
+The explorer records a history: operation invocations and responses
+(transaction, op kind, table, key, value) interleaved with the scheduler's
+yield events and DC lifecycle notes (``dc.crash`` / ``dc.recover.begin`` /
+``dc.recover.ready`` / ``dc.apply``).  This module judges that history:
+
+- **Conflict serializability** — build the conflict serialization graph
+  over *committed* transactions (an edge T1 -> T2 for every pair of
+  conflicting operations on the same key where T1's completed first) and
+  report any cycle.  Under strict 2PL conflicting operations are never in
+  flight concurrently — a lock pins each one until transaction end — so
+  response order *is* conflict order and the graph must be acyclic.  With
+  read locks weakened (``TcConfig.unsafe_skip_read_locks``) the classic
+  r/w interleavings produce cycles, which is the negative control proving
+  the checker has teeth.
+- **Dirty reads** — writes carry values unique per transaction, so a read
+  observing the value of a transaction that later aborted is detected
+  exactly.
+- **Final state** — every key must end at its last committed write (or its
+  initial value); repeat-history rollback and post-crash redo both feed
+  this check.
+- **Recovery ordering** — between a DC's ``dc.crash`` and its
+  ``dc.recover.ready`` (structures rebuilt and validated), no operation
+  may apply at that DC: logical redo before well-formedness would violate
+  the Section 5.2.2 contract.
+
+The oracle is pure: it reads an event list and returns an
+:class:`OracleReport`; it never touches the kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+# Event points written by the explorer harness (sim/explore.py).
+OP_OK = "op.ok"
+TXN_COMMIT = "txn.commit"
+TXN_ABORT = "txn.abort"
+
+# Event points written by DC instrumentation (dc/data_component.py).
+DC_CRASH = "dc.crash"
+DC_RECOVER_BEGIN = "dc.recover.begin"
+DC_RECOVER_READY = "dc.recover.ready"
+DC_APPLY = "dc.apply"
+
+#: Pseudo-writer owning pre-populated initial values.
+INITIAL = "<initial>"
+
+
+@dataclass
+class _Op:
+    seq: int
+    txn: str
+    kind: str  # "read" | "write"
+    table: str
+    key: object
+    value: object
+
+
+@dataclass
+class OracleReport:
+    """Everything the oracle concluded about one schedule's history."""
+
+    committed: list[str] = field(default_factory=list)
+    aborted: list[str] = field(default_factory=list)
+    edges: list[tuple[str, str]] = field(default_factory=list)
+    cycle: Optional[list[str]] = None
+    dirty_reads: list[dict] = field(default_factory=list)
+    final_state_mismatches: list[dict] = field(default_factory=list)
+    recovery_violations: list[dict] = field(default_factory=list)
+
+    @property
+    def serializable(self) -> bool:
+        return self.cycle is None
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.cycle is None
+            and not self.dirty_reads
+            and not self.final_state_mismatches
+            and not self.recovery_violations
+        )
+
+    def anomaly(self) -> Optional[str]:
+        """One-line description of the first anomaly, or None."""
+        if self.cycle is not None:
+            return f"serialization cycle: {' -> '.join(self.cycle)}"
+        if self.dirty_reads:
+            return f"dirty read: {self.dirty_reads[0]}"
+        if self.recovery_violations:
+            return f"recovery-ordering violation: {self.recovery_violations[0]}"
+        if self.final_state_mismatches:
+            return f"final-state mismatch: {self.final_state_mismatches[0]}"
+        return None
+
+
+class SerializationOracle:
+    """Judges one explored schedule's recorded history."""
+
+    def check(
+        self,
+        events: Sequence[dict],
+        initial: Optional[dict[tuple[str, object], object]] = None,
+        final: Optional[dict[tuple[str, object], object]] = None,
+        strict: bool = True,
+    ) -> OracleReport:
+        """Analyze ``events``.
+
+        ``initial`` maps (table, key) to the pre-populated value, so reads
+        of untouched keys attribute to a pseudo-writer instead of looking
+        like reads of nothing.  ``final`` is the post-run state read back
+        by the harness; pass None to skip the final-state check (e.g. a
+        schedule cut off at its step budget leaves transactions
+        mid-flight, where partial writes are expected, not anomalous).
+        ``strict=False`` also skips the dirty-read check for the same
+        reason: an interrupted transaction never recorded its abort.
+        """
+        report = OracleReport()
+        ops = self._collect_ops(events, report)
+        self._conflict_graph(ops, report)
+        if strict:
+            self._dirty_reads(ops, initial or {}, report)
+        if final is not None:
+            self._final_state(ops, initial or {}, final, report)
+        self._recovery_ordering(events, report)
+        return report
+
+    # -- history parsing ----------------------------------------------------
+
+    def _collect_ops(self, events: Sequence[dict], report: OracleReport) -> list[_Op]:
+        ops: list[_Op] = []
+        for event in events:
+            point = event.get("point")
+            if point == OP_OK:
+                kind = "read" if event["op"] == "read" else "write"
+                ops.append(
+                    _Op(
+                        seq=event["seq"],
+                        txn=event["txn"],
+                        kind=kind,
+                        table=event["table"],
+                        key=event["key"],
+                        value=event.get("value"),
+                    )
+                )
+            elif point == TXN_COMMIT:
+                report.committed.append(event["txn"])
+            elif point == TXN_ABORT:
+                report.aborted.append(event["txn"])
+        return ops
+
+    # -- conflict serializability -------------------------------------------
+
+    def _conflict_graph(self, ops: list[_Op], report: OracleReport) -> None:
+        committed = set(report.committed)
+        by_key: dict[tuple[str, object], list[_Op]] = {}
+        for op in ops:
+            if op.txn in committed:
+                by_key.setdefault((op.table, op.key), []).append(op)
+        edges: set[tuple[str, str]] = set()
+        for key_ops in by_key.values():
+            key_ops.sort(key=lambda op: op.seq)
+            for i, first in enumerate(key_ops):
+                for second in key_ops[i + 1 :]:
+                    if first.txn == second.txn:
+                        continue
+                    if first.kind == "read" and second.kind == "read":
+                        continue
+                    edges.add((first.txn, second.txn))
+        report.edges = sorted(edges)
+        report.cycle = self._find_cycle(report.edges)
+
+    @staticmethod
+    def _find_cycle(edges: list[tuple[str, str]]) -> Optional[list[str]]:
+        graph: dict[str, list[str]] = {}
+        for src, dst in edges:
+            graph.setdefault(src, []).append(dst)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: dict[str, int] = {}
+        parent: dict[str, str] = {}
+        for root in graph:
+            if color.get(root, WHITE) != WHITE:
+                continue
+            stack: list[tuple[str, iter]] = [(root, iter(graph.get(root, ())))]
+            color[root] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    state = color.get(nxt, WHITE)
+                    if state == GRAY:
+                        # Found a back edge: walk parents to emit the cycle.
+                        cycle = [nxt, node]
+                        walk = node
+                        while walk != nxt:
+                            walk = parent[walk]
+                            cycle.append(walk)
+                        cycle.reverse()
+                        return cycle
+                    if state == WHITE:
+                        color[nxt] = GRAY
+                        parent[nxt] = node
+                        stack.append((nxt, iter(graph.get(nxt, ()))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
+        return None
+
+    # -- dirty reads ---------------------------------------------------------
+
+    def _writer_of(self, ops: list[_Op]) -> dict[object, str]:
+        """Map written value -> writer (values are unique per transaction)."""
+        return {op.value: op.txn for op in ops if op.kind == "write"}
+
+    def _dirty_reads(
+        self,
+        ops: list[_Op],
+        initial: dict[tuple[str, object], object],
+        report: OracleReport,
+    ) -> None:
+        writer_of = self._writer_of(ops)
+        aborted = set(report.aborted)
+        committed = set(report.committed)
+        for op in ops:
+            if op.kind != "read" or op.txn not in committed or op.value is None:
+                continue
+            writer = writer_of.get(op.value)
+            if writer is None or writer == op.txn:
+                continue
+            if writer in aborted:
+                report.dirty_reads.append(
+                    {
+                        "reader": op.txn,
+                        "writer": writer,
+                        "table": op.table,
+                        "key": op.key,
+                        "value": op.value,
+                        "seq": op.seq,
+                    }
+                )
+
+    # -- final state ---------------------------------------------------------
+
+    def _final_state(
+        self,
+        ops: list[_Op],
+        initial: dict[tuple[str, object], object],
+        final: dict[tuple[str, object], object],
+        report: OracleReport,
+    ) -> None:
+        committed = set(report.committed)
+        expected = dict(initial)
+        last_write: dict[tuple[str, object], _Op] = {}
+        for op in ops:
+            if op.kind == "write" and op.txn in committed:
+                slot = (op.table, op.key)
+                prior = last_write.get(slot)
+                if prior is None or op.seq > prior.seq:
+                    last_write[slot] = op
+        for slot, op in last_write.items():
+            expected[slot] = op.value
+        for slot, want in expected.items():
+            got = final.get(slot)
+            if got != want:
+                report.final_state_mismatches.append(
+                    {"table": slot[0], "key": slot[1], "expected": want, "actual": got}
+                )
+
+    # -- recovery ordering ---------------------------------------------------
+
+    def _recovery_ordering(
+        self, events: Sequence[dict], report: OracleReport
+    ) -> None:
+        """No ``dc.apply`` may land between ``dc.crash`` and recover-ready."""
+        down_since: dict[str, int] = {}
+        for event in events:
+            point = event.get("point")
+            target = event.get("target", "")
+            if point == DC_CRASH:
+                down_since[target] = event["seq"]
+            elif point == DC_RECOVER_READY:
+                down_since.pop(target, None)
+            elif point == DC_APPLY and target in down_since:
+                report.recovery_violations.append(
+                    {
+                        "dc": target,
+                        "crash_seq": down_since[target],
+                        "apply_seq": event["seq"],
+                        "detail": {
+                            k: v
+                            for k, v in event.items()
+                            if k not in ("point", "target")
+                        },
+                    }
+                )

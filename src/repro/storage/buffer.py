@@ -28,6 +28,7 @@ from repro.common.config import DcConfig, PageSyncStrategy
 from repro.common.errors import WriteAheadViolation
 from repro.common.lsn import Lsn, NULL_LSN
 from repro.obs.tracing import NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
 from repro.storage.disk import StableStorage
 from repro.storage.page import LeafPage, Page, PageImage, PageKind
@@ -149,9 +150,14 @@ class BufferPool:
             while self._evicting:
                 self._op_cv.wait()
             self._active_ops += 1
+        # Under the schedule explorer the bracket is a critical section:
+        # parking a task here while it participates in the reader/eviction
+        # protocol would wedge the cooperative run token.
+        _sched.enter_critical()
         try:
             yield
         finally:
+            _sched.exit_critical()
             run_eviction = False
             with self._op_cv:
                 self._active_ops -= 1

@@ -27,7 +27,9 @@ from typing import Hashable, Optional
 
 from repro.common.errors import DeadlockError, LockTimeoutError
 from repro.obs.tracing import NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
+from repro.sim.schedule import YieldPoint
 
 Resource = Hashable
 
@@ -202,6 +204,14 @@ class LockManager:
         mode: LockMode,
         timeout: Optional[float] = None,
     ) -> None:
+        if _sched.ACTIVE is not None:
+            _sched.maybe_yield(
+                YieldPoint.LOCK_ACQUIRE,
+                repr(resource),
+                resource=repr(resource),
+                mode=mode.value,
+                txn=txn_id,
+            )
         stripe = self._stripe_of(resource)
         # Covered re-acquire without the condition bracket: only the owning
         # transaction ever strengthens or releases its own hold, so a hold
@@ -251,6 +261,7 @@ class LockManager:
                     if cycle is not None:
                         self.metrics.incr("locks.deadlocks")
                         raise DeadlockError(txn_id, cycle)
+                scheduled = _sched.ACTIVE is not None and _sched.task_active()
                 with stripe.cv:
                     if self._grantable(entry, txn_id, mode):
                         current = entry.holders.get(txn_id)
@@ -263,11 +274,26 @@ class LockManager:
                         self._note_held(txn_id, resource)
                         return
                     self.metrics.incr("locks.waits")
-                    remaining = deadline - time.monotonic()
-                    if remaining <= 0 or not stripe.cv.wait(timeout=remaining):
-                        if deadline - time.monotonic() <= 0:
-                            self.metrics.incr("locks.timeouts")
-                            raise LockTimeoutError(txn_id, resource)
+                    if not scheduled:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0 or not stripe.cv.wait(timeout=remaining):
+                            if deadline - time.monotonic() <= 0:
+                                self.metrics.incr("locks.timeouts")
+                                raise LockTimeoutError(txn_id, resource)
+                if scheduled:
+                    # Cooperative blocking: a schedule-explorer task holds
+                    # the run token, so a condition wait here would wedge
+                    # the whole schedule.  Park at the scheduler instead
+                    # (outside the stripe mutex); rescheduling re-runs the
+                    # deadlock check and the grant probe above.  Real-time
+                    # lock timeouts do not apply under step-paced runs.
+                    _sched.maybe_yield(
+                        YieldPoint.LOCK_BLOCKED,
+                        repr(resource),
+                        resource=repr(resource),
+                        mode=mode.value,
+                        txn=txn_id,
+                    )
         finally:
             self._clear_waiting(txn_id)
             with stripe.cv:
@@ -359,6 +385,11 @@ class LockManager:
             held = self._held_by_txn.get(txn_id)
             if held is not None:
                 held.discard(resource)
+        if _sched.ACTIVE is not None:
+            _sched.maybe_yield(
+                YieldPoint.LOCK_RELEASE, repr(resource), resource=repr(resource),
+                txn=txn_id,
+            )
 
     def release_all(self, txn_id: int) -> int:
         """Drop every lock of the transaction (commit/abort/crash)."""
@@ -382,6 +413,10 @@ class LockManager:
                         del stripe.table[resource]
                 stripe.cv.notify_all()
         self._released_slot.value += len(resources)
+        if _sched.ACTIVE is not None:
+            _sched.maybe_yield(
+                YieldPoint.LOCK_RELEASE, "*", txn=txn_id, count=len(resources)
+            )
         return len(resources)
 
     def clear(self) -> None:

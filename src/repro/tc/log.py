@@ -32,7 +32,9 @@ from typing import Callable, Iterator, Optional
 from repro.common.lsn import Lsn, LsnGenerator, NULL_LSN
 from repro.common.ops import LogicalOperation
 from repro.obs.tracing import NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
+from repro.sim.schedule import YieldPoint
 
 
 @dataclass(frozen=True)
@@ -344,6 +346,8 @@ class TcLog:
             return self._force()
 
     def _force(self) -> Lsn:
+        if _sched.ACTIVE is not None:
+            _sched.maybe_yield(YieldPoint.TC_LOG_FORCE, "tc")
         with self._mutex:
             if self._stable_count < len(self._records):
                 self._stable_count = len(self._records)

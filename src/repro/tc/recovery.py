@@ -26,7 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro.common.api import EndOfStableLog, RestartBegin
+from repro.common.api import EndOfStableLog, RedoComplete, RestartBegin
 from repro.common.errors import CrashedError, ReproError, ResendExhaustedError
 from repro.common.lsn import Lsn, NULL_LSN
 from repro.common.ops import (
@@ -77,7 +77,9 @@ def resend_redo_stream(
             continue
         if dc_names is not None and record.dc_name not in dc_names:
             continue
-        result = tc._perform(record.dc_name, record.op, record.lsn, resend=True)
+        result = tc._perform(
+            record.dc_name, record.op, record.lsn, resend=True, redo=True
+        )
         try:
             tc._expect_ok(result, record.op)
         except (CrashedError, ResendExhaustedError):
@@ -146,6 +148,12 @@ class TcRestart:
         # 2. Redo: repeat history from the redo scan start point.
         tc._crashed = False  # the component is operational from here on
         stats["redo_ops"] = resend_redo_stream(tc)
+        # Close any DC-side redo windows held open for this TC.  A DC that
+        # restarted while we were down prompted into our crashed
+        # ``_on_dc_restart`` (a no-op), leaving its window open; the full
+        # restart redo above covers that stream, so every window closes.
+        for name in tc.channels():
+            tc._request_acked(name, RedoComplete(tc_id=tc.tc_id))
 
         # 3./4. Finish unfinished transactions.
         for txn_id, info in txns.items():

@@ -43,6 +43,7 @@ from repro.common.api import (
     LowWaterMark,
     OperationReply,
     PerformOperation,
+    RedoComplete,
 )
 from repro.common.config import ChannelConfig, RangeLockProtocol, TcConfig
 from repro.common.errors import (
@@ -75,7 +76,9 @@ from repro.common.records import Key, RecordView, Value
 from repro.dc.data_component import DataComponent
 from repro.net.channel import MessageChannel
 from repro.obs.tracing import NULL_SPAN, NULL_TRACER
+from repro.sim import schedule as _sched
 from repro.sim.metrics import Metrics
+from repro.sim.schedule import YieldPoint
 from repro.storage.buffer import ResetMode
 from repro.tc.lock_manager import LockManager
 from repro.tc.log import (
@@ -405,6 +408,12 @@ class TransactionalComponent:
         self._txn_ids = itertools.count(1)
         self._active: dict[int, Transaction] = {}
         self._admin = threading.RLock()
+        #: DCs whose redo stream this TC is currently resending, mapped to
+        #: the thread running the resend.  Ordinary dispatch stalls on
+        #: these (see :meth:`_await_redo_quiesce`); the redo thread itself
+        #: passes through.
+        self._dc_redo: dict[str, int] = {}
+        self._redo_cv = threading.Condition()
         self._rssp: Lsn = NULL_LSN
         #: Per-DC spontaneous stability hints (Section 4.2.1).
         self._rssp_hints: dict[str, Lsn] = {}
@@ -904,11 +913,12 @@ class TransactionalComponent:
             self._check_up()
         if txn.state is not TransactionState.ACTIVE:
             txn._check_active()
-        try:
-            self.protocol.lock_for_read(txn, table, key)
-        except (TransactionAborted, LockTimeoutError):
-            self._force_abort(txn)
-            raise
+        if not self.config.unsafe_skip_read_locks:
+            try:
+                self.protocol.lock_for_read(txn, table, key)
+            except (TransactionAborted, LockTimeoutError):
+                self._force_abort(txn)
+                raise
         value = self._known_value(txn, table, key)
         return None if value is ABSENT else value
 
@@ -1504,8 +1514,43 @@ class TransactionalComponent:
 
     # -- messaging ---------------------------------------------------------------------------------
 
+    def _await_redo_quiesce(self, dc_name: str) -> None:
+        """Stall ordinary dispatch to a DC whose redo stream is replaying.
+
+        After a DC restart, its record state is rebuilt by this TC's redo
+        resend (:meth:`_on_dc_restart`).  An operation slipping in
+        mid-rebuild would observe committed records as absent — and a
+        read-before-write would capture that absence as undo information,
+        so a later abort's repeat-history undo would erase committed data.
+        The thread running the redo itself passes through (redo resends,
+        zombie rollbacks and completions all use :meth:`_perform`).
+        """
+        if not self._dc_redo:
+            return
+        me = threading.get_ident()
+        if _sched.task_active():
+            # Cooperative mode: park at the scheduler (marked blocked on
+            # the redo window) instead of a real condition wait; the redo
+            # thread notifies when the window closes.
+            while True:
+                with self._redo_cv:
+                    if self._dc_redo.get(dc_name) in (None, me):
+                        return
+                _sched.maybe_yield(
+                    YieldPoint.DC_REDO_WAIT, dc_name, resource=f"redo:{dc_name}"
+                )
+            return
+        with self._redo_cv:
+            while self._dc_redo.get(dc_name) not in (None, me):
+                self._redo_cv.wait(timeout=1.0)
+
     def _perform(
-        self, dc_name: str, op: LogicalOperation, op_id: Lsn, resend: bool = False
+        self,
+        dc_name: str,
+        op: LogicalOperation,
+        op_id: Lsn,
+        resend: bool = False,
+        redo: bool = False,
     ) -> OpResult:
         """Send with resend-until-acknowledged (exactly-once end to end).
 
@@ -1518,6 +1563,7 @@ class TransactionalComponent:
         an exhausted budget raises :class:`ResendExhaustedError` so the
         caller (or supervisor) can tell "slow" from "gone".
         """
+        self._await_redo_quiesce(dc_name)
         channel = self._channels[dc_name]
         policy = self.config.retry_policy()
         attempts = 0
@@ -1530,6 +1576,10 @@ class TransactionalComponent:
             # The TC itself may have been crashed mid-operation (e.g. by a
             # fault during a DC-prompted log force) — stop immediately.
             self._check_up()
+            # Re-check per attempt: a DC crash can open a redo window while
+            # this operation is mid-retry, and its resend must not land on
+            # the rebuilt DC before redo replays what came before it.
+            self._await_redo_quiesce(dc_name)
             if channel.dc.crashed or (
                 channel.faults is not None and channel.faults.partitioned(dc_name)
             ):
@@ -1540,6 +1590,7 @@ class TransactionalComponent:
                 op=op,
                 resend=resend or attempts > 0,
                 eosl=self.log.eosl,
+                redo=redo,
             )
             reply = channel.request(message)
             attempts += 1
@@ -1593,6 +1644,7 @@ class TransactionalComponent:
         reply future from :meth:`sync_pipeline`'s concurrent flush); the
         first loop iteration awaits it instead of sending again.
         """
+        self._await_redo_quiesce(dc_name)
         channel = self._channels[dc_name]
         policy = self._retry_policy
         attempts = 0
@@ -1607,6 +1659,7 @@ class TransactionalComponent:
                         min(pending), dc_name, attempts, waited_ms
                     )
                 self._check_up()
+                self._await_redo_quiesce(dc_name)
                 if channel.dc.crashed or (
                     channel.faults is not None and channel.faults.partitioned(dc_name)
                 ):
@@ -1721,7 +1774,17 @@ class TransactionalComponent:
         lwm = lwm if lwm is not None else self.log.lwm
         if lwm <= NULL_LSN:
             return
-        for channel in self._channels.values():
+        redo_bypass = threading.get_ident()
+        for dc_name, channel in self._channels.items():
+            if self._dc_redo.get(dc_name, redo_bypass) != redo_bypass:
+                # The LWM says "replies received", but the replies came
+                # from the pre-crash incarnation: advancing a freshly
+                # rebuilt page's abLSN low water past still-unreplayed
+                # operations would make redo dedupe them and lose their
+                # effects.  Skip the DC until its redo window closes (the
+                # redo thread itself broadcasts when it is done).
+                self.metrics.incr("tc.lwm_held_for_redo")
+                continue
             channel.request(LowWaterMark(tc_id=self.tc_id, lwm=lwm))
         self.metrics.incr("tc.lwm_broadcasts")
 
@@ -1855,6 +1918,11 @@ class TransactionalComponent:
         # The DC lost cached state; until redo finishes rebuilding it, no
         # cached value for its tables can be trusted.
         self._uncache_dc(dc.name)
+        # Close the DC to ordinary dispatch for the whole redo window: a
+        # new operation arriving mid-rebuild would read committed records
+        # as absent (and a later abort would then undo to that absence).
+        with self._redo_cv:
+            self._dc_redo[dc.name] = threading.get_ident()
         root = self.tracer.start_trace(
             "tc.dc_restart_redo", component=self.name, dc=dc.name
         )
@@ -1868,11 +1936,21 @@ class TransactionalComponent:
                         dc.name, EndOfStableLog(tc_id=self.tc_id, eosl=eosl)
                     )
                 resend_redo_stream(self, dc_names={dc.name})
+                # Close the DC-side redo window before anything that may
+                # dispatch ordinary (non-redo) traffic: zombie CLR retries
+                # below re-send as normal operations.  Acked: a lost close
+                # would leave the DC bouncing this TC forever.
+                if dc.name in self._channels:
+                    self._request_acked(dc.name, RedoComplete(tc_id=self.tc_id))
                 self._retry_zombie_rollbacks()
                 self._retry_zombie_completions()
                 self.broadcast_lwm()
         finally:
             root.finish()
+            with self._redo_cv:
+                self._dc_redo.pop(dc.name, None)
+                self._redo_cv.notify_all()
+            _sched.notify(f"redo:{dc.name}")
         self.metrics.incr("tc.dc_restart_redos")
 
     @property

@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.chaos
+
 from repro.common.config import ChannelConfig, TcConfig
 from repro.common.errors import CrashedError, InjectedFault
 from repro.sim.chaos import ChaosRunner, ChaosViolation, HistoryRecorder, _TxnEffects
@@ -190,7 +192,9 @@ class TestChaosRunner:
         runner = ChaosRunner(seed=3, txns=10)
         with pytest.raises(ChaosViolation) as excinfo:
             runner._fail("synthetic")
-        assert "reproduce with: seed=3" in str(excinfo.value)
+        message = str(excinfo.value)
+        assert "reproduce with: python -m repro chaos --seed 3" in message
+        assert "recipe: seed=3" in message
 
 
 class TestChaosFastPaths:

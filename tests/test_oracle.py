@@ -1,0 +1,201 @@
+"""The serializability / recovery-ordering oracle on synthetic histories.
+
+Each test hand-crafts an event list in the explorer's recording format and
+checks the oracle draws exactly the right conclusion — these are the
+oracle's own unit tests, independent of the scheduler that normally feeds
+it (tests/test_schedule_explorer.py covers the two end to end).
+"""
+
+from __future__ import annotations
+
+from repro.sim.oracle import SerializationOracle
+
+
+def _op(seq, txn, op, table, key, value):
+    return {
+        "seq": seq,
+        "point": "op.ok",
+        "target": "",
+        "task": txn,
+        "txn": txn,
+        "op": op,
+        "table": table,
+        "key": key,
+        "value": value,
+    }
+
+
+def _commit(seq, txn):
+    return {"seq": seq, "point": "txn.commit", "target": "", "txn": txn}
+
+
+def _abort(seq, txn):
+    return {"seq": seq, "point": "txn.abort", "target": "", "txn": txn}
+
+
+def _dc(seq, point, dc="dc", **detail):
+    return {"seq": seq, "point": point, "target": dc, **detail}
+
+
+class TestConflictGraph:
+    def test_serial_history_is_clean(self):
+        events = [
+            _op(1, "t0", "write", "t", 1, "t0.a"),
+            _commit(2, "t0"),
+            _op(3, "t1", "read", "t", 1, "t0.a"),
+            _op(4, "t1", "write", "t", 1, "t1.a"),
+            _commit(5, "t1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert report.ok
+        assert report.edges == [("t0", "t1")]
+
+    def test_write_write_cycle_detected(self):
+        events = [
+            _op(1, "t0", "write", "t", 1, "t0.a"),  # t0 -> t1 on key 1
+            _op(2, "t1", "write", "t", 1, "t1.a"),
+            _op(3, "t1", "write", "t", 2, "t1.b"),  # t1 -> t0 on key 2
+            _op(4, "t0", "write", "t", 2, "t0.b"),
+            _commit(5, "t0"),
+            _commit(6, "t1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert not report.serializable
+        assert set(report.cycle) >= {"t0", "t1"}
+        assert "serialization cycle" in report.anomaly()
+
+    def test_read_write_cycle_detected(self):
+        # The lost-update shape read-lock weakening produces: both read,
+        # both then write — r0(x) r1(x) w0(x) w1(x).
+        events = [
+            _op(1, "t0", "read", "t", 1, "init"),
+            _op(2, "t1", "read", "t", 1, "init"),
+            _op(3, "t0", "write", "t", 1, "t0.a"),
+            _op(4, "t1", "write", "t", 1, "t1.a"),
+            _commit(5, "t0"),
+            _commit(6, "t1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert not report.serializable
+
+    def test_aborted_transactions_leave_no_edges(self):
+        events = [
+            _op(1, "t0", "write", "t", 1, "t0.a"),
+            _op(2, "t1", "write", "t", 1, "t1.a"),
+            _op(3, "t1", "write", "t", 2, "t1.b"),
+            _op(4, "t0", "write", "t", 2, "t0.b"),
+            _abort(5, "t0"),
+            _commit(6, "t1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert report.serializable
+        assert report.edges == []
+
+    def test_read_read_is_no_conflict(self):
+        events = [
+            _op(1, "t0", "read", "t", 1, "init"),
+            _op(2, "t1", "read", "t", 1, "init"),
+            _commit(3, "t0"),
+            _commit(4, "t1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert report.edges == []
+
+
+class TestDirtyReads:
+    def test_read_of_aborted_write_flagged(self):
+        events = [
+            _op(1, "t0", "write", "t", 1, "t0.dirty"),
+            _op(2, "t1", "read", "t", 1, "t0.dirty"),
+            _abort(3, "t0"),
+            _commit(4, "t1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert report.dirty_reads
+        assert report.dirty_reads[0]["reader"] == "t1"
+        assert report.dirty_reads[0]["writer"] == "t0"
+        assert "dirty read" in report.anomaly()
+
+    def test_non_strict_skips_dirty_read_check(self):
+        events = [
+            _op(1, "t0", "write", "t", 1, "t0.dirty"),
+            _op(2, "t1", "read", "t", 1, "t0.dirty"),
+            _abort(3, "t0"),
+            _commit(4, "t1"),
+        ]
+        report = SerializationOracle().check(events, strict=False)
+        assert not report.dirty_reads
+
+
+class TestFinalState:
+    def test_missing_committed_write_flagged(self):
+        initial = {("t", 1): "init"}
+        events = [_op(1, "t0", "write", "t", 1, "t0.a"), _commit(2, "t0")]
+        report = SerializationOracle().check(
+            events, initial=initial, final={("t", 1): "init"}
+        )
+        assert report.final_state_mismatches == [
+            {"table": "t", "key": 1, "expected": "t0.a", "actual": "init"}
+        ]
+
+    def test_aborted_write_must_roll_back(self):
+        initial = {("t", 1): "init"}
+        events = [_op(1, "t0", "write", "t", 1, "t0.a"), _abort(2, "t0")]
+        report = SerializationOracle().check(
+            events, initial=initial, final={("t", 1): "t0.a"}
+        )
+        assert report.final_state_mismatches  # expected rollback to init
+
+    def test_matching_final_state_is_clean(self):
+        initial = {("t", 1): "init", ("t", 2): "init2"}
+        events = [
+            _op(1, "t0", "write", "t", 1, "t0.a"),
+            _commit(2, "t0"),
+            _op(3, "t1", "write", "t", 1, "t1.a"),
+            _abort(4, "t1"),
+        ]
+        report = SerializationOracle().check(
+            events, initial=initial, final={("t", 1): "t0.a", ("t", 2): "init2"}
+        )
+        assert report.ok
+
+    def test_none_final_skips_check(self):
+        events = [_op(1, "t0", "write", "t", 1, "t0.a"), _commit(2, "t0")]
+        report = SerializationOracle().check(events, final=None)
+        assert not report.final_state_mismatches
+
+
+class TestRecoveryOrdering:
+    def test_apply_before_recover_ready_flagged(self):
+        events = [
+            _dc(1, "dc.crash"),
+            _dc(2, "dc.recover.begin"),
+            _dc(3, "dc.apply", op="UpdateOp", table="t", key=1),
+            _dc(4, "dc.recover.ready"),
+        ]
+        report = SerializationOracle().check(events)
+        assert report.recovery_violations
+        violation = report.recovery_violations[0]
+        assert violation["dc"] == "dc"
+        assert violation["crash_seq"] == 1
+        assert violation["apply_seq"] == 3
+        assert "recovery-ordering violation" in report.anomaly()
+
+    def test_apply_after_ready_is_fine(self):
+        events = [
+            _dc(1, "dc.crash"),
+            _dc(2, "dc.recover.begin"),
+            _dc(3, "dc.recover.ready"),
+            _dc(4, "dc.apply", op="UpdateOp", table="t", key=1),
+        ]
+        report = SerializationOracle().check(events)
+        assert not report.recovery_violations
+
+    def test_per_dc_windows_are_independent(self):
+        events = [
+            _dc(1, "dc.crash", dc="dc1"),
+            _dc(2, "dc.apply", dc="dc2", op="InsertOp", table="t", key=1),
+            _dc(3, "dc.recover.ready", dc="dc1"),
+        ]
+        report = SerializationOracle().check(events)
+        assert not report.recovery_violations

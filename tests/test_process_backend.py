@@ -21,6 +21,8 @@ import time
 
 import pytest
 
+pytestmark = pytest.mark.process
+
 from repro.cloud.deployment import CloudDeployment
 from repro.common.config import ChannelConfig, KernelConfig, TcConfig
 from repro.common.errors import ReproError
