@@ -1,0 +1,188 @@
+"""E-RECOVERY — crash-competitive recovery time (Sections 4.2, 5.2).
+
+Three series, one results file (``BENCH_recovery.json``):
+
+- **RTO vs log size** — time-to-recover after a TC crash as the log
+  grows, with and without periodic checkpoints.  Checkpoints terminate
+  the idempotence contract at the RSSP *and* truncate the log below it,
+  so restart redo work — and hence RTO — stays flat instead of growing
+  with history.  Asserted: at the largest log size the checkpointed RTO
+  is at most half the uncheckpointed one.
+- **Parallel redo speedup** — TC restart over 4 DC server processes,
+  redo stream fanned out per DC vs forced sequential.  Every redo
+  operation is a synchronous pipe round trip, so the fan-out converts
+  restart from sum-of-streams to max-of-streams.  Asserted: >= 1.3x.
+- **Journal growth** — the process-mode DC journal with periodic
+  ``checkpoint_dc_log`` + compaction stays bounded by live state, while
+  the same workload without compaction grows with history.
+
+Run (the CI recovery lane does exactly this):
+
+    PYTHONPATH=src:. python -m pytest -q -p no:benchmark -s \\
+        benchmarks/bench_recovery.py
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from benchmarks.conftest import fresh_unbundled, series, write_results
+from repro.common.config import ChannelConfig, DcConfig, KernelConfig, TcConfig
+from repro.kernel.unbundled import UnbundledKernel
+
+SEED = 7
+LOG_SIZES = (100, 400, 1600)
+
+#: Sections accumulate here; every test rewrites the (single) results
+#: file so a full run of this module leaves one complete document.
+_RESULTS: dict = {}
+_T0 = time.time()
+
+
+def _publish() -> None:
+    write_results("recovery", _RESULTS, seed=SEED, wall_time_s=time.time() - _T0)
+
+
+def _timed_tc_restart(kernel):
+    kernel.crash_tc()
+    start = time.perf_counter()
+    stats = kernel.recover_tc()
+    return (time.perf_counter() - start) * 1000.0, stats
+
+
+def _rto_for(txns: int, checkpoints: bool):
+    kernel = fresh_unbundled(page_size=1024)
+    interval = max(1, txns // 8)
+    for index in range(txns):
+        with kernel.begin() as txn:
+            txn.insert("t", index, f"value-{index:06d}")
+        if checkpoints and (index + 1) % interval == 0:
+            assert kernel.checkpoint()
+    rto_ms, stats = _timed_tc_restart(kernel)
+    with kernel.begin() as txn:
+        assert len(txn.scan("t")) == txns
+    return {
+        "rto_ms": round(rto_ms, 3),
+        "redo_ops": stats["redo_ops"],
+        "truncated_records": kernel.metrics.get("tclog.truncated_records"),
+    }
+
+
+def test_erecovery_rto_vs_log_size():
+    rows = []
+    for txns in LOG_SIZES:
+        baseline = _rto_for(txns, checkpoints=False)
+        checkpointed = _rto_for(txns, checkpoints=True)
+        row = {
+            "txns": txns,
+            "no_ckpt_rto_ms": baseline["rto_ms"],
+            "no_ckpt_redo_ops": baseline["redo_ops"],
+            "ckpt_rto_ms": checkpointed["rto_ms"],
+            "ckpt_redo_ops": checkpointed["redo_ops"],
+            "ckpt_truncated_records": checkpointed["truncated_records"],
+        }
+        rows.append(row)
+        series("E-RECOVERY rto", **row)
+    _RESULTS["rto_vs_log_size"] = rows
+    _publish()
+    largest = rows[-1]
+    # Redo volume is deterministic: without checkpoints it is the whole
+    # history; with them, at most the last interval's worth.
+    assert largest["ckpt_redo_ops"] < largest["no_ckpt_redo_ops"] / 4
+    assert largest["ckpt_truncated_records"] > 0
+    # The headline claim: checkpoint-driven truncation halves (at least)
+    # the restart time once the log is big enough for redo to dominate.
+    assert largest["ckpt_rto_ms"] <= 0.5 * largest["no_ckpt_rto_ms"], rows
+
+
+def _process_kernel(dc_count: int, parallel_redo: bool) -> UnbundledKernel:
+    config = KernelConfig(
+        dc=DcConfig(page_size=1024),
+        tc=TcConfig(parallel_redo=parallel_redo),
+        channel=ChannelConfig(transport="process"),
+    )
+    kernel = UnbundledKernel(config, dc_count=dc_count)
+    for index in range(dc_count):
+        name = f"dc{index + 1}" if dc_count > 1 else "dc"
+        kernel.create_table(f"t{index}", dc_name=name)
+    return kernel
+
+
+def _process_restart_rto(dc_count: int, parallel_redo: bool, rows: int = 800):
+    kernel = _process_kernel(dc_count, parallel_redo)
+    try:
+        for index in range(rows):
+            with kernel.begin() as txn:
+                txn.insert(f"t{index % dc_count}", index, f"value-{index:06d}")
+        rto_ms, stats = _timed_tc_restart(kernel)
+        with kernel.begin() as txn:
+            seen = sum(len(txn.scan(f"t{i}")) for i in range(dc_count))
+        assert seen == rows
+        fanouts = kernel.metrics.get("tc.redo_parallel_fanouts")
+        return rto_ms, stats["redo_ops"], fanouts
+    finally:
+        kernel.close()
+
+
+@pytest.mark.process
+def test_erecovery_parallel_redo_speedup():
+    """1-vs-4 DC server processes: fanning the redo stream out per DC
+    turns restart into max-of-streams instead of sum-of-streams."""
+    one_dc_ms, one_redo, one_fan = _process_restart_rto(1, parallel_redo=True)
+    seq_ms, seq_redo, seq_fan = _process_restart_rto(4, parallel_redo=False)
+    par_ms, par_redo, par_fan = _process_restart_rto(4, parallel_redo=True)
+    assert one_fan == 0 and seq_fan == 0 and par_fan == 1
+    assert seq_redo == par_redo
+    speedup = seq_ms / par_ms
+    row = {
+        "redo_ops": par_redo,
+        "one_dc_rto_ms": round(one_dc_ms, 3),
+        "four_dc_sequential_rto_ms": round(seq_ms, 3),
+        "four_dc_parallel_rto_ms": round(par_ms, 3),
+        "parallel_speedup": round(speedup, 3),
+    }
+    _RESULTS["parallel_redo"] = row
+    _publish()
+    series("E-RECOVERY parallel redo", **row)
+    assert speedup >= 1.3, row
+
+
+@pytest.mark.process
+def test_erecovery_journal_stays_bounded():
+    """Same update workload twice: with periodic DC-log checkpoints (and
+    the compaction they trigger) the journal tracks live state; without
+    them it grows with history."""
+
+    def run(compact: bool) -> int:
+        kernel = _process_kernel(1, parallel_redo=True)
+        try:
+            for round_no in range(4):
+                for key in range(50):
+                    with kernel.begin() as txn:
+                        if round_no == 0:
+                            txn.insert("t0", key, f"r{round_no}-{key:05d}")
+                        else:
+                            txn.update("t0", key, f"r{round_no}-{key:05d}")
+                assert kernel.checkpoint()
+                if compact:
+                    kernel.dc.checkpoint_dc_log()
+            size = kernel.dc.stats()["journal_bytes"]
+            with kernel.begin() as txn:
+                assert len(txn.scan("t0")) == 50
+            return size
+        finally:
+            kernel.close()
+
+    unbounded = run(compact=False)
+    bounded = run(compact=True)
+    row = {
+        "journal_bytes_no_compaction": unbounded,
+        "journal_bytes_with_compaction": bounded,
+        "reduction": round(unbounded / max(1, bounded), 3),
+    }
+    _RESULTS["journal_growth"] = row
+    _publish()
+    series("E-RECOVERY journal", **row)
+    assert bounded < unbounded / 2, row

@@ -96,6 +96,10 @@ class BatchedPerform(Message):
 
     ops: tuple[PerformOperation, ...] = ()
     eosl: Lsn = 0
+    #: The envelope belongs to a redo stream replay (every enclosed
+    #: operation carries ``redo=True`` too); a DC redo window admits it
+    #: just like a single redo :class:`PerformOperation`.
+    redo: bool = False
 
 
 @dataclass(frozen=True)

@@ -331,6 +331,15 @@ class DataComponent:
             if isinstance(message, LowWaterMark):
                 self.metrics.incr("dc.lwm_dropped_in_redo_window")
                 return None
+            if isinstance(message, CheckpointRequest):
+                # A freshly-recovered DC trivially has zero dirty pages,
+                # but "flushed" means nothing while committed operations
+                # are still in flight on this TC's redo stream: granting
+                # would advance the RSSP past them, and with log
+                # truncation that loss becomes permanent.  Refuse; the TC
+                # retries its checkpoint after the window closes.
+                self.metrics.incr("dc.checkpoint_refused_in_redo_window")
+                return CheckpointReply(tc_id=message.tc_id, granted_rssp=NULL_LSN)
         if isinstance(message, PerformOperation):
             assert message.op is not None
             if message.eosl:
@@ -911,6 +920,10 @@ class DataComponent:
         if self.buffer.dirty_count() > 0:
             return
         for tc_id, hint in list(self._rssp_hint.items()):
+            if tc_id in self._redo_pending:
+                # Same refusal as the checkpoint gate: nothing is "known
+                # applied" for a TC whose redo stream is still open.
+                continue
             lwm = self.buffer._lwm.get(tc_id, NULL_LSN)
             if lwm > NULL_LSN:
                 self.metrics.incr("dc.rssp_hints")

@@ -147,12 +147,18 @@ class _DcServer:
                     "counters": self._dc.metrics.counters(),
                     "pid": os.getpid(),
                     "recovered": self._recovered,
+                    "journal_bytes": self._storage.journal_bytes(),
                 },
             )
         if isinstance(message, CheckpointDcLog):
-            return CheckpointDcLogReply(
-                tc_id=message.tc_id, advanced=self._dc.checkpoint_dc_log()
-            )
+            advanced = self._dc.checkpoint_dc_log()
+            if advanced:
+                # Everything below the new truncation point is reflected
+                # in flushed pages, so the journal's history frames are
+                # dead weight: rewrite it as live state.  A kill -9'd DC
+                # now replays only the live tail, not its whole past.
+                self._storage.compact()
+            return CheckpointDcLogReply(tc_id=message.tc_id, advanced=advanced)
         if isinstance(message, Shutdown):
             return ControlAck(tc_id=message.tc_id)
         return self._dc.handle(message)

@@ -186,6 +186,53 @@ class JournalStorage(StableStorage):
             ]
             self._journal(_TAG_TRUNC, keep_from_dlsn)
 
+    # -- compaction ---------------------------------------------------------
+
+    def compact(self) -> int:
+        """Rewrite the journal as a snapshot of live state; returns bytes
+        reclaimed.
+
+        The append-only journal keeps every superseded page image and
+        truncated log entry forever, so replay cost after a kill -9 grows
+        with *history*; compaction rewrites it to grow with *state*.  The
+        swap is atomic (write a sibling file, then ``os.replace``): a
+        crash at any point leaves either the complete old journal or the
+        complete new one — never a mix, never a torn volume.
+        """
+        with self._lock:
+            before = self.journal_bytes()
+            tmp_path = self._path + ".compact"
+            with open(tmp_path, "wb") as tmp:
+
+                def frame(tag: int, payload: object) -> None:
+                    data = pickle.dumps(
+                        (tag, payload), protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                    tmp.write(_HEADER.pack(len(data), zlib.crc32(data)))
+                    tmp.write(data)
+
+                if self._next_page_id > 0:
+                    frame(_TAG_ALLOC, self._next_page_id - 1)
+                for key, value in self._metadata.items():
+                    frame(_TAG_META, (key, value))
+                for image in self._pages.values():
+                    frame(_TAG_PAGE, image)
+                if self._dc_log:
+                    frame(_TAG_LOG, list(self._dc_log))
+                tmp.flush()
+            if self._file is not None:
+                try:
+                    self._file.flush()
+                    self._file.close()
+                except OSError:
+                    pass
+            os.replace(tmp_path, self._path)
+            self._file = open(self._path, "ab")
+            reclaimed = max(0, before - self.journal_bytes())
+            self.metrics.incr("journal.compactions")
+            self.metrics.incr("journal.compacted_bytes", reclaimed)
+            return reclaimed
+
     # -- lifecycle ----------------------------------------------------------
 
     def close(self) -> None:

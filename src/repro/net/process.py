@@ -92,10 +92,12 @@ class DcProcess:
     def wait_hello(self, timeout: float = 30.0) -> Hello:
         if not self.conn.poll(timeout):
             self.kill()
+            self.close_conn()
             raise ReproError("DC server did not say hello in time")
         kind, _seq, payload = rpc.unpack_frame(self.conn.recv_bytes())
         if kind != rpc.PUSH or not isinstance(payload, Hello):
             self.kill()
+            self.close_conn()
             raise ReproError(f"unexpected first frame from DC server: {payload!r}")
         return payload
 
@@ -108,10 +110,23 @@ class DcProcess:
         return self.process.pid
 
     def kill(self) -> None:
-        """SIGKILL — the real process death the chaos tests rely on."""
+        """SIGKILL — the real process death the chaos tests rely on.
+
+        Deliberately does *not* close ``self.conn``: once a transport's
+        receiver thread reads this connection, closing the fd out from
+        under it frees the fd number for immediate reuse by the *next*
+        kernel's pipe, and the stale thread then steals frames from that
+        connection (lost replies, corrupted framing).  The process death
+        delivers EOF to the receiver, which drains and exits; the
+        transport closes the fd only after joining it
+        (:meth:`_Transport.close`)."""
         if self.process.is_alive():
             self.process.kill()
         self.process.join()
+
+    def close_conn(self) -> None:
+        """Close the pipe fd directly — only safe before a transport's
+        receiver thread has started reading it (startup failures)."""
         try:
             self.conn.close()
         except OSError:
@@ -188,6 +203,13 @@ class _Transport:
                 data = self._conn.recv_bytes()
             except (EOFError, OSError):
                 break
+            except (TypeError, ValueError):
+                # A connection closed concurrently with an in-flight
+                # ``recv_bytes`` surfaces as ``TypeError`` (the handle is
+                # ``None`` mid-read) rather than ``OSError``.  Treat it
+                # like EOF so the cleanup below still strands futures and
+                # fires ``on_down`` instead of killing this thread.
+                break
             kind, seq, payload = rpc.unpack_frame(data)
             if kind == rpc.REPLY:
                 with self._flock:
@@ -229,6 +251,17 @@ class _Transport:
         return self._down
 
     def close(self) -> None:
+        """Join the receiver, then close the fd.
+
+        Every caller kills (or joins) the server process first, so the
+        receiver is guaranteed an EOF and drains on its own.  Joining
+        *before* closing matters: closing the fd while the receiver is
+        still parked on it frees the fd number for immediate reuse by
+        the next kernel's pipe, and the stale thread would then steal
+        frames (e.g. a ``RegisterTc`` reply) from that new connection.
+        """
+        if threading.current_thread() is not self._recv_thread:
+            self._recv_thread.join(timeout=10.0)
         try:
             self._conn.close()
         except OSError:

@@ -64,6 +64,10 @@ class ExploreConfig:
     read_fraction: float = 0.5
     #: Fail-stop one DC at a seeded step and schedule recovery as a task.
     crash: bool = False
+    #: Run TC checkpoints (and their log truncation) as their own
+    #: schedulable task, so checkpoint/truncation decision points
+    #: interleave with live transactions and any crash/recovery task.
+    checkpoint: bool = False
     #: The negative control: run with TcConfig.unsafe_skip_read_locks.
     skip_read_locks: bool = False
     max_steps: int = 2000
@@ -157,6 +161,8 @@ def run_schedule(
             scheduler.spawn(
                 f"t{index}", _txn_task(kernel, config, seed, index)
             )
+        if config.checkpoint:
+            scheduler.spawn("checkpoint", _checkpoint_task(kernel))
         if config.crash:
             _plan_crash(scheduler, kernel, seed)
         scheduler.run()
@@ -231,6 +237,27 @@ def _txn_task(kernel: UnbundledKernel, config: ExploreConfig, seed: int, index: 
             except ReproError:
                 pass  # the DC is down; retry_pending settles it post-run
             note_event("txn.abort", txn=name)
+
+    return body
+
+
+def _checkpoint_task(kernel: UnbundledKernel):
+    """TC checkpoints as a schedulable task: each attempt yields at the
+    ``tc.checkpoint``/``tc.truncate`` decision points, so the strategy can
+    interleave contract termination anywhere in the transaction mix."""
+
+    def body() -> None:
+        for _ in range(2):
+            try:
+                granted = kernel.checkpoint()
+            except ScheduleInterrupted:
+                raise
+            except ReproError:
+                # A concurrently-injected DC crash makes the checkpoint
+                # round trip fail; recovery is its own task.
+                note_event("tc.checkpoint.failed")
+                return
+            note_event("tc.checkpoint.done", granted=granted)
 
     return body
 
@@ -311,18 +338,28 @@ def explore(
     schedules: int = 100,
     strategies: Sequence[str] = ("random", "pct"),
     crash_modes: Sequence[bool] = (False,),
+    checkpoint_modes: Optional[Sequence[bool]] = None,
     base_seed: int = 0,
     stop_on_anomaly: bool = True,
 ) -> ExplorationSummary:
-    """Sweep ``schedules`` seeds round-robin over strategy × crash-mode."""
+    """Sweep ``schedules`` seeds round-robin over strategy × crash-mode
+    (× checkpoint-mode, when ``checkpoint_modes`` is given)."""
     config = config or ExploreConfig()
     summary = ExplorationSummary()
+    checkpoints = (
+        tuple(checkpoint_modes) if checkpoint_modes is not None else (config.checkpoint,)
+    )
     variants = [
-        (strategy, crash) for strategy in strategies for crash in crash_modes
+        (strategy, crash, ckpt)
+        for strategy in strategies
+        for crash in crash_modes
+        for ckpt in checkpoints
     ]
     for index in range(schedules):
-        strategy, crash = variants[index % len(variants)]
-        variant_config = ExploreConfig(**{**config.to_dict(), "crash": crash})
+        strategy, crash, ckpt = variants[index % len(variants)]
+        variant_config = ExploreConfig(
+            **{**config.to_dict(), "crash": crash, "checkpoint": ckpt}
+        )
         seed = base_seed + index
         outcome = run_schedule(seed, variant_config, strategy)
         summary.explored += 1
@@ -330,7 +367,7 @@ def explore(
         summary.aborted += outcome.aborted
         if outcome.exhausted:
             summary.exhausted += 1
-        key = f"{strategy}{'+crash' if crash else ''}"
+        key = f"{strategy}{'+crash' if crash else ''}{'+ckpt' if ckpt else ''}"
         summary.per_variant[key] = summary.per_variant.get(key, 0) + 1
         if outcome.anomaly is not None:
             summary.anomalies += 1

@@ -17,6 +17,10 @@ hook point           fired
 ``channel.recv``     before a reply is returned to the TC
 ``tc.log_force``     before the TC forces its log (commit durability point)
 ``tc.checkpoint``    at the start of a TC checkpoint
+``tc.truncate``      after a checkpoint is stable, before the TC log's
+                     prefix below the RSSP is physically dropped
+``tc.redo``          before each operation of a restart redo stream is
+                     resent (crash-mid-redo surface)
 ``dc.systxn``        at system-transaction commit, after the split halves
                      exist in memory but before anything is stable
 ``dc.restart``       at the start of DC recovery (double-failure surface)
@@ -65,6 +69,8 @@ class FaultPoint:
     CHANNEL_RECV = "channel.recv"
     TC_LOG_FORCE = "tc.log_force"
     TC_CHECKPOINT = "tc.checkpoint"
+    TC_TRUNCATE = "tc.truncate"
+    TC_REDO = "tc.redo"
     DC_SYSTXN = "dc.systxn"
     DC_RESTART = "dc.restart"
 
@@ -79,7 +85,7 @@ class FaultPoint:
     #: Points whose target is a DC name but whose fault surface is the wire.
     CHANNEL_POINTS = (CHANNEL_SEND, CHANNEL_RECV)
     #: Points whose target is a TC name.
-    TC_POINTS = (TC_LOG_FORCE, TC_CHECKPOINT)
+    TC_POINTS = (TC_LOG_FORCE, TC_CHECKPOINT, TC_TRUNCATE, TC_REDO)
 
     ALL = DC_POINTS + CHANNEL_POINTS + TC_POINTS
 
@@ -335,6 +341,8 @@ class FaultInjector:
                 [
                     (FaultPoint.TC_LOG_FORCE, FaultAction.CRASH, tc),
                     (FaultPoint.TC_CHECKPOINT, FaultAction.CRASH, tc),
+                    (FaultPoint.TC_TRUNCATE, FaultAction.CRASH, tc),
+                    (FaultPoint.TC_REDO, FaultAction.CRASH, tc),
                 ]
             )
         if not menu:
@@ -351,6 +359,8 @@ class FaultInjector:
             FaultPoint.DC_RESTART: 100,
             FaultPoint.TC_LOG_FORCE: 2,
             FaultPoint.TC_CHECKPOINT: 50,
+            FaultPoint.TC_TRUNCATE: 50,
+            FaultPoint.TC_REDO: 20,
         }
         schedule = []
         for index in range(rules):

@@ -16,6 +16,9 @@ yield point         site
 ``channel.send``    :meth:`MessageChannel._request` before delivery
 ``channel.recv``    :meth:`MessageChannel._request` before the reply
 ``tc.log_force``    :meth:`TcLog._force` entry (before the log mutex)
+``tc.checkpoint``   :meth:`TransactionalComponent.checkpoint` entry
+``tc.truncate``     before checkpoint-driven TC log truncation drops the
+                    stable prefix below the RSSP
 ``buffer.latch``    DC operation entry, before the buffer/latch bracket
 ``dc.systxn``       :meth:`SystemTransaction._commit` entry
 ``dc.redo_wait``    TC dispatch stalled on a DC's redo window
@@ -58,6 +61,8 @@ class YieldPoint:
     CHANNEL_SEND = "channel.send"
     CHANNEL_RECV = "channel.recv"
     TC_LOG_FORCE = "tc.log_force"
+    TC_CHECKPOINT = "tc.checkpoint"
+    TC_TRUNCATE = "tc.truncate"
     BUFFER_LATCH = "buffer.latch"
     DC_SYSTXN = "dc.systxn"
     DC_REDO_WAIT = "dc.redo_wait"

@@ -274,6 +274,10 @@ class TcLog:
             self.force = self._force  # rebound by use_tracer when tracing is on
         self._records: list[TcLogRecord] = []
         self._stable_count = 0
+        #: Highest LSN physically dropped by checkpoint-driven truncation.
+        #: EOSL falls back to it when truncation empties the stable
+        #: prefix — those records *were* stable, so EOSL must not regress.
+        self._truncated_upto: Lsn = NULL_LSN
         self._lsns = LsnGenerator()
         self._mutex = threading.Lock()
         self.lwm_tracker = LwmTracker()
@@ -356,7 +360,7 @@ class TcLog:
 
     def _eosl_locked(self) -> Lsn:
         if self._stable_count == 0:
-            return NULL_LSN
+            return self._truncated_upto
         return self._records[self._stable_count - 1].lsn
 
     @property
@@ -389,6 +393,65 @@ class TcLog:
         with self._mutex:
             if self._records:
                 self._lsns.advance_to(self._records[-1].lsn)
+            elif self._truncated_upto != NULL_LSN:
+                self._lsns.advance_to(self._truncated_upto)
+
+    # -- checkpoint-driven truncation (Section 4.2 contract termination) -----
+
+    def truncation_point(self, limit: Lsn) -> Lsn:
+        """The largest LSN below which stable records may be dropped.
+
+        ``limit`` is the redo scan start point (restart replays records at
+        or above it), but redo safety alone is not enough: the LWM — and
+        with it the RSSP — advances past completed *operations* of
+        transactions that are still uncommitted, and restart's undo pass
+        needs those operations' undo information.  So the point is capped
+        at the oldest record of any transaction without a stable end
+        record.  Only the stable prefix counts — a volatile end record is
+        exactly what a crash erases.
+        """
+        with self._mutex:
+            stable = self._records[: self._stable_count]
+            ended = {
+                record.txn_id
+                for record in stable
+                if isinstance(record, TxnEndRecord)
+            }
+            for record in stable:
+                if record.lsn >= limit:
+                    break
+                if record.txn_id != 0 and record.txn_id not in ended:
+                    return record.lsn
+            return limit
+
+    def truncate_below(self, point: Lsn) -> int:
+        """Physically drop stable records with LSN below ``point``.
+
+        The caller derives ``point`` from :meth:`truncation_point`; this
+        method only enforces the mechanical invariants (never the volatile
+        tail, never regress EOSL).  Returns how many records were dropped.
+        """
+        if point == NULL_LSN:
+            return 0
+        with self._mutex:
+            drop = 0
+            while drop < self._stable_count and self._records[drop].lsn < point:
+                drop += 1
+            if drop == 0:
+                return 0
+            self._truncated_upto = max(
+                self._truncated_upto, self._records[drop - 1].lsn
+            )
+            del self._records[:drop]
+            self._stable_count -= drop
+            self.metrics.incr("tclog.truncations")
+            self.metrics.incr("tclog.truncated_records", drop)
+            return drop
+
+    @property
+    def truncated_upto(self) -> Lsn:
+        with self._mutex:
+            return self._truncated_upto
 
     # -- reading ----------------------------------------------------------------------
 

@@ -23,10 +23,19 @@ prompts the TC (Section 5.3.2 "DC Failure").
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Optional
 
-from repro.common.api import EndOfStableLog, RedoComplete, RestartBegin
+from collections import deque
+
+from repro.common.api import (
+    BatchedPerform,
+    EndOfStableLog,
+    PerformOperation,
+    RedoComplete,
+    RestartBegin,
+)
 from repro.common.errors import CrashedError, ReproError, ResendExhaustedError
 from repro.common.lsn import Lsn, NULL_LSN
 from repro.common.ops import (
@@ -37,6 +46,7 @@ from repro.common.ops import (
     UpdateOp,
 )
 from repro.common.records import Key
+from repro.sim import schedule as _sched
 from repro.storage.buffer import ResetMode
 from repro.tc.log import (
     AbortRecord,
@@ -59,13 +69,24 @@ def resend_redo_stream(
     ``dc_names`` restricts the stream to operations routed at specific DCs
     (the DC-crash case); ``None`` replays to every DC (TC restart).
     Returns the number of operations resent.
+
+    With ``TcConfig.parallel_redo`` the per-DC streams run concurrently:
+    over async channels (the process transport) one thread pumps every
+    DC's pipe with a window of requests in flight per DC, so the server
+    processes apply their streams in parallel; over local channels each
+    stream gets a worker thread.  Either way the streams are independent
+    (LSN order — all that abLSN idempotence requires — is preserved
+    within each DC), so restart time follows the slowest DC instead of
+    the sum.  Fault injection and the deterministic scheduler force the
+    sequential path — a concurrent replay would make fault-rule hit
+    counts and schedule decisions nondeterministic.
     """
-    resent = 0
     canceled = {
         record.canceled
         for record in tc.log.stable_records()
         if isinstance(record, CompensationRecord) and record.canceled != NULL_LSN
     }
+    streams: dict[str, list] = {}
     for record in tc.log.stable_records_from(tc.rssp):
         if not isinstance(record, (OpRecord, CompensationRecord)):
             continue
@@ -77,20 +98,167 @@ def resend_redo_stream(
             continue
         if dc_names is not None and record.dc_name not in dc_names:
             continue
-        result = tc._perform(
-            record.dc_name, record.op, record.lsn, resend=True, redo=True
-        )
+        streams.setdefault(record.dc_name, []).append(record)
+
+    def accept(result, record) -> int:
         try:
             tc._expect_ok(result, record.op)
         except (CrashedError, ResendExhaustedError):
             raise
         except ReproError:
-            # A rejected operation whose cancel marker was lost with the
-            # volatile log tail rejects again deterministically (it was
-            # validated under locks): note it and repeat history onward.
+            # A rejected operation whose cancel marker was lost with
+            # the volatile log tail rejects again deterministically
+            # (it was validated under locks): note it and repeat
+            # history onward.
             tc.metrics.incr("tc.redo_rejected")
-            continue
-        resent += 1
+            return 0
+        return 1
+
+    def replay(dc_name: str, records: list) -> int:
+        resent = 0
+        for record in records:
+            if tc.faults is not None:
+                from repro.sim.faults import FaultPoint
+
+                # Crash-mid-redo: the restart dies with part of the
+                # stream resent — abLSN idempotence makes the retried
+                # restart's full replay exactly-once anyway.
+                tc.faults.hit(FaultPoint.TC_REDO, tc.name)
+            result = tc._perform(
+                record.dc_name, record.op, record.lsn, resend=True, redo=True
+            )
+            resent += accept(result, record)
+        return resent
+
+    def replay_multiplexed(window: int = 4, batch: int = 16) -> int:
+        """The async-channel variant: one thread pumps every DC's pipe,
+        shipping the stream as :class:`BatchedPerform` redo envelopes
+        with up to ``window`` envelopes in flight per DC, so all server
+        processes apply their streams concurrently while the client pays
+        one serialize-and-send per ``batch`` operations.  Each pipe is
+        FIFO and its server handles requests in arrival order, so per-DC
+        LSN order — all that abLSN idempotence requires — is preserved
+        exactly as in the synchronous path.  A lost, errored or partial
+        reply falls back to per-record :meth:`_perform`, which owns
+        crash detection and the resend budget.
+        """
+        channels = {name: tc._channels[name] for name in streams}
+        chunked = {
+            name: [records[i : i + batch] for i in range(0, len(records), batch)]
+            for name, records in streams.items()
+        }
+        cursors = {name: iter(chunks) for name, chunks in chunked.items()}
+        pending: dict[str, deque] = {name: deque() for name in streams}
+        resent = 0
+
+        def replay_one(record) -> int:
+            result = tc._perform(
+                record.dc_name, record.op, record.lsn, resend=True, redo=True
+            )
+            return accept(result, record)
+
+        def finish_one(name: str) -> int:
+            future, chunk = pending[name].popleft()
+            try:
+                reply = channels[name].finish_async(future)
+            except ReproError:
+                reply = None
+            if reply is None:
+                return sum(replay_one(record) for record in chunk)
+            results = {sub.op_id: sub.result for sub in reply.replies}
+            done = 0
+            for record in chunk:
+                result = results.get(record.lsn)
+                if result is None:
+                    done += replay_one(record)
+                else:
+                    done += accept(result, record)
+            return done
+
+        def envelope(chunk) -> BatchedPerform:
+            return BatchedPerform(
+                tc_id=tc.tc_id,
+                ops=tuple(
+                    PerformOperation(
+                        tc_id=tc.tc_id,
+                        op_id=record.lsn,
+                        op=record.op,
+                        resend=True,
+                        redo=True,
+                    )
+                    for record in chunk
+                ),
+                eosl=tc.log.eosl,
+                redo=True,
+            )
+
+        exhausted: set[str] = set()
+        while len(exhausted) < len(cursors) or any(pending.values()):
+            for name in streams:
+                if name not in exhausted and len(pending[name]) < window:
+                    chunk = next(cursors[name], None)
+                    if chunk is None:
+                        exhausted.add(name)
+                    else:
+                        tc._check_up()
+                        pending[name].append(
+                            (channels[name].request_async(envelope(chunk)), chunk)
+                        )
+                        continue
+                if pending[name]:
+                    resent += finish_one(name)
+        return resent
+
+    deterministic_context = tc.faults is not None or _sched.ACTIVE is not None
+    eligible = tc.config.parallel_redo and bool(streams) and not deterministic_context
+    pipelined = eligible and all(
+        getattr(tc._channels.get(name), "supports_async", False) for name in streams
+    )
+    parallel = eligible and len(streams) > 1
+    if pipelined:
+        resent = replay_multiplexed()
+        if parallel:
+            tc.metrics.incr("tc.redo_parallel_fanouts")
+    elif not parallel:
+        resent = 0
+        for dc_name in sorted(streams):
+            resent += replay(dc_name, streams[dc_name])
+    else:
+        results: dict[str, int] = {}
+        failures: list[BaseException] = []
+        flock = threading.Lock()
+
+        def worker(dc_name: str, records: list) -> None:
+            try:
+                count = replay(dc_name, records)
+                with flock:
+                    results[dc_name] = count
+            except BaseException as exc:  # noqa: BLE001 - re-raised below
+                with flock:
+                    failures.append(exc)
+
+        threads = [
+            threading.Thread(
+                target=worker,
+                args=(dc_name, records),
+                name=f"tc-redo-{dc_name}",
+                daemon=True,
+            )
+            for dc_name, records in sorted(streams.items())
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if failures:
+            # Prefer the failure kinds restart()'s caller knows how to
+            # heal (re-mark crashed, supervisor retries the restart).
+            for exc in failures:
+                if isinstance(exc, (CrashedError, ResendExhaustedError)):
+                    raise exc
+            raise failures[0]
+        tc.metrics.incr("tc.redo_parallel_fanouts")
+        resent = sum(results.values())
     tc.metrics.incr("tc.redo_ops", resent)
     return resent
 

@@ -1822,11 +1822,17 @@ class TransactionalComponent:
             from repro.sim.faults import FaultPoint
 
             self.faults.hit(FaultPoint.TC_CHECKPOINT, self.name)
+        if _sched.task_active():
+            # Fixed target (like TC_LOG_FORCE): the TC's allocated name
+            # varies across kernels, and event streams must be a pure
+            # function of the seed.
+            _sched.maybe_yield(YieldPoint.TC_CHECKPOINT, "tc")
         self.force_log()
         self.broadcast_eosl()
         self.broadcast_lwm()
         candidate = self.log.lwm + 1
         if candidate <= self._rssp:
+            self._truncate_log()
             return True
         for name, channel in self._channels.items():
             reply = channel.request(
@@ -1841,7 +1847,35 @@ class TransactionalComponent:
         )
         self.force_log()
         self.metrics.incr("tc.checkpoints")
+        self._truncate_log()
         return True
+
+    def _truncate_log(self) -> int:
+        """Reclaim stable log space below the checkpoint (contract
+        termination's whole point): replay cost — and with it restart
+        time — stays proportional to the live tail, not history.
+
+        Crash-safe at any point: truncation only ever drops records redo
+        and undo provably no longer need (:meth:`TcLog.truncation_point`),
+        so a crash before, during or after it merely replays more or
+        fewer records.
+        """
+        if not self.config.truncate_log or self._rssp <= NULL_LSN:
+            return 0
+        if self.faults is not None:
+            from repro.sim.faults import FaultPoint
+
+            # A crash here models dying between the checkpoint record
+            # force and the space reclaim — the log keeps its prefix and
+            # restart simply replays from the (already stable) RSSP.
+            self.faults.hit(FaultPoint.TC_TRUNCATE, self.name)
+        if _sched.task_active():
+            _sched.maybe_yield(YieldPoint.TC_TRUNCATE, "tc")
+        point = self.log.truncation_point(self._rssp)
+        dropped = self.log.truncate_below(point)
+        if dropped:
+            self.metrics.incr("tc.log_truncations")
+        return dropped
 
     def _on_rssp_hint(self, dc_name: str, lsn: Lsn) -> None:
         """Spontaneous contract termination (Section 4.2.1): a DC reports
@@ -1861,6 +1895,7 @@ class TransactionalComponent:
             lambda l: CheckpointRecord(lsn=l, txn_id=0, rssp=candidate)
         )
         self.force_log()
+        self._truncate_log()
 
     @property
     def rssp(self) -> Lsn:

@@ -197,6 +197,90 @@ class TestChaosRunner:
         assert "recipe: seed=3" in message
 
 
+class TestRecoveryChaosWindows:
+    """Crash windows opened by checkpoint-driven truncation and redo.
+
+    Three new fault surfaces (ISSUE 6): dying *during* a checkpoint,
+    dying after the checkpoint record is stable but before/while the log
+    prefix is dropped, and dying in the middle of a restart's redo
+    stream.  Every window must converge through the supervisor with zero
+    invariant violations — truncation only ever drops records recovery
+    provably no longer needs, and redo is exactly-once under abLSNs no
+    matter how many times it is cut short and retried.
+    """
+
+    def _gauntlet(self, rules, txns=60, **kwargs):
+        runner = ChaosRunner(
+            seed=77,
+            schedule=rules,
+            txns=txns,
+            checkpoint_every=10,
+            **kwargs,
+        )
+        report = runner.run()  # raises ChaosViolation on any violation
+        assert report["committed"] + report["aborted"] + report[
+            "resolved_committed"
+        ] + report["resolved_aborted"] == txns
+        assert runner.supervisor.all_healthy()
+        return runner, report
+
+    def test_crash_during_checkpoint(self):
+        runner, report = self._gauntlet(
+            [FaultRule(FaultPoint.TC_CHECKPOINT, FaultAction.CRASH, after=2)]
+        )
+        assert "tc.checkpoint" in report["fault_points_hit"]
+        assert all(notice.healed for notice in runner.supervisor.notices)
+
+    def test_crash_mid_truncation(self):
+        runner, report = self._gauntlet(
+            [FaultRule(FaultPoint.TC_TRUNCATE, FaultAction.CRASH, after=2)]
+        )
+        assert "tc.truncate" in report["fault_points_hit"]
+        assert all(notice.healed for notice in runner.supervisor.notices)
+
+    def test_crash_mid_redo(self):
+        # A log-force crash opens the restart window; the redo rule then
+        # cuts the restart's own replay short, so the supervisor must
+        # retry the whole restart and still converge.
+        runner, report = self._gauntlet(
+            [
+                FaultRule(FaultPoint.TC_LOG_FORCE, FaultAction.CRASH, after=30),
+                FaultRule(FaultPoint.TC_REDO, FaultAction.CRASH, after=3),
+            ]
+        )
+        assert "tc.redo" in report["fault_points_hit"]
+        assert all(notice.healed for notice in runner.supervisor.notices)
+
+    def test_all_windows_with_optimized_config_and_truncation(self):
+        """The combined gauntlet: every new window plus a DC crash, under
+        the fast paths, with truncation doing real work (frequent
+        checkpoints over many transactions)."""
+        runner, report = self._gauntlet(
+            [
+                FaultRule(FaultPoint.TC_CHECKPOINT, FaultAction.CRASH, after=1),
+                FaultRule(FaultPoint.TC_TRUNCATE, FaultAction.CRASH, after=3),
+                FaultRule(FaultPoint.TC_LOG_FORCE, FaultAction.CRASH, after=40),
+                FaultRule(FaultPoint.TC_REDO, FaultAction.CRASH, after=2),
+                FaultRule(FaultPoint.DISK_PAGE_WRITE, FaultAction.CRASH, target="dc1", after=5),
+            ],
+            txns=90,
+            tc_config=TcConfig.optimized(),
+        )
+        assert report["faults_fired"] >= 4
+        # truncation actually reclaimed log space during the gauntlet
+        assert runner.metrics.get("tclog.truncated_records") > 0
+
+    def test_truncation_determinism_across_reruns(self):
+        rules = [
+            FaultRule(FaultPoint.TC_TRUNCATE, FaultAction.CRASH, after=1),
+            FaultRule(FaultPoint.TC_REDO, FaultAction.CRASH, after=4),
+        ]
+        strip = lambda report: {k: v for k, v in report.items() if k != "recipe"}
+        first = ChaosRunner(seed=9, schedule=list(rules), txns=50, checkpoint_every=10).run()
+        second = ChaosRunner(seed=9, schedule=list(rules), txns=50, checkpoint_every=10).run()
+        assert strip(first) == strip(second)
+
+
 class TestChaosFastPaths:
     """The fast paths (batching, undo cache, group commit) under torture.
 
@@ -273,6 +357,31 @@ class TestChaosFastPaths:
         assert restarts == runner.kills
         assert runner.supervisor.all_healthy()
         assert "kill_every=12" in report["recipe"]
+
+    def test_recovery_windows_process_mode_kills_near_checkpoints(self):
+        """Process-mode analogue of the recovery-window gauntlet: real
+        kill -9s landing adjacent to frequent checkpoints (which also
+        compact the DC journals), so recovery repeatedly runs against a
+        just-truncated log and a just-compacted journal."""
+        runner = ChaosRunner(
+            seed=23,
+            txns=40,
+            kill_every=9,
+            checkpoint_every=8,
+            tc_config=TcConfig.optimized(lock_timeout=30.0),
+            channel_config=ChannelConfig(
+                transport="process", request_timeout_s=15.0
+            ),
+        )
+        try:
+            report = runner.run()
+        finally:
+            runner.kernel.close()
+        assert report["committed"] + report["aborted"] + report[
+            "resolved_committed"
+        ] + report["resolved_aborted"] == 40
+        assert runner.kills >= 3
+        assert runner.supervisor.all_healthy()
 
     def test_envelopes_survive_loss_duplication_and_reordering(self):
         """Envelope loss/duplication/reordering is per-op loss/duplication/

@@ -1,0 +1,407 @@
+"""Checkpoint-driven log truncation, parallel redo, journal compaction.
+
+The recovery-time story has three legs, each tested here:
+
+- **TC log truncation** — once a checkpoint advances the RSSP, the log
+  prefix below it is garbage *except* for records of transactions that
+  have not durably ended (restart still needs their undo info).  The
+  truncation point is the min of the RSSP and the oldest record of any
+  such transaction; EOSL and the LSN generator must survive a truncation
+  that empties the stable prefix.
+- **Parallel redo** — at TC restart the redo stream fans out per DC;
+  correctness must be identical to the sequential replay, and the
+  fan-out must silently fall back to sequential whenever determinism
+  matters (fault injection, deterministic scheduler, single stream).
+- **Journal compaction** — the process-mode DC journal is rewritten from
+  history to state behind an atomic ``os.replace``; a crash at any point
+  before the swap leaves the old journal fully readable, and replay
+  after compaction is equivalent to replay of the full history.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import ChannelConfig, DcConfig, KernelConfig, TcConfig
+from repro.common.lsn import NULL_LSN
+from repro.common.ops import InsertOp
+from repro.kernel.unbundled import UnbundledKernel
+from repro.net.journal import JournalStorage
+from repro.sim.faults import FaultInjector
+from repro.sim.metrics import Metrics
+from repro.tc.log import CommitRecord, OpRecord, TcLog, TxnEndRecord
+
+
+def append_op(log, txn_id=1, key=1):
+    return log.append(
+        lambda lsn: OpRecord(
+            lsn=lsn,
+            txn_id=txn_id,
+            op=InsertOp(table="t", key=key, value="v"),
+            undo=None,
+            dc_name="dc",
+        ),
+        track_for_lwm=True,
+    )
+
+
+def end_txn(log, txn_id):
+    log.append(lambda lsn: CommitRecord(lsn=lsn, txn_id=txn_id))
+    return log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn_id))
+
+
+class TestTcLogTruncation:
+    def test_truncate_below_drops_only_the_stable_prefix(self):
+        log = TcLog(Metrics())
+        first = append_op(log, key=0)
+        second = append_op(log, key=1)
+        log.force()
+        volatile = append_op(log, key=2)
+        dropped = log.truncate_below(volatile.lsn)
+        assert dropped == 2
+        # The volatile tail is untouched — crash semantics still apply.
+        assert [r.lsn for r in log.all_records()] == [volatile.lsn]
+        assert log.truncated_upto == second.lsn
+
+    def test_truncation_point_holds_at_unended_transaction(self):
+        """The safe point is min(RSSP, oldest record of a txn without a
+        stable TxnEndRecord): restart needs the loser's undo info even
+        after its operations completed at the DC."""
+        log = TcLog(Metrics())
+        done = append_op(log, txn_id=1, key=0)
+        end_txn(log, txn_id=1)
+        loser = append_op(log, txn_id=2, key=1)  # never ends
+        tail = append_op(log, txn_id=3, key=2)
+        end_txn(log, txn_id=3)
+        log.force()
+        limit = tail.lsn + 1  # pretend the RSSP advanced past everything
+        assert log.truncation_point(limit) == loser.lsn
+        dropped = log.truncate_below(log.truncation_point(limit))
+        # Only txn 1's records go; the loser's record survives.
+        assert dropped == 3
+        assert log.stable_records()[0].lsn == loser.lsn
+
+    def test_truncation_point_respects_limit(self):
+        log = TcLog(Metrics())
+        first = append_op(log, txn_id=1, key=0)
+        end_txn(log, txn_id=1)
+        append_op(log, txn_id=2, key=1)
+        end_txn(log, txn_id=2)
+        log.force()
+        assert log.truncation_point(first.lsn) == first.lsn
+
+    def test_eosl_survives_truncating_the_whole_stable_prefix(self):
+        log = TcLog(Metrics())
+        append_op(log, txn_id=1, key=0)
+        last = end_txn(log, txn_id=1)
+        log.force()
+        before = log.eosl
+        assert log.truncate_below(last.lsn + 1) == 3
+        assert log.record_count() == 0
+        # EOSL never regresses: an empty stable prefix reports the
+        # highest truncated LSN, not NULL.
+        assert log.eosl == before == last.lsn
+
+    def test_lsn_generator_continues_above_truncated_prefix(self):
+        log = TcLog(Metrics())
+        append_op(log, txn_id=1, key=0)
+        last = end_txn(log, txn_id=1)
+        log.force()
+        log.truncate_below(last.lsn + 1)
+        log.crash()
+        log.recover_lsn_generator()
+        fresh = append_op(log, txn_id=2, key=1)
+        assert fresh.lsn > last.lsn
+
+    def test_truncate_below_null_is_a_no_op(self):
+        log = TcLog(Metrics())
+        append_op(log)
+        log.force()
+        assert log.truncate_below(NULL_LSN) == 0
+        assert log.record_count() == 1
+
+
+class TestCheckpointTruncation:
+    def _kernel(self, tc=None):
+        config = KernelConfig(dc=DcConfig(page_size=1024), tc=tc or TcConfig())
+        kernel = UnbundledKernel(config)
+        kernel.create_table("t")
+        return kernel
+
+    def test_checkpoint_truncates_and_restart_stays_correct(self):
+        kernel = self._kernel()
+        for index in range(60):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        grew_to = kernel.tc.log.record_count()
+        assert kernel.checkpoint()
+        assert kernel.metrics.get("tclog.truncated_records") > 0
+        assert kernel.tc.log.record_count() < grew_to
+        for index in range(60, 80):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        kernel.crash_tc()
+        kernel.recover_tc()
+        with kernel.begin() as txn:
+            assert len(txn.scan("t")) == 80
+
+    def test_checkpoint_with_active_writer_keeps_undo_info(self):
+        """An uncommitted writer's records must survive truncation: its
+        operations complete (so LWM/RSSP may pass them) but restart still
+        needs the undo info to roll the loser back."""
+        kernel = self._kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 0, "committed")
+        loser = kernel.begin()
+        loser.insert("t", 99, "uncommitted")
+        loser_records = [
+            r for r in kernel.tc.log.all_records() if r.txn_id == loser.txn_id
+        ]
+        assert loser_records
+        for index in range(1, 40):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        assert kernel.checkpoint()
+        # RSSP advanced (operations all completed), but the truncation
+        # point held at the open transaction's oldest record.
+        assert kernel.tc.rssp > loser_records[0].lsn
+        surviving = {r.lsn for r in kernel.tc.log.stable_records()}
+        assert loser_records[0].lsn in surviving
+        kernel.crash_tc()
+        kernel.recover_tc()
+        with kernel.begin() as txn:
+            assert txn.read("t", 99) is None  # loser rolled back
+            assert txn.read("t", 0) == "committed"
+            assert len(txn.scan("t")) == 40
+
+    def test_truncation_disabled_keeps_the_log(self):
+        kernel = self._kernel(tc=TcConfig(truncate_log=False))
+        for index in range(30):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        count = kernel.tc.log.record_count()
+        assert kernel.checkpoint()
+        assert kernel.tc.log.record_count() >= count
+        assert kernel.metrics.get("tclog.truncations") == 0
+
+    def test_redo_after_checkpoint_truncation_replays_only_tail(self):
+        kernel = self._kernel()
+        for index in range(20):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        assert kernel.checkpoint()
+        for index in range(20, 25):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        kernel.crash_tc()
+        stats = kernel.recover_tc()
+        assert stats["redo_ops"] <= 5
+        with kernel.begin() as txn:
+            assert len(txn.scan("t")) == 25
+
+
+class TestParallelRedo:
+    def _multi_dc_kernel(self, dc_count, tc=None, faults=None):
+        config = KernelConfig(dc=DcConfig(page_size=1024), tc=tc or TcConfig())
+        kernel = UnbundledKernel(config, dc_count=dc_count, faults=faults)
+        for index in range(dc_count):
+            kernel.create_table(f"t{index}", dc_name=f"dc{index + 1}")
+        return kernel
+
+    def _load(self, kernel, dc_count, rows=30):
+        for index in range(rows):
+            with kernel.begin() as txn:
+                txn.insert(f"t{index % dc_count}", index, f"value-{index:05d}")
+
+    def _check(self, kernel, dc_count, rows=30):
+        with kernel.begin() as txn:
+            seen = sum(len(txn.scan(f"t{i}")) for i in range(dc_count))
+        assert seen == rows
+
+    def test_parallel_redo_multi_dc_correctness(self):
+        kernel = self._multi_dc_kernel(4)
+        self._load(kernel, 4)
+        kernel.crash_tc()
+        stats = kernel.recover_tc()
+        assert stats["redo_ops"] > 0
+        assert kernel.metrics.get("tc.redo_parallel_fanouts") == 1
+        self._check(kernel, 4)
+
+    def test_sequential_fallback_under_fault_injection(self):
+        """Any active FaultInjector forces the deterministic sequential
+        path — fault schedules count hits, and a racing fan-out would
+        make hit order (and thus the injected fault) nondeterministic."""
+        faults = FaultInjector(schedule=[])
+        kernel = self._multi_dc_kernel(3, faults=faults)
+        self._load(kernel, 3)
+        kernel.crash_tc()
+        stats = kernel.recover_tc()
+        assert stats["redo_ops"] > 0
+        assert kernel.metrics.get("tc.redo_parallel_fanouts") == 0
+        self._check(kernel, 3)
+
+    def test_sequential_fallback_when_disabled(self):
+        kernel = self._multi_dc_kernel(2, tc=TcConfig(parallel_redo=False))
+        self._load(kernel, 2)
+        kernel.crash_tc()
+        kernel.recover_tc()
+        assert kernel.metrics.get("tc.redo_parallel_fanouts") == 0
+        self._check(kernel, 2)
+
+    def test_single_dc_never_fans_out(self):
+        config = KernelConfig(dc=DcConfig(page_size=1024))
+        kernel = UnbundledKernel(config)
+        kernel.create_table("t")
+        for index in range(10):
+            with kernel.begin() as txn:
+                txn.insert("t", index, f"value-{index:05d}")
+        kernel.crash_tc()
+        kernel.recover_tc()
+        assert kernel.metrics.get("tc.redo_parallel_fanouts") == 0
+        with kernel.begin() as txn:
+            assert len(txn.scan("t")) == 10
+
+    def test_parallel_equals_sequential_state(self):
+        """Same workload, both redo modes: identical visible state."""
+        states = []
+        for parallel in (True, False):
+            kernel = self._multi_dc_kernel(3, tc=TcConfig(parallel_redo=parallel))
+            self._load(kernel, 3, rows=24)
+            kernel.crash_tc()
+            kernel.recover_tc()
+            with kernel.begin() as txn:
+                states.append(
+                    [sorted(txn.scan(f"t{i}")) for i in range(3)]
+                )
+        assert states[0] == states[1]
+
+
+class TestJournalCompaction:
+    def _populated(self, path):
+        storage = JournalStorage(str(path))
+        for key in range(8):
+            storage.write_metadata(f"k{key}", key)
+        for key in range(8):  # supersede: history > state
+            storage.write_metadata(f"k{key}", key * 10)
+        return storage
+
+    def test_replay_after_compaction_is_equivalent(self, tmp_path):
+        path = tmp_path / "dc.journal"
+        storage = self._populated(path)
+        before = {f"k{i}": storage.read_metadata(f"k{i}") for i in range(8)}
+        reclaimed = storage.compact()
+        assert reclaimed > 0
+        storage.close()
+        reopened = JournalStorage(str(path))
+        assert reopened.replayed
+        after = {f"k{i}": reopened.read_metadata(f"k{i}") for i in range(8)}
+        assert after == before
+        reopened.close()
+
+    def test_journal_keeps_accepting_writes_after_compaction(self, tmp_path):
+        path = tmp_path / "dc.journal"
+        storage = self._populated(path)
+        storage.compact()
+        storage.write_metadata("post", "compaction")
+        storage.close()
+        reopened = JournalStorage(str(path))
+        assert reopened.read_metadata("post") == "compaction"
+        assert reopened.read_metadata("k3") == 30
+        reopened.close()
+
+    def test_crash_before_replace_leaves_old_journal_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """kill -9 anywhere before the atomic swap = the old journal, whole.
+
+        Simulated by making ``os.replace`` itself die: everything the
+        compaction wrote so far lives in a sibling file the next startup
+        never looks at."""
+        import repro.net.journal as journal_module
+
+        path = tmp_path / "dc.journal"
+        storage = self._populated(path)
+
+        def die(src, dst):
+            raise OSError("simulated SIGKILL before the swap")
+
+        monkeypatch.setattr(journal_module.os, "replace", die)
+        with pytest.raises(OSError):
+            storage.compact()
+        monkeypatch.undo()
+
+        reopened = JournalStorage(str(path))
+        assert reopened.replayed
+        for key in range(8):
+            assert reopened.read_metadata(f"k{key}") == key * 10
+        reopened.close()
+
+    def test_compaction_bounds_journal_growth(self, tmp_path):
+        path = tmp_path / "dc.journal"
+        storage = JournalStorage(str(path))
+        for round_no in range(5):
+            for key in range(16):
+                storage.write_metadata(f"k{key}", f"round-{round_no}")
+        full_history = storage.journal_bytes()
+        storage.compact()
+        assert storage.journal_bytes() < full_history / 2
+        storage.close()
+
+
+@pytest.mark.process
+class TestProcessModeCompaction:
+    def _process_kernel(self, tmp_path, dc_count=1):
+        config = KernelConfig(
+            dc=DcConfig(page_size=1024),
+            channel=ChannelConfig(transport="process"),
+            data_dir=str(tmp_path),
+        )
+        kernel = UnbundledKernel(config, dc_count=dc_count)
+        kernel.create_table("t")
+        return kernel
+
+    def test_sigkill_after_compaction_replays_compacted_journal(self, tmp_path):
+        kernel = self._process_kernel(tmp_path)
+        try:
+            for index in range(50):
+                with kernel.begin() as txn:
+                    txn.insert("t", index, f"value-{index:05d}")
+            # Several checkpointed update rounds: each flush journals a
+            # fresh generation of every touched page, so the journal
+            # grows with history while live state stays constant.
+            for round_no in range(3):
+                for index in range(50):
+                    with kernel.begin() as txn:
+                        txn.update("t", index, f"round-{round_no}-{index:05d}")
+                assert kernel.checkpoint()
+            history_bytes = kernel.dc.stats()["journal_bytes"]
+            assert kernel.dc.checkpoint_dc_log()
+            compacted_bytes = kernel.dc.stats()["journal_bytes"]
+            assert compacted_bytes < history_bytes
+            # A real SIGKILL; the restarted server replays the compacted
+            # journal and the TC resends anything above the RSSP.
+            kernel.crash_dc()
+            kernel.recover_dc()
+            with kernel.begin() as txn:
+                assert len(txn.scan("t")) == 50
+                assert txn.read("t", 7) == "round-2-00007"
+        finally:
+            kernel.close()
+
+    def test_compaction_then_more_writes_then_sigkill(self, tmp_path):
+        kernel = self._process_kernel(tmp_path)
+        try:
+            for index in range(30):
+                with kernel.begin() as txn:
+                    txn.insert("t", index, f"value-{index:05d}")
+            assert kernel.checkpoint()
+            kernel.dc.checkpoint_dc_log()
+            for index in range(30, 45):
+                with kernel.begin() as txn:
+                    txn.insert("t", index, f"value-{index:05d}")
+            kernel.crash_dc()
+            kernel.recover_dc()
+            with kernel.begin() as txn:
+                assert len(txn.scan("t")) == 45
+        finally:
+            kernel.close()

@@ -121,6 +121,23 @@ class TestDeterminism:
         )
         assert _signature(replay) == _signature(original)
 
+    def test_checkpoint_schedules_are_deterministic(self):
+        config = ExploreConfig(checkpoint=True)
+        first = run_schedule(13, config, strategy="random")
+        second = run_schedule(13, config, strategy="random")
+        assert _signature(first) == _signature(second)
+        # the checkpoint task actually reached its decision points
+        assert any(e["point"] == "tc.checkpoint" for e in first.events)
+        assert any(e["point"] == "tc.checkpoint.done" for e in first.events)
+
+    def test_checkpoint_trace_replay(self):
+        config = ExploreConfig(checkpoint=True)
+        original = run_schedule(21, config, strategy="pct")
+        replay = run_schedule(
+            21, config, strategy="trace", trace=original.decisions
+        )
+        assert _signature(replay) == _signature(original)
+
 
 class TestLockedSweepIsClean:
     def test_small_sweep_no_anomalies(self):
@@ -135,6 +152,23 @@ class TestLockedSweepIsClean:
         assert summary.anomalies == 0, summary.first_failure.anomaly
         assert summary.explored == 30
         assert summary.committed > 0
+
+    def test_checkpoint_sweep_no_anomalies(self):
+        """Checkpoint/truncation decision points interleaved with live
+        transactions — and with a DC crash + recovery task — must stay
+        serializable with a clean recovery ordering."""
+        summary = explore(
+            ExploreConfig(),
+            schedules=24,
+            strategies=("random", "pct"),
+            crash_modes=(False, True),
+            checkpoint_modes=(True,),
+            base_seed=400,
+            stop_on_anomaly=True,
+        )
+        assert summary.anomalies == 0, summary.first_failure.anomaly
+        assert summary.explored == 24
+        assert any("+ckpt" in key for key in summary.per_variant)
 
     @pytest.mark.slow
     def test_acceptance_sweep_500_schedules(self):
