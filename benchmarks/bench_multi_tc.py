@@ -1,4 +1,4 @@
-"""E-MTC — multiple TCs per DC (Section 6).
+"""E-MTC / E-TCSERVICE — multiple TCs per DC (Section 6).
 
 Series regenerated:
 
@@ -7,14 +7,22 @@ Series regenerated:
 - per-TC abLSN page overhead as a function of co-resident TCs;
 - the isolation dividend of record-level reset: a TC crash leaves the
   co-resident TC's cached work untouched and costs zero redo for it;
-- versioned read-committed vs dirty-read cross-TC read cost.
+- versioned read-committed vs dirty-read cross-TC read cost;
+- **E-TCSERVICE** (process mode): the same Section 6 topology as real OS
+  processes — 1/2/4 TC *server* processes over a shared DC-process pool,
+  plus cross-TC sharing-mode read cost over the wire.  Results land in
+  ``benchmarks/results/BENCH_tcservice.json``.
 """
 
 from __future__ import annotations
 
+import os
+import threading
+import time
+
 import pytest
 
-from benchmarks.conftest import series
+from benchmarks.conftest import series, write_results
 from repro.common.config import DcConfig
 from repro.common.ops import ReadFlavor
 from repro.dc.data_component import DataComponent
@@ -161,3 +169,161 @@ def test_emtc_reader_throughput_unaffected_by_writer():
         blocked="never",
     )
     assert busy < idle * 5  # same order of magnitude: no blocking cliffs
+
+
+# ---------------------------------------------------------------------------
+# E-TCSERVICE — the TC tier as real OS processes (docs/architecture.md §16)
+# ---------------------------------------------------------------------------
+
+TXNS_PER_SERIES = 96  # total work per row, split across the tier
+_TCSERVICE_RESULTS: dict[str, object] = {}
+
+
+def _publish_tcservice() -> None:
+    write_results("tcservice", dict(_TCSERVICE_RESULTS), seed=0)
+
+
+def _owned_keys(deployment, tc_name: str, count: int) -> list[int]:
+    """The first ``count`` integer keys routed to ``tc_name``."""
+    router = deployment.router
+    keys = []
+    key = 0
+    while len(keys) < count:
+        if router.owner_of(key).name == tc_name:
+            keys.append(key)
+        key += 1
+    return keys
+
+
+def _tcservice_throughput(tc_count: int) -> dict[str, object]:
+    """Drive ``TXNS_PER_SERIES`` committed txns through a tc_count tier.
+
+    One driver thread per TC — the tier's natural client concurrency
+    (each TC server serves its spawning connection).  Horizontal scaling
+    comes from the *server* side: N TC processes commit concurrently
+    against the shared DC pool instead of serializing in one event loop.
+    """
+    from repro.cloud.router import TcServiceDeployment
+
+    per_tc = TXNS_PER_SERIES // tc_count
+    with TcServiceDeployment(
+        tc_count=tc_count, dc_count=2, partitions=8
+    ) as deployment:
+        deployment.create_table("t")
+        plans = {
+            name: _owned_keys(deployment, name, per_tc)
+            for name in deployment.tcs
+        }
+        for name, keys in plans.items():
+            tc = deployment.tcs[name]
+            with tc.begin() as txn:
+                for key in keys:
+                    txn.insert("t", key, 0)
+        errors: list[BaseException] = []
+
+        def drive(tc, keys) -> None:
+            try:
+                for key in keys:
+                    with tc.begin() as txn:
+                        txn.increment("t", key, 1)
+                        txn.increment("t", key, 1)
+                        txn.update("t", key, 2)
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(deployment.tcs[name], keys))
+            for name, keys in plans.items()
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+        # every committed txn left its key at exactly 2 — the increment
+        # canary across the whole tier
+        for name, keys in plans.items():
+            tc = deployment.tcs[name]
+            for key in keys[:5]:
+                assert tc.read_other("t", key) == 2
+        txns = per_tc * tc_count
+        return {
+            "tcs": tc_count,
+            "txns": txns,
+            "wall_s": round(elapsed, 3),
+            "txns_per_s": round(txns / elapsed, 1),
+        }
+
+
+@pytest.mark.process
+def test_etcservice_process_tier_scaling():
+    """1/2/4 TC server processes over one shared 2-DC process pool."""
+    rows = [_tcservice_throughput(tc_count) for tc_count in (1, 2, 4)]
+    for row in rows:
+        series("E-TCSERVICE scaling", **row)
+    _TCSERVICE_RESULTS["scaling"] = rows
+    _TCSERVICE_RESULTS["cores"] = os.cpu_count()
+    _publish_tcservice()
+    best_multi = max(row["txns_per_s"] for row in rows[1:])
+    single = rows[0]["txns_per_s"]
+    _TCSERVICE_RESULTS["multi_vs_single"] = round(best_multi / single, 3)
+    _publish_tcservice()
+    if (os.cpu_count() or 1) >= 4:
+        # On a real multi-core host the tier must actually scale out.
+        assert best_multi >= 1.3 * single, rows
+
+
+@pytest.mark.process
+def test_etcservice_cross_tc_sharing_modes():
+    """Section 6.3 read flavors, now with a process boundary per hop."""
+    from repro.cloud.router import TcServiceDeployment
+
+    with TcServiceDeployment(
+        tc_count=2, dc_count=2, partitions=8
+    ) as deployment:
+        deployment.create_table("t")
+        router = deployment.router
+        owner = router.owner_of("shared")
+        other = next(
+            tc for tc in deployment.tcs.values() if tc.name != owner.name
+        )
+        with owner.begin() as txn:
+            txn.insert("t", "shared", "committed")
+        writer = owner.begin()
+        writer.update("t", "shared", "pending")
+        # the optimized TC batches mutations — flush so the pending
+        # version reaches the DC before the cross-TC reads probe it
+        writer.sync()
+        rows = []
+        for flavor in (ReadFlavor.READ_COMMITTED, ReadFlavor.DIRTY):
+            start = time.perf_counter()
+            reads = 40
+            for _ in range(reads):
+                value = other.read_other("t", "shared", flavor=flavor)
+            elapsed = time.perf_counter() - start
+            expected = (
+                "committed"
+                if flavor is ReadFlavor.READ_COMMITTED
+                else "pending"
+            )
+            assert value == expected
+            rows.append(
+                {
+                    "flavor": flavor.value,
+                    "value": value,
+                    "read_us": round(elapsed / reads * 1e6, 1),
+                }
+            )
+            series("E-TCSERVICE sharing", **rows[-1])
+        writer.abort()
+        # the tier-wide default flavor is switchable at runtime
+        deployment.set_sharing_mode("dirty")
+        writer = owner.begin()
+        writer.update("t", "shared", "pending2")
+        writer.sync()
+        assert other.read_other("t", "shared") == "committed"  # explicit default arg
+        writer.abort()
+        _TCSERVICE_RESULTS["sharing"] = rows
+        _publish_tcservice()

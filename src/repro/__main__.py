@@ -12,7 +12,10 @@ Commands:
   serializability + recovery-ordering oracle; ``--replay artifact.json``
   re-executes a saved failing ``(seed, trace)`` exactly
 - ``chaos``       — seeded invariant-checking chaos run (``--process``
-  for real DC processes and ``kill -9`` faults)
+  for real DC processes and ``kill -9`` faults; ``--tc-process`` /
+  ``--kill-tc-every`` put the TC in its own process and kill it too)
+- ``serve-tc``    — run one TC server process on a Unix socket against an
+  already-running DC pool (the TC service tier's standalone mode)
 """
 
 from __future__ import annotations
@@ -231,12 +234,23 @@ def _chaos(args: list[str]) -> int:
     parser.add_argument("--kill-every", type=int, default=0, metavar="N",
                         help="process mode: SIGKILL a random DC every N "
                         "transactions")
+    parser.add_argument("--tc-process", action="store_true",
+                        help="process mode: run the TC as its own server "
+                        "process (durable log journal, §5.3.2 healing)")
+    parser.add_argument("--kill-tc-every", type=int, default=0, metavar="N",
+                        help="process mode: SIGKILL the TC process every "
+                        "N transactions (implies --tc-process)")
     opts = parser.parse_args(args)
 
     kwargs: dict[str, object] = {"seed": opts.seed, "txns": opts.txns}
     if opts.process:
         kwargs["channel_config"] = ChannelConfig(transport="process")
         kwargs["kill_every"] = opts.kill_every or 25
+        if opts.tc_process or opts.kill_tc_every:
+            kwargs["tc_processes"] = 1
+            kwargs["kill_tc_every"] = opts.kill_tc_every
+    elif opts.tc_process or opts.kill_tc_every:
+        parser.error("--tc-process/--kill-tc-every require --process")
     runner = ChaosRunner(**kwargs)
     try:
         report = runner.run()
@@ -249,6 +263,52 @@ def _chaos(args: list[str]) -> int:
     return 0
 
 
+def _serve_tc(args: list[str]) -> int:
+    import argparse
+
+    from repro.common.config import TcConfig
+    from repro.net.tcserver import serve_socket
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve-tc",
+        description="Serve one transactional component on a Unix socket. "
+        "DCs are addressed by their own sockets (see RemoteDc "
+        "listen_path); clients connect with RemoteTc(socket_path=...).",
+    )
+    parser.add_argument("--name", default="tc1")
+    parser.add_argument("--tc-id", type=int, default=1)
+    parser.add_argument("--listen", required=True, metavar="SOCK",
+                        help="Unix socket path to serve on")
+    parser.add_argument("--journal", required=True, metavar="PATH",
+                        help="TC log journal (replayed on restart)")
+    parser.add_argument("--dc", action="append", default=[],
+                        metavar="NAME=SOCK", required=False,
+                        help="a DC to attach, as name=socket_path "
+                        "(repeatable)")
+    parser.add_argument("--sharing-mode", default="",
+                        choices=["", "read_committed", "dirty"])
+    parser.add_argument("--max-sessions", type=int, default=0,
+                        help="exit after N client sessions (0 = forever)")
+    opts = parser.parse_args(args)
+    dc_socks: dict[str, str] = {}
+    for spec in opts.dc:
+        name, sep, path = spec.partition("=")
+        if not sep or not name or not path:
+            parser.error(f"--dc expects NAME=SOCK, got {spec!r}")
+        dc_socks[name] = path
+    serve_socket(
+        opts.listen,
+        opts.name,
+        opts.tc_id,
+        TcConfig.optimized(),
+        opts.journal,
+        dc_socks,
+        sharing_mode=opts.sharing_mode,
+        max_sessions=opts.max_sessions,
+    )
+    return 0
+
+
 def main(argv: list[str]) -> int:
     commands = {"demo": _demo, "stats": _stats, "experiments": _experiments}
     if argv and argv[0] == "trace":
@@ -257,6 +317,8 @@ def main(argv: list[str]) -> int:
         return _explore(argv[1:])
     if argv and argv[0] == "chaos":
         return _chaos(argv[1:])
+    if argv and argv[0] == "serve-tc":
+        return _serve_tc(argv[1:])
     if len(argv) != 1 or argv[0] not in commands:
         print(__doc__)
         return 1

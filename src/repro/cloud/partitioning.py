@@ -15,32 +15,69 @@ Two orthogonal partitionings appear in the paper's Figure 2:
 
 from __future__ import annotations
 
+import zlib
 from typing import Callable, Optional
 
 from repro.common.records import Key, Value
 from repro.tc.transactional_component import Transaction, TransactionalComponent
 
 
+def stable_key_hash(key: object) -> int:
+    """A process-independent key hash for cross-process routing.
+
+    The built-in ``hash()`` will not do here: str/bytes hashing is
+    seed-randomized per interpreter (PYTHONHASHSEED), so a router in the
+    client and an ownership guard in a TC server process would disagree
+    about which partition a key lives in.  This hash is deterministic
+    across processes and runs, covering the key vocabulary the wire codec
+    accepts (ints, strings, bytes, floats, tuples thereof).
+    """
+
+    if isinstance(key, bool):
+        return int(key)
+    if isinstance(key, int):
+        return key if key >= 0 else -key * 2 - 1
+    if isinstance(key, str):
+        return zlib.crc32(key.encode("utf-8"))
+    if isinstance(key, (bytes, bytearray)):
+        return zlib.crc32(bytes(key))
+    if isinstance(key, float) and key.is_integer():
+        return stable_key_hash(int(key))
+    if isinstance(key, tuple):
+        combined = 2166136261
+        for part in key:
+            combined = (combined * 16777619 + stable_key_hash(part)) & 0xFFFFFFFF
+        return combined
+    return zlib.crc32(repr(key).encode("utf-8"))
+
+
 class HashPartitionMap:
-    """Route a key to one of N partitions by a stable hash of a key part.
+    """Route a key to one of N partitions by a hash of a key part.
 
     ``extract`` picks the routing component from composite keys, e.g.
     ``lambda key: key[0]`` routes ``(movie_id, user_id)`` by movie — the
     clustering Figure 2 needs so all reviews of one movie share a DC.
+
+    ``stable=True`` swaps the built-in ``hash()`` for
+    :func:`stable_key_hash`, which every process computes identically —
+    required whenever the map is shared across process boundaries (the TC
+    service router and the TC servers' ownership guards).
     """
 
     def __init__(
         self,
         partition_count: int,
         extract: Optional[Callable[[Key], object]] = None,
+        stable: bool = False,
     ) -> None:
         if partition_count < 1:
             raise ValueError("need at least one partition")
         self.partition_count = partition_count
         self._extract = extract or (lambda key: key)
+        self._hash = stable_key_hash if stable else hash
 
     def partition_of(self, key: Key) -> int:
-        return hash(self._extract(key)) % self.partition_count
+        return self._hash(self._extract(key)) % self.partition_count
 
 
 class PartitionedTable:

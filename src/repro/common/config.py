@@ -10,6 +10,8 @@ import enum
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.common.errors import ConfigError
+
 
 class PageSyncStrategy(enum.Enum):
     """The three page-sync alternatives of Section 5.1.2.
@@ -36,6 +38,13 @@ class RangeLockProtocol(enum.Enum):
 
     FETCH_AHEAD = "fetch_ahead"
     RANGE_PARTITION = "range_partition"
+
+
+#: Vocabulary the typed config validation below accepts.  Kept as module
+#: constants so error messages and tests quote one source of truth.
+TRANSPORTS = ("inproc", "process")
+START_METHODS = ("", "fork", "spawn", "forkserver")
+SHARING_MODES = ("read_committed", "dirty")
 
 
 @dataclass
@@ -145,6 +154,16 @@ class TcConfig:
     #: prove the serializability oracle catches the resulting r/w cycles;
     #: never enable it for anything that should be correct.
     unsafe_skip_read_locks: bool = False
+    #: Cross-TC read flavor in the TC service tier (Section 6.2): the
+    #: default ``ReadFlavor`` a TC server applies to ``read_other`` /
+    #: ``scan_other`` requests that do not name one explicitly.
+    #: ``"read_committed"`` uses the versioned before-image;
+    #: ``"dirty"`` reads the latest (possibly uncommitted) value.
+    sharing_mode: str = "read_committed"
+
+    def __post_init__(self) -> None:
+        if self.sharing_mode not in SHARING_MODES:
+            raise ConfigError("TcConfig.sharing_mode", self.sharing_mode, SHARING_MODES)
 
     def retry_policy(self) -> "RetryPolicy":
         return RetryPolicy(
@@ -229,6 +248,16 @@ class ChannelConfig:
     #: else spawn), or an explicit multiprocessing start method name.
     process_start_method: str = ""
 
+    def __post_init__(self) -> None:
+        if self.transport not in TRANSPORTS:
+            raise ConfigError("ChannelConfig.transport", self.transport, TRANSPORTS)
+        if self.process_start_method not in START_METHODS:
+            raise ConfigError(
+                "ChannelConfig.process_start_method",
+                self.process_start_method,
+                START_METHODS,
+            )
+
 
 @dataclass
 class KernelConfig:
@@ -241,3 +270,25 @@ class KernelConfig:
     #: = a kernel-owned temporary directory, removed on ``close()``; a
     #: caller-provided path persists across kernels (restart experiments).
     data_dir: Optional[str] = None
+    #: TC service tier (docs/architecture.md §16): run the TC as this many
+    #: OS processes instead of in the client.  0 = in-process TC (the
+    #: historical mode).  The kernel itself drives at most one TC process;
+    #: multi-TC fan-out goes through
+    #: :class:`repro.cloud.router.TcServiceDeployment`.  Requires
+    #: ``channel.transport == "process"``.
+    tc_processes: int = 0
+    #: Router fan-out: how many key partitions the TC service router
+    #: spreads across its TC processes.  0 = one partition per TC.
+    router_partitions: int = 0
+
+    def __post_init__(self) -> None:
+        if self.tc_processes < 0:
+            raise ConfigError("KernelConfig.tc_processes", self.tc_processes)
+        if self.router_partitions < 0:
+            raise ConfigError("KernelConfig.router_partitions", self.router_partitions)
+        if self.tc_processes and self.channel.transport != "process":
+            raise ConfigError(
+                "KernelConfig.tc_processes",
+                self.tc_processes,
+                ('requires channel.transport == "process"',),
+            )

@@ -87,6 +87,39 @@ class ResendExhaustedError(ReproError):
         self.waited_ms = waited_ms
 
 
+class ConfigError(ReproError):
+    """A configuration value is outside the vocabulary the kernel accepts.
+
+    Raised at config-construction time (``__post_init__``) so a typo like
+    ``transport="proccess"`` fails where it was written instead of deep in
+    kernel setup with an unrelated traceback.
+    """
+
+    def __init__(self, field: str, value: object, allowed: tuple = ()) -> None:
+        hint = f" (expected one of {', '.join(map(repr, allowed))})" if allowed else ""
+        super().__init__(f"invalid {field}: {value!r}{hint}")
+        self.field = field
+        self.value = value
+        self.allowed = allowed
+
+
+class TcRedirect(ReproError):
+    """A request landed on a TC that does not own the key's partition.
+
+    Retryable: ``owner`` names the TC that does own it; the router (or any
+    client) re-issues the request there.  Section 6's disjoint update
+    rights, surfaced as routing information instead of a hard failure.
+    """
+
+    def __init__(self, table: str, key: object, owner: str) -> None:
+        super().__init__(
+            f"key {key!r} of table {table!r} is owned by {owner}; retry there"
+        )
+        self.table = table
+        self.key = key
+        self.owner = owner
+
+
 class InjectedFault(ReproError):
     """A fault deliberately raised by the fault-injection engine."""
 

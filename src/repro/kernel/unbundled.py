@@ -46,18 +46,28 @@ class UnbundledKernel:
         self._data_dir: Optional[str] = None
         self._owns_data_dir = False
         process_mode = self.config.channel.transport == "process"
+        tc_process_mode = self.config.tc_processes >= 1
         if process_mode and faults is not None:
             raise ReproError(
                 "fault injection hooks are local-only; the process transport "
                 "exercises failures by killing DC processes instead "
                 "(docs/architecture.md §10)"
             )
-        self.tc = TransactionalComponent(
-            config=self.config.tc,
-            metrics=self.metrics,
-            faults=faults,
-            tracer=self.tracer,
-        )
+        if self.config.tc_processes > 1:
+            raise ReproError(
+                "the kernel assembles one TC; a horizontally scaled TC tier "
+                "(tc_processes > 1) is a cloud deployment — use "
+                "repro.cloud.router.TcServiceDeployment"
+            )
+        if tc_process_mode:
+            self.tc = None  # spawned below, once the DC sockets exist
+        else:
+            self.tc = TransactionalComponent(
+                config=self.config.tc,
+                metrics=self.metrics,
+                faults=faults,
+                tracer=self.tracer,
+            )
         if process_mode:
             from repro.net.process import RemoteDc
 
@@ -76,6 +86,13 @@ class UnbundledKernel:
                     journal_path=os.path.join(self._data_dir, f"{name}.journal"),
                     start_method=self.config.channel.process_start_method,
                     request_timeout_s=self.config.channel.request_timeout_s,
+                    # With a TC process in play the DC must also listen on a
+                    # socket — the TC server connects there, not via our pipe.
+                    listen_path=(
+                        os.path.join(self._data_dir, f"{name}.sock")
+                        if tc_process_mode
+                        else ""
+                    ),
                 )
             else:
                 dc = DataComponent(
@@ -86,7 +103,32 @@ class UnbundledKernel:
                     tracer=self.tracer,
                 )
             self.dcs[name] = dc
-            self.tc.attach_dc(dc, self.config.channel)
+            if self.tc is not None:
+                self.tc.attach_dc(dc, self.config.channel)
+        if tc_process_mode:
+            from repro.net.tcclient import RemoteTc
+
+            self.tc = RemoteTc(
+                "tc1",
+                tc_id=1,
+                journal_path=os.path.join(self._data_dir, "tc1.journal"),
+                dcs={dc.name: dc.listen_path for dc in self.dcs.values()},
+                config=self.config.tc,
+                metrics=self.metrics,
+                sharing_mode=self.config.tc.sharing_mode,
+                start_method=self.config.channel.process_start_method,
+                request_timeout_s=self.config.channel.request_timeout_s,
+            )
+            for dc in self.dcs.values():
+                dc.restart_listeners.append(self._notify_tc_of_dc_restart)
+
+    def _notify_tc_of_dc_restart(self, dc) -> None:
+        """§5.2.1 prompt forwarding for the fully unbundled topology: the
+        TC server holds its *own* connection to the healed DC, so the heal
+        must be relayed rather than handled in this process.  A crashed TC
+        needs no relay — its restart rebuilds every DC connection."""
+        if not self.tc.crashed:
+            self.tc.notify_dc_restart(dc.name)
 
     @property
     def dc(self) -> DataComponent:
@@ -134,6 +176,11 @@ class UnbundledKernel:
     def recover_tc(self, reset_mode: ResetMode = ResetMode.RECORD_RESET) -> dict:
         return self.tc.restart(reset_mode)
 
+    @property
+    def tc_pid(self) -> Optional[int]:
+        """PID of the TC server process (None for an in-process TC)."""
+        return getattr(self.tc, "pid", None) if self.config.tc_processes else None
+
     def crash_all(self) -> None:
         """The fail-together case: no new techniques needed (Section 5.3)."""
         self.tc.crash()
@@ -148,8 +195,13 @@ class UnbundledKernel:
     # -- lifecycle (process deployment mode) -------------------------------------------
 
     def close(self) -> None:
-        """Shut down DC server processes and reclaim a kernel-owned data
+        """Shut down TC/DC server processes and reclaim a kernel-owned data
         directory.  A no-op for the in-process transport."""
+        tc_shutdown = getattr(self.tc, "shutdown", None)
+        if tc_shutdown is not None:
+            # The TC holds client connections into the DC pool; stop it
+            # before its DCs disappear out from under it.
+            tc_shutdown()
         for dc in self.dcs.values():
             shutdown = getattr(dc, "shutdown", None)
             if shutdown is not None:

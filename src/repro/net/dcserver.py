@@ -4,7 +4,7 @@
 the DC's journal volume, builds an ordinary
 :class:`~repro.dc.data_component.DataComponent` on top, announces itself
 with a :class:`~repro.net.rpc.Hello` push, then runs a single-threaded
-request loop over one ``multiprocessing`` connection:
+request loop:
 
 - §4.2.1 data/control messages (``PerformOperation``, ``BatchedPerform``,
   EOSL/LWM/checkpoint/restart traffic) dispatch to ``dc.handle`` exactly
@@ -13,26 +13,39 @@ request loop over one ``multiprocessing`` connection:
   stats, shutdown) is served here;
 - the **causality gate** is bridged: when a DC system transaction needs
   the TC log forced (Section 4.2.2), the server sends a
-  ``SERVER_REQUEST`` ``ForceLogRequest`` and blocks until the matching
-  ``CLIENT_REPLY`` arrives, stashing any pipelined client requests that
-  land in between into an inbox that the main loop drains afterwards.
+  ``SERVER_REQUEST`` ``ForceLogRequest`` on the connection that
+  registered that TC and blocks until the matching ``CLIENT_REPLY``
+  arrives, stashing any pipelined requests that land in between into that
+  connection's inbox, which the main loop drains afterwards.
+
+**Connections.**  The parent pipe is always served.  With ``listen_path``
+set, the server additionally binds a Unix-domain socket and serves every
+accepted connection through the same loop — this is how TC *server*
+processes (docs/architecture.md §16) share one DC process as a pool:
+each TC process connects to each DC's socket, registers its tc_id, and
+speaks the identical protocol the parent pipe speaks.  One DC, many TCs,
+one event loop — Section 6's multi-TC sharing made out-of-process.
 
 Single-threadedness is deliberate: one DC process is one core's worth of
 DC work (the scale-out unit is the *process*), and it keeps the server's
 view of request order identical to arrival order.  Parallelism comes from
 running many DC processes, which is the point of the deployment mode.
 
-If the parent dies (EOF on the pipe), the server exits; if the parent
-SIGKILLs it, the journal's flushed frames survive in the OS page cache
-and the next :func:`serve` on the same path replays them — the real-death
-analogue of the in-memory store's crash separation.
+If the parent dies (EOF on the pipe), the server exits; EOF on an
+accepted connection just drops that client (a kill -9'd TC must not take
+the shared DC down with it).  If the parent SIGKILLs the server, the
+journal's flushed frames survive in the OS page cache and the next
+:func:`serve` on the same path replays them — the real-death analogue of
+the in-memory store's crash separation.
 """
 
 from __future__ import annotations
 
 import itertools
 import os
+import socket
 from collections import deque
+from multiprocessing.connection import Connection, wait
 from typing import Optional
 
 from repro.common.api import ControlAck, Message
@@ -59,9 +72,40 @@ from repro.net.rpc import (
 )
 
 
+def bind_unix_listener(path: str) -> socket.socket:
+    """Bind a Unix-domain listener, replacing any stale socket file.
+
+    A kill -9'd server leaves its socket path behind; the respawned server
+    must be able to re-bind the same address so clients reconnect without
+    renegotiating paths.
+    """
+    try:
+        os.unlink(path)
+    except FileNotFoundError:
+        pass
+    listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    listener.bind(path)
+    listener.listen(16)
+    return listener
+
+
+def connect_unix(path: str) -> Connection:
+    """Connect to a server socket, framed like a ``multiprocessing`` pipe."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(path)
+    return Connection(sock.detach())
+
+
 class _DcServer:
-    def __init__(self, conn, name: str, config: Optional[DcConfig], journal_path: str):
-        self._conn = conn
+    def __init__(
+        self,
+        conn,
+        name: str,
+        config: Optional[DcConfig],
+        journal_path: str,
+        listen_path: str = "",
+    ):
+        self._parent = conn
         self._storage = JournalStorage(journal_path)
         self._dc = DataComponent(
             name, config=config, metrics=self._storage.metrics, storage=self._storage
@@ -73,42 +117,85 @@ class _DcServer:
             # TC-side redo prompt is driven by the client after reconnect.
             self._dc.recover(notify_tcs=False)
             self._recovered = True
-        #: Frames received while blocked inside a force-log bridge.
-        self._inbox: deque = deque()
+        self._conns: list = [conn]
+        #: Per-connection frames received while blocked inside a force-log
+        #: bridge on that connection.
+        self._inboxes: dict = {conn: deque()}
+        #: Which connection registered each TC (the bridge target).
+        self._tc_conns: dict[int, object] = {}
+        self._listener: Optional[socket.socket] = (
+            bind_unix_listener(listen_path) if listen_path else None
+        )
         self._sreq_seq = itertools.count(1)
 
     # -- framing ------------------------------------------------------------
 
-    def _send(self, kind: int, seq: int, payload: object) -> None:
-        self._conn.send_bytes(rpc.pack_frame(kind, seq, payload))
-
-    def _next_frame(self) -> tuple[int, int, object]:
-        if self._inbox:
-            return self._inbox.popleft()
-        return rpc.unpack_frame(self._conn.recv_bytes())
+    def _send(self, conn, kind: int, seq: int, payload: object) -> None:
+        conn.send_bytes(rpc.pack_frame(kind, seq, payload))
 
     # -- the causality-gate bridge -----------------------------------------
 
     def _force_bridge(self, tc_id: int):
         def force(lsn):
+            # Looked up at call time: a re-registered TC (respawned
+            # process, new connection) re-aims the bridge automatically.
+            conn = self._tc_conns.get(tc_id)
+            if conn is None or conn not in self._inboxes:
+                raise CrashedError(f"TC {tc_id} force-log channel")
             seq = next(self._sreq_seq)
-            self._send(
-                rpc.SERVER_REQUEST, seq, ForceLogRequest(tc_id=tc_id, lsn=lsn)
-            )
-            while True:
-                kind, rseq, payload = rpc.unpack_frame(self._conn.recv_bytes())
-                if kind == rpc.CLIENT_REPLY and rseq == seq:
-                    if isinstance(payload, ForceLogReply):
-                        return payload.eosl
-                    return lsn
-                # A pipelined client request raced the reply; serve it
-                # after the gate clears (arrival order is preserved).
-                self._inbox.append((kind, rseq, payload))
+            try:
+                self._send(
+                    conn, rpc.SERVER_REQUEST, seq, ForceLogRequest(tc_id=tc_id, lsn=lsn)
+                )
+                while True:
+                    kind, rseq, payload = rpc.unpack_frame(conn.recv_bytes())
+                    if kind == rpc.CLIENT_REPLY and rseq == seq:
+                        if isinstance(payload, ForceLogReply):
+                            return payload.eosl
+                        return lsn
+                    # A pipelined client request raced the reply; serve it
+                    # after the gate clears (arrival order is preserved).
+                    self._inboxes[conn].append((kind, rseq, payload))
+            except (EOFError, BrokenPipeError, OSError):
+                self._drop_conn(conn)
+                raise CrashedError(f"TC {tc_id} force-log channel")
 
         return force
 
     def _push_hint(self, dc_name: str, lsn: int) -> None:
-        self._send(rpc.PUSH, 0, RsspHint(tc_id=0, dc_name=dc_name, lsn=lsn))
+        # Spontaneous-stability hints go to every connection that holds a
+        # registration (the parent, if none do) — each client fans the
+        # hint out to its own registrations.
+        targets = set(self._tc_conns.values()) or {self._parent}
+        for conn in targets:
+            if conn not in self._inboxes:
+                continue
+            try:
+                self._send(conn, rpc.PUSH, 0, RsspHint(tc_id=0, dc_name=dc_name, lsn=lsn))
+            except (BrokenPipeError, OSError):
+                self._drop_conn(conn)
+
+    # -- connection lifecycle ----------------------------------------------
+
+    def _adopt(self, conn) -> None:
+        self._conns.append(conn)
+        self._inboxes[conn] = deque()
+        try:
+            self._send(conn, rpc.PUSH, 0, self._hello())
+        except (BrokenPipeError, OSError):
+            self._drop_conn(conn)
+
+    def _drop_conn(self, conn) -> None:
+        if conn in self._inboxes:
+            self._conns.remove(conn)
+            del self._inboxes[conn]
+        for tc_id, owner in list(self._tc_conns.items()):
+            if owner is conn:
+                del self._tc_conns[tc_id]
+        try:
+            conn.close()
+        except OSError:
+            pass
 
     # -- dispatch -----------------------------------------------------------
 
@@ -121,8 +208,18 @@ class _DcServer:
             )
         return tuple(tables)
 
-    def _dispatch(self, message: Message) -> Optional[Message]:
+    def _hello(self) -> Hello:
+        return Hello(
+            tc_id=0,
+            dc_name=self._dc.name,
+            pid=os.getpid(),
+            recovered=self._recovered,
+            tables=self._catalog(),
+        )
+
+    def _dispatch(self, conn, message: Message) -> Optional[Message]:
         if isinstance(message, RegisterTc):
+            self._tc_conns[message.tc_id] = conn
             self._dc.register_tc(
                 message.tc_id,
                 force_log=self._force_bridge(message.tc_id),
@@ -148,6 +245,7 @@ class _DcServer:
                     "pid": os.getpid(),
                     "recovered": self._recovered,
                     "journal_bytes": self._storage.journal_bytes(),
+                    "connections": len(self._conns),
                 },
             )
         if isinstance(message, CheckpointDcLog):
@@ -163,54 +261,88 @@ class _DcServer:
             return ControlAck(tc_id=message.tc_id)
         return self._dc.handle(message)
 
+    def _serve_frame(self, conn, kind: int, seq: int, message) -> bool:
+        """Serve one frame; returns False when the server should exit."""
+        if kind != rpc.REQUEST:
+            return True  # stray frame (e.g. a stale CLIENT_REPLY)
+        try:
+            reply = self._dispatch(conn, message)
+        except CrashedError:
+            # The in-process transport maps a crashed component to a lost
+            # message; mirror that so the client's resend policy engages.
+            reply = None
+        except ReproError as exc:
+            reply = RemoteError(
+                tc_id=getattr(message, "tc_id", 0),
+                kind=type(exc).__name__,
+                text=str(exc),
+            )
+        try:
+            self._send(conn, rpc.REPLY, seq, reply)
+        except (BrokenPipeError, OSError):
+            self._drop_conn(conn)
+            return conn is not self._parent
+        if isinstance(message, Shutdown):
+            if conn is self._parent:
+                return False
+            self._drop_conn(conn)  # a client said goodbye; keep serving
+        return True
+
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> None:
-        self._send(
-            rpc.PUSH,
-            0,
-            Hello(
-                tc_id=0,
-                dc_name=self._dc.name,
-                pid=os.getpid(),
-                recovered=self._recovered,
-                tables=self._catalog(),
-            ),
-        )
+        self._send(self._parent, rpc.PUSH, 0, self._hello())
         try:
             while True:
-                try:
-                    kind, seq, message = self._next_frame()
-                except (EOFError, OSError):
-                    return  # parent is gone; nothing to serve
-                if kind != rpc.REQUEST:
-                    continue  # stray frame (e.g. a stale CLIENT_REPLY)
-                try:
-                    reply = self._dispatch(message)
-                except CrashedError:
-                    # The in-process transport maps a crashed DC to a lost
-                    # message; mirror that (should not occur server-side).
-                    reply = None
-                except ReproError as exc:
-                    reply = RemoteError(
-                        tc_id=getattr(message, "tc_id", 0),
-                        kind=type(exc).__name__,
-                        text=str(exc),
-                    )
-                try:
-                    self._send(rpc.REPLY, seq, reply)
-                except (BrokenPipeError, OSError):
-                    return
-                if isinstance(message, Shutdown):
-                    return
+                # Frames stashed while a force-log bridge was blocked come
+                # first: they arrived before anything currently buffered.
+                progressed = True
+                while progressed:
+                    progressed = False
+                    for conn in list(self._conns):
+                        inbox = self._inboxes.get(conn)
+                        while inbox:
+                            progressed = True
+                            kind, seq, message = inbox.popleft()
+                            if not self._serve_frame(conn, kind, seq, message):
+                                return
+                waitables = list(self._conns)
+                if self._listener is not None:
+                    waitables.append(self._listener)
+                for ready in wait(waitables):
+                    if ready is self._listener:
+                        client, _addr = self._listener.accept()
+                        self._adopt(Connection(client.detach()))
+                        continue
+                    try:
+                        kind, seq, message = rpc.unpack_frame(ready.recv_bytes())
+                    except (EOFError, OSError):
+                        if ready is self._parent:
+                            return  # parent is gone; nothing to serve
+                        self._drop_conn(ready)
+                        continue
+                    if not self._serve_frame(ready, kind, seq, message):
+                        return
         finally:
             self._storage.close()
-            try:
-                self._conn.close()
-            except OSError:
-                pass
+            if self._listener is not None:
+                try:
+                    self._listener.close()
+                except OSError:
+                    pass
+            for conn in list(self._conns):
+                try:
+                    conn.close()
+                except OSError:
+                    pass
 
 
-def serve(conn, name: str, config: Optional[DcConfig], journal_path: str) -> None:
+def serve(
+    conn,
+    name: str,
+    config: Optional[DcConfig],
+    journal_path: str,
+    listen_path: str = "",
+) -> None:
     """Child-process entry point (target of ``multiprocessing.Process``)."""
-    _DcServer(conn, name, config, journal_path).run()
+    _DcServer(conn, name, config, journal_path, listen_path).run()

@@ -74,13 +74,14 @@ class DcProcess:
         config: Optional[DcConfig],
         journal_path: str,
         start_method: str = "",
+        listen_path: str = "",
     ) -> None:
         method = start_method or default_start_method()
         ctx = mp.get_context(method)
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=dcserver.serve,
-            args=(child_conn, name, config, journal_path),
+            args=(child_conn, name, config, journal_path, listen_path),
             name=f"repro-dc-{name}",
             daemon=True,
         )
@@ -289,17 +290,26 @@ class RemoteDc:
         journal_path: str = "",
         start_method: str = "",
         request_timeout_s: float = 30.0,
+        listen_path: str = "",
     ) -> None:
-        if not journal_path:
-            raise ReproError("RemoteDc needs a journal_path (the DC's volume)")
         self.name = name
         self.config = config
         self.metrics = metrics or Metrics()
         self.journal_path = journal_path
         self.start_method = start_method
         self.request_timeout_s = request_timeout_s
+        #: Unix-socket address the server additionally listens on ("" =
+        #: parent pipe only).  TC server processes connect here via
+        #: :class:`DcClient` — the TC service tier (§16) shares one DC
+        #: process among many TC processes this way.
+        self.listen_path = listen_path
         #: Crash listeners ``fn(name, kind)`` — the supervisor subscribes.
         self.on_crash: list[Callable[[str, str], None]] = []
+        #: Restart listeners ``fn(dc)``, fired by :meth:`prompt_redo` after
+        #: the per-registration prompts.  The TC service deployment hooks
+        #: these to forward the §5.2.1 redo prompt to its TC *processes*
+        #: (which hold their own connections to the restarted server).
+        self.restart_listeners: list[Callable[["RemoteDc"], None]] = []
         #: tc_id -> callbacks, kept client-side and re-installed (via
         #: :class:`RegisterTc`) on every restart of the server process.
         self._registrations: dict[int, dict] = {}
@@ -315,8 +325,14 @@ class RemoteDc:
     # -- lifecycle ----------------------------------------------------------
 
     def _start(self) -> None:
+        if not self.journal_path:
+            raise ReproError("RemoteDc needs a journal_path (the DC's volume)")
         self._process = DcProcess(
-            self.name, self.config, self.journal_path, self.start_method
+            self.name,
+            self.config,
+            self.journal_path,
+            self.start_method,
+            self.listen_path,
         )
         hello = self._process.wait_hello()
         self.last_pid = hello.pid
@@ -398,6 +414,8 @@ class RemoteDc:
             ]
         for prompt in prompts:
             prompt(self)
+        for listener in list(self.restart_listeners):
+            listener(self)
 
     def shutdown(self) -> None:
         """Graceful stop: ask the server to exit, then make sure it did."""
@@ -537,6 +555,123 @@ class RemoteDc:
     def stats(self) -> dict[str, object]:
         reply = self.control(StatsRequest(tc_id=0))
         return reply.payload
+
+
+class DcClient(RemoteDc):
+    """A socket-connected proxy to an *already running* DC server.
+
+    Same wire protocol, same proxy surface as :class:`RemoteDc`, but no
+    process lifecycle: the server was spawned by someone else (the TC
+    service deployment) and exposed a Unix socket (``RemoteDc
+    listen_path`` / ``dcserver.bind_unix_listener``).  TC server processes
+    use this to share one DC process as a pool — each TC process holds its
+    own connection and registers its own tc_id, and the DC's force-log
+    bridge aims at whichever connection registered that TC.
+
+    ``crash()`` is refused (a client must not kill a shared server);
+    ``recover()`` reconnects over the (re-bound) socket after the *owner*
+    healed the process, then re-registers and optionally re-drives the
+    redo prompt — which is how a TC server rejoins a kill -9'd DC.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        socket_path: str,
+        config: Optional[DcConfig] = None,
+        metrics: Optional[Metrics] = None,
+        request_timeout_s: float = 30.0,
+        connect_retry_s: float = 10.0,
+    ) -> None:
+        self.socket_path = socket_path
+        self.connect_retry_s = connect_retry_s
+        super().__init__(
+            name,
+            config=config,
+            metrics=metrics,
+            journal_path="",  # the server owns the volume, not this client
+            request_timeout_s=request_timeout_s,
+        )
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _start(self) -> None:
+        import time
+
+        deadline = time.monotonic() + self.connect_retry_s
+        while True:
+            try:
+                conn = dcserver.connect_unix(self.socket_path)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"DC {self.name}: cannot connect to {self.socket_path}"
+                    )
+                time.sleep(0.05)
+        if not conn.poll(self.request_timeout_s):
+            conn.close()
+            raise ReproError(f"DC {self.name}: no hello on {self.socket_path}")
+        kind, _seq, payload = rpc.unpack_frame(conn.recv_bytes())
+        if kind != rpc.PUSH or not isinstance(payload, Hello):
+            conn.close()
+            raise ReproError(f"unexpected first frame from DC server: {payload!r}")
+        self._conn = conn
+        self.last_pid = payload.pid
+        self._prime_tables(payload.tables)
+        self._down_handled = False
+        self._transport = _Transport(
+            conn,
+            on_server_request=self._serve_force,
+            on_push=self._serve_push,
+            on_down=self._note_down,
+        )
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.last_pid
+
+    def crash(self) -> None:
+        raise ReproError(
+            f"DC {self.name} is shared; only its owning deployment may kill it"
+        )
+
+    def recover(self, notify_tcs: bool = True) -> dict[str, object]:
+        """Reconnect to the healed server and re-register this client's TCs."""
+        self._transport.close()
+        self._start()
+        self._crashed = False
+        self.restarts += 1
+        self.metrics.incr("dc_client.reconnects")
+        with self._lock:
+            tc_ids = list(self._registrations)
+        for tc_id in tc_ids:
+            self.control(RegisterTc(tc_id=tc_id))
+        if notify_tcs:
+            self.prompt_redo()
+        return {"restarted": True, "pid": self.last_pid, "restarts": self.restarts}
+
+    def close(self) -> None:
+        """Terminal: drop the connection (the server keeps serving others).
+
+        Closing the fd from here (instead of joining the receiver first,
+        as :meth:`_Transport.close` prefers) is safe only because a closed
+        client never opens another connection — there is no younger fd for
+        a stale read to steal frames from.
+        """
+        self._closing = True
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._transport.close()
+
+    def shutdown(self) -> None:
+        self.close()
 
 
 class ProcessChannel(MessageChannel):

@@ -1,0 +1,610 @@
+"""Client side of the TC service tier: proxy, transaction handle, process.
+
+The mirror image of :mod:`repro.net.process`, one layer up the stack:
+
+- :class:`TcProcess` — the OS-process lifecycle for a
+  :func:`repro.net.tcserver.serve` child.  The TC's *log journal* path
+  outlives the process, which is what turns ``kill -9`` into a §5.3.2
+  recovery event instead of lost commits.
+- :class:`RemoteTc` — a proxy exposing the application-facing surface of
+  :class:`~repro.tc.transactional_component.TransactionalComponent`
+  (``begin`` / ``read_other`` / ``scan_other`` / ``checkpoint`` /
+  ``stats`` / ``crash`` / ``restart`` / ``pending_zombies`` /
+  ``retry_pending``) so workloads, the kernel and the supervisor run
+  unchanged against a TC that lives in another process.
+- :class:`RemoteTransaction` — the :class:`~repro.tc.
+  transactional_component.Transaction` surface (insert/update/delete/
+  increment/read/scan/sync/commit/abort, abort-on-error context manager)
+  over :class:`~repro.net.tcrpc` messages.
+
+Failure mapping follows the conventions the rest of the repo already
+uses: a lost reply (server SIGKILLed mid-request) surfaces as
+:class:`~repro.common.errors.CrashedError` — for a commit that is the
+honest *indeterminate* outcome the chaos harness classifies; a
+server-side :class:`~repro.common.errors.TransactionAborted` or deadlock
+comes back as a typed ``RemoteError`` and is re-raised as
+``TransactionAborted`` here; a Section 6 misroute comes back as a
+:class:`~repro.net.tcrpc.Redirect` payload and is raised as
+:class:`~repro.common.errors.TcRedirect` naming the owning TC — the
+router's retry contract.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import threading
+from concurrent.futures import TimeoutError as FutureTimeout
+from typing import Callable, Optional
+
+from repro.common.api import Message
+from repro.common.config import TcConfig
+from repro.common.errors import (
+    CrashedError,
+    ReproError,
+    TcRedirect,
+    TransactionAborted,
+)
+from repro.common.ops import ReadFlavor
+from repro.net import dcserver, rpc, tcserver
+from repro.net.process import _Transport, default_start_method
+from repro.net.rpc import RemoteError, Shutdown, StatsRequest
+from repro.net.tcrpc import (
+    DcRestarted,
+    GrantOwnership,
+    ReadOther,
+    Redirect,
+    RefreshRoutes,
+    ScanOther,
+    SharingMode,
+    TcCheckpoint,
+    TcHello,
+    TcRetryPending,
+    TxnAbort,
+    TxnBegin,
+    TxnBeginReply,
+    TxnCommit,
+    TxnRead,
+    TxnScan,
+    TxnSync,
+    TxnWrite,
+)
+from repro.sim.metrics import Metrics
+from repro.tc.transactional_component import TransactionState
+
+
+class TcProcess:
+    """One spawned TC server process and its pipe."""
+
+    def __init__(
+        self,
+        name: str,
+        tc_id: int,
+        tc_config: Optional[TcConfig],
+        journal_path: str,
+        dc_socks: dict[str, str],
+        grants: Optional[list] = None,
+        sharing_mode: str = "",
+        start_method: str = "",
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        method = start_method or default_start_method()
+        ctx = mp.get_context(method)
+        self.conn, child_conn = ctx.Pipe()
+        self.process = ctx.Process(
+            target=tcserver.serve,
+            args=(
+                child_conn,
+                name,
+                tc_id,
+                tc_config,
+                journal_path,
+                dict(dc_socks),
+                list(grants or []),
+                sharing_mode,
+                request_timeout_s,
+            ),
+            name=f"repro-tc-{name}",
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+
+    def wait_hello(self, timeout: float = 30.0) -> TcHello:
+        if not self.conn.poll(timeout):
+            self.kill()
+            self.close_conn()
+            raise ReproError("TC server did not say hello in time")
+        kind, _seq, payload = rpc.unpack_frame(self.conn.recv_bytes())
+        if kind != rpc.PUSH or not isinstance(payload, TcHello):
+            self.kill()
+            self.close_conn()
+            raise ReproError(f"unexpected first frame from TC server: {payload!r}")
+        return payload
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self.process.pid
+
+    def kill(self) -> None:
+        """SIGKILL; the fd stays open until the transport joins its
+        receiver (same fd-reuse hazard as :class:`~repro.net.process.
+        DcProcess.kill`)."""
+        if self.process.is_alive():
+            self.process.kill()
+        self.process.join()
+
+    def close_conn(self) -> None:
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        self.process.join(timeout)
+
+
+class RemoteTransaction:
+    """Client handle for one transaction living in a TC server process.
+
+    Mirrors :class:`~repro.tc.transactional_component.Transaction`:
+    the same method surface, the same terminal-state discipline, the same
+    abort-on-error context manager — workloads cannot tell them apart.
+    """
+
+    def __init__(self, tc: "RemoteTc", txn_id: int) -> None:
+        self._tc = tc
+        self.txn_id = txn_id
+        self.state = TransactionState.ACTIVE
+        #: A non-commit reply was lost: the server-side transaction may
+        #: still be open (locks held, writes applied), so the abort must
+        #: still be delivered even though this handle is done.
+        self._reply_lost = False
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _call(self, message: Message, commit_stage: bool = False) -> Message:
+        reply = self._tc.call(message)
+        if reply is None:
+            # Lost reply: the server died (or timed out) with the request
+            # possibly applied.  For commit that is the indeterminate
+            # outcome §4.2 allows; either way this handle is unusable.
+            if not commit_stage:
+                self.state = TransactionState.ABORTED
+                self._reply_lost = True
+            raise CrashedError(f"TC {self._tc.name}")
+        if isinstance(reply, Redirect):
+            raise TcRedirect(reply.table, reply.key, reply.owner)
+        if isinstance(reply, RemoteError):
+            if reply.kind in ("TransactionAborted", "DeadlockError", "LockTimeoutError"):
+                self.state = TransactionState.ABORTED
+                raise TransactionAborted(self.txn_id, reply.text)
+            raise ReproError(f"TC {self._tc.name}: {reply.kind}: {reply.text}")
+        return reply
+
+    def _check_active(self) -> None:
+        if self.state is not TransactionState.ACTIVE:
+            raise TransactionAborted(self.txn_id, f"transaction is {self.state.value}")
+
+    def _write(
+        self,
+        verb: str,
+        table: str,
+        key: object,
+        value: object = None,
+        delta: object = 0,
+        deferred: bool = False,
+    ) -> None:
+        self._check_active()
+        self._call(
+            TxnWrite(
+                tc_id=self._tc.tc_id,
+                txn_id=self.txn_id,
+                verb=verb,
+                table=table,
+                key=key,
+                value=value,
+                delta=delta,
+                deferred=deferred,
+            )
+        )
+
+    # -- operations ---------------------------------------------------------
+
+    def insert(self, table: str, key, value, deferred: bool = False) -> None:
+        self._write("insert", table, key, value=value, deferred=deferred)
+
+    def update(self, table: str, key, value, deferred: bool = False) -> None:
+        self._write("update", table, key, value=value, deferred=deferred)
+
+    def delete(self, table: str, key, deferred: bool = False) -> None:
+        self._write("delete", table, key, deferred=deferred)
+
+    def increment(self, table: str, key, delta, deferred: bool = False) -> None:
+        self._write("increment", table, key, delta=delta, deferred=deferred)
+
+    def read(self, table: str, key):
+        self._check_active()
+        reply = self._call(
+            TxnRead(tc_id=self._tc.tc_id, txn_id=self.txn_id, table=table, key=key)
+        )
+        return reply.value if reply.found else None
+
+    def scan(self, table: str, low=None, high=None, limit: Optional[int] = None):
+        self._check_active()
+        reply = self._call(
+            TxnScan(
+                tc_id=self._tc.tc_id,
+                txn_id=self.txn_id,
+                table=table,
+                low=low,
+                high=high,
+                limit=limit or 0,
+            )
+        )
+        return [tuple(row) for row in reply.rows]
+
+    def sync(self) -> None:
+        self._check_active()
+        self._call(TxnSync(tc_id=self._tc.tc_id, txn_id=self.txn_id))
+
+    def commit(self) -> None:
+        self._check_active()
+        self._call(
+            TxnCommit(tc_id=self._tc.tc_id, txn_id=self.txn_id), commit_stage=True
+        )
+        self.state = TransactionState.COMMITTED
+
+    def abort(self) -> None:
+        if self.state is not TransactionState.ACTIVE and not self._reply_lost:
+            return
+        # After a lost reply the server's transaction may still be open;
+        # the server treats an abort of an unknown transaction as already
+        # aborted (presumed abort), so delivering it is always safe.
+        self._reply_lost = False
+        self._call(TxnAbort(tc_id=self._tc.tc_id, txn_id=self.txn_id))
+        self.state = TransactionState.ABORTED
+
+    # -- context manager: abort-on-error safety net --------------------------
+
+    def __enter__(self) -> "RemoteTransaction":
+        return self
+
+    def __exit__(self, exc_type: object, exc: object, tb: object) -> None:
+        if self.state is TransactionState.ACTIVE:
+            if exc_type is None:
+                self.commit()
+            else:
+                try:
+                    self.abort()
+                except ReproError:
+                    pass  # the original exception matters more
+        elif self._reply_lost:
+            try:
+                self.abort()
+            except ReproError:
+                pass
+
+
+class RemoteTc:
+    """Proxy for a TC server process; drop-in for the TC's app surface.
+
+    Two modes:
+
+    - **spawn mode** (default): this proxy owns the child process —
+      ``crash()`` SIGKILLs it and ``restart()`` respawns it on the same
+      journal with the current DC map and ownership grants, running the
+      §5.3.2 record/page-reset protocol server-side before hello.
+    - **connect mode** (``socket_path`` set): attach to an externally
+      managed ``python -m repro serve-tc`` server; lifecycle calls are
+      refused, everything else is identical.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tc_id: int,
+        journal_path: str = "",
+        dcs: Optional[dict[str, str]] = None,
+        config: Optional[TcConfig] = None,
+        metrics: Optional[Metrics] = None,
+        grants: Optional[list] = None,
+        sharing_mode: str = "",
+        start_method: str = "",
+        request_timeout_s: float = 30.0,
+        socket_path: str = "",
+    ) -> None:
+        self.name = name
+        self.tc_id = tc_id
+        self.journal_path = journal_path
+        self.dcs = dict(dcs or {})
+        self.config = config
+        self.metrics = metrics or Metrics()
+        #: Ownership grants, kept client-side so a respawn re-installs the
+        #: exact partition map the router is still using.
+        self.grants: list = list(grants or [])
+        self.sharing_mode = sharing_mode
+        self.start_method = start_method
+        self.request_timeout_s = request_timeout_s
+        self.socket_path = socket_path
+        #: Crash listeners ``fn(name, kind)`` — the supervisor subscribes.
+        self.on_crash: list[Callable[[str, str], None]] = []
+        self._lock = threading.Lock()
+        self._crashed = False
+        self._down_handled = False
+        self._closing = False
+        self.restarts = 0
+        self.last_pid: Optional[int] = None
+        self.last_recovered = False
+        self._process: Optional[TcProcess] = None
+        self._start()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def _start(self) -> None:
+        if self.socket_path:
+            self._connect()
+            return
+        if not self.journal_path:
+            raise ReproError("RemoteTc needs a journal_path (the TC's log volume)")
+        self._process = TcProcess(
+            self.name,
+            self.tc_id,
+            self.config,
+            self.journal_path,
+            self.dcs,
+            self.grants,
+            self.sharing_mode,
+            self.start_method,
+            self.request_timeout_s,
+        )
+        try:
+            hello = self._process.wait_hello()
+        except ReproError:
+            # The child either never came up or died inside §5.3.2 restart
+            # (e.g. a DC it must redo against is also down).  Mark crashed
+            # so the supervisor's heal loop retries after the DCs heal.
+            self._mark_crashed_for_failed_start()
+            raise CrashedError(f"TC {self.name} (restart failed)")
+        self._adopt_hello(hello, self._process.conn)
+
+    def _connect(self) -> None:
+        import time
+
+        deadline = time.monotonic() + self.request_timeout_s
+        while True:
+            try:
+                conn = dcserver.connect_unix(self.socket_path)
+                break
+            except OSError:
+                if time.monotonic() >= deadline:
+                    raise ReproError(
+                        f"TC {self.name}: cannot connect to {self.socket_path}"
+                    )
+                time.sleep(0.05)
+        if not conn.poll(self.request_timeout_s):
+            conn.close()
+            raise ReproError(f"TC {self.name}: no hello on {self.socket_path}")
+        kind, _seq, payload = rpc.unpack_frame(conn.recv_bytes())
+        if kind != rpc.PUSH or not isinstance(payload, TcHello):
+            conn.close()
+            raise ReproError(f"unexpected first frame from TC server: {payload!r}")
+        self._adopt_hello(payload, conn)
+
+    def _adopt_hello(self, hello: TcHello, conn) -> None:
+        self.last_pid = hello.pid
+        self.last_recovered = hello.recovered
+        self._conn = conn
+        self._down_handled = False
+        self._transport = _Transport(
+            conn,
+            on_server_request=self._reject_server_request,
+            on_push=lambda _message: None,
+            on_down=self._note_down,
+        )
+
+    def _reject_server_request(self, message: Message) -> Message:
+        raise ReproError(f"unexpected server request from TC: {message!r}")
+
+    def _mark_crashed_for_failed_start(self) -> None:
+        with self._lock:
+            already = self._crashed
+            self._crashed = True
+            self._down_handled = True
+        if not already:
+            self.metrics.incr("remote_tc.failed_restarts")
+
+    def _note_down(self) -> None:
+        fire = False
+        with self._lock:
+            if not self._down_handled:
+                self._down_handled = True
+                if not self._closing:
+                    self._crashed = True
+                    fire = True
+        if fire:
+            self.metrics.incr("remote_tc.process_deaths")
+            for listener in list(self.on_crash):
+                listener(self.name, "tc")
+
+    @property
+    def crashed(self) -> bool:
+        if (
+            not self._crashed
+            and not self._closing
+            and self._process is not None
+            and not self._process.alive
+        ):
+            self._note_down()
+        return self._crashed
+
+    @property
+    def pid(self) -> Optional[int]:
+        return self._process.pid if self._process is not None else self.last_pid
+
+    def crash(self) -> int:
+        """SIGKILL the server process — a real fail-stop.
+
+        Returns 0 for surface parity with ``TransactionalComponent.crash``
+        (the in-memory tail-loss count); here nothing acknowledged is ever
+        lost — that is the :class:`~repro.net.tcserver.DurableTcLog`
+        contract — and the unacknowledged tail has no client-side count.
+        """
+        if self._process is None:
+            raise ReproError(f"TC {self.name} is externally managed; cannot crash it")
+        self._process.kill()
+        self._note_down()
+        return 0
+
+    def restart(self, reset_mode: object = None) -> dict[str, object]:
+        """Respawn on the same journal; §5.3.2 runs server-side pre-hello.
+
+        ``reset_mode`` exists for surface parity with the in-process TC's
+        ``restart(reset_mode)``; the server always record-resets (the
+        tier's DCs are shared, so page-granularity reset is never safe).
+        """
+        if self._process is None:
+            raise ReproError(f"TC {self.name} is externally managed; cannot restart it")
+        if self._process.alive:
+            self._process.kill()
+        self._transport.close()
+        self._start()
+        self._crashed = False
+        self.restarts += 1
+        self.metrics.incr("remote_tc.restarts")
+        return {
+            "restarted": True,
+            "pid": self.last_pid,
+            "recovered": self.last_recovered,
+            "restarts": self.restarts,
+        }
+
+    def shutdown(self) -> None:
+        self._closing = True
+        try:
+            self.call(Shutdown(tc_id=self.tc_id), timeout=5.0)
+        except ReproError:
+            pass
+        if self._process is not None:
+            self._process.join(5.0)
+            self._process.kill()
+            self._transport.close()
+        else:
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+            self._transport.close()
+
+    def close(self) -> None:
+        self.shutdown()
+
+    # -- messaging ----------------------------------------------------------
+
+    def call(self, message: Message, timeout: Optional[float] = None) -> object:
+        future = self._transport.submit(message)
+        try:
+            return future.result(
+                timeout if timeout is not None else self.request_timeout_s
+            )
+        except FutureTimeout:
+            self.metrics.incr("remote_tc.request_timeouts")
+            return None
+
+    def control(self, message: Message, timeout: Optional[float] = None) -> Message:
+        reply = self.call(message, timeout)
+        if reply is None:
+            raise CrashedError(f"TC {self.name}")
+        if isinstance(reply, RemoteError):
+            if reply.kind in ("CrashedError", "ComponentUnavailableError"):
+                raise CrashedError(f"TC {self.name}: {reply.text}")
+            raise ReproError(f"TC {self.name}: {reply.kind}: {reply.text}")
+        return reply
+
+    # -- the TransactionalComponent app surface ------------------------------
+
+    def begin(self) -> RemoteTransaction:
+        reply = self.control(TxnBegin(tc_id=self.tc_id))
+        if not isinstance(reply, TxnBeginReply):
+            raise ReproError(f"TC {self.name}: unexpected begin reply {reply!r}")
+        return RemoteTransaction(self, reply.txn_id)
+
+    def read_other(self, table: str, key, flavor=ReadFlavor.READ_COMMITTED):
+        reply = self.control(
+            ReadOther(tc_id=self.tc_id, table=table, key=key, flavor=flavor)
+        )
+        return reply.value if reply.found else None
+
+    def scan_other(
+        self,
+        table: str,
+        low=None,
+        high=None,
+        limit: Optional[int] = None,
+        flavor=ReadFlavor.READ_COMMITTED,
+    ):
+        reply = self.control(
+            ScanOther(
+                tc_id=self.tc_id,
+                table=table,
+                low=low,
+                high=high,
+                limit=limit or 0,
+                flavor=flavor,
+            )
+        )
+        return [tuple(row) for row in reply.rows]
+
+    def checkpoint(self) -> bool:
+        return self.control(TcCheckpoint(tc_id=self.tc_id)).advanced
+
+    def stats(self) -> dict[str, object]:
+        return self.control(StatsRequest(tc_id=self.tc_id)).payload
+
+    def pending_zombies(self) -> int:
+        """Supervisor surface; 0 while the process is down (nothing can be
+        retried until :meth:`restart` anyway)."""
+        if self.crashed:
+            return 0
+        reply = self.call(StatsRequest(tc_id=self.tc_id))
+        if reply is None or isinstance(reply, RemoteError):
+            return 0
+        return int(reply.payload.get("pending_zombies", 0))
+
+    def retry_pending(self) -> None:
+        self.control(TcRetryPending(tc_id=self.tc_id))
+
+    # -- deployment control plane --------------------------------------------
+
+    def notify_dc_restart(self, dc_name: str) -> None:
+        """Forward a DC heal to the server so it reconnects and re-drives
+        the §5.2.1 redo prompt over its own socket.  Raises
+        :class:`CrashedError` when this TC is itself down — the supervisor
+        keeps the prompt queued and retries after healing the TC."""
+        self.control(DcRestarted(tc_id=self.tc_id, dc_name=dc_name))
+
+    def refresh_routes(self, dc) -> None:
+        dc_name = dc if isinstance(dc, str) else dc.name
+        self.control(RefreshRoutes(tc_id=self.tc_id, dc_name=dc_name))
+
+    def grant(
+        self, table: str, modulus: int, residues: tuple, owners: tuple
+    ) -> None:
+        """Install (and remember) a Section 6 ownership grant."""
+        grant = (table, int(modulus), tuple(residues), tuple(owners))
+        with self._lock:
+            self.grants = [g for g in self.grants if g[0] != table] + [grant]
+        self.control(GrantOwnership(
+            tc_id=self.tc_id,
+            table=table,
+            modulus=int(modulus),
+            residues=tuple(residues),
+            owners=tuple(owners),
+        ))
+
+    def set_sharing_mode(self, mode: str) -> None:
+        self.sharing_mode = mode
+        self.control(SharingMode(tc_id=self.tc_id, mode=mode))

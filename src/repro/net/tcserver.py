@@ -1,0 +1,648 @@
+"""The TC server: one transactional component living in its own OS process.
+
+This is the paper's unbundling completed end-to-end (docs/architecture.md
+§16): DCs became processes in the process deployment mode; here the TC —
+the last component still living in the client's address space — becomes
+one too.  :func:`serve` is the child entry point behind
+:class:`~repro.net.tcclient.TcProcess`; :func:`serve_socket` backs the
+standalone ``python -m repro serve-tc`` CLI.
+
+The server builds an ordinary
+:class:`~repro.tc.transactional_component.TransactionalComponent` whose
+log is a :class:`DurableTcLog` — the same logical TcLog, but every force
+persists the newly-stable suffix to a CRC'd journal *before* the stable
+boundary advances.  That ordering is the whole §5.3.2 story for a TC
+process: EOSL is what commit acknowledgement waits on (group-commit
+riders poll it), so nothing is ever acknowledged that a ``kill -9`` could
+lose.  A respawned server replays the journal, then runs the TC restart
+protocol (record reset at LSNst, redo of the stable stream, undo of
+losers) against its DCs *before* saying hello — mid-commit kills converge
+via journal replay + per-op abLSN idempotence, exactly like the
+in-process crash/restart path.
+
+The server talks to its DC pool through :class:`~repro.net.process.
+DcClient` connections over the DCs' Unix sockets — real processes on both
+sides of every §4.2.1 interaction, with the force-log causality gate
+bridged per connection by the DC server.
+
+Ownership (Section 6) arrives as stable-hash partition grants: the TC
+owns key ``k`` of a granted table iff ``stable_key_hash(k) % modulus`` is
+one of its residues.  A write for a partition it does not own is bounced
+with a :class:`~repro.net.tcrpc.Redirect` naming the owner — the router's
+retryable misroute contract — before the mutation path is ever entered.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import struct
+import zlib
+from typing import Optional
+
+from repro.common.api import ControlAck, Message
+from repro.common.config import ChannelConfig, TcConfig
+from repro.common.errors import (
+    ComponentUnavailableError,
+    CrashedError,
+    ReproError,
+)
+from repro.common.lsn import Lsn, NULL_LSN
+from repro.common.ops import ReadFlavor
+from repro.cloud.partitioning import stable_key_hash
+from repro.net import rpc
+from repro.net.rpc import RemoteError, Shutdown, StatsReply, StatsRequest
+from repro.net.tcrpc import (
+    AttachDc,
+    DcRestarted,
+    GrantOwnership,
+    ReadOther,
+    Redirect,
+    RefreshRoutes,
+    ScanOther,
+    SharingMode,
+    TcCheckpoint,
+    TcCheckpointReply,
+    TcHello,
+    TcRetryPending,
+    TxnAbort,
+    TxnAck,
+    TxnBegin,
+    TxnBeginReply,
+    TxnCommit,
+    TxnRead,
+    TxnReadReply,
+    TxnScan,
+    TxnScanReply,
+    TxnSync,
+    TxnWrite,
+)
+from repro.sim.metrics import Metrics
+from repro.tc.log import TcLog, TcLogRecord
+from repro.tc.transactional_component import (
+    TransactionalComponent,
+    TransactionState,
+)
+
+_HEADER = struct.Struct("<II")  # frame length, crc32 — JournalStorage's idiom
+
+
+class _RecordJournal:
+    """Append-only CRC'd frame journal for TC log records.
+
+    Same durability contract as the DC's :class:`~repro.net.journal.
+    JournalStorage`: write + flush per frame (the OS page cache survives a
+    child SIGKILL; only whole-machine failure is out of scope), CRC per
+    frame, and a torn tail is silently discarded on replay — the paper's
+    torn-write-is-no-write assumption.  Frames are ``("records", [...])``
+    batches (one per log force) and ``("meta", truncated_upto)`` markers;
+    checkpoint-driven truncation rewrites the whole file as live state
+    behind an atomic replace.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+        self.truncated_upto: Lsn = NULL_LSN
+        self.records: list[TcLogRecord] = []
+        self._replay()
+        self.replayed = bool(self.records) or self.truncated_upto != NULL_LSN
+        self._file = open(path, "ab")
+
+    def _replay(self) -> None:
+        try:
+            with open(self.path, "rb") as handle:
+                data = handle.read()
+        except FileNotFoundError:
+            return
+        pos = 0
+        good = 0
+        while pos + _HEADER.size <= len(data):
+            length, crc = _HEADER.unpack_from(data, pos)
+            frame = data[pos + _HEADER.size : pos + _HEADER.size + length]
+            if len(frame) < length or zlib.crc32(frame) != crc:
+                break  # torn tail: the write never happened
+            tag, payload = pickle.loads(frame)
+            if tag == "meta":
+                self.truncated_upto = payload
+            elif tag == "records":
+                self.records.extend(payload)
+            pos += _HEADER.size + length
+            good = pos
+        if good != len(data):
+            with open(self.path, "ab") as handle:
+                handle.truncate(good)
+
+    def _frame(self, tag: str, payload: object) -> bytes:
+        frame = pickle.dumps((tag, payload), protocol=pickle.HIGHEST_PROTOCOL)
+        return _HEADER.pack(len(frame), zlib.crc32(frame)) + frame
+
+    def append_records(self, records: list[TcLogRecord]) -> None:
+        self._file.write(self._frame("records", list(records)))
+        self._file.flush()
+
+    def rewrite(self, truncated_upto: Lsn, records: list[TcLogRecord]) -> None:
+        """Replace history with live state (tmp file + atomic rename)."""
+        tmp = self.path + ".compact"
+        with open(tmp, "wb") as handle:
+            handle.write(self._frame("meta", truncated_upto))
+            if records:
+                handle.write(self._frame("records", list(records)))
+            handle.flush()
+        os.replace(tmp, self.path)
+        self._file.close()
+        self._file = open(self.path, "ab")
+
+    def size(self) -> int:
+        try:
+            return os.path.getsize(self.path)
+        except OSError:
+            return 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        except OSError:
+            pass
+
+
+class DurableTcLog(TcLog):
+    """A TcLog whose stable prefix really is stable.
+
+    The in-memory TcLog *models* stability with a counter; here the
+    boundary only advances after the newly-stable suffix is journaled.
+    Both happen under the log mutex, so a group-commit rider polling
+    ``eosl`` can never observe a commit record as stable before its frame
+    is on the journal — acknowledge-after-force survives ``kill -9``
+    between any two instructions.
+
+    Checkpoint truncation (:meth:`truncate_below`) rewrites the journal as
+    live state and persists ``truncated_upto`` in a meta frame.  That meta
+    frame is load-bearing: replaying an empty record list *without* it
+    would make restart send ``RestartBegin(stable_lsn=0)`` and record-level
+    reset would erase checkpointed DC state that is in fact durable.
+    """
+
+    def __init__(self, journal: _RecordJournal, metrics: Optional[Metrics] = None):
+        super().__init__(metrics)
+        self._journal = journal
+        self.replayed = journal.replayed
+        if journal.replayed:
+            self._records = list(journal.records)
+            self._stable_count = len(self._records)
+            self._truncated_upto = journal.truncated_upto
+            self.recover_lsn_generator()
+
+    def _force(self) -> Lsn:
+        with self._mutex:
+            if self._stable_count < len(self._records):
+                self._journal.append_records(self._records[self._stable_count :])
+                self._stable_count = len(self._records)
+                self.metrics.incr("tclog.forces")
+                self.metrics.incr("tclog.journal_forces")
+            return self._eosl_locked()
+
+    def truncate_below(self, point: Lsn) -> int:
+        dropped = super().truncate_below(point)
+        if dropped:
+            with self._mutex:
+                self._journal.rewrite(
+                    self._truncated_upto, self._records[: self._stable_count]
+                )
+        return dropped
+
+
+def _logical(table: str) -> str:
+    return table.split("@", 1)[0]
+
+
+class _TcServer:
+    """Single-threaded request loop serving one client connection.
+
+    One TC process serves one client (its spawning :class:`~repro.net.
+    tcclient.RemoteTc`, or one router connection in socket mode); the TC
+    *tier* scales by running more TC processes, mirroring the DC story.
+    Concurrency with the DC pool still happens — the DcClient transports
+    run their own receiver/control threads, so force-log bridges and
+    pipelined batches proceed while this loop blocks on the next request.
+    """
+
+    def __init__(
+        self,
+        conn,
+        name: str,
+        tc_id: int,
+        tc_config: Optional[TcConfig],
+        journal_path: str,
+        dc_socks: dict[str, str],
+        grants: Optional[list] = None,
+        sharing_mode: str = "",
+        request_timeout_s: float = 30.0,
+    ) -> None:
+        from repro.net.process import DcClient
+
+        self._conn = conn
+        self._name = name
+        self._metrics = Metrics()
+        self._journal = _RecordJournal(journal_path)
+        log = DurableTcLog(self._journal, self._metrics)
+        config = tc_config or TcConfig.optimized()
+        self._tc = TransactionalComponent(
+            tc_id=tc_id, config=config, metrics=self._metrics, log=log
+        )
+        self._request_timeout_s = request_timeout_s
+        self._channel_config = ChannelConfig(
+            transport="process", request_timeout_s=request_timeout_s
+        )
+        self._clients: dict[str, DcClient] = {}
+        for dc_name, socket_path in dict(dc_socks or {}).items():
+            self._attach(dc_name, socket_path)
+        #: logical table -> (modulus, residues, owners) — Section 6 grants.
+        self._ownership: dict[str, tuple[int, frozenset, tuple]] = {}
+        for grant in grants or []:
+            self._install_grant(*grant)
+        mode = sharing_mode or config.sharing_mode
+        self._default_flavor = (
+            ReadFlavor.DIRTY if mode == "dirty" else ReadFlavor.READ_COMMITTED
+        )
+        self._txns: dict[int, object] = {}
+        self._recovered = False
+        if log.replayed:
+            # §5.3.2 TC failure, against a real journal: mark the TC
+            # crashed (the log tail is already exactly the stable prefix)
+            # and run restart — record reset at LSNst, redo of the stable
+            # stream, undo of loser transactions — before the hello, so a
+            # client never sees a half-recovered server.
+            self._tc.crash()
+            self._tc.restart()
+            self._recovered = True
+
+    # -- wiring -------------------------------------------------------------
+
+    def _attach(self, dc_name: str, socket_path: str) -> None:
+        from repro.net.process import DcClient
+
+        client = DcClient(
+            dc_name,
+            socket_path,
+            metrics=self._metrics,
+            request_timeout_s=self._request_timeout_s,
+        )
+        self._clients[dc_name] = client
+        self._tc.attach_dc(client, self._channel_config)
+
+    def _install_grant(
+        self, table: str, modulus: int, residues: tuple, owners: tuple
+    ) -> None:
+        self._ownership[table] = (max(int(modulus), 1), frozenset(residues), tuple(owners))
+        self._tc.ownership_guard = self._guard
+
+    def _guard(self, table: str, key: object) -> bool:
+        rule = self._ownership.get(_logical(table))
+        if rule is None:
+            return False
+        modulus, residues, _owners = rule
+        return stable_key_hash(key) % modulus in residues
+
+    def _misroute_owner(self, table: str, key: object) -> Optional[str]:
+        """The owning TC's name, when this server does *not* own the key."""
+        if not self._ownership:
+            return None
+        rule = self._ownership.get(_logical(table))
+        if rule is None:
+            return None
+        modulus, residues, owners = rule
+        partition = stable_key_hash(key) % modulus
+        if partition in residues:
+            return None
+        return owners[partition] if partition < len(owners) else ""
+
+    # -- dispatch -----------------------------------------------------------
+
+    def _txn(self, txn_id: int):
+        txn = self._txns.get(txn_id)
+        if txn is None:
+            raise ReproError(f"TC {self._name}: unknown transaction {txn_id}")
+        return txn
+
+    def _reap(self, txn_id: int) -> None:
+        txn = self._txns.get(txn_id)
+        if txn is not None and txn.state is not TransactionState.ACTIVE:
+            del self._txns[txn_id]
+
+    def _flavor(self, flavor: object) -> ReadFlavor:
+        return flavor if isinstance(flavor, ReadFlavor) else self._default_flavor
+
+    def _dispatch(self, message: Message) -> Optional[Message]:
+        tc = self._tc
+        if isinstance(message, TxnWrite):
+            owner = self._misroute_owner(message.table, message.key)
+            if owner is not None:
+                self._metrics.incr("tcserver.redirects")
+                return Redirect(
+                    tc_id=message.tc_id,
+                    table=message.table,
+                    key=message.key,
+                    owner=owner,
+                )
+            txn = self._txn(message.txn_id)
+            try:
+                if message.verb == "insert":
+                    txn.insert(
+                        message.table,
+                        message.key,
+                        message.value,
+                        deferred=message.deferred,
+                    )
+                elif message.verb == "update":
+                    txn.update(
+                        message.table,
+                        message.key,
+                        message.value,
+                        deferred=message.deferred,
+                    )
+                elif message.verb == "delete":
+                    txn.delete(message.table, message.key, deferred=message.deferred)
+                elif message.verb == "increment":
+                    txn.increment(
+                        message.table,
+                        message.key,
+                        message.delta,
+                        deferred=message.deferred,
+                    )
+                else:
+                    raise ReproError(f"unknown write verb {message.verb!r}")
+            finally:
+                self._reap(message.txn_id)
+            return TxnAck(tc_id=message.tc_id, txn_id=message.txn_id)
+        if isinstance(message, TxnRead):
+            txn = self._txn(message.txn_id)
+            try:
+                value = txn.read(message.table, message.key)
+            finally:
+                self._reap(message.txn_id)
+            return TxnReadReply(
+                tc_id=message.tc_id,
+                txn_id=message.txn_id,
+                found=value is not None,
+                value=value,
+            )
+        if isinstance(message, TxnScan):
+            txn = self._txn(message.txn_id)
+            try:
+                rows = txn.scan(
+                    message.table, message.low, message.high, message.limit or None
+                )
+            finally:
+                self._reap(message.txn_id)
+            return TxnScanReply(
+                tc_id=message.tc_id,
+                txn_id=message.txn_id,
+                rows=tuple(tuple(row) for row in rows),
+            )
+        if isinstance(message, TxnSync):
+            txn = self._txn(message.txn_id)
+            try:
+                txn.sync()
+            finally:
+                self._reap(message.txn_id)
+            return TxnAck(tc_id=message.tc_id, txn_id=message.txn_id)
+        if isinstance(message, TxnBegin):
+            txn = tc.begin()
+            self._txns[txn.txn_id] = txn
+            return TxnBeginReply(tc_id=message.tc_id, txn_id=txn.txn_id)
+        if isinstance(message, TxnCommit):
+            txn = self._txn(message.txn_id)
+            try:
+                txn.commit()
+            finally:
+                self._reap(message.txn_id)
+            return TxnAck(tc_id=message.tc_id, txn_id=message.txn_id)
+        if isinstance(message, TxnAbort):
+            # Presumed abort: a retried abort after a lost reply (or a
+            # server restart that already undid the loser) finds no
+            # transaction — that *is* the aborted outcome, acknowledge it.
+            txn = self._txns.get(message.txn_id)
+            if txn is not None:
+                try:
+                    txn.abort()
+                finally:
+                    self._reap(message.txn_id)
+            return TxnAck(tc_id=message.tc_id, txn_id=message.txn_id)
+        if isinstance(message, ReadOther):
+            value = tc.read_other(
+                message.table, message.key, self._flavor(message.flavor)
+            )
+            return TxnReadReply(
+                tc_id=message.tc_id, found=value is not None, value=value
+            )
+        if isinstance(message, ScanOther):
+            rows = tc.scan_other(
+                message.table,
+                message.low,
+                message.high,
+                message.limit or None,
+                self._flavor(message.flavor),
+            )
+            return TxnScanReply(
+                tc_id=message.tc_id, rows=tuple(tuple(row) for row in rows)
+            )
+        if isinstance(message, TcCheckpoint):
+            advanced = tc.checkpoint()
+            return TcCheckpointReply(
+                tc_id=message.tc_id,
+                advanced=advanced,
+                rssp=tc.stats()["rssp"],
+            )
+        if isinstance(message, StatsRequest):
+            return StatsReply(
+                tc_id=message.tc_id,
+                payload={
+                    **tc.stats(),
+                    "name": self._name,
+                    "pid": os.getpid(),
+                    "recovered": self._recovered,
+                    "pending_zombies": tc.pending_zombies(),
+                    "open_transactions": len(self._txns),
+                    "journal_bytes": self._journal.size(),
+                    "counters": self._metrics.counters(),
+                },
+            )
+        if isinstance(message, DcRestarted):
+            client = self._clients.get(message.dc_name)
+            if client is None:
+                raise ReproError(f"TC {self._name}: unknown DC {message.dc_name!r}")
+            # Reconnect over the (re-bound) socket, re-register, then let
+            # prompt_redo drive tc._on_dc_restart: force + EOSL, redo
+            # stream resend, RedoComplete, zombie retries — §5.2.1 across
+            # two real process boundaries.  A redo the DC already saw is
+            # absorbed by abLSN idempotence.
+            client.recover(notify_tcs=True)
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, RefreshRoutes):
+            client = self._clients.get(message.dc_name)
+            if client is None:
+                raise ReproError(f"TC {self._name}: unknown DC {message.dc_name!r}")
+            client.refresh_catalog()
+            tc.refresh_routes(client)
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, AttachDc):
+            if message.dc_name not in self._clients:
+                self._attach(message.dc_name, message.socket_path)
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, GrantOwnership):
+            self._install_grant(
+                message.table, message.modulus, message.residues, message.owners
+            )
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, SharingMode):
+            self._default_flavor = (
+                ReadFlavor.DIRTY
+                if message.mode == "dirty"
+                else ReadFlavor.READ_COMMITTED
+            )
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, TcRetryPending):
+            tc.retry_pending()
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, Shutdown):
+            return ControlAck(tc_id=message.tc_id)
+        raise ReproError(f"TC {self._name}: unhandled message {type(message).__name__}")
+
+    # -- main loop ----------------------------------------------------------
+
+    def _send(self, kind: int, seq: int, payload: object) -> None:
+        self._conn.send_bytes(rpc.pack_frame(kind, seq, payload))
+
+    def hello(self) -> TcHello:
+        return TcHello(
+            tc_id=self._tc.tc_id,
+            tc_name=self._name,
+            pid=os.getpid(),
+            recovered=self._recovered,
+            replayed_records=len(self._journal.records),
+        )
+
+    def run(self, close_journal: bool = True) -> None:
+        self._send(rpc.PUSH, 0, self.hello())
+        try:
+            while True:
+                try:
+                    kind, seq, message = rpc.unpack_frame(self._conn.recv_bytes())
+                except (EOFError, OSError):
+                    return  # client is gone; nothing to serve
+                if kind != rpc.REQUEST:
+                    continue
+                try:
+                    reply = self._dispatch(message)
+                except ComponentUnavailableError as exc:
+                    # A *downstream* DC is dead, not this TC: the client's
+                    # transaction is still open and abortable here, so the
+                    # failure must travel as an error, never as silence —
+                    # a lost-reply ABORTED client handle would strand the
+                    # open transaction (and its applied writes) forever.
+                    reply = RemoteError(
+                        tc_id=getattr(message, "tc_id", 0),
+                        kind=type(exc).__name__,
+                        text=str(exc),
+                    )
+                except CrashedError:
+                    # Mirror the in-process convention: a crashed component
+                    # answers with silence and the caller's retry policy
+                    # decides (should not normally occur server-side).
+                    reply = None
+                except ReproError as exc:
+                    reply = RemoteError(
+                        tc_id=getattr(message, "tc_id", 0),
+                        kind=type(exc).__name__,
+                        text=str(exc),
+                    )
+                try:
+                    self._send(rpc.REPLY, seq, reply)
+                except (BrokenPipeError, OSError):
+                    return
+                if isinstance(message, Shutdown):
+                    return
+        finally:
+            for client in self._clients.values():
+                client.close()
+            if close_journal:
+                self._journal.close()
+            try:
+                self._conn.close()
+            except OSError:
+                pass
+
+
+def serve(
+    conn,
+    name: str,
+    tc_id: int,
+    tc_config: Optional[TcConfig],
+    journal_path: str,
+    dc_socks: dict[str, str],
+    grants: Optional[list] = None,
+    sharing_mode: str = "",
+    request_timeout_s: float = 30.0,
+) -> None:
+    """Child-process entry point (target of ``multiprocessing.Process``)."""
+    _TcServer(
+        conn,
+        name,
+        tc_id,
+        tc_config,
+        journal_path,
+        dc_socks,
+        grants,
+        sharing_mode,
+        request_timeout_s,
+    ).run()
+
+
+def serve_socket(
+    listen_path: str,
+    name: str,
+    tc_id: int,
+    tc_config: Optional[TcConfig],
+    journal_path: str,
+    dc_socks: dict[str, str],
+    grants: Optional[list] = None,
+    sharing_mode: str = "",
+    request_timeout_s: float = 30.0,
+    max_sessions: int = 0,
+) -> None:
+    """Standalone service mode (``python -m repro serve-tc``).
+
+    Binds a Unix socket and serves one client session at a time — each
+    accepted connection gets the full protocol against the *same* durable
+    journal, so a client reconnecting after a network blip (or a second
+    client taking over) sees the same TC.  ``max_sessions`` bounds the
+    accept loop for tests; 0 serves forever.
+    """
+    from multiprocessing.connection import Connection
+
+    from repro.net.dcserver import bind_unix_listener
+
+    listener = bind_unix_listener(listen_path)
+    sessions = 0
+    try:
+        while not max_sessions or sessions < max_sessions:
+            sock, _addr = listener.accept()
+            conn = Connection(sock.detach())
+            _TcServer(
+                conn,
+                name,
+                tc_id,
+                tc_config,
+                journal_path,
+                dc_socks,
+                grants,
+                sharing_mode,
+                request_timeout_s,
+            ).run()
+            sessions += 1
+    finally:
+        listener.close()
+        try:
+            os.unlink(listen_path)
+        except OSError:
+            pass

@@ -141,6 +141,7 @@ def _bootstrap() -> None:
     # The control-plane messages are Message subclasses; import them first
     # so one subclass walk collects the whole vocabulary.
     import repro.net.rpc  # noqa: F401  (registers via the Message walk)
+    import repro.net.tcrpc  # noqa: F401  (TC-service vocabulary, same walk)
     from repro.common import api, ops, records
 
     register(api.Message)

@@ -137,6 +137,8 @@ class ChaosRunner:
         tc_config: Optional[TcConfig] = None,
         channel_config: Optional[ChannelConfig] = None,
         kill_every: int = 0,
+        tc_processes: int = 0,
+        kill_tc_every: int = 0,
     ) -> None:
         self.seed = seed
         self.txns = txns
@@ -159,7 +161,15 @@ class ChaosRunner:
             # single ``--seed`` away, in process mode too.
             channel_config.seed = seed
         self.kill_every = kill_every
+        self.kill_tc_every = kill_tc_every
         self.kills = 0
+        self.tc_kills = 0
+        self._tc_process_mode = bool(tc_processes)
+        if tc_processes and not process_mode:
+            raise ReproError(
+                "tc_processes needs the process transport "
+                "(channel_config=ChannelConfig(transport='process'))"
+            )
         if process_mode:
             # Fault-injection hooks are local-only (architecture.md §10):
             # against DC server processes the only fault is the real one —
@@ -180,9 +190,13 @@ class ChaosRunner:
         # (the GroupCommitCoalescer waits for the commit record to reach
         # the stable log), so callers may hand in any TcConfig — including
         # the optimized fast-path one — without weakening the check.
-        config = KernelConfig(tc=tc_config or TcConfig(group_commit_size=1))
-        if channel_config is not None:
-            config.channel = channel_config
+        config = KernelConfig(
+            tc=tc_config or TcConfig(group_commit_size=1),
+            channel=(
+                channel_config if channel_config is not None else ChannelConfig()
+            ),
+            tc_processes=tc_processes,
+        )
         self.kernel = UnbundledKernel(
             config=config,
             metrics=self.metrics,
@@ -221,6 +235,13 @@ class ChaosRunner:
         for txn_no in range(self.txns):
             if self.kill_every and txn_no % self.kill_every == self.kill_every - 1:
                 self._kill_one(kill_rng)
+            # TC kills ride a distinct phase offset so DC and TC deaths
+            # interleave (and occasionally coincide) over a long run.
+            if (
+                self.kill_tc_every
+                and txn_no % self.kill_tc_every == self.kill_tc_every // 2
+            ):
+                self._kill_tc()
             if self.checkpoint_every and txn_no % self.checkpoint_every == 7:
                 self._probe(tc.checkpoint)
             if self.snapshot_every and txn_no % self.snapshot_every == 11:
@@ -247,6 +268,7 @@ class ChaosRunner:
             "resolved_aborted": self.history.resolved_aborted,
             "heals": self.heals,
             "invariant_checks": self.checks,
+            "tc_kills": self.tc_kills,
             "faults_fired": faults_fired,
             "fault_points_hit": points,
             "recipe": self._recipe(),
@@ -257,8 +279,10 @@ class ChaosRunner:
             return self.injector.describe()
         return (
             f"seed={self.seed} kill_every={self.kill_every} "
+            f"kill_tc_every={self.kill_tc_every} "
+            f"tc_processes={int(self._tc_process_mode)} "
             f"channel_config=ChannelConfig(transport='process') "
-            f"(kills fired: {self.kills})"
+            f"(kills fired: {self.kills}, of which TC: {self.tc_kills})"
         )
 
     def repro_command(self) -> str:
@@ -270,6 +294,10 @@ class ChaosRunner:
             parts.append("--process")
             if self.kill_every:
                 parts.append(f"--kill-every {self.kill_every}")
+            if self._tc_process_mode:
+                parts.append("--tc-process")
+            if self.kill_tc_every:
+                parts.append(f"--kill-tc-every {self.kill_tc_every}")
         return " ".join(parts)
 
     def _kill_one(self, rng: random.Random) -> None:
@@ -283,6 +311,16 @@ class ChaosRunner:
         if victims:
             rng.choice(victims).crash()
             self.kills += 1
+
+    def _kill_tc(self) -> None:
+        """Kill the TC mid-run.  Against a TC server process this is a
+        real ``kill -9``; the supervisor's restart then exercises the
+        §5.3.2 journal-replay + record-reset path under live traffic."""
+        tc = self.kernel.tc
+        if not tc.crashed:
+            tc.crash()
+            self.kills += 1
+            self.tc_kills += 1
 
     # -- one transaction ---------------------------------------------------
 
@@ -365,6 +403,8 @@ class ChaosRunner:
         """Degraded-mode snapshot reads: healthy DCs answer, down DCs raise
         ComponentUnavailableError instead of hanging."""
         tc = self.kernel.tc
+        if not hasattr(tc, "begin_snapshot"):
+            return  # a TC server process has no snapshot surface (yet)
         try:
             reader = tc.begin_snapshot(allow_degraded=True)
             for _ in range(3):

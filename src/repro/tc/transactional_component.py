@@ -375,6 +375,7 @@ class TransactionalComponent:
         metrics: Optional[Metrics] = None,
         faults: Optional["FaultInjector"] = None,
         tracer: Optional[object] = None,
+        log: Optional[TcLog] = None,
     ) -> None:
         self.tc_id = tc_id if tc_id is not None else next(self._ids)
         self.config = config or TcConfig()
@@ -389,7 +390,10 @@ class TransactionalComponent:
             faults.register_component(self.name, "tc", self.crash)
         #: Crash listeners ``(name, kind)`` — the supervisor subscribes.
         self.on_crash: list[Callable[[str, str], None]] = []
-        self.log = TcLog(self.metrics)
+        #: Injectable so a durable subclass (the TC service tier's
+        #: journal-backed log) can be bound before the group-commit
+        #: coalescer below captures the reference.
+        self.log = log if log is not None else TcLog(self.metrics)
         self.log.use_tracer(self.tracer)
         self.locks = LockManager(
             self.metrics,

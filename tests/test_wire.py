@@ -103,7 +103,9 @@ def _all_message_types():
         and dataclasses.is_dataclass(cls)
         and issubclass(cls, api.Message)
     ]
-    assert len(types) >= 25, "subclass walk should find api + rpc messages"
+    assert len(types) >= 44, (
+        "subclass walk should find api + rpc + tcrpc messages"
+    )
     return types
 
 
