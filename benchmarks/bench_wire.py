@@ -1,0 +1,168 @@
+"""E-WIRE — the fast-path codec against the tagged form (§17).
+
+The process transport's CPU floor is the codec: every §4.2.1 envelope is
+encoded once and decoded once per hop.  This benchmark runs the *hot
+vocabulary* — batched perform/reply envelopes, scan replies full of
+``RecordView`` rows, the TC-service per-transaction control traffic
+(TxnWrite/TxnReadReply/TxnCommit/TxnAck) and RSSP hints — through both
+forms and asserts the negotiated fast path is at least **2x** the tagged
+msgs/s for the full encode+decode round trip.  Pure CPU, single process,
+no sockets: the bar holds on any machine, so it is asserted everywhere
+(unlike the scale-out series, which needs cores).
+
+Results land in ``benchmarks/results/BENCH_wire.json`` (repro-bench/v2):
+per-message-kind rows (msgs/s both ways, frame sizes, speedup) plus the
+headline aggregate.
+"""
+
+from __future__ import annotations
+
+import time
+
+from benchmarks.conftest import series, write_results
+from repro.common import api
+from repro.common.ops import (
+    IncrementOp,
+    InsertOp,
+    OpResult,
+    OpStatus,
+    ReadOp,
+    UpdateOp,
+)
+from repro.common.records import RecordView
+from repro.net import rpc, tcrpc, wire
+
+#: Round-trips per message kind per timing pass.
+ITERATIONS = 2000
+PASSES = 3
+
+
+def hot_vocabulary() -> dict[str, object]:
+    """One representative instance per hot message kind.
+
+    Shapes follow the real traffic: 8-op batch envelopes (the TC's
+    ``batch_max_ops`` default), 24-byte values, a 20-row scan reply, and
+    the small per-transaction control messages of the TC service tier.
+    """
+    def op_for(i: int):
+        if i % 4 == 0:
+            return InsertOp(table="t", key=i, value="x" * 24)
+        if i % 4 == 1:
+            return UpdateOp(table="t", key=i, value="y" * 24)
+        if i % 4 == 2:
+            return IncrementOp(table="t", key=i, delta=1)
+        return ReadOp(table="t", key=i)
+
+    batch = api.BatchedPerform(
+        tc_id=1,
+        ops=tuple(
+            api.PerformOperation(tc_id=1, op_id=i, op=op_for(i), eosl=i)
+            for i in range(1, 9)
+        ),
+        eosl=8,
+    )
+    replies = api.BatchedReply(
+        tc_id=1,
+        replies=tuple(
+            api.OperationReply(tc_id=1, op_id=i, result=OpResult.okay("z" * 24))
+            for i in range(1, 9)
+        ),
+    )
+    scan = api.OperationReply(
+        tc_id=1,
+        op_id=3,
+        result=OpResult(
+            status=OpStatus.OK,
+            records=tuple(RecordView(key=i, value="v" * 24) for i in range(20)),
+        ),
+    )
+    return {
+        "BatchedPerform_8ops": batch,
+        "BatchedReply_8ops": replies,
+        "ScanReply_20rows": scan,
+        "TxnWrite": tcrpc.TxnWrite(
+            tc_id=1, txn_id=42, verb="insert", table="t", key=7, value="v" * 24
+        ),
+        "TxnReadReply": tcrpc.TxnReadReply(
+            tc_id=1, txn_id=42, found=True, value="v" * 24
+        ),
+        "TxnCommit": tcrpc.TxnCommit(tc_id=1, txn_id=42),
+        "TxnAck": tcrpc.TxnAck(tc_id=1, txn_id=42),
+        "RsspHint": rpc.RsspHint(tc_id=1, dc_name="dc1", lsn=12345),
+    }
+
+
+def time_roundtrips(message, fast, scratch) -> float:
+    """Best-of-PASSES seconds for ITERATIONS encode+decode round trips."""
+    best = float("inf")
+    for _ in range(PASSES):
+        begin = time.perf_counter()
+        for _ in range(ITERATIONS):
+            rpc.unpack_frame(
+                rpc.pack_frame(rpc.PUSH, 7, message, fast, scratch)
+            )
+        best = min(best, time.perf_counter() - begin)
+    return best
+
+
+def test_ewire_fast_codec_throughput():
+    fast = wire.negotiate(wire.fast_vocabulary())
+    assert fast, "the full vocabulary must self-negotiate"
+    scratch = bytearray()
+    messages = hot_vocabulary()
+
+    rows = []
+    total_tagged_s = 0.0
+    total_fast_s = 0.0
+    for name, message in messages.items():
+        # Warm both paths (memo tables, allocator) before timing.
+        time_roundtrips(message, None, None)
+        time_roundtrips(message, fast, scratch)
+        tagged_s = time_roundtrips(message, None, None)
+        fast_s = time_roundtrips(message, fast, scratch)
+        total_tagged_s += tagged_s
+        total_fast_s += fast_s
+        row = {
+            "message": name,
+            "tagged_msgs_per_s": round(ITERATIONS / tagged_s),
+            "fast_msgs_per_s": round(ITERATIONS / fast_s),
+            "speedup": round(tagged_s / fast_s, 2),
+            "tagged_bytes": len(rpc.pack_frame(rpc.PUSH, 7, message)),
+            "fast_bytes": len(rpc.pack_frame(rpc.PUSH, 7, message, fast)),
+        }
+        rows.append(row)
+        series("E-WIRE", **row)
+
+    speedup = total_tagged_s / total_fast_s
+    msgs = ITERATIONS * len(messages)
+    payload = {
+        "series": rows,
+        "speedup": round(speedup, 2),
+        "tagged_msgs_per_s": round(msgs / total_tagged_s),
+        "fast_msgs_per_s": round(msgs / total_fast_s),
+        "vocabulary_size": len(fast),
+        "iterations_per_kind": ITERATIONS,
+    }
+    write_results("wire", payload)
+    series(
+        "E-WIRE summary",
+        speedup=round(speedup, 2),
+        tagged_msgs_per_s=payload["tagged_msgs_per_s"],
+        fast_msgs_per_s=payload["fast_msgs_per_s"],
+    )
+    # The ISSUE 8 acceptance bar: >= 2x for encode+decode over the hot
+    # vocabulary.  CPU-only, so asserted on every machine.
+    assert speedup >= 2.0, f"fast codec speedup {speedup:.2f}x < 2x"
+
+
+def test_ewire_equivalence_spot_check():
+    """The perf claim is only meaningful if both forms carry the same
+    messages — spot-check the benchmark's own vocabulary end to end."""
+    fast = wire.negotiate(wire.fast_vocabulary())
+    scratch = bytearray()
+    for message in hot_vocabulary().values():
+        tagged = rpc.unpack_frame(rpc.pack_frame(rpc.PUSH, 7, message))
+        fastrt = rpc.unpack_frame(
+            rpc.pack_frame(rpc.PUSH, 7, message, fast, scratch)
+        )
+        assert tagged == fastrt == (rpc.PUSH, 7, message)

@@ -13,7 +13,8 @@ Commands:
   re-executes a saved failing ``(seed, trace)`` exactly
 - ``chaos``       — seeded invariant-checking chaos run (``--process``
   for real DC processes and ``kill -9`` faults; ``--tc-process`` /
-  ``--kill-tc-every`` put the TC in its own process and kill it too)
+  ``--kill-tc-every`` put the TC in its own process and kill it too;
+  ``--tcp`` runs the TC↔DC data plane over loopback TCP)
 - ``serve-tc``    — run one TC server process on a Unix socket against an
   already-running DC pool (the TC service tier's standalone mode)
 """
@@ -240,17 +241,24 @@ def _chaos(args: list[str]) -> int:
     parser.add_argument("--kill-tc-every", type=int, default=0, metavar="N",
                         help="process mode: SIGKILL the TC process every "
                         "N transactions (implies --tc-process)")
+    parser.add_argument("--tcp", action="store_true",
+                        help="process mode: TC↔DC traffic over loopback "
+                        "TCP (ephemeral ports, TCP_NODELAY) instead of "
+                        "Unix sockets; implies --tc-process")
     opts = parser.parse_args(args)
 
     kwargs: dict[str, object] = {"seed": opts.seed, "txns": opts.txns}
     if opts.process:
-        kwargs["channel_config"] = ChannelConfig(transport="process")
+        kwargs["channel_config"] = ChannelConfig(
+            transport="process",
+            listen_host="127.0.0.1" if opts.tcp else "",
+        )
         kwargs["kill_every"] = opts.kill_every or 25
-        if opts.tc_process or opts.kill_tc_every:
+        if opts.tc_process or opts.kill_tc_every or opts.tcp:
             kwargs["tc_processes"] = 1
             kwargs["kill_tc_every"] = opts.kill_tc_every
-    elif opts.tc_process or opts.kill_tc_every:
-        parser.error("--tc-process/--kill-tc-every require --process")
+    elif opts.tc_process or opts.kill_tc_every or opts.tcp:
+        parser.error("--tc-process/--kill-tc-every/--tcp require --process")
     runner = ChaosRunner(**kwargs)
     try:
         report = runner.run()

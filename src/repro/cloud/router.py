@@ -117,6 +117,8 @@ class TcServiceDeployment:
         sharing_mode: str = "",
         start_method: str = "",
         request_timeout_s: float = 30.0,
+        listen_host: str = "",
+        fast_codec: bool = True,
     ) -> None:
         if tc_count < 1 or dc_count < 1:
             raise ReproError("deployment needs at least one TC and one DC")
@@ -135,7 +137,15 @@ class TcServiceDeployment:
                     journal_path=os.path.join(self.data_dir, f"{name}.journal"),
                     start_method=start_method,
                     request_timeout_s=request_timeout_s,
-                    listen_path=os.path.join(self.data_dir, f"{name}.sock"),
+                    # TCP data plane when listen_host is set (ephemeral
+                    # port, pinned from the Hello so heals re-bind it);
+                    # Unix sockets in the data dir otherwise.
+                    listen_path=(
+                        f"tcp://{listen_host}:0"
+                        if listen_host
+                        else os.path.join(self.data_dir, f"{name}.sock")
+                    ),
+                    fast_codec=fast_codec,
                 )
             dc_socks = {dc.name: dc.listen_path for dc in self.dcs.values()}
             for index in range(tc_count):
@@ -149,6 +159,7 @@ class TcServiceDeployment:
                     sharing_mode=sharing_mode,
                     start_method=start_method,
                     request_timeout_s=request_timeout_s,
+                    fast_codec=fast_codec,
                 )
             for dc in self.dcs.values():
                 dc.restart_listeners.append(self._forward_dc_restart)

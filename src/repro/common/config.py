@@ -247,6 +247,15 @@ class ChannelConfig:
     #: Process transport start method: "" = auto (fork where available,
     #: else spawn), or an explicit multiprocessing start method name.
     process_start_method: str = ""
+    #: Negotiate the fast-path binary codec at Hello time
+    #: (docs/architecture.md §17).  False forces the tagged codec on every
+    #: connection — the mixed-version / tagged-only peer simulation.
+    fast_codec: bool = True
+    #: TCP data plane: when set (e.g. ``"127.0.0.1"``), DC and TC
+    #: listeners bind ``tcp://<listen_host>:0`` (ephemeral port, pinned
+    #: after the first Hello, TCP_NODELAY) instead of Unix sockets, so the
+    #: tiers can live on other hosts.  "" keeps Unix-domain sockets.
+    listen_host: str = ""
 
     def __post_init__(self) -> None:
         if self.transport not in TRANSPORTS:

@@ -79,6 +79,16 @@ class UnbundledKernel:
         for index in range(dc_count):
             name = f"dc{index + 1}" if dc_count > 1 else "dc"
             if process_mode:
+                # With a TC process in play the DC must also listen on a
+                # socket — the TC server connects there, not via our pipe.
+                # listen_host selects the TCP data plane (ephemeral port,
+                # pinned from the Hello) over Unix-domain sockets.
+                listen = ""
+                if tc_process_mode:
+                    if self.config.channel.listen_host:
+                        listen = f"tcp://{self.config.channel.listen_host}:0"
+                    else:
+                        listen = os.path.join(self._data_dir, f"{name}.sock")
                 dc = RemoteDc(
                     name,
                     config=self.config.dc,
@@ -86,13 +96,8 @@ class UnbundledKernel:
                     journal_path=os.path.join(self._data_dir, f"{name}.journal"),
                     start_method=self.config.channel.process_start_method,
                     request_timeout_s=self.config.channel.request_timeout_s,
-                    # With a TC process in play the DC must also listen on a
-                    # socket — the TC server connects there, not via our pipe.
-                    listen_path=(
-                        os.path.join(self._data_dir, f"{name}.sock")
-                        if tc_process_mode
-                        else ""
-                    ),
+                    listen_path=listen,
+                    fast_codec=self.config.channel.fast_codec,
                 )
             else:
                 dc = DataComponent(
@@ -118,6 +123,7 @@ class UnbundledKernel:
                 sharing_mode=self.config.tc.sharing_mode,
                 start_method=self.config.channel.process_start_method,
                 request_timeout_s=self.config.channel.request_timeout_s,
+                fast_codec=self.config.channel.fast_codec,
             )
             for dc in self.dcs.values():
                 dc.restart_listeners.append(self._notify_tc_of_dc_restart)

@@ -52,7 +52,7 @@ from repro.common.api import ControlAck, Message
 from repro.common.config import DcConfig
 from repro.common.errors import CrashedError, ReproError
 from repro.dc.data_component import DataComponent
-from repro.net import rpc
+from repro.net import rpc, wire
 from repro.net.journal import JournalStorage
 from repro.net.rpc import (
     CheckpointDcLog,
@@ -61,6 +61,7 @@ from repro.net.rpc import (
     ForceLogReply,
     ForceLogRequest,
     Hello,
+    NegotiateCodec,
     RegisterTc,
     RemoteError,
     RsspHint,
@@ -89,11 +90,47 @@ def bind_unix_listener(path: str) -> socket.socket:
     return listener
 
 
+def bind_listener(address: str) -> tuple[socket.socket, str]:
+    """Bind a listener for ``tcp://host:port`` or a Unix socket path.
+
+    Returns ``(listener, resolved_address)``: a TCP bind on port 0 picks
+    an ephemeral port, and the resolved address (quoted back to clients
+    in the Hello) carries the concrete one.  ``SO_REUSEADDR`` lets a
+    respawned server re-bind the same port after a kill -9, the same
+    contract :func:`bind_unix_listener` gives via unlink-and-rebind.
+    """
+    if address.startswith("tcp://"):
+        host, _, port = address[len("tcp://"):].rpartition(":")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((host or "127.0.0.1", int(port)))
+        listener.listen(16)
+        bound_host, bound_port = listener.getsockname()[:2]
+        return listener, f"tcp://{bound_host}:{bound_port}"
+    return bind_unix_listener(address), address
+
+
 def connect_unix(path: str) -> Connection:
     """Connect to a server socket, framed like a ``multiprocessing`` pipe."""
     sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
     sock.connect(path)
     return Connection(sock.detach())
+
+
+def connect_any(address: str) -> Connection:
+    """Connect to ``tcp://host:port`` or a Unix socket path.
+
+    TCP connections set ``TCP_NODELAY``: the transport already coalesces
+    frames application-side, so Nagle buying latency for nothing is the
+    wrong trade on this data plane.
+    """
+    if address.startswith("tcp://"):
+        host, _, port = address[len("tcp://"):].rpartition(":")
+        sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        sock.connect((host or "127.0.0.1", int(port)))
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return Connection(sock.detach())
+    return connect_unix(address)
 
 
 class _DcServer:
@@ -104,8 +141,19 @@ class _DcServer:
         config: Optional[DcConfig],
         journal_path: str,
         listen_path: str = "",
+        fast_codec: bool = True,
     ):
         self._parent = conn
+        #: Advertise (and accept) the fast-path codec.  Off simulates a
+        #: tagged-only peer: the server then encodes tagged and never
+        #: enables fast replies, but still *decodes* fast frames — the
+        #: decoder is version-bound, not knob-bound.
+        self._fast_ok = fast_codec
+        #: Per-connection negotiated encode maps (empty until that client
+        #: sends NegotiateCodec); replies to a tagged-only client stay
+        #: tagged forever.
+        self._fast: dict[object, dict] = {}
+        self._scratch = bytearray()
         self._storage = JournalStorage(journal_path)
         self._dc = DataComponent(
             name, config=config, metrics=self._storage.metrics, storage=self._storage
@@ -123,15 +171,18 @@ class _DcServer:
         self._inboxes: dict = {conn: deque()}
         #: Which connection registered each TC (the bridge target).
         self._tc_conns: dict[int, object] = {}
-        self._listener: Optional[socket.socket] = (
-            bind_unix_listener(listen_path) if listen_path else None
-        )
+        self._listener: Optional[socket.socket] = None
+        self.listen_addr = ""
+        if listen_path:
+            self._listener, self.listen_addr = bind_listener(listen_path)
         self._sreq_seq = itertools.count(1)
 
     # -- framing ------------------------------------------------------------
 
     def _send(self, conn, kind: int, seq: int, payload: object) -> None:
-        conn.send_bytes(rpc.pack_frame(kind, seq, payload))
+        conn.send_bytes(
+            rpc.pack_frame(kind, seq, payload, self._fast.get(conn), self._scratch)
+        )
 
     # -- the causality-gate bridge -----------------------------------------
 
@@ -189,6 +240,7 @@ class _DcServer:
         if conn in self._inboxes:
             self._conns.remove(conn)
             del self._inboxes[conn]
+        self._fast.pop(conn, None)
         for tc_id, owner in list(self._tc_conns.items()):
             if owner is conn:
                 del self._tc_conns[tc_id]
@@ -215,9 +267,15 @@ class _DcServer:
             pid=os.getpid(),
             recovered=self._recovered,
             tables=self._catalog(),
+            fast_codec=wire.fast_vocabulary() if self._fast_ok else (),
+            listen_addr=self.listen_addr,
         )
 
     def _dispatch(self, conn, message: Message) -> Optional[Message]:
+        if isinstance(message, NegotiateCodec):
+            if self._fast_ok:
+                self._fast[conn] = wire.negotiate(message.vocab)
+            return ControlAck(tc_id=message.tc_id)
         if isinstance(message, RegisterTc):
             self._tc_conns[message.tc_id] = conn
             self._dc.register_tc(
@@ -312,6 +370,10 @@ class _DcServer:
                 for ready in wait(waitables):
                     if ready is self._listener:
                         client, _addr = self._listener.accept()
+                        if client.family == socket.AF_INET:
+                            client.setsockopt(
+                                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
+                            )
                         self._adopt(Connection(client.detach()))
                         continue
                     try:
@@ -343,6 +405,7 @@ def serve(
     config: Optional[DcConfig],
     journal_path: str,
     listen_path: str = "",
+    fast_codec: bool = True,
 ) -> None:
     """Child-process entry point (target of ``multiprocessing.Process``)."""
-    _DcServer(conn, name, config, journal_path, listen_path).run()
+    _DcServer(conn, name, config, journal_path, listen_path, fast_codec).run()

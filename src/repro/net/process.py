@@ -31,6 +31,7 @@ from __future__ import annotations
 import itertools
 import multiprocessing as mp
 import os
+import struct
 import threading
 from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeout
@@ -41,7 +42,7 @@ from repro.common.api import Message
 from repro.common.config import ChannelConfig, DcConfig
 from repro.common.errors import ReproError
 from repro.dc.recovery import TableDescriptor
-from repro.net import dcserver, rpc
+from repro.net import dcserver, rpc, wire
 from repro.net.channel import MessageChannel
 from repro.net.rpc import (
     CheckpointDcLog,
@@ -49,6 +50,7 @@ from repro.net.rpc import (
     ForceLogReply,
     ForceLogRequest,
     Hello,
+    NegotiateCodec,
     RegisterTc,
     RemoteError,
     RsspHint,
@@ -75,13 +77,14 @@ class DcProcess:
         journal_path: str,
         start_method: str = "",
         listen_path: str = "",
+        fast_codec: bool = True,
     ) -> None:
         method = start_method or default_start_method()
         ctx = mp.get_context(method)
         self.conn, child_conn = ctx.Pipe()
         self.process = ctx.Process(
             target=dcserver.serve,
-            args=(child_conn, name, config, journal_path, listen_path),
+            args=(child_conn, name, config, journal_path, listen_path, fast_codec),
             name=f"repro-dc-{name}",
             daemon=True,
         )
@@ -137,6 +140,18 @@ class DcProcess:
         self.process.join(timeout)
 
 
+#: ``multiprocessing.Connection`` frames small payloads as a network-order
+#: 4-byte length followed by the bytes (``_send_bytes``); concatenating
+#: several such header+payload blocks into one buffer is therefore parse-
+#: compatible with the peer's ``recv_bytes`` loop — which is what lets a
+#: coalesced flush land many frames in a single write.
+_FRAME_LEN = struct.Struct("!i")
+
+#: Deferred bytes auto-flush threshold; keeps a pathological pipeline from
+#: buffering unboundedly while still batching every realistic burst.
+_COALESCE_BYTES = 64 * 1024
+
+
 class _Transport:
     """Framed, multiplexed, bidirectional traffic over one connection.
 
@@ -145,6 +160,15 @@ class _Transport:
     RSSP-hint pushes) to a control thread — so a long TC log force never
     stalls reply delivery — and on EOF fails every outstanding future
     with ``None`` (the "lost reply" the resend contracts absorb).
+
+    **Coalescing** (docs/architecture.md §17): a ``submit(..., defer=True)``
+    only buffers the frame; :meth:`flush` (or the next non-deferred send,
+    which must not overtake buffered frames) writes the whole run as one
+    vectored write — one syscall for a pipelined burst instead of one per
+    frame.  Latency-sensitive ops never park: every synchronous send
+    flushes first, and callers flush explicitly at sync/commit/collect
+    points.  ``fast`` is the negotiated fast-codec encode map (empty =
+    tagged); ``_scratch`` is the per-connection reusable encode buffer.
     """
 
     def __init__(
@@ -154,14 +178,19 @@ class _Transport:
         on_server_request: Callable[[Message], Message],
         on_push: Callable[[Message], None],
         on_down: Callable[[], None],
+        fast: Optional[dict] = None,
     ) -> None:
         self._conn = conn
         self._on_server_request = on_server_request
         self._on_push = on_push
         self._on_down = on_down
+        self.fast: dict = fast or {}
         self._futures: dict[int, Future] = {}
         self._flock = threading.Lock()
         self._wlock = threading.Lock()
+        self._scratch = bytearray()
+        self._pending: list[bytes] = []
+        self._pending_bytes = 0
         self._seq = itertools.count(1)
         self._down = False
         self._ctrl: SimpleQueue = SimpleQueue()
@@ -174,9 +203,14 @@ class _Transport:
         self._recv_thread.start()
         self._ctrl_thread.start()
 
-    def submit(self, message: Message) -> Future:
+    def submit(self, message: Message, defer: bool = False) -> Future:
         """Send one request; the returned future resolves to the reply
-        message, or ``None`` if the connection died first."""
+        message, or ``None`` if the connection died first.
+
+        With ``defer=True`` the frame is only buffered; it reaches the
+        wire at the next :meth:`flush` or non-deferred send.  The future
+        still resolves normally once the reply comes back.
+        """
         future: Future = Future()
         seq = next(self._seq)
         with self._flock:
@@ -185,7 +219,7 @@ class _Transport:
                 return future
             self._futures[seq] = future
         try:
-            self._send(rpc.REQUEST, seq, message)
+            self._send(rpc.REQUEST, seq, message, defer=defer)
         except (OSError, ValueError):
             with self._flock:
                 self._futures.pop(seq, None)
@@ -193,10 +227,51 @@ class _Transport:
                 future.set_result(None)
         return future
 
-    def _send(self, kind: int, seq: int, payload: object) -> None:
-        data = rpc.pack_frame(kind, seq, payload)
+    def _send(self, kind: int, seq: int, payload: object, defer: bool = False) -> None:
         with self._wlock:
-            self._conn.send_bytes(data)
+            data = rpc.pack_frame(kind, seq, payload, self.fast, self._scratch)
+            if defer:
+                self._pending.append(data)
+                self._pending_bytes += len(data)
+                if self._pending_bytes >= _COALESCE_BYTES:
+                    self._flush_locked()
+                return
+            if self._pending:
+                # A non-deferred frame must not overtake buffered ones:
+                # join it to the run and flush everything in order.
+                self._pending.append(data)
+                self._flush_locked()
+            else:
+                self._conn.send_bytes(data)
+
+    def _flush_locked(self) -> None:
+        frames, self._pending = self._pending, []
+        self._pending_bytes = 0
+        if not frames:
+            return
+        if len(frames) == 1:
+            self._conn.send_bytes(frames[0])
+            return
+        blob = b"".join(
+            _FRAME_LEN.pack(len(frame)) + frame for frame in frames
+        )
+        # One vectored write for the whole run.  Blocking fds can still
+        # write partially (sockets, large runs), so loop the memoryview;
+        # a failure mid-run means the connection died — the receiver's
+        # EOF strands the affected futures exactly like any lost reply.
+        view = memoryview(blob)
+        fd = self._conn.fileno()
+        while view:
+            view = view[os.write(fd, view):]
+
+    def flush(self) -> None:
+        """Write out deferred frames now; quiet on a dead connection
+        (the stranded-future path already covers the loss)."""
+        try:
+            with self._wlock:
+                self._flush_locked()
+        except (OSError, ValueError):
+            pass
 
     def _recv_loop(self) -> None:
         while True:
@@ -291,6 +366,7 @@ class RemoteDc:
         start_method: str = "",
         request_timeout_s: float = 30.0,
         listen_path: str = "",
+        fast_codec: bool = True,
     ) -> None:
         self.name = name
         self.config = config
@@ -298,11 +374,16 @@ class RemoteDc:
         self.journal_path = journal_path
         self.start_method = start_method
         self.request_timeout_s = request_timeout_s
-        #: Unix-socket address the server additionally listens on ("" =
-        #: parent pipe only).  TC server processes connect here via
-        #: :class:`DcClient` — the TC service tier (§16) shares one DC
-        #: process among many TC processes this way.
+        #: Listener address the server additionally binds ("" = parent
+        #: pipe only): a Unix socket path, or ``tcp://host:port`` for the
+        #: TCP data plane (port 0 = ephemeral; the resolved address is
+        #: pinned back here from the Hello).  TC server processes connect
+        #: here via :class:`DcClient` — the TC service tier (§16) shares
+        #: one DC process among many TC processes this way.
         self.listen_path = listen_path
+        #: Negotiate the fast-path codec with the server (False simulates
+        #: a tagged-only peer; the wire stays interoperable either way).
+        self.fast_codec = fast_codec
         #: Crash listeners ``fn(name, kind)`` — the supervisor subscribes.
         self.on_crash: list[Callable[[str, str], None]] = []
         #: Restart listeners ``fn(dc)``, fired by :meth:`prompt_redo` after
@@ -333,17 +414,30 @@ class RemoteDc:
             self.journal_path,
             self.start_method,
             self.listen_path,
+            self.fast_codec,
         )
         hello = self._process.wait_hello()
         self.last_pid = hello.pid
+        if hello.listen_addr:
+            # Pin the resolved listener address: a tcp://host:0 request
+            # binds an ephemeral port, and respawns after a crash must
+            # rebind the *same* concrete port or DC-pool clients could
+            # never reconnect across a heal.
+            self.listen_path = hello.listen_addr
         self._prime_tables(hello.tables)
         self._down_handled = False
+        fast = wire.negotiate(hello.fast_codec) if self.fast_codec else {}
         self._transport = _Transport(
             self._process.conn,
             on_server_request=self._serve_force,
             on_push=self._serve_push,
             on_down=self._note_down,
+            fast=fast,
         )
+        if fast:
+            # Enable the server->client leg too.  Runs after every
+            # (re)start, so a respawned server re-negotiates from scratch.
+            self.control(NegotiateCodec(tc_id=0, vocab=wire.fast_vocabulary()))
 
     def _prime_tables(self, tables: tuple) -> None:
         with self._lock:
@@ -430,8 +524,12 @@ class RemoteDc:
 
     # -- messaging ----------------------------------------------------------
 
-    def submit(self, message: Message) -> Future:
-        return self._transport.submit(message)
+    def submit(self, message: Message, defer: bool = False) -> Future:
+        return self._transport.submit(message, defer=defer)
+
+    def flush(self) -> None:
+        """Push any coalesced (deferred) frames onto the wire now."""
+        self._transport.flush()
 
     def call(self, message: Message, timeout: Optional[float] = None) -> object:
         """Send and wait; ``None`` on timeout or a dead connection (the
@@ -582,6 +680,7 @@ class DcClient(RemoteDc):
         metrics: Optional[Metrics] = None,
         request_timeout_s: float = 30.0,
         connect_retry_s: float = 10.0,
+        fast_codec: bool = True,
     ) -> None:
         self.socket_path = socket_path
         self.connect_retry_s = connect_retry_s
@@ -591,6 +690,7 @@ class DcClient(RemoteDc):
             metrics=metrics,
             journal_path="",  # the server owns the volume, not this client
             request_timeout_s=request_timeout_s,
+            fast_codec=fast_codec,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -601,7 +701,7 @@ class DcClient(RemoteDc):
         deadline = time.monotonic() + self.connect_retry_s
         while True:
             try:
-                conn = dcserver.connect_unix(self.socket_path)
+                conn = dcserver.connect_any(self.socket_path)
                 break
             except OSError:
                 if time.monotonic() >= deadline:
@@ -620,12 +720,16 @@ class DcClient(RemoteDc):
         self.last_pid = payload.pid
         self._prime_tables(payload.tables)
         self._down_handled = False
+        fast = wire.negotiate(payload.fast_codec) if self.fast_codec else {}
         self._transport = _Transport(
             conn,
             on_server_request=self._serve_force,
             on_push=self._serve_push,
             on_down=self._note_down,
+            fast=fast,
         )
+        if fast:
+            self.control(NegotiateCodec(tc_id=0, vocab=wire.fast_vocabulary()))
 
     @property
     def crashed(self) -> bool:
@@ -730,14 +834,20 @@ class ProcessChannel(MessageChannel):
 
     # -- pipelined ----------------------------------------------------------
 
-    def request_async(self, message: Message) -> Future:
-        """Send now, return the reply future (completed out of order)."""
+    def request_async(self, message: Message, defer: bool = False) -> Future:
+        """Send now, return the reply future (completed out of order).
+
+        ``defer=True`` coalesces: the frame is buffered transport-side and
+        written (with the rest of the run, as one vectored write) at the
+        next :meth:`flush` / non-deferred send — never silently dropped,
+        because :meth:`finish_async` and :meth:`pump` flush first."""
         self._note_request(message)
         self._charge_latency()
-        return self.dc.submit(message)
+        return self.dc.submit(message, defer=defer)
 
     def finish_async(self, future: Future) -> Optional[Message]:
         """Await one pipelined reply; ``None`` = lost (resend applies)."""
+        self.dc.flush()
         try:
             reply = future.result(self._timeout_s)
         except FutureTimeout:
@@ -745,14 +855,19 @@ class ProcessChannel(MessageChannel):
             return None
         return self._accept(reply)
 
+    def flush(self) -> None:
+        """Push deferred frames to the wire without awaiting replies."""
+        self.dc.flush()
+
     def post(self, message: Message) -> None:
         self.metrics.incr("channel.posted")
-        self._in_flight.append(self.request_async(message))
+        self._in_flight.append(self.request_async(message, defer=True))
 
     def pending(self) -> int:
         return len(self._in_flight)
 
     def pump(self) -> list[Message]:
+        self.dc.flush()
         futures, self._in_flight = self._in_flight, []
         replies: list[Message] = []
         for future in futures:

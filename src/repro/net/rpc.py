@@ -36,13 +36,34 @@ CLIENT_REPLY = 3
 PUSH = 4
 
 
-def pack_frame(kind: int, seq: int, payload: object) -> bytes:
+def pack_frame(
+    kind: int,
+    seq: int,
+    payload: object,
+    fast: dict | None = None,
+    scratch: bytearray | None = None,
+) -> bytes:
+    """Pack one frame; with a negotiated ``fast`` map the frame uses the
+    CRC'd fast form (docs/architecture.md §17), else the tagged tuple."""
+    if fast:
+        return wire.encode_fast_frame(kind, seq, payload, fast, scratch)
+    if scratch is not None:
+        return wire.encode_into(scratch, (kind, seq, payload))
     return wire.encode((kind, seq, payload))
 
 
 def unpack_frame(data: bytes) -> tuple[int, int, object]:
-    frame = wire.decode(data, expect=tuple)
-    if len(frame) != 3 or not isinstance(frame[0], int) or not isinstance(frame[1], int):
+    # The two frame forms are distinguishable from byte 0: a tagged frame
+    # starts with the tuple tag, a fast frame with FAST_MAGIC.  Decoding
+    # is therefore unconditional — negotiation only gates the *encoder*,
+    # so in-flight tagged traffic racing a codec upgrade stays valid.
+    if data and data[0] == wire.FAST_MAGIC:
+        frame = wire.decode_fast_frame(data)
+    else:
+        frame = wire.decode(data, expect=tuple)
+        if len(frame) != 3:
+            raise wire.WireDecodeError(f"malformed frame envelope: {frame!r}")
+    if not isinstance(frame[0], int) or not isinstance(frame[1], int):
         raise wire.WireDecodeError(f"malformed frame envelope: {frame!r}")
     return frame  # type: ignore[return-value]
 
@@ -62,6 +83,15 @@ class Hello(Message):
     recovered: bool = False
     #: ``(name, kind, versioned)`` per hosted table.
     tables: tuple = ()
+    #: The server's fast-path codec vocabulary, as ``(id, name, signature)``
+    #: triples (see :func:`repro.net.wire.fast_vocabulary`).  Empty means
+    #: the server speaks tagged only.
+    fast_codec: tuple = ()
+    #: The resolved listener address (``tcp://host:port`` or a Unix socket
+    #: path).  Lets a client that asked for an ephemeral TCP port
+    #: (``tcp://host:0``) pin the concrete port, so respawns after a crash
+    #: rebind the same address and DC-pool clients can reconnect.
+    listen_addr: str = ""
 
 
 @dataclass(frozen=True)
@@ -95,6 +125,17 @@ class RemoteError(Message):
 
 
 # -- client -> server ---------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NegotiateCodec(Message):
+    """Enable the fast-path codec server→client for the intersection of
+    ``vocab`` (the client's :func:`~repro.net.wire.fast_vocabulary`) with
+    the server's own.  Sent after Hello by clients that chose to fast-
+    encode; until it arrives the server encodes tagged, so there is no
+    ordering race — each direction upgrades independently."""
+
+    vocab: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -45,9 +45,9 @@ from repro.common.errors import (
     TransactionAborted,
 )
 from repro.common.ops import ReadFlavor
-from repro.net import dcserver, rpc, tcserver
+from repro.net import dcserver, rpc, tcserver, wire
 from repro.net.process import _Transport, default_start_method
-from repro.net.rpc import RemoteError, Shutdown, StatsRequest
+from repro.net.rpc import NegotiateCodec, RemoteError, Shutdown, StatsRequest
 from repro.net.tcrpc import (
     DcRestarted,
     GrantOwnership,
@@ -86,6 +86,7 @@ class TcProcess:
         sharing_mode: str = "",
         start_method: str = "",
         request_timeout_s: float = 30.0,
+        fast_codec: bool = True,
     ) -> None:
         method = start_method or default_start_method()
         ctx = mp.get_context(method)
@@ -102,6 +103,7 @@ class TcProcess:
                 list(grants or []),
                 sharing_mode,
                 request_timeout_s,
+                fast_codec,
             ),
             name=f"repro-tc-{name}",
             daemon=True,
@@ -155,6 +157,10 @@ class RemoteTransaction:
     abort-on-error context manager — workloads cannot tell them apart.
     """
 
+    #: Deferred-write acks in flight before a forced drain — bounds both
+    #: client memory and the size of one coalesced burst.
+    _MAX_PENDING = 64
+
     def __init__(self, tc: "RemoteTc", txn_id: int) -> None:
         self._tc = tc
         self.txn_id = txn_id
@@ -163,11 +169,17 @@ class RemoteTransaction:
         #: still be open (locks held, writes applied), so the abort must
         #: still be delivered even though this handle is done.
         self._reply_lost = False
+        #: Reply futures of pipelined (deferred) writes: sent coalesced,
+        #: drained before any dependent operation so errors (aborts,
+        #: redirects) surface no later than the §4.2.1 contracts allow.
+        self._pending: list = []
 
     # -- plumbing -----------------------------------------------------------
 
     def _call(self, message: Message, commit_stage: bool = False) -> Message:
-        reply = self._tc.call(message)
+        return self._accept(self._tc.call(message), commit_stage)
+
+    def _accept(self, reply: object, commit_stage: bool = False) -> Message:
         if reply is None:
             # Lost reply: the server died (or timed out) with the request
             # possibly applied.  For commit that is the indeterminate
@@ -185,6 +197,35 @@ class RemoteTransaction:
             raise ReproError(f"TC {self._tc.name}: {reply.kind}: {reply.text}")
         return reply
 
+    def _drain(self, lenient: bool = False) -> None:
+        """Flush the coalesced writes and collect every pipelined ack.
+
+        Runs before any read/scan/sync/commit (and any non-deferred
+        write), so a deferred write's failure — server-side abort,
+        Section 6 redirect, lost reply — surfaces at the first point
+        whose outcome could depend on it.  ``lenient`` (abort path)
+        only reaps the futures: the abort itself is the answer.
+        """
+        if not self._pending:
+            return
+        futures, self._pending = self._pending, []
+        self._tc.flush()
+        failure: Optional[BaseException] = None
+        for future in futures:
+            try:
+                reply = future.result(self._tc.request_timeout_s)
+            except FutureTimeout:
+                self._tc.metrics.incr("remote_tc.request_timeouts")
+                reply = None
+            if lenient or failure is not None:
+                continue  # keep reaping so no future is left un-awaited
+            try:
+                self._accept(reply)
+            except ReproError as exc:
+                failure = exc
+        if failure is not None:
+            raise failure
+
     def _check_active(self) -> None:
         if self.state is not TransactionState.ACTIVE:
             raise TransactionAborted(self.txn_id, f"transaction is {self.state.value}")
@@ -199,18 +240,28 @@ class RemoteTransaction:
         deferred: bool = False,
     ) -> None:
         self._check_active()
-        self._call(
-            TxnWrite(
-                tc_id=self._tc.tc_id,
-                txn_id=self.txn_id,
-                verb=verb,
-                table=table,
-                key=key,
-                value=value,
-                delta=delta,
-                deferred=deferred,
-            )
+        message = TxnWrite(
+            tc_id=self._tc.tc_id,
+            txn_id=self.txn_id,
+            verb=verb,
+            table=table,
+            key=key,
+            value=value,
+            delta=delta,
+            deferred=deferred,
         )
+        if deferred:
+            # Client-side pipelining: buffer the frame (coalesced into one
+            # vectored write with its neighbors) and keep going; the ack
+            # is collected at the next drain point.  The server applies
+            # its own deferred/batched path to the op, so both hops of
+            # the §4.2.1 round trip shrink.
+            self._pending.append(self._tc.submit(message, defer=True))
+            if len(self._pending) >= self._MAX_PENDING:
+                self._drain()
+            return
+        self._drain()
+        self._call(message)
 
     # -- operations ---------------------------------------------------------
 
@@ -228,6 +279,7 @@ class RemoteTransaction:
 
     def read(self, table: str, key):
         self._check_active()
+        self._drain()
         reply = self._call(
             TxnRead(tc_id=self._tc.tc_id, txn_id=self.txn_id, table=table, key=key)
         )
@@ -235,6 +287,7 @@ class RemoteTransaction:
 
     def scan(self, table: str, low=None, high=None, limit: Optional[int] = None):
         self._check_active()
+        self._drain()
         reply = self._call(
             TxnScan(
                 tc_id=self._tc.tc_id,
@@ -249,10 +302,12 @@ class RemoteTransaction:
 
     def sync(self) -> None:
         self._check_active()
+        self._drain()
         self._call(TxnSync(tc_id=self._tc.tc_id, txn_id=self.txn_id))
 
     def commit(self) -> None:
         self._check_active()
+        self._drain()
         self._call(
             TxnCommit(tc_id=self._tc.tc_id, txn_id=self.txn_id), commit_stage=True
         )
@@ -261,6 +316,14 @@ class RemoteTransaction:
     def abort(self) -> None:
         if self.state is not TransactionState.ACTIVE and not self._reply_lost:
             return
+        # Pipelined writes no longer matter individually — the abort is
+        # the answer — but their futures must still be reaped (and the
+        # coalescing buffer flushed so the server sees the ops this abort
+        # is about to undo in order before the TxnAbort itself).
+        try:
+            self._drain(lenient=True)
+        except ReproError:
+            pass
         # After a lost reply the server's transaction may still be open;
         # the server treats an abort of an unknown transaction as already
         # aborted (presumed abort), so delivering it is always safe.
@@ -316,9 +379,13 @@ class RemoteTc:
         start_method: str = "",
         request_timeout_s: float = 30.0,
         socket_path: str = "",
+        fast_codec: bool = True,
     ) -> None:
         self.name = name
         self.tc_id = tc_id
+        #: Negotiate the fast-path codec with the server (False simulates
+        #: a tagged-only client; the wire stays interoperable either way).
+        self.fast_codec = fast_codec
         self.journal_path = journal_path
         self.dcs = dict(dcs or {})
         self.config = config
@@ -360,6 +427,7 @@ class RemoteTc:
             self.sharing_mode,
             self.start_method,
             self.request_timeout_s,
+            self.fast_codec,
         )
         try:
             hello = self._process.wait_hello()
@@ -377,7 +445,7 @@ class RemoteTc:
         deadline = time.monotonic() + self.request_timeout_s
         while True:
             try:
-                conn = dcserver.connect_unix(self.socket_path)
+                conn = dcserver.connect_any(self.socket_path)
                 break
             except OSError:
                 if time.monotonic() >= deadline:
@@ -399,12 +467,19 @@ class RemoteTc:
         self.last_recovered = hello.recovered
         self._conn = conn
         self._down_handled = False
+        fast = wire.negotiate(hello.fast_codec) if self.fast_codec else {}
         self._transport = _Transport(
             conn,
             on_server_request=self._reject_server_request,
             on_push=lambda _message: None,
             on_down=self._note_down,
+            fast=fast,
         )
+        if fast:
+            # Enable the server->client leg; re-negotiated from scratch
+            # after every restart/reconnect, so a respawned tagged-only
+            # server (version skew) degrades the wire instead of breaking.
+            self.control(NegotiateCodec(tc_id=self.tc_id, vocab=wire.fast_vocabulary()))
 
     def _reject_server_request(self, message: Message) -> Message:
         raise ReproError(f"unexpected server request from TC: {message!r}")
@@ -503,6 +578,14 @@ class RemoteTc:
         self.shutdown()
 
     # -- messaging ----------------------------------------------------------
+
+    def submit(self, message: Message, defer: bool = False):
+        """Pipelined send; ``defer=True`` coalesces (see ``_Transport``)."""
+        return self._transport.submit(message, defer=defer)
+
+    def flush(self) -> None:
+        """Push any coalesced (deferred) frames onto the wire now."""
+        self._transport.flush()
 
     def call(self, message: Message, timeout: Optional[float] = None) -> object:
         future = self._transport.submit(message)

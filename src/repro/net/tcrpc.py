@@ -62,6 +62,10 @@ class TcHello(Message):
     pid: int = 0
     recovered: bool = False
     replayed_records: int = 0
+    #: The server's fast-path codec vocabulary (``(id, name, signature)``
+    #: triples); empty means tagged only.  Same negotiation contract as
+    #: :class:`repro.net.rpc.Hello`.
+    fast_codec: tuple = ()
 
 
 @dataclass(frozen=True)

@@ -50,8 +50,14 @@ from repro.common.errors import (
 from repro.common.lsn import Lsn, NULL_LSN
 from repro.common.ops import ReadFlavor
 from repro.cloud.partitioning import stable_key_hash
-from repro.net import rpc
-from repro.net.rpc import RemoteError, Shutdown, StatsReply, StatsRequest
+from repro.net import rpc, wire
+from repro.net.rpc import (
+    NegotiateCodec,
+    RemoteError,
+    Shutdown,
+    StatsReply,
+    StatsRequest,
+)
 from repro.net.tcrpc import (
     AttachDc,
     DcRestarted,
@@ -237,11 +243,19 @@ class _TcServer:
         grants: Optional[list] = None,
         sharing_mode: str = "",
         request_timeout_s: float = 30.0,
+        fast_codec: bool = True,
     ) -> None:
         from repro.net.process import DcClient
 
         self._conn = conn
         self._name = name
+        #: Advertise/accept fast-codec negotiation for the client leg and
+        #: our own DcClient legs (False = tagged-only peer simulation).
+        self._fast_ok = fast_codec
+        #: Negotiated encode map toward the client ({} until it sends
+        #: NegotiateCodec — replies before that stay tagged).
+        self._fast: dict = {}
+        self._scratch = bytearray()
         self._metrics = Metrics()
         self._journal = _RecordJournal(journal_path)
         log = DurableTcLog(self._journal, self._metrics)
@@ -286,6 +300,7 @@ class _TcServer:
             socket_path,
             metrics=self._metrics,
             request_timeout_s=self._request_timeout_s,
+            fast_codec=self._fast_ok,
         )
         self._clients[dc_name] = client
         self._tc.attach_dc(client, self._channel_config)
@@ -334,6 +349,10 @@ class _TcServer:
 
     def _dispatch(self, message: Message) -> Optional[Message]:
         tc = self._tc
+        if isinstance(message, NegotiateCodec):
+            if self._fast_ok:
+                self._fast = wire.negotiate(message.vocab)
+            return ControlAck(tc_id=message.tc_id)
         if isinstance(message, TxnWrite):
             owner = self._misroute_owner(message.table, message.key)
             if owner is not None:
@@ -511,7 +530,9 @@ class _TcServer:
     # -- main loop ----------------------------------------------------------
 
     def _send(self, kind: int, seq: int, payload: object) -> None:
-        self._conn.send_bytes(rpc.pack_frame(kind, seq, payload))
+        self._conn.send_bytes(
+            rpc.pack_frame(kind, seq, payload, self._fast, self._scratch)
+        )
 
     def hello(self) -> TcHello:
         return TcHello(
@@ -520,6 +541,7 @@ class _TcServer:
             pid=os.getpid(),
             recovered=self._recovered,
             replayed_records=len(self._journal.records),
+            fast_codec=wire.fast_vocabulary() if self._fast_ok else (),
         )
 
     def run(self, close_journal: bool = True) -> None:
@@ -583,6 +605,7 @@ def serve(
     grants: Optional[list] = None,
     sharing_mode: str = "",
     request_timeout_s: float = 30.0,
+    fast_codec: bool = True,
 ) -> None:
     """Child-process entry point (target of ``multiprocessing.Process``)."""
     _TcServer(
@@ -595,6 +618,7 @@ def serve(
         grants,
         sharing_mode,
         request_timeout_s,
+        fast_codec,
     ).run()
 
 
@@ -609,24 +633,31 @@ def serve_socket(
     sharing_mode: str = "",
     request_timeout_s: float = 30.0,
     max_sessions: int = 0,
+    fast_codec: bool = True,
 ) -> None:
     """Standalone service mode (``python -m repro serve-tc``).
 
-    Binds a Unix socket and serves one client session at a time — each
-    accepted connection gets the full protocol against the *same* durable
-    journal, so a client reconnecting after a network blip (or a second
-    client taking over) sees the same TC.  ``max_sessions`` bounds the
-    accept loop for tests; 0 serves forever.
+    Binds a Unix socket (or, with a ``tcp://host:port`` address, a TCP
+    listener with TCP_NODELAY) and serves one client session at a time —
+    each accepted connection gets the full protocol against the *same*
+    durable journal, so a client reconnecting after a network blip (or a
+    second client taking over) sees the same TC.  ``max_sessions`` bounds
+    the accept loop for tests; 0 serves forever.
     """
+    import socket as socket_module
     from multiprocessing.connection import Connection
 
-    from repro.net.dcserver import bind_unix_listener
+    from repro.net.dcserver import bind_listener
 
-    listener = bind_unix_listener(listen_path)
+    listener, _resolved = bind_listener(listen_path)
     sessions = 0
     try:
         while not max_sessions or sessions < max_sessions:
             sock, _addr = listener.accept()
+            if sock.family == socket_module.AF_INET:
+                sock.setsockopt(
+                    socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
+                )
             conn = Connection(sock.detach())
             _TcServer(
                 conn,
@@ -638,11 +669,13 @@ def serve_socket(
                 grants,
                 sharing_mode,
                 request_timeout_s,
+                fast_codec,
             ).run()
             sessions += 1
     finally:
         listener.close()
-        try:
-            os.unlink(listen_path)
-        except OSError:
-            pass
+        if not listen_path.startswith("tcp://"):
+            try:
+                os.unlink(listen_path)
+            except OSError:
+                pass

@@ -20,6 +20,22 @@ op ids) cost one or two bytes.  The sentinels ``TOMBSTONE`` / ``KEY_MIN`` /
 ``KEY_MAX`` get their own tags and decode back to the canonical singletons
 — identity checks like ``value is TOMBSTONE`` keep working across the wire.
 
+**The fast path** (docs/architecture.md §17).  Self-description is paid on
+every hot-loop message: the type name and every field name travel as
+strings, per frame.  The fast-path codec removes that for a fixed, ordered
+vocabulary of hot types (:data:`_FAST_NAMES`): a compact numeric type id
+plus *positional* field values, no name strings at all.  Which types may
+be fast-encoded toward a peer is **negotiated at Hello time** — each side
+advertises ``(id, name, field-signature)`` triples and only exact matches
+are enabled — so a tagged-only or differently-versioned peer transparently
+falls back to the tagged form, and a genuinely unknown type still raises
+loudly.  Fast *frames* (:func:`encode_fast_frame`) carry a magic byte and
+a CRC32 over the body: truncation or corruption is detected before any
+positional decode is attempted, so a damaged frame raises
+:class:`WireDecodeError` instead of decoding into the wrong message.
+Decoding both forms is unconditional (version-bound, not negotiated);
+only the *encoder* is gated by negotiation.
+
 Registered out of the box: every ``Message`` subclass (including the
 control-plane messages of :mod:`repro.net.rpc`), every
 ``LogicalOperation``, ``OpResult``/``RecordView`` and the enums they
@@ -32,6 +48,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import struct
+import zlib
 from typing import Any, Optional
 
 from repro.common.errors import ReproError
@@ -46,6 +63,11 @@ __all__ = [
     "registered_types",
     "encode",
     "decode",
+    "FAST_MAGIC",
+    "fast_vocabulary",
+    "negotiate",
+    "encode_fast_frame",
+    "decode_fast_frame",
 ]
 
 
@@ -88,15 +110,44 @@ _T_ENUM = 0x0D
 _T_TOMBSTONE = 0x0E
 _T_KEY_MIN = 0x0F
 _T_KEY_MAX = 0x10
+#: Fast-path forms: a negotiated numeric type id instead of name strings,
+#: and positional instead of named fields.
+_T_FOBJ = 0x11
+_T_FENUM = 0x12
 
 _FLOAT = struct.Struct(">d")
+
+#: First byte of a fast frame.  Deliberately far outside the tag range a
+#: tagged top-level value can start with, so the two frame forms are
+#: distinguishable from byte 0.
+FAST_MAGIC = 0xFA
+_FAST_HEAD = struct.Struct("<BI")  # magic byte, crc32 of the body
 
 # -- registry -----------------------------------------------------------------
 
 _BY_NAME: dict[str, type] = {}
 _FIELDS: dict[type, tuple[str, ...]] = {}
 _FIELD_SETS: dict[type, frozenset] = {}
+#: Memoized per-type byte tables (built once at register time): the tagged
+#: object/enum headers and the per-field name strings that used to be
+#: re-encoded on every single ``encode()`` call.
+_OBJ_HEAD: dict[type, bytes] = {}
+_FIELD_HEAD: dict[type, tuple[bytes, ...]] = {}
+_ENUM_HEAD: dict[type, bytes] = {}
 _bootstrapped = False
+
+# Canonical sentinel singletons, bound at bootstrap (they live in
+# repro.common.records; binding them here avoids a per-encode import).
+_TOMBSTONE: Any = None
+_KEY_MIN: Any = None
+_KEY_MAX: Any = None
+
+
+def _enc_str(text: str) -> bytes:
+    raw = text.encode("utf-8")
+    out = bytearray()
+    _put_uvarint(out, len(raw))
+    return bytes(out) + raw
 
 
 def register(cls: type) -> type:
@@ -116,7 +167,14 @@ def register(cls: type) -> type:
         names = tuple(f.name for f in dataclasses.fields(cls))
         _FIELDS[cls] = names
         _FIELD_SETS[cls] = frozenset(names)
-    elif not (isinstance(cls, type) and issubclass(cls, enum.Enum)):
+        head = bytearray([_T_OBJ])
+        head += _enc_str(cls.__name__)
+        _put_uvarint(head, len(names))
+        _OBJ_HEAD[cls] = bytes(head)
+        _FIELD_HEAD[cls] = tuple(_enc_str(name) for name in names)
+    elif isinstance(cls, type) and issubclass(cls, enum.Enum):
+        _ENUM_HEAD[cls] = bytes([_T_ENUM]) + _enc_str(cls.__name__)
+    else:
         raise WireError(f"only dataclasses and enums can be registered: {cls!r}")
     return cls
 
@@ -134,7 +192,7 @@ def _walk_subclasses(base: type) -> None:
 
 
 def _bootstrap() -> None:
-    global _bootstrapped
+    global _bootstrapped, _TOMBSTONE, _KEY_MIN, _KEY_MAX
     if _bootstrapped:
         return
     _bootstrapped = True
@@ -151,6 +209,142 @@ def _bootstrap() -> None:
     register(ops.OpStatus)
     register(ops.ReadFlavor)
     register(records.RecordView)
+    _TOMBSTONE = records.TOMBSTONE
+    _KEY_MIN = records.KEY_MIN
+    _KEY_MAX = records.KEY_MAX
+    _build_fast_tables()
+
+
+# -- the fast-path vocabulary -------------------------------------------------
+
+#: The hot message set, in wire-id order (ids are 1-based positions).
+#: APPEND ONLY — reordering or removing entries changes ids under existing
+#: peers.  Negotiation tolerates drift (a mismatched entry is simply not
+#: enabled), but stable ids keep homogeneous deployments fully fast.
+_FAST_NAMES = (
+    "PerformOperation",
+    "OperationReply",
+    "BatchedPerform",
+    "BatchedReply",
+    "OpResult",
+    "RecordView",
+    "OpStatus",
+    "ReadFlavor",
+    "InsertOp",
+    "UpdateOp",
+    "DeleteOp",
+    "IncrementOp",
+    "ReadOp",
+    "RangeReadOp",
+    "ProbeNextKeysOp",
+    "PromoteVersionsOp",
+    "DiscardVersionsOp",
+    "EndOfStableLog",
+    "LowWaterMark",
+    "ControlAck",
+    "RsspHint",
+    "RedoComplete",
+    "TxnBegin",
+    "TxnBeginReply",
+    "TxnWrite",
+    "TxnAck",
+    "TxnRead",
+    "TxnReadReply",
+    "TxnScan",
+    "TxnScanReply",
+    "TxnSync",
+    "TxnCommit",
+    "TxnAbort",
+)
+
+_FAST_BY_ID: dict[int, type] = {}
+_FAST_SIG: dict[int, int] = {}
+#: Pre-built ``tag | id | field-count`` / ``tag | id`` byte strings, one
+#: per vocabulary type — the fast encoder appends one memoized object
+#: instead of three varint writes per message.
+_FAST_OBJ_HEAD: dict[type, bytes] = {}
+_FAST_ENUM_HEAD: dict[type, bytes] = {}
+#: Enum members are closed sets, so the fast forms memoize the *entire*
+#: encoding per member and the value->member map per id — no
+#: ``EnumMeta.__call__`` (decode) or ``.value`` descriptor (encode) on
+#: the hot path.
+_FAST_ENUM_BYTES: dict[object, bytes] = {}
+_FAST_ENUM_MAP: dict[int, dict] = {}
+
+
+def _signature(cls: type) -> int:
+    """CRC32 over the type's field layout — the negotiation fingerprint.
+
+    Two peers may only fast-encode a type to each other when name *and*
+    signature agree, because positional decoding has no field names to
+    reconcile schema drift with.  A drifted type falls back to the tagged
+    form, where drift stays loud (UnknownFieldError) or absorbable
+    (defaulted fields), exactly as before.
+    """
+    if cls in _FIELDS:
+        return zlib.crc32(",".join(_FIELDS[cls]).encode("utf-8"))
+    return zlib.crc32(
+        ",".join(f"{m.name}={m.value!r}" for m in cls).encode("utf-8")
+    )
+
+
+def _build_fast_tables() -> None:
+    if _FAST_BY_ID:
+        return
+    for idx, name in enumerate(_FAST_NAMES, start=1):
+        cls = _BY_NAME.get(name)
+        if cls is None:
+            continue
+        _FAST_BY_ID[idx] = cls
+        _FAST_SIG[idx] = _signature(cls)
+        # Memoized fast headers (valid while ids and field counts fit one
+        # varint byte each — enforced here so the encoder may assume it).
+        assert idx < 0x80, "fast vocabulary outgrew one-byte ids"
+        if cls in _FIELDS:
+            count = len(_FIELDS[cls])
+            assert count < 0x80, f"{name} outgrew one-byte field counts"
+            _FAST_OBJ_HEAD[cls] = bytes((_T_FOBJ, idx, count))
+        else:
+            head = bytes((_T_FENUM, idx))
+            _FAST_ENUM_HEAD[cls] = head
+            members: dict = {}
+            for member in cls:
+                scratch = bytearray()
+                _encode(scratch, member.value, _NO_FAST)
+                _FAST_ENUM_BYTES[member] = head + bytes(scratch)
+                members[member.value] = member
+            _FAST_ENUM_MAP[idx] = members
+
+
+def fast_vocabulary() -> tuple:
+    """The local fast vocabulary as ``(id, name, signature)`` triples —
+    what Hello/TcHello advertise and :func:`negotiate` consumes."""
+    _bootstrap()
+    return tuple(
+        (fid, cls.__name__, _FAST_SIG[fid])
+        for fid, cls in sorted(_FAST_BY_ID.items())
+    )
+
+
+def negotiate(peer_vocabulary) -> dict[type, int]:
+    """Intersect a peer's advertised vocabulary with the local one.
+
+    Returns the encode map (type -> fast id) of exact matches — id, name
+    and field signature must all agree.  An empty map means "speak tagged
+    only", which is also what a malformed advertisement degrades to:
+    negotiation can only ever *disable* fast encoding, never break framing.
+    """
+    _bootstrap()
+    accepted: dict[type, int] = {}
+    try:
+        for entry in peer_vocabulary or ():
+            fid, name, sig = entry
+            cls = _FAST_BY_ID.get(fid)
+            if cls is not None and cls.__name__ == name and _FAST_SIG[fid] == sig:
+                accepted[cls] = fid
+    except (TypeError, ValueError):
+        return {}
+    return accepted
 
 
 # -- encoding -----------------------------------------------------------------
@@ -173,7 +367,17 @@ def _put_str(out: bytearray, text: str) -> None:
     out += raw
 
 
-def _encode(out: bytearray, value: Any) -> None:
+_NO_FAST: dict[type, int] = {}
+
+
+_SEQ_TAG = {tuple: _T_TUPLE, list: _T_LIST, set: _T_SET, frozenset: _T_FROZENSET}
+_OBJ_NEW = object.__new__
+
+
+def _encode(out: bytearray, value: Any, fast: dict) -> None:
+    # The varint writes for small values (tags, lengths, ids — the vast
+    # majority on a transactional wire) are inlined as single appends;
+    # profile-guided, since this loop is the process transport's CPU floor.
     if value is None:
         out.append(_T_NONE)
         return
@@ -188,66 +392,134 @@ def _encode(out: bytearray, value: Any) -> None:
         out.append(_T_INT)
         # zigzag so small negatives stay small
         zz = (value << 1) ^ (-1 if value < 0 else 0)
-        _put_uvarint(out, zz)
+        if zz < 0x80:
+            out.append(zz)
+        else:
+            _put_uvarint(out, zz)
         return
     if kind is float:
         out.append(_T_FLOAT)
         out += _FLOAT.pack(value)
         return
     if kind is str:
+        raw = value.encode("utf-8")
+        size = len(raw)
         out.append(_T_STR)
-        _put_str(out, value)
+        if size < 0x80:
+            out.append(size)
+        else:
+            _put_uvarint(out, size)
+        out += raw
         return
     if kind is bytes:
+        size = len(value)
         out.append(_T_BYTES)
-        _put_uvarint(out, len(value))
+        if size < 0x80:
+            out.append(size)
+        else:
+            _put_uvarint(out, size)
         out += value
         return
     if kind is tuple or kind is list or kind is set or kind is frozenset:
-        out.append(
-            {tuple: _T_TUPLE, list: _T_LIST, set: _T_SET, frozenset: _T_FROZENSET}[
-                kind
-            ]
-        )
-        _put_uvarint(out, len(value))
+        size = len(value)
+        out.append(_SEQ_TAG[kind])
+        if size < 0x80:
+            out.append(size)
+        else:
+            _put_uvarint(out, size)
         for item in value:
-            _encode(out, item)
+            _encode(out, item, fast)
         return
     if kind is dict:
+        size = len(value)
         out.append(_T_DICT)
-        _put_uvarint(out, len(value))
+        if size < 0x80:
+            out.append(size)
+        else:
+            _put_uvarint(out, size)
         for key, item in value.items():
-            _encode(out, key)
-            _encode(out, item)
+            _encode(out, key, fast)
+            _encode(out, item, fast)
         return
     # Sentinels: compared by identity everywhere, so they need their own
     # tags to survive a process hop.
-    from repro.common.records import KEY_MAX, KEY_MIN, TOMBSTONE
-
-    if value is TOMBSTONE:
+    if value is _TOMBSTONE:
         out.append(_T_TOMBSTONE)
         return
-    if value is KEY_MIN:
+    if value is _KEY_MIN:
         out.append(_T_KEY_MIN)
         return
-    if value is KEY_MAX:
+    if value is _KEY_MAX:
         out.append(_T_KEY_MAX)
-        return
-    if isinstance(value, enum.Enum):
-        if _BY_NAME.get(kind.__name__) is not kind:
-            raise WireEncodeError(f"unregistered enum: {kind.__name__}")
-        out.append(_T_ENUM)
-        _put_str(out, kind.__name__)
-        _encode(out, value.value)
         return
     fields = _FIELDS.get(kind)
     if fields is not None:
-        out.append(_T_OBJ)
-        _put_str(out, kind.__name__)
-        _put_uvarint(out, len(fields))
-        for name in fields:
-            _put_str(out, name)
-            _encode(out, getattr(value, name))
+        fid = fast.get(kind)
+        if fid is not None:
+            head = _FAST_OBJ_HEAD.get(kind)
+            if head is not None and head[1] == fid:
+                out += head
+            else:
+                # A non-canonical id (only reachable from hand-built maps,
+                # e.g. skew tests) still encodes correctly, just unmemoized.
+                out.append(_T_FOBJ)
+                _put_uvarint(out, fid)
+                _put_uvarint(out, len(fields))
+            # Simple field values (the bulk of a transactional message:
+            # ids, LSNs, table names, flags) are encoded inline — one
+            # recursive call saved per field.
+            attrs = value.__dict__
+            for name in fields:
+                item = attrs[name]
+                if item is None:
+                    out.append(_T_NONE)
+                    continue
+                item_kind = type(item)
+                if item_kind is int:
+                    out.append(_T_INT)
+                    zz = (item << 1) ^ (-1 if item < 0 else 0)
+                    if zz < 0x80:
+                        out.append(zz)
+                    else:
+                        _put_uvarint(out, zz)
+                elif item_kind is str:
+                    raw = item.encode("utf-8")
+                    size = len(raw)
+                    out.append(_T_STR)
+                    if size < 0x80:
+                        out.append(size)
+                    else:
+                        _put_uvarint(out, size)
+                    out += raw
+                elif item is True:
+                    out.append(_T_TRUE)
+                elif item is False:
+                    out.append(_T_FALSE)
+                else:
+                    _encode(out, item, fast)
+            return
+        out += _OBJ_HEAD[kind]
+        heads = _FIELD_HEAD[kind]
+        for index, name in enumerate(fields):
+            out += heads[index]
+            _encode(out, getattr(value, name), fast)
+        return
+    if isinstance(value, enum.Enum):
+        fid = fast.get(kind)
+        if fid is not None:
+            whole = _FAST_ENUM_BYTES.get(value)
+            if whole is not None and whole[1] == fid:
+                out += whole
+                return
+            out.append(_T_FENUM)
+            _put_uvarint(out, fid)
+            _encode(out, value.value, fast)
+            return
+        head = _ENUM_HEAD.get(kind)
+        if head is None:
+            raise WireEncodeError(f"unregistered enum: {kind.__name__}")
+        out += head
+        _encode(out, value.value, fast)
         return
     raise WireEncodeError(f"cannot encode {kind.__name__}: {value!r}")
 
@@ -256,125 +528,246 @@ def encode(value: Any) -> bytes:
     """Serialize one value (typically a ``Message``) to bytes."""
     _bootstrap()
     out = bytearray()
-    _encode(out, value)
+    _encode(out, value, _NO_FAST)
+    return bytes(out)
+
+
+def encode_into(out: bytearray, value: Any) -> bytes:
+    """Tagged encode into a caller-owned buffer (cleared first) — the
+    transports reuse one ``bytearray`` per connection to cut growth
+    reallocations on the hot send path."""
+    _bootstrap()
+    del out[:]
+    _encode(out, value, _NO_FAST)
+    return bytes(out)
+
+
+def encode_fast_frame(
+    kind: int,
+    seq: int,
+    payload: Any,
+    fast: dict,
+    scratch: Optional[bytearray] = None,
+) -> bytes:
+    """One CRC'd fast frame: ``magic | crc32(body) | kind | seq | payload``.
+
+    ``fast`` is the negotiated encode map from :func:`negotiate`; any value
+    outside it (including nested ones) falls back to the tagged form
+    in place.  ``scratch`` is an optional reusable buffer.
+    """
+    _bootstrap()
+    out = scratch if scratch is not None else bytearray()
+    del out[:]
+    out += b"\x00" * _FAST_HEAD.size
+    if kind < 0x80:
+        out.append(kind)
+    else:
+        _put_uvarint(out, kind)
+    if seq < 0x80:
+        out.append(seq)
+    else:
+        _put_uvarint(out, seq)
+    _encode(out, payload, fast)
+    crc = zlib.crc32(memoryview(out)[_FAST_HEAD.size :]) & 0xFFFFFFFF
+    _FAST_HEAD.pack_into(out, 0, FAST_MAGIC, crc)
     return bytes(out)
 
 
 # -- decoding -----------------------------------------------------------------
 
 
-class _Reader:
-    __slots__ = ("data", "pos", "end")
-
-    def __init__(self, data: bytes) -> None:
-        self.data = data
-        self.pos = 0
-        self.end = len(data)
-
-    def byte(self) -> int:
-        if self.pos >= self.end:
-            raise WireDecodeError("truncated frame")
-        value = self.data[self.pos]
-        self.pos += 1
-        return value
-
-    def take(self, count: int) -> bytes:
-        if self.pos + count > self.end:
-            raise WireDecodeError("truncated frame")
-        chunk = self.data[self.pos : self.pos + count]
-        self.pos += count
-        return chunk
-
-    def uvarint(self) -> int:
-        shift = 0
-        result = 0
-        while True:
-            byte = self.byte()
-            result |= (byte & 0x7F) << shift
-            if not byte & 0x80:
-                return result
-            shift += 7
-
-    def text(self) -> str:
-        raw = self.take(self.uvarint())
-        try:
-            return raw.decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise WireDecodeError(f"bad utf-8 in frame: {exc}") from exc
+def _uvarint_at(data: bytes, pos: int) -> tuple:
+    """Multi-byte varint continuation (the one-byte case is inlined at
+    every call site — on this wire almost every varint fits one byte)."""
+    result = 0
+    shift = 0
+    while True:
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if byte < 0x80:
+            return result, pos
+        shift += 7
 
 
-def _decode(reader: _Reader) -> Any:
-    tag = reader.byte()
-    if tag == _T_NONE:
-        return None
-    if tag == _T_TRUE:
-        return True
-    if tag == _T_FALSE:
-        return False
+def _text_at(data: bytes, pos: int) -> tuple:
+    size = data[pos]
+    pos += 1
+    if size >= 0x80:
+        size, pos = _uvarint_at(data, pos - 1)
+    stop = pos + size
+    if stop > len(data):
+        raise WireDecodeError("truncated frame")
+    try:
+        return data[pos:stop].decode("utf-8"), stop
+    except UnicodeDecodeError as exc:
+        raise WireDecodeError(f"bad utf-8 in frame: {exc}") from exc
+
+
+def _decode_at(data: bytes, pos: int) -> tuple:
+    """Decode one value at ``pos``; returns ``(value, next_pos)``.
+
+    Positional and allocation-lean on purpose: running off the end of
+    ``data`` raises ``IndexError``, which the entry points translate to
+    ``WireDecodeError("truncated frame")`` — one try/except per frame
+    instead of a bounds check per byte.
+    """
+    tag = data[pos]
+    pos += 1
     if tag == _T_INT:
-        zz = reader.uvarint()
-        return (zz >> 1) ^ -(zz & 1)
-    if tag == _T_FLOAT:
-        return _FLOAT.unpack(reader.take(8))[0]
+        zz = data[pos]
+        pos += 1
+        if zz >= 0x80:
+            zz, pos = _uvarint_at(data, pos - 1)
+        return (zz >> 1) ^ -(zz & 1), pos
     if tag == _T_STR:
-        return reader.text()
-    if tag == _T_BYTES:
-        return reader.take(reader.uvarint())
-    if tag in (_T_TUPLE, _T_LIST, _T_SET, _T_FROZENSET):
-        count = reader.uvarint()
-        items = [_decode(reader) for _ in range(count)]
+        return _text_at(data, pos)
+    if tag == _T_NONE:
+        return None, pos
+    if tag == _T_TRUE:
+        return True, pos
+    if tag == _T_FALSE:
+        return False, pos
+    if tag == _T_FOBJ:
+        fid = data[pos]
+        pos += 1
+        if fid >= 0x80:
+            fid, pos = _uvarint_at(data, pos - 1)
+        cls = _FAST_BY_ID.get(fid)
+        fields = _FIELDS.get(cls) if cls is not None else None
+        if fields is None:
+            raise UnknownTypeError(f"unknown fast type id {fid} on wire")
+        count = data[pos]
+        pos += 1
+        if count >= 0x80:
+            count, pos = _uvarint_at(data, pos - 1)
+        if count != len(fields):
+            raise WireDecodeError(
+                f"fast {cls.__name__} field count {count} != {len(fields)}"
+            )
+        # Construct without the (frozen) dataclass __init__: every field
+        # is present positionally, so the per-field ``object.__setattr__``
+        # dance buys nothing.  Simple values decode inline, mirroring the
+        # encoder's fast-field specialization.
+        obj = _OBJ_NEW(cls)
+        attrs = obj.__dict__
+        for name in fields:
+            tag = data[pos]
+            if tag == _T_INT:
+                pos += 1
+                zz = data[pos]
+                pos += 1
+                if zz >= 0x80:
+                    zz, pos = _uvarint_at(data, pos - 1)
+                attrs[name] = (zz >> 1) ^ -(zz & 1)
+            elif tag == _T_STR:
+                attrs[name], pos = _text_at(data, pos + 1)
+            elif tag == _T_NONE:
+                attrs[name] = None
+                pos += 1
+            elif tag == _T_TRUE:
+                attrs[name] = True
+                pos += 1
+            elif tag == _T_FALSE:
+                attrs[name] = False
+                pos += 1
+            else:
+                attrs[name], pos = _decode_at(data, pos)
+        return obj, pos
+    if tag == _T_TUPLE or tag == _T_LIST or tag == _T_SET or tag == _T_FROZENSET:
+        count = data[pos]
+        pos += 1
+        if count >= 0x80:
+            count, pos = _uvarint_at(data, pos - 1)
+        items = []
+        append = items.append
+        for _ in range(count):
+            value, pos = _decode_at(data, pos)
+            append(value)
         if tag == _T_TUPLE:
-            return tuple(items)
+            return tuple(items), pos
         if tag == _T_LIST:
-            return items
+            return items, pos
         if tag == _T_SET:
-            return set(items)
-        return frozenset(items)
+            return set(items), pos
+        return frozenset(items), pos
     if tag == _T_DICT:
-        count = reader.uvarint()
-        return {_decode(reader): _decode(reader) for _ in range(count)}
+        count = data[pos]
+        pos += 1
+        if count >= 0x80:
+            count, pos = _uvarint_at(data, pos - 1)
+        result: dict = {}
+        for _ in range(count):
+            key, pos = _decode_at(data, pos)
+            value, pos = _decode_at(data, pos)
+            result[key] = value
+        return result, pos
+    if tag == _T_FLOAT:
+        stop = pos + 8
+        if stop > len(data):
+            raise WireDecodeError("truncated frame")
+        return _FLOAT.unpack_from(data, pos)[0], stop
+    if tag == _T_BYTES:
+        size = data[pos]
+        pos += 1
+        if size >= 0x80:
+            size, pos = _uvarint_at(data, pos - 1)
+        stop = pos + size
+        if stop > len(data):
+            raise WireDecodeError("truncated frame")
+        return data[pos:stop], stop
     if tag == _T_TOMBSTONE:
-        from repro.common.records import TOMBSTONE
-
-        return TOMBSTONE
+        return _TOMBSTONE, pos
     if tag == _T_KEY_MIN:
-        from repro.common.records import KEY_MIN
-
-        return KEY_MIN
+        return _KEY_MIN, pos
     if tag == _T_KEY_MAX:
-        from repro.common.records import KEY_MAX
-
-        return KEY_MAX
+        return _KEY_MAX, pos
     if tag == _T_ENUM:
-        name = reader.text()
+        name, pos = _text_at(data, pos)
         cls = _BY_NAME.get(name)
         if cls is None or not issubclass(cls, enum.Enum):
             raise UnknownTypeError(f"unknown enum on wire: {name!r}")
-        value = _decode(reader)
+        value, pos = _decode_at(data, pos)
         try:
-            return cls(value)
+            return cls(value), pos
         except ValueError as exc:
             raise WireDecodeError(f"bad {name} value: {value!r}") from exc
     if tag == _T_OBJ:
-        name = reader.text()
+        name, pos = _text_at(data, pos)
         cls = _BY_NAME.get(name)
         if cls is None:
             raise UnknownTypeError(f"unknown type on wire: {name!r}")
         known = _FIELD_SETS.get(cls)
         if known is None:
             raise UnknownTypeError(f"{name!r} is not a wire dataclass")
-        count = reader.uvarint()
+        count, pos = _uvarint_at(data, pos)
         kwargs: dict[str, Any] = {}
         for _ in range(count):
-            field_name = reader.text()
-            value = _decode(reader)
+            field_name, pos = _text_at(data, pos)
+            value, pos = _decode_at(data, pos)
             if field_name not in known:
                 raise UnknownFieldError(f"{name} has no field {field_name!r}")
             kwargs[field_name] = value
         try:
-            return cls(**kwargs)
+            return cls(**kwargs), pos
         except TypeError as exc:
             raise WireDecodeError(f"cannot build {name}: {exc}") from exc
+    if tag == _T_FENUM:
+        fid = data[pos]
+        pos += 1
+        if fid >= 0x80:
+            fid, pos = _uvarint_at(data, pos - 1)
+        members = _FAST_ENUM_MAP.get(fid)
+        if members is None:
+            raise UnknownTypeError(f"unknown fast enum id {fid} on wire")
+        value, pos = _decode_at(data, pos)
+        try:
+            return members[value], pos
+        except (KeyError, TypeError):
+            cls = _FAST_BY_ID[fid]
+            raise WireDecodeError(
+                f"bad {cls.__name__} value: {value!r}"
+            ) from None
     raise WireDecodeError(f"unknown wire tag 0x{tag:02x}")
 
 
@@ -385,14 +778,43 @@ def decode(data: bytes, expect: Optional[type] = None) -> Any:
     uses it to reject cross-protocol garbage early).
     """
     _bootstrap()
-    reader = _Reader(data)
-    value = _decode(reader)
-    if reader.pos != reader.end:
+    try:
+        value, pos = _decode_at(data, 0)
+    except IndexError:
+        raise WireDecodeError("truncated frame") from None
+    if pos != len(data):
         raise WireDecodeError(
-            f"trailing garbage: {reader.end - reader.pos} bytes after value"
+            f"trailing garbage: {len(data) - pos} bytes after value"
         )
     if expect is not None and not isinstance(value, expect):
         raise WireDecodeError(
             f"expected {expect.__name__}, decoded {type(value).__name__}"
         )
     return value
+
+
+def decode_fast_frame(data: bytes) -> tuple:
+    """Decode one fast frame to ``(kind, seq, payload)``.
+
+    The CRC is checked before any positional decode, so a truncated or
+    bit-flipped frame deterministically raises :class:`WireDecodeError`
+    (never a structurally-plausible wrong message).
+    """
+    _bootstrap()
+    head = _FAST_HEAD.size
+    if len(data) <= head or data[0] != FAST_MAGIC:
+        raise WireDecodeError("not a fast frame")
+    _magic, crc = _FAST_HEAD.unpack_from(data, 0)
+    if zlib.crc32(memoryview(data)[head:]) & 0xFFFFFFFF != crc:
+        raise WireDecodeError("fast frame failed its crc32 check")
+    try:
+        kind, pos = _uvarint_at(data, head)
+        seq, pos = _uvarint_at(data, pos)
+        payload, pos = _decode_at(data, pos)
+    except IndexError:
+        raise WireDecodeError("truncated frame") from None
+    if pos != len(data):
+        raise WireDecodeError(
+            f"trailing garbage: {len(data) - pos} bytes after fast frame"
+        )
+    return kind, seq, payload

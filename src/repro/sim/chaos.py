@@ -155,6 +155,7 @@ class ChaosRunner:
             and channel_config.transport == "process"
         )
         self._process_mode = process_mode
+        self._tcp = process_mode and bool(channel_config.listen_host)
         if channel_config is not None and channel_config.seed == 0:
             # One top-level seed reproduces everything — workload, fault
             # schedule, *and* channel misbehavior — so a failing run is a
@@ -281,7 +282,8 @@ class ChaosRunner:
             f"seed={self.seed} kill_every={self.kill_every} "
             f"kill_tc_every={self.kill_tc_every} "
             f"tc_processes={int(self._tc_process_mode)} "
-            f"channel_config=ChannelConfig(transport='process') "
+            f"channel_config=ChannelConfig(transport='process'"
+            f"{', listen_host=<loopback>' if self._tcp else ''}) "
             f"(kills fired: {self.kills}, of which TC: {self.tc_kills})"
         )
 
@@ -294,10 +296,12 @@ class ChaosRunner:
             parts.append("--process")
             if self.kill_every:
                 parts.append(f"--kill-every {self.kill_every}")
-            if self._tc_process_mode:
+            if self._tc_process_mode and not self._tcp:
                 parts.append("--tc-process")
             if self.kill_tc_every:
                 parts.append(f"--kill-tc-every {self.kill_tc_every}")
+            if self._tcp:
+                parts.append("--tcp")
         return " ".join(parts)
 
     def _kill_one(self, rng: random.Random) -> None:

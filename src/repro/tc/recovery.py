@@ -201,8 +201,16 @@ def resend_redo_stream(
                         exhausted.add(name)
                     else:
                         tc._check_up()
+                        # Deferred: window-fill envelopes coalesce into one
+                        # vectored write per DC; finish_async flushes that
+                        # channel before awaiting, so nothing ever parks.
                         pending[name].append(
-                            (channels[name].request_async(envelope(chunk)), chunk)
+                            (
+                                channels[name].request_async(
+                                    envelope(chunk), defer=True
+                                ),
+                                chunk,
+                            )
                         )
                         continue
                 if pending[name]:

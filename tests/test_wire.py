@@ -103,7 +103,7 @@ def _all_message_types():
         and dataclasses.is_dataclass(cls)
         and issubclass(cls, api.Message)
     ]
-    assert len(types) >= 44, (
+    assert len(types) >= 45, (
         "subclass walk should find api + rpc + tcrpc messages"
     )
     return types
