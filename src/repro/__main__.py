@@ -14,7 +14,8 @@ Commands:
 - ``chaos``       — seeded invariant-checking chaos run (``--process``
   for real DC processes and ``kill -9`` faults; ``--tc-process`` /
   ``--kill-tc-every`` put the TC in its own process and kill it too;
-  ``--tcp`` runs the TC↔DC data plane over loopback TCP)
+  ``--tcp`` runs the TC↔DC data plane over loopback TCP; ``--shm``
+  moves co-located links onto shared-memory rings)
 - ``serve-tc``    — run one TC server process on a Unix socket against an
   already-running DC pool (the TC service tier's standalone mode)
 """
@@ -245,20 +246,28 @@ def _chaos(args: list[str]) -> int:
                         help="process mode: TC↔DC traffic over loopback "
                         "TCP (ephemeral ports, TCP_NODELAY) instead of "
                         "Unix sockets; implies --tc-process")
+    parser.add_argument("--shm", action="store_true",
+                        help="process mode: co-located links carry frames "
+                        "over shared-memory rings (transport='shm'); "
+                        "incompatible with --tcp")
     opts = parser.parse_args(args)
 
+    if opts.shm and opts.tcp:
+        parser.error("--shm is single-machine; it cannot combine with --tcp")
     kwargs: dict[str, object] = {"seed": opts.seed, "txns": opts.txns}
     if opts.process:
         kwargs["channel_config"] = ChannelConfig(
-            transport="process",
+            transport="shm" if opts.shm else "process",
             listen_host="127.0.0.1" if opts.tcp else "",
         )
         kwargs["kill_every"] = opts.kill_every or 25
         if opts.tc_process or opts.kill_tc_every or opts.tcp:
             kwargs["tc_processes"] = 1
             kwargs["kill_tc_every"] = opts.kill_tc_every
-    elif opts.tc_process or opts.kill_tc_every or opts.tcp:
-        parser.error("--tc-process/--kill-tc-every/--tcp require --process")
+    elif opts.tc_process or opts.kill_tc_every or opts.tcp or opts.shm:
+        parser.error(
+            "--tc-process/--kill-tc-every/--tcp/--shm require --process"
+        )
     runner = ChaosRunner(**kwargs)
     try:
         report = runner.run()

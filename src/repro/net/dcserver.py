@@ -3,28 +3,31 @@
 :func:`serve` is the child-process entry point.  It opens (and replays)
 the DC's journal volume, builds an ordinary
 :class:`~repro.dc.data_component.DataComponent` on top, announces itself
-with a :class:`~repro.net.rpc.Hello` push, then runs a single-threaded
-request loop:
+with a :class:`~repro.net.rpc.Hello` push, then serves every connection
+through one :class:`~repro.net.eventloop.EventLoop`:
 
 - §4.2.1 data/control messages (``PerformOperation``, ``BatchedPerform``,
   EOSL/LWM/checkpoint/restart traffic) dispatch to ``dc.handle`` exactly
   as the in-process transport would;
 - the small control plane of :mod:`repro.net.rpc` (register, catalog,
-  stats, shutdown) is served here;
+  stats, shm attach, shutdown) is served here;
 - the **causality gate** is bridged: when a DC system transaction needs
   the TC log forced (Section 4.2.2), the server sends a
   ``SERVER_REQUEST`` ``ForceLogRequest`` on the connection that
-  registered that TC and blocks until the matching ``CLIENT_REPLY``
-  arrives, stashing any pipelined requests that land in between into that
-  connection's inbox, which the main loop drains afterwards.
+  registered that TC and *pumps the event loop* until the matching
+  ``CLIENT_REPLY`` arrives — request frames that land meanwhile (on any
+  connection) backlog in arrival order, while reads, writes, accepts and
+  ring traffic on every other connection keep flowing.
 
 **Connections.**  The parent pipe is always served.  With ``listen_path``
-set, the server additionally binds a Unix-domain socket and serves every
-accepted connection through the same loop — this is how TC *server*
-processes (docs/architecture.md §16) share one DC process as a pool:
-each TC process connects to each DC's socket, registers its tc_id, and
-speaks the identical protocol the parent pipe speaks.  One DC, many TCs,
-one event loop — Section 6's multi-TC sharing made out-of-process.
+set, the server additionally binds a Unix-domain or TCP listener and
+serves every accepted connection through the same loop — this is how TC
+*server* processes (docs/architecture.md §16) share one DC process as a
+pool.  A client may also attach a shared-memory ring pair
+(:class:`~repro.net.rpc.AttachShm`, :mod:`repro.net.shm`) and ride small
+frames on a cross-process memcpy instead of the pipe.  One DC, many TCs,
+one event loop — Section 6's multi-TC sharing made out-of-process, with
+the server's thread count O(1) in the number of clients.
 
 Single-threadedness is deliberate: one DC process is one core's worth of
 DC work (the scale-out unit is the *process*), and it keeps the server's
@@ -33,7 +36,8 @@ running many DC processes, which is the point of the deployment mode.
 
 If the parent dies (EOF on the pipe), the server exits; EOF on an
 accepted connection just drops that client (a kill -9'd TC must not take
-the shared DC down with it).  If the parent SIGKILLs the server, the
+the shared DC down with it).  A malformed frame likewise drops only the
+connection that sent it.  If the parent SIGKILLs the server, the
 journal's flushed frames survive in the OS page cache and the next
 :func:`serve` on the same path replays them — the real-death analogue of
 the in-memory store's crash separation.
@@ -44,8 +48,9 @@ from __future__ import annotations
 import itertools
 import os
 import socket
+import threading
 from collections import deque
-from multiprocessing.connection import Connection, wait
+from multiprocessing.connection import Connection
 from typing import Optional
 
 from repro.common.api import ControlAck, Message
@@ -53,8 +58,10 @@ from repro.common.config import DcConfig
 from repro.common.errors import CrashedError, ReproError
 from repro.dc.data_component import DataComponent
 from repro.net import rpc, wire
+from repro.net.eventloop import EventLoop, Peer
 from repro.net.journal import JournalStorage
 from repro.net.rpc import (
+    AttachShm,
     CheckpointDcLog,
     CheckpointDcLogReply,
     CreateTable,
@@ -71,6 +78,7 @@ from repro.net.rpc import (
     TableList,
     TableListReply,
 )
+from repro.net.shm import ShmLink
 
 
 def bind_unix_listener(path: str) -> socket.socket:
@@ -143,7 +151,7 @@ class _DcServer:
         listen_path: str = "",
         fast_codec: bool = True,
     ):
-        self._parent = conn
+        self._parent_conn = conn
         #: Advertise (and accept) the fast-path codec.  Off simulates a
         #: tagged-only peer: the server then encodes tagged and never
         #: enables fast replies, but still *decodes* fast frames — the
@@ -152,7 +160,7 @@ class _DcServer:
         #: Per-connection negotiated encode maps (empty until that client
         #: sends NegotiateCodec); replies to a tagged-only client stay
         #: tagged forever.
-        self._fast: dict[object, dict] = {}
+        self._fast: dict[Peer, dict] = {}
         self._scratch = bytearray()
         self._storage = JournalStorage(journal_path)
         self._dc = DataComponent(
@@ -165,23 +173,32 @@ class _DcServer:
             # TC-side redo prompt is driven by the client after reconnect.
             self._dc.recover(notify_tcs=False)
             self._recovered = True
-        self._conns: list = [conn]
-        #: Per-connection frames received while blocked inside a force-log
-        #: bridge on that connection.
-        self._inboxes: dict = {conn: deque()}
-        #: Which connection registered each TC (the bridge target).
-        self._tc_conns: dict[int, object] = {}
+        self._loop = EventLoop(self._dc.metrics)
+        #: Which peer registered each TC (the force-log bridge target).
+        self._tc_peers: dict[int, Peer] = {}
+        #: seq -> reply box for force bridges pumping inside the loop.
+        self._force_boxes: dict[int, list] = {}
+        #: Frames decoded but not yet dispatched: everything delivered
+        #: while a dispatch (or a force bridge pumping inside one) is on
+        #: the stack lands here and is served strictly in arrival order.
+        self._backlog: deque = deque()
+        self._dispatching = False
         self._listener: Optional[socket.socket] = None
         self.listen_addr = ""
         if listen_path:
             self._listener, self.listen_addr = bind_listener(listen_path)
         self._sreq_seq = itertools.count(1)
+        self._parent_peer = self._loop.adopt(
+            conn, self._on_frame, self._on_parent_close
+        )
+        if self._listener is not None:
+            self._loop.add_listener(self._listener, self._on_accept)
 
     # -- framing ------------------------------------------------------------
 
-    def _send(self, conn, kind: int, seq: int, payload: object) -> None:
-        conn.send_bytes(
-            rpc.pack_frame(kind, seq, payload, self._fast.get(conn), self._scratch)
+    def _send(self, peer: Peer, kind: int, seq: int, payload: object) -> None:
+        peer.send_frame(
+            rpc.pack_frame(kind, seq, payload, self._fast.get(peer), self._scratch)
         )
 
     # -- the causality-gate bridge -----------------------------------------
@@ -190,26 +207,34 @@ class _DcServer:
         def force(lsn):
             # Looked up at call time: a re-registered TC (respawned
             # process, new connection) re-aims the bridge automatically.
-            conn = self._tc_conns.get(tc_id)
-            if conn is None or conn not in self._inboxes:
+            peer = self._tc_peers.get(tc_id)
+            if peer is None or peer.closed:
                 raise CrashedError(f"TC {tc_id} force-log channel")
             seq = next(self._sreq_seq)
+            box: list = []
+            self._force_boxes[seq] = box
             try:
-                self._send(
-                    conn, rpc.SERVER_REQUEST, seq, ForceLogRequest(tc_id=tc_id, lsn=lsn)
-                )
-                while True:
-                    kind, rseq, payload = rpc.unpack_frame(conn.recv_bytes())
-                    if kind == rpc.CLIENT_REPLY and rseq == seq:
-                        if isinstance(payload, ForceLogReply):
-                            return payload.eosl
-                        return lsn
-                    # A pipelined client request raced the reply; serve it
-                    # after the gate clears (arrival order is preserved).
-                    self._inboxes[conn].append((kind, rseq, payload))
-            except (EOFError, BrokenPipeError, OSError):
-                self._drop_conn(conn)
-                raise CrashedError(f"TC {tc_id} force-log channel")
+                try:
+                    self._send(
+                        peer,
+                        rpc.SERVER_REQUEST,
+                        seq,
+                        ForceLogRequest(tc_id=tc_id, lsn=lsn),
+                    )
+                except (BrokenPipeError, OSError):
+                    raise CrashedError(f"TC {tc_id} force-log channel")
+                # The event-loop-scheduled wait: every other connection
+                # keeps being served (their requests backlog in arrival
+                # order); a dead TC surfaces as EOF -> peer.closed.
+                self._loop.pump_until(lambda: bool(box) or peer.closed)
+                if not box:
+                    raise CrashedError(f"TC {tc_id} force-log channel")
+                payload = box[0]
+                if isinstance(payload, ForceLogReply):
+                    return payload.eosl
+                return lsn
+            finally:
+                self._force_boxes.pop(seq, None)
 
         return force
 
@@ -217,37 +242,35 @@ class _DcServer:
         # Spontaneous-stability hints go to every connection that holds a
         # registration (the parent, if none do) — each client fans the
         # hint out to its own registrations.
-        targets = set(self._tc_conns.values()) or {self._parent}
-        for conn in targets:
-            if conn not in self._inboxes:
+        targets = set(self._tc_peers.values()) or {self._parent_peer}
+        for peer in targets:
+            if peer.closed:
                 continue
             try:
-                self._send(conn, rpc.PUSH, 0, RsspHint(tc_id=0, dc_name=dc_name, lsn=lsn))
+                self._send(
+                    peer, rpc.PUSH, 0, RsspHint(tc_id=0, dc_name=dc_name, lsn=lsn)
+                )
             except (BrokenPipeError, OSError):
-                self._drop_conn(conn)
+                self._loop.close_peer(peer)
 
     # -- connection lifecycle ----------------------------------------------
 
-    def _adopt(self, conn) -> None:
-        self._conns.append(conn)
-        self._inboxes[conn] = deque()
+    def _on_accept(self, sock: socket.socket) -> None:
+        peer = self._loop.adopt(sock, self._on_frame, self._on_peer_close)
         try:
-            self._send(conn, rpc.PUSH, 0, self._hello())
+            self._send(peer, rpc.PUSH, 0, self._hello())
         except (BrokenPipeError, OSError):
-            self._drop_conn(conn)
+            self._loop.close_peer(peer)
 
-    def _drop_conn(self, conn) -> None:
-        if conn in self._inboxes:
-            self._conns.remove(conn)
-            del self._inboxes[conn]
-        self._fast.pop(conn, None)
-        for tc_id, owner in list(self._tc_conns.items()):
-            if owner is conn:
-                del self._tc_conns[tc_id]
-        try:
-            conn.close()
-        except OSError:
-            pass
+    def _on_peer_close(self, peer: Peer) -> None:
+        self._fast.pop(peer, None)
+        for tc_id, owner in list(self._tc_peers.items()):
+            if owner is peer:
+                del self._tc_peers[tc_id]
+
+    def _on_parent_close(self, peer: Peer) -> None:
+        self._on_peer_close(peer)
+        self._loop.stop()  # parent is gone; nothing to serve
 
     # -- dispatch -----------------------------------------------------------
 
@@ -271,13 +294,19 @@ class _DcServer:
             listen_addr=self.listen_addr,
         )
 
-    def _dispatch(self, conn, message: Message) -> Optional[Message]:
+    def _dispatch(self, peer: Peer, message: Message) -> Optional[Message]:
         if isinstance(message, NegotiateCodec):
             if self._fast_ok:
-                self._fast[conn] = wire.negotiate(message.vocab)
+                self._fast[peer] = wire.negotiate(message.vocab)
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, AttachShm):
+            link = ShmLink.attach(message.c2s_name, message.s2c_name)
+            self._loop.attach_shm(
+                peer, link, message.spin, message.park_ms / 1000.0
+            )
             return ControlAck(tc_id=message.tc_id)
         if isinstance(message, RegisterTc):
-            self._tc_conns[message.tc_id] = conn
+            self._tc_peers[message.tc_id] = peer
             self._dc.register_tc(
                 message.tc_id,
                 force_log=self._force_bridge(message.tc_id),
@@ -303,7 +332,11 @@ class _DcServer:
                     "pid": os.getpid(),
                     "recovered": self._recovered,
                     "journal_bytes": self._storage.journal_bytes(),
-                    "connections": len(self._conns),
+                    "connections": len(self._loop._peers),
+                    # The many-clients scaling claim, measurable from the
+                    # outside: the loop serves every client, so this stays
+                    # flat as connections grow.
+                    "threads": threading.active_count(),
                 },
             )
         if isinstance(message, CheckpointDcLog):
@@ -319,12 +352,48 @@ class _DcServer:
             return ControlAck(tc_id=message.tc_id)
         return self._dc.handle(message)
 
-    def _serve_frame(self, conn, kind: int, seq: int, message) -> bool:
+    # -- frame plumbing ------------------------------------------------------
+
+    def _on_frame(self, peer: Peer, data: bytes) -> None:
+        try:
+            kind, seq, message = rpc.unpack_frame(data)
+        except wire.WireError:
+            # One client speaking garbage must not take the server (or
+            # anyone else's connection) down with it.
+            self._dc.metrics.incr("dcserver.bad_frames")
+            self._loop.close_peer(peer)
+            return
+        if kind == rpc.DOORBELL:
+            return  # the pipe write itself was the wakeup
+        if kind == rpc.CLIENT_REPLY:
+            box = self._force_boxes.get(seq)
+            if box is not None:
+                box.append(message)
+            return  # unmatched = stale reply from a dropped bridge
+        self._backlog.append((peer, kind, seq, message))
+        self._drain_backlog()
+
+    def _drain_backlog(self) -> None:
+        if self._dispatching:
+            return  # the frame arrived inside a dispatch; served after it
+        self._dispatching = True
+        try:
+            while self._backlog:
+                peer, kind, seq, message = self._backlog.popleft()
+                if peer.closed:
+                    continue
+                if not self._serve_frame(peer, kind, seq, message):
+                    self._loop.stop()
+                    return
+        finally:
+            self._dispatching = False
+
+    def _serve_frame(self, peer: Peer, kind: int, seq: int, message) -> bool:
         """Serve one frame; returns False when the server should exit."""
         if kind != rpc.REQUEST:
-            return True  # stray frame (e.g. a stale CLIENT_REPLY)
+            return True  # stray frame (e.g. a stale SERVER_REQUEST echo)
         try:
-            reply = self._dispatch(conn, message)
+            reply = self._dispatch(peer, message)
         except CrashedError:
             # The in-process transport maps a crashed component to a lost
             # message; mirror that so the client's resend policy engages.
@@ -336,67 +405,25 @@ class _DcServer:
                 text=str(exc),
             )
         try:
-            self._send(conn, rpc.REPLY, seq, reply)
+            self._send(peer, rpc.REPLY, seq, reply)
         except (BrokenPipeError, OSError):
-            self._drop_conn(conn)
-            return conn is not self._parent
+            self._loop.close_peer(peer)
+            return peer is not self._parent_peer
         if isinstance(message, Shutdown):
-            if conn is self._parent:
+            if peer is self._parent_peer:
                 return False
-            self._drop_conn(conn)  # a client said goodbye; keep serving
+            self._loop.close_peer(peer)  # a client said goodbye; keep serving
         return True
 
     # -- main loop ----------------------------------------------------------
 
     def run(self) -> None:
-        self._send(self._parent, rpc.PUSH, 0, self._hello())
         try:
-            while True:
-                # Frames stashed while a force-log bridge was blocked come
-                # first: they arrived before anything currently buffered.
-                progressed = True
-                while progressed:
-                    progressed = False
-                    for conn in list(self._conns):
-                        inbox = self._inboxes.get(conn)
-                        while inbox:
-                            progressed = True
-                            kind, seq, message = inbox.popleft()
-                            if not self._serve_frame(conn, kind, seq, message):
-                                return
-                waitables = list(self._conns)
-                if self._listener is not None:
-                    waitables.append(self._listener)
-                for ready in wait(waitables):
-                    if ready is self._listener:
-                        client, _addr = self._listener.accept()
-                        if client.family == socket.AF_INET:
-                            client.setsockopt(
-                                socket.IPPROTO_TCP, socket.TCP_NODELAY, 1
-                            )
-                        self._adopt(Connection(client.detach()))
-                        continue
-                    try:
-                        kind, seq, message = rpc.unpack_frame(ready.recv_bytes())
-                    except (EOFError, OSError):
-                        if ready is self._parent:
-                            return  # parent is gone; nothing to serve
-                        self._drop_conn(ready)
-                        continue
-                    if not self._serve_frame(ready, kind, seq, message):
-                        return
+            self._send(self._parent_peer, rpc.PUSH, 0, self._hello())
+            self._loop.run()
         finally:
             self._storage.close()
-            if self._listener is not None:
-                try:
-                    self._listener.close()
-                except OSError:
-                    pass
-            for conn in list(self._conns):
-                try:
-                    conn.close()
-                except OSError:
-                    pass
+            self._loop.close()
 
 
 def serve(

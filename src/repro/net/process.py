@@ -42,9 +42,11 @@ from repro.common.api import Message
 from repro.common.config import ChannelConfig, DcConfig
 from repro.common.errors import ReproError
 from repro.dc.recovery import TableDescriptor
-from repro.net import dcserver, rpc, wire
+from repro.net import dcserver, rpc, shm, wire
 from repro.net.channel import MessageChannel
+from repro.net.eventloop import doorbell_frame
 from repro.net.rpc import (
+    AttachShm,
     CheckpointDcLog,
     CreateTable,
     ForceLogReply,
@@ -179,12 +181,26 @@ class _Transport:
         on_push: Callable[[Message], None],
         on_down: Callable[[], None],
         fast: Optional[dict] = None,
+        shm_link: Optional[shm.ShmLink] = None,
+        shm_spin: int = 200,
+        shm_park_s: float = 0.005,
     ) -> None:
         self._conn = conn
         self._on_server_request = on_server_request
         self._on_push = on_push
         self._on_down = on_down
         self.fast: dict = fast or {}
+        #: Optional ring pair (net/shm.py).  The receive leg is live from
+        #: the start — the server's replies may ride the ring the moment
+        #: it attaches — but the transmit leg stays off until the AttachShm
+        #: ack proves the server attached (:meth:`enable_shm_tx`).
+        self._shm = shm_link
+        self._shm_tx = False
+        #: A link abandoned mid-flight (corrupt ring) is parked here so the
+        #: final close() can still release and unlink its segments.
+        self._shm_stale: Optional[shm.ShmLink] = None
+        self._shm_spin = max(int(shm_spin), 1)
+        self._shm_park_s = shm_park_s if shm_park_s > 0 else 0.005
         self._futures: dict[int, Future] = {}
         self._flock = threading.Lock()
         self._wlock = threading.Lock()
@@ -193,6 +209,7 @@ class _Transport:
         self._pending_bytes = 0
         self._seq = itertools.count(1)
         self._down = False
+        self._closed = False
         self._ctrl: SimpleQueue = SimpleQueue()
         self._recv_thread = threading.Thread(
             target=self._recv_loop, name="dc-transport-recv", daemon=True
@@ -202,6 +219,12 @@ class _Transport:
         )
         self._recv_thread.start()
         self._ctrl_thread.start()
+
+    def enable_shm_tx(self) -> None:
+        """Turn the client->server ring on (after the server's AttachShm
+        ack); until then every frame takes the pipe."""
+        with self._wlock:
+            self._shm_tx = True
 
     def submit(self, message: Message, defer: bool = False) -> Future:
         """Send one request; the returned future resolves to the reply
@@ -241,14 +264,59 @@ class _Transport:
                 # join it to the run and flush everything in order.
                 self._pending.append(data)
                 self._flush_locked()
-            else:
-                self._conn.send_bytes(data)
+                return
+            if self._ring_send_locked(data):
+                self._doorbell_locked()
+                return
+            self._conn.send_bytes(data)
+
+    def _ring_send_locked(self, data: bytes) -> bool:
+        """Try the client->server ring (wlock held).  False = take the pipe
+        (tx leg off, frame oversized, or ring full past a bounded spin).
+        Ring frames may overtake concurrently pipe-buffered ones; the
+        §4.2.1 contracts absorb that — in-flight requests are independent
+        (unique ids, replies correlate by seq) and callers drain pending
+        futures before order-sensitive points (commit, sync, collect)."""
+        link = self._shm
+        if not self._shm_tx or link is None:
+            return False
+        ring = link.c2s
+        if len(data) > ring.max_frame:
+            return False
+        if ring.try_send(data):
+            return True
+        # Ring full: the consumer is mid-drain, which at memcpy speed is
+        # shorter than a pipe syscall — spin briefly before giving up.
+        for _ in range(self._shm_spin):
+            if self._down:
+                return False
+            if ring.try_send(data):
+                return True
+        return False
+
+    def _doorbell_locked(self) -> None:
+        """Wake a parked server-side consumer (wlock held): read-and-clear
+        the parked flag, and iff it was set, a pipe write is owed."""
+        link = self._shm
+        if link is not None and link.c2s.take_parked():
+            try:
+                self._conn.send_bytes(doorbell_frame())
+            except (OSError, ValueError):
+                pass  # death is detected by the receiver's EOF, not here
 
     def _flush_locked(self) -> None:
         frames, self._pending = self._pending, []
         self._pending_bytes = 0
         if not frames:
             return
+        if self._shm_tx and self._shm is not None:
+            # Ring-first per frame; whatever does not fit stays on the
+            # pipe in its original relative order.
+            rest = [f for f in frames if not self._ring_send_locked(f)]
+            self._doorbell_locked()
+            frames = rest
+            if not frames:
+                return
         if len(frames) == 1:
             self._conn.send_bytes(frames[0])
             return
@@ -273,27 +341,101 @@ class _Transport:
         except (OSError, ValueError):
             pass
 
-    def _recv_loop(self) -> None:
+    def _handle_frame(self, data: bytes) -> None:
+        kind, seq, payload = rpc.unpack_frame(data)
+        if kind == rpc.REPLY:
+            with self._flock:
+                future = self._futures.pop(seq, None)
+            if future is not None and not future.done():
+                future.set_result(payload)
+        elif kind in (rpc.SERVER_REQUEST, rpc.PUSH):
+            self._ctrl.put((kind, seq, payload))
+        # DOORBELL (and anything else) carries nothing: the wakeup already
+        # happened by virtue of the pipe read.
+
+    def _recv_pipe(self) -> Optional[bytes]:
+        """One blocking pipe read; None = EOF/closed (the down path)."""
+        try:
+            return self._conn.recv_bytes()
+        except (EOFError, OSError):
+            return None
+        except (TypeError, ValueError):
+            # A connection closed concurrently with an in-flight
+            # ``recv_bytes`` surfaces as ``TypeError`` (the handle is
+            # ``None`` mid-read) rather than ``OSError``.  Treat it
+            # like EOF so the cleanup below still strands futures and
+            # fires ``on_down`` instead of killing this thread.
+            return None
+
+    def _drain_ring(self, ring) -> bool:
+        """Deliver every frame currently in the server->client ring."""
+        worked = False
         while True:
             try:
-                data = self._conn.recv_bytes()
-            except (EOFError, OSError):
+                frame = ring.try_recv()
+            except shm.ShmError:
+                # Corrupt ring (a kill -9 can land between a length write
+                # and its payload): abandon the rings, keep the pipe.
+                self._shm_tx = False
+                self._shm_stale, self._shm = self._shm, None
+                return worked
+            if frame is None:
+                return worked
+            worked = True
+            try:
+                self._handle_frame(frame)
+            except wire.WireError:
+                self._shm_tx = False
+                self._shm_stale, self._shm = self._shm, None
+                return worked
+
+    def _recv_loop(self) -> None:
+        link = self._shm
+        while True:
+            if link is not None and self._shm is not None:
+                ring = self._shm.s2c
+                if self._drain_ring(ring):
+                    continue
+                # Spin-then-park (net/shm.py): bounded spin on the ring,
+                # then set the parked flag, re-check (closing the race
+                # with a producer that wrote just before the flag), and
+                # sleep in a short pipe poll — the producer's DOORBELL
+                # write is the wakeup; the timeout is only a backstop.
+                for _ in range(self._shm_spin):
+                    if ring.readable():
+                        break
+                else:
+                    ring.park()
+                    try:
+                        if ring.readable():
+                            continue  # a producer raced the park; drain
+                        try:
+                            if not self._conn.poll(self._shm_park_s):
+                                continue  # backstop timeout; re-check ring
+                        except (OSError, ValueError):
+                            break
+                    finally:
+                        ring.unpark()
+                    # poll() said readable, so this read cannot block.
+                    data = self._recv_pipe()
+                    if data is None:
+                        break
+                    try:
+                        self._handle_frame(data)
+                    except wire.WireError:
+                        break
+                continue
+            data = self._recv_pipe()
+            if data is None:
                 break
-            except (TypeError, ValueError):
-                # A connection closed concurrently with an in-flight
-                # ``recv_bytes`` surfaces as ``TypeError`` (the handle is
-                # ``None`` mid-read) rather than ``OSError``.  Treat it
-                # like EOF so the cleanup below still strands futures and
-                # fires ``on_down`` instead of killing this thread.
+            try:
+                self._handle_frame(data)
+            except wire.WireError:
                 break
-            kind, seq, payload = rpc.unpack_frame(data)
-            if kind == rpc.REPLY:
-                with self._flock:
-                    future = self._futures.pop(seq, None)
-                if future is not None and not future.done():
-                    future.set_result(payload)
-            elif kind in (rpc.SERVER_REQUEST, rpc.PUSH):
-                self._ctrl.put((kind, seq, payload))
+        if self._shm is not None:
+            # EOF leftovers: frames the server ring-wrote before dying or
+            # closing still complete their futures (they are real replies).
+            self._drain_ring(self._shm.s2c)
         with self._flock:
             self._down = True
             stranded = list(self._futures.values())
@@ -327,7 +469,9 @@ class _Transport:
         return self._down
 
     def close(self) -> None:
-        """Join the receiver, then close the fd.
+        """Join the receiver, then close the fd and rings (idempotent —
+        proxy close paths and the down path may both land here, and a
+        loop-managed fd must never be double-closed).
 
         Every caller kills (or joins) the server process first, so the
         receiver is guaranteed an EOF and drains on its own.  Joining
@@ -336,12 +480,21 @@ class _Transport:
         the next kernel's pipe, and the stale thread would then steal
         frames (e.g. a ``RegisterTc`` reply) from that new connection.
         """
+        if self._closed:
+            return
+        self._closed = True
         if threading.current_thread() is not self._recv_thread:
             self._recv_thread.join(timeout=10.0)
         try:
             self._conn.close()
         except OSError:
             pass
+        self._shm_tx = False
+        for link_attr in ("_shm", "_shm_stale"):
+            link = getattr(self, link_attr)
+            setattr(self, link_attr, None)
+            if link is not None:
+                link.close()  # creator side unlinks its pinned segments
 
 
 class _RemoteTableHandle:
@@ -367,6 +520,10 @@ class RemoteDc:
         request_timeout_s: float = 30.0,
         listen_path: str = "",
         fast_codec: bool = True,
+        shm_ring_bytes: int = 0,
+        shm_tag: str = "",
+        shm_spin: int = 0,
+        shm_park_ms: float = 0.0,
     ) -> None:
         self.name = name
         self.config = config
@@ -374,6 +531,14 @@ class RemoteDc:
         self.journal_path = journal_path
         self.start_method = start_method
         self.request_timeout_s = request_timeout_s
+        #: Shared-memory ring sizing (0 = pipe only).  The ring pair is
+        #: created client-side under names pinned to ``shm_tag`` (default:
+        #: the journal path — the DC's durable identity), so respawns
+        #: re-create the same names and stale segments get replaced.
+        self.shm_ring_bytes = shm_ring_bytes
+        self.shm_tag = shm_tag
+        self.shm_spin = shm_spin
+        self.shm_park_ms = shm_park_ms
         #: Listener address the server additionally binds ("" = parent
         #: pipe only): a Unix socket path, or ``tcp://host:port`` for the
         #: TCP data plane (port 0 = ephemeral; the resolved address is
@@ -427,17 +592,66 @@ class RemoteDc:
         self._prime_tables(hello.tables)
         self._down_handled = False
         fast = wire.negotiate(hello.fast_codec) if self.fast_codec else {}
+        link = self._create_shm_link()
         self._transport = _Transport(
             self._process.conn,
             on_server_request=self._serve_force,
             on_push=self._serve_push,
             on_down=self._note_down,
             fast=fast,
+            shm_link=link,
+            shm_spin=self.shm_spin or 200,
+            shm_park_s=(self.shm_park_ms or 5.0) / 1000.0,
         )
         if fast:
             # Enable the server->client leg too.  Runs after every
             # (re)start, so a respawned server re-negotiates from scratch.
             self.control(NegotiateCodec(tc_id=0, vocab=wire.fast_vocabulary()))
+        self._attach_shm(link)
+
+    def _shm_link_tag(self) -> str:
+        return self.shm_tag or self.journal_path
+
+    def _create_shm_link(self) -> Optional[shm.ShmLink]:
+        """Create the pinned ring pair before the transport starts, so the
+        receive leg is ring-aware from the first frame the server could
+        possibly ring-write.  Failure (no /dev/shm, exhausted quota) falls
+        back to the pipe silently — shm is an optimization, never a
+        requirement."""
+        if not self.shm_ring_bytes:
+            return None
+        tag = self._shm_link_tag()
+        if not tag:
+            return None
+        try:
+            return shm.ShmLink.create(tag, self.shm_ring_bytes)
+        except (shm.ShmError, OSError):
+            self.metrics.incr("remote_dc.shm_create_failures")
+            return None
+
+    def _attach_shm(self, link: Optional[shm.ShmLink]) -> None:
+        """The AttachShm handshake: only the server's ack enables our
+        transmit leg (frames are self-describing, so its replies may ride
+        the ring even before the ack reaches us)."""
+        if link is None:
+            return
+        try:
+            self.control(
+                AttachShm(
+                    tc_id=0,
+                    c2s_name=link.c2s.name,
+                    s2c_name=link.s2c.name,
+                    spin=self.shm_spin or 200,
+                    park_ms=self.shm_park_ms or 5.0,
+                )
+            )
+        except ReproError:
+            # Server could not attach: stay on the pipe (the armed receive
+            # leg is harmless — its ring just stays empty).
+            self.metrics.incr("remote_dc.shm_attach_failures")
+            return
+        self._transport.enable_shm_tx()
+        self.metrics.incr("remote_dc.shm_attached")
 
     def _prime_tables(self, tables: tuple) -> None:
         with self._lock:
@@ -681,6 +895,10 @@ class DcClient(RemoteDc):
         request_timeout_s: float = 30.0,
         connect_retry_s: float = 10.0,
         fast_codec: bool = True,
+        shm_ring_bytes: int = 0,
+        shm_tag: str = "",
+        shm_spin: int = 0,
+        shm_park_ms: float = 0.0,
     ) -> None:
         self.socket_path = socket_path
         self.connect_retry_s = connect_retry_s
@@ -691,6 +909,15 @@ class DcClient(RemoteDc):
             journal_path="",  # the server owns the volume, not this client
             request_timeout_s=request_timeout_s,
             fast_codec=fast_codec,
+            shm_ring_bytes=shm_ring_bytes,
+            # No default tag here: many clients share one DC socket, and a
+            # guessed tag colliding across clients would let one unlink
+            # the other's live segments.  Callers that want rings must
+            # pass a tag that is unique per *client* (the TC server passes
+            # its own journal path + the DC name).
+            shm_tag=shm_tag,
+            shm_spin=shm_spin,
+            shm_park_ms=shm_park_ms,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -721,15 +948,23 @@ class DcClient(RemoteDc):
         self._prime_tables(payload.tables)
         self._down_handled = False
         fast = wire.negotiate(payload.fast_codec) if self.fast_codec else {}
+        link = self._create_shm_link()
         self._transport = _Transport(
             conn,
             on_server_request=self._serve_force,
             on_push=self._serve_push,
             on_down=self._note_down,
             fast=fast,
+            shm_link=link,
+            shm_spin=self.shm_spin or 200,
+            shm_park_s=(self.shm_park_ms or 5.0) / 1000.0,
         )
         if fast:
             self.control(NegotiateCodec(tc_id=0, vocab=wire.fast_vocabulary()))
+        self._attach_shm(link)
+
+    def _shm_link_tag(self) -> str:
+        return self.shm_tag  # never guessed — see __init__
 
     @property
     def crashed(self) -> bool:
@@ -762,12 +997,18 @@ class DcClient(RemoteDc):
     def close(self) -> None:
         """Terminal: drop the connection (the server keeps serving others).
 
-        Closing the fd from here (instead of joining the receiver first,
-        as :meth:`_Transport.close` prefers) is safe only because a closed
-        client never opens another connection — there is no younger fd for
-        a stale read to steal frames from.
+        Saying goodbye matters: a bare ``fd.close()`` does not wake our
+        receiver (the blocked read keeps the socket referenced, so no FIN
+        is even sent) and the join would burn its full timeout.  The
+        Shutdown round-trip makes the *server* close the connection, which
+        lands a real EOF in the receiver; the transport then joins it in
+        microseconds.
         """
         self._closing = True
+        try:
+            self.control(Shutdown(tc_id=0), timeout=5.0)
+        except ReproError:
+            pass  # server already gone — EOF has been delivered anyway
         try:
             self._conn.close()
         except OSError:

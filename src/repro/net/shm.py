@@ -1,0 +1,321 @@
+"""Shared-memory SPSC rings: the co-located TC↔DC data plane.
+
+A :class:`ShmLink` is a pair of fixed-size single-producer/single-consumer
+byte rings over ``multiprocessing.shared_memory`` — one per direction of a
+TC↔DC connection.  Frames are the same bytes the pipe carries (the PR 8
+fast-path codec included), so the link is a drop-in lane next to the pipe,
+not a second protocol: small frames ride the ring as a cross-process
+memcpy, oversized ones (and all control traffic before the
+:class:`~repro.net.rpc.AttachShm` handshake) stay on the pipe.
+
+**Wakeups are futex-free.**  Each ring's header carries a consumer
+``parked`` flag.  A consumer that finds the ring empty spins a bounded
+number of times, sets the flag, re-checks once (closing the race with a
+concurrent producer), and then parks in a short ``poll`` on the pipe.  A
+producer that observes the flag set clears it and sends a one-byte-payload
+``DOORBELL`` frame down the pipe — the pipe write *is* the wakeup.  Under
+pipelined load the consumer is never parked and no doorbell (no syscall at
+all) is ever issued; the short poll timeout is only a backstop against
+memory-ordering races, not the wakeup mechanism.
+
+**Crash discipline** (§5.2.1's pinning idea, applied to segments): the
+*client* side of a link creates both segments under names derived from a
+stable per-link tag (the client's journal path, or socket+identity), so a
+respawned client re-creates the *same* names — unlinking any stale segment
+a SIGKILL left behind — and the healed server re-attaches from the names
+in the next ``AttachShm``.  Liveness never depends on the rings: process
+death is detected by pipe EOF exactly as before, and a dead peer's ring is
+simply discarded with the connection.
+
+CPython's ``SharedMemory`` registers every segment (even mere attaches)
+with the ``resource_tracker``, which would spuriously unlink or warn about
+segments whose owner was SIGKILLed; both sides immediately unregister and
+manage unlink manually instead.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+from multiprocessing.shared_memory import SharedMemory
+from typing import Optional
+
+from repro.common.errors import ReproError
+
+#: Ring header layout (64 bytes, fields 8-byte spaced so each u32 store is
+#: an aligned single-word write — effectively atomic on every platform
+#: CPython runs on):
+#:   [0]  tail   — total bytes produced, mod 2**32 (producer-owned)
+#:   [8]  head   — total bytes consumed, mod 2**32 (consumer-owned)
+#:   [16] parked — consumer parked flag (consumer sets, producer clears)
+#:   [24] capacity — data bytes after the header (creator-written; read on
+#:        attach, because some platforms round segment sizes up to pages)
+HEADER_BYTES = 64
+_OFF_TAIL = 0
+_OFF_HEAD = 8
+_OFF_PARKED = 16
+_OFF_CAP = 24
+_U32 = struct.Struct("<I")
+_MASK = 0xFFFFFFFF
+
+#: Smallest ring worth having: below this the pipe wins anyway.
+MIN_RING_BYTES = 4096
+
+
+class ShmError(ReproError):
+    """Segment lifecycle or ring protocol failure."""
+
+
+def _untrack(segment: SharedMemory) -> None:
+    """Opt out of the resource tracker's automatic unlink (see module doc)."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(segment._name, "shared_memory")
+    except Exception:
+        pass  # tracker variance across platforms is cosmetic, never fatal
+
+
+def _retrack(segment: SharedMemory) -> None:
+    """Re-register just before ``unlink()``: CPython's unlink sends its own
+    unregister to the tracker daemon, which logs a KeyError traceback if
+    the registration was already removed by :func:`_untrack`."""
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.register(segment._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def _unlink_segment(segment: SharedMemory) -> None:
+    _retrack(segment)
+    try:
+        segment.unlink()
+    except (FileNotFoundError, OSError):
+        _untrack(segment)  # unlink bailed before its own unregister ran
+
+
+def _unlink_quiet(name: str) -> None:
+    try:
+        stale = SharedMemory(name=name)
+    except (FileNotFoundError, OSError, ValueError):
+        return
+    _untrack(stale)
+    stale.close()
+    _unlink_segment(stale)
+
+
+def ring_capacity(ring_bytes: int) -> int:
+    """Usable data capacity for a requested ring size: the largest power
+    of two ≤ ``ring_bytes`` (power-of-two capacity keeps the wraparound
+    arithmetic exact across the u32 cursor wrap)."""
+    if ring_bytes < MIN_RING_BYTES:
+        raise ShmError(f"shm ring of {ring_bytes} bytes is below {MIN_RING_BYTES}")
+    return 1 << (ring_bytes.bit_length() - 1)
+
+
+class ShmRing:
+    """One direction of a link: an SPSC byte ring of length-prefixed frames.
+
+    Exactly one process calls the producer methods (:meth:`try_send`,
+    :meth:`take_parked`) and exactly one the consumer methods
+    (:meth:`try_recv`, :meth:`park`/:meth:`unpark`); each side caches its
+    own cursor locally and only ever *reads* the other's.
+    """
+
+    def __init__(self, segment: SharedMemory) -> None:
+        self._seg = segment
+        self._buf = segment.buf
+        cap = _U32.unpack_from(self._buf, _OFF_CAP)[0]
+        if cap == 0 or cap & (cap - 1) or HEADER_BYTES + cap > len(self._buf):
+            raise ShmError(f"shm segment {segment.name}: bad capacity {cap}")
+        self.capacity = cap
+        #: Frames larger than this take the pipe; keeping several frames'
+        #: worth of headroom means the ring never single-frame-stalls.
+        self.max_frame = cap // 4
+        self._tail = _U32.unpack_from(self._buf, _OFF_TAIL)[0]
+        self._head = _U32.unpack_from(self._buf, _OFF_HEAD)[0]
+        self._closed = False
+
+    @classmethod
+    def create(cls, name: str, ring_bytes: int) -> "ShmRing":
+        cap = ring_capacity(ring_bytes)
+        try:
+            seg = SharedMemory(name=name, create=True, size=HEADER_BYTES + cap)
+        except FileExistsError:
+            # A previous incarnation (SIGKILLed client) left its segment
+            # behind; the pinned name makes the stale one ours to replace.
+            _unlink_quiet(name)
+            seg = SharedMemory(name=name, create=True, size=HEADER_BYTES + cap)
+        _untrack(seg)
+        seg.buf[:HEADER_BYTES] = bytes(HEADER_BYTES)
+        _U32.pack_into(seg.buf, _OFF_CAP, cap)
+        return cls(seg)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        try:
+            seg = SharedMemory(name=name)
+        except (FileNotFoundError, OSError, ValueError) as exc:
+            raise ShmError(f"cannot attach shm segment {name!r}: {exc}")
+        _untrack(seg)
+        return cls(seg)
+
+    @property
+    def name(self) -> str:
+        return self._seg.name
+
+    # -- producer side -------------------------------------------------------
+
+    def try_send(self, frame: bytes) -> bool:
+        """Write one length-prefixed frame; False when it does not fit
+        (caller falls back to the pipe or retries after the consumer
+        drains).  Payload bytes land before the tail advance, so the
+        consumer can never observe a partial frame."""
+        need = 4 + len(frame)
+        cap = self.capacity
+        tail = self._tail
+        head = _U32.unpack_from(self._buf, _OFF_HEAD)[0]
+        if need > cap - ((tail - head) & _MASK):
+            return False
+        self._write(tail & (cap - 1), _U32.pack(len(frame)))
+        self._write((tail + 4) & (cap - 1), frame)
+        self._tail = (tail + need) & _MASK
+        _U32.pack_into(self._buf, _OFF_TAIL, self._tail)
+        return True
+
+    def take_parked(self) -> bool:
+        """Read-and-clear the consumer's parked flag.  A True return means
+        the producer owes the consumer a doorbell on the pipe."""
+        if _U32.unpack_from(self._buf, _OFF_PARKED)[0]:
+            _U32.pack_into(self._buf, _OFF_PARKED, 0)
+            return True
+        return False
+
+    def _write(self, pos: int, data: bytes) -> None:
+        cap = self.capacity
+        first = cap - pos
+        if len(data) <= first:
+            self._buf[HEADER_BYTES + pos : HEADER_BYTES + pos + len(data)] = data
+        else:
+            self._buf[HEADER_BYTES + pos : HEADER_BYTES + cap] = data[:first]
+            rest = len(data) - first
+            self._buf[HEADER_BYTES : HEADER_BYTES + rest] = data[first:]
+
+    # -- consumer side -------------------------------------------------------
+
+    def readable(self) -> bool:
+        return _U32.unpack_from(self._buf, _OFF_TAIL)[0] != self._head
+
+    def try_recv(self) -> Optional[bytes]:
+        """Pop one frame, or None when the ring is empty."""
+        tail = _U32.unpack_from(self._buf, _OFF_TAIL)[0]
+        head = self._head
+        if tail == head:
+            return None
+        cap = self.capacity
+        length = _U32.unpack(self._read(head & (cap - 1), 4))[0]
+        if 4 + length > cap or ((tail - head) & _MASK) < 4 + length:
+            raise ShmError(
+                f"shm ring {self.name}: corrupt frame length {length} "
+                f"(head={head}, tail={tail})"
+            )
+        frame = self._read((head + 4) & (cap - 1), length)
+        self._head = (head + 4 + length) & _MASK
+        _U32.pack_into(self._buf, _OFF_HEAD, self._head)
+        return frame
+
+    def park(self) -> None:
+        _U32.pack_into(self._buf, _OFF_PARKED, 1)
+
+    def unpark(self) -> None:
+        _U32.pack_into(self._buf, _OFF_PARKED, 0)
+
+    def _read(self, pos: int, length: int) -> bytes:
+        cap = self.capacity
+        first = cap - pos
+        if length <= first:
+            return bytes(self._buf[HEADER_BYTES + pos : HEADER_BYTES + pos + length])
+        return bytes(self._buf[HEADER_BYTES + pos : HEADER_BYTES + cap]) + bytes(
+            self._buf[HEADER_BYTES : HEADER_BYTES + length - first]
+        )
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self, unlink: bool = False) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._buf.release()
+        except Exception:
+            pass
+        try:
+            self._seg.close()
+        except (OSError, BufferError):
+            pass
+        if unlink:
+            _unlink_segment(self._seg)
+
+
+def link_names(tag: str) -> tuple[str, str]:
+    """The pinned per-link segment names (c2s, s2c) for a stable tag.
+
+    The tag is the link's durable identity — a journal path, or
+    ``socket:client-name`` — so every incarnation of the same client
+    derives the same names and the §5.2.1 unlink-stale-then-recreate
+    discipline works across SIGKILLs.
+    """
+    digest = hashlib.sha1(tag.encode("utf-8")).hexdigest()[:20]
+    return f"repro_{digest}_c2s", f"repro_{digest}_s2c"
+
+
+class ShmLink:
+    """A client↔server ring pair: client produces ``c2s``, consumes ``s2c``.
+
+    The creating (client) side owns the segments and unlinks them on
+    close; the attaching (server) side only detaches — its close must not
+    pull the mapping out from under a live client.
+    """
+
+    def __init__(self, c2s: ShmRing, s2c: ShmRing, owner: bool) -> None:
+        self.c2s = c2s
+        self.s2c = s2c
+        self._owner = owner
+        self._closed = False
+
+    @classmethod
+    def create(cls, tag: str, ring_bytes: int) -> "ShmLink":
+        c2s_name, s2c_name = link_names(tag)
+        c2s = ShmRing.create(c2s_name, ring_bytes)
+        try:
+            s2c = ShmRing.create(s2c_name, ring_bytes)
+        except Exception:
+            c2s.close(unlink=True)
+            raise
+        return cls(c2s, s2c, owner=True)
+
+    @classmethod
+    def attach(cls, c2s_name: str, s2c_name: str) -> "ShmLink":
+        c2s = ShmRing.attach(c2s_name)
+        try:
+            s2c = ShmRing.attach(s2c_name)
+        except Exception:
+            c2s.close()
+            raise
+        return cls(c2s, s2c, owner=False)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.c2s.close(unlink=self._owner)
+        self.s2c.close(unlink=self._owner)
+
+
+def unlink_by_tag(tag: str) -> None:
+    """Best-effort cleanup of segments whose creator was SIGKILLed and
+    will never be respawned (e.g. kernel close after an unhealed TC kill)."""
+    for name in link_names(tag):
+        _unlink_quiet(name)

@@ -45,9 +45,15 @@ from repro.common.errors import (
     TransactionAborted,
 )
 from repro.common.ops import ReadFlavor
-from repro.net import dcserver, rpc, tcserver, wire
+from repro.net import dcserver, rpc, shm, tcserver, wire
 from repro.net.process import _Transport, default_start_method
-from repro.net.rpc import NegotiateCodec, RemoteError, Shutdown, StatsRequest
+from repro.net.rpc import (
+    AttachShm,
+    NegotiateCodec,
+    RemoteError,
+    Shutdown,
+    StatsRequest,
+)
 from repro.net.tcrpc import (
     DcRestarted,
     GrantOwnership,
@@ -87,6 +93,9 @@ class TcProcess:
         start_method: str = "",
         request_timeout_s: float = 30.0,
         fast_codec: bool = True,
+        shm_ring_bytes: int = 0,
+        shm_spin: int = 0,
+        shm_park_ms: float = 0.0,
     ) -> None:
         method = start_method or default_start_method()
         ctx = mp.get_context(method)
@@ -104,6 +113,9 @@ class TcProcess:
                 sharing_mode,
                 request_timeout_s,
                 fast_codec,
+                shm_ring_bytes,
+                shm_spin,
+                shm_park_ms,
             ),
             name=f"repro-tc-{name}",
             daemon=True,
@@ -380,9 +392,21 @@ class RemoteTc:
         request_timeout_s: float = 30.0,
         socket_path: str = "",
         fast_codec: bool = True,
+        shm_ring_bytes: int = 0,
+        shm_tag: str = "",
+        shm_spin: int = 0,
+        shm_park_ms: float = 0.0,
     ) -> None:
         self.name = name
         self.tc_id = tc_id
+        #: Shared-memory ring sizing for the client<->TC link (0 = pipe
+        #: only).  The same knobs travel to the server for its own
+        #: DcClient legs, so ``transport="shm"`` rides rings on *both*
+        #: hops of a transaction's round trip.
+        self.shm_ring_bytes = shm_ring_bytes
+        self.shm_tag = shm_tag
+        self.shm_spin = shm_spin
+        self.shm_park_ms = shm_park_ms
         #: Negotiate the fast-path codec with the server (False simulates
         #: a tagged-only client; the wire stays interoperable either way).
         self.fast_codec = fast_codec
@@ -428,6 +452,9 @@ class RemoteTc:
             self.start_method,
             self.request_timeout_s,
             self.fast_codec,
+            self.shm_ring_bytes,
+            self.shm_spin,
+            self.shm_park_ms,
         )
         try:
             hello = self._process.wait_hello()
@@ -468,18 +495,58 @@ class RemoteTc:
         self._conn = conn
         self._down_handled = False
         fast = wire.negotiate(hello.fast_codec) if self.fast_codec else {}
+        link = self._create_shm_link()
         self._transport = _Transport(
             conn,
             on_server_request=self._reject_server_request,
             on_push=lambda _message: None,
             on_down=self._note_down,
             fast=fast,
+            shm_link=link,
+            shm_spin=self.shm_spin or 200,
+            shm_park_s=(self.shm_park_ms or 5.0) / 1000.0,
         )
         if fast:
             # Enable the server->client leg; re-negotiated from scratch
             # after every restart/reconnect, so a respawned tagged-only
             # server (version skew) degrades the wire instead of breaking.
             self.control(NegotiateCodec(tc_id=self.tc_id, vocab=wire.fast_vocabulary()))
+        self._attach_shm(link)
+
+    def _create_shm_link(self) -> Optional[shm.ShmLink]:
+        """The client<->TC ring pair, pinned to this TC's journal path (its
+        durable identity).  Connect-mode clients must pass an explicit
+        ``shm_tag`` — many of them may share one socket, and a guessed tag
+        colliding across clients would unlink live segments."""
+        if not self.shm_ring_bytes:
+            return None
+        tag = self.shm_tag or ("" if self.socket_path else self.journal_path)
+        if not tag:
+            return None
+        try:
+            return shm.ShmLink.create(tag, self.shm_ring_bytes)
+        except (shm.ShmError, OSError):
+            self.metrics.incr("remote_tc.shm_create_failures")
+            return None
+
+    def _attach_shm(self, link: Optional[shm.ShmLink]) -> None:
+        if link is None:
+            return
+        try:
+            self.control(
+                AttachShm(
+                    tc_id=self.tc_id,
+                    c2s_name=link.c2s.name,
+                    s2c_name=link.s2c.name,
+                    spin=self.shm_spin or 200,
+                    park_ms=self.shm_park_ms or 5.0,
+                )
+            )
+        except ReproError:
+            self.metrics.incr("remote_tc.shm_attach_failures")
+            return
+        self._transport.enable_shm_tx()
+        self.metrics.incr("remote_tc.shm_attached")
 
     def _reject_server_request(self, message: Message) -> Message:
         raise ReproError(f"unexpected server request from TC: {message!r}")
@@ -567,6 +634,13 @@ class RemoteTc:
             self._process.join(5.0)
             self._process.kill()
             self._transport.close()
+            if self.shm_ring_bytes:
+                # The child's own DcClient legs pin segments under
+                # journal:dc tags; a child that had to be SIGKILLed (hung
+                # shutdown) never unlinked them, and this TC is terminal —
+                # no future incarnation will replace them.  Best-effort.
+                for dc_name in self.dcs:
+                    shm.unlink_by_tag(f"{self.journal_path}:{dc_name}")
         else:
             try:
                 self._conn.close()

@@ -37,7 +37,9 @@ from __future__ import annotations
 import os
 import pickle
 import struct
+import threading
 import zlib
+from collections import deque
 from typing import Optional
 
 from repro.common.api import ControlAck, Message
@@ -51,13 +53,16 @@ from repro.common.lsn import Lsn, NULL_LSN
 from repro.common.ops import ReadFlavor
 from repro.cloud.partitioning import stable_key_hash
 from repro.net import rpc, wire
+from repro.net.eventloop import EventLoop, Peer
 from repro.net.rpc import (
+    AttachShm,
     NegotiateCodec,
     RemoteError,
     Shutdown,
     StatsReply,
     StatsRequest,
 )
+from repro.net.shm import ShmLink
 from repro.net.tcrpc import (
     AttachDc,
     DcRestarted,
@@ -222,14 +227,22 @@ def _logical(table: str) -> str:
 
 
 class _TcServer:
-    """Single-threaded request loop serving one client connection.
+    """Event-loop server for one TC process, serving any number of clients.
 
-    One TC process serves one client (its spawning :class:`~repro.net.
-    tcclient.RemoteTc`, or one router connection in socket mode); the TC
-    *tier* scales by running more TC processes, mirroring the DC story.
-    Concurrency with the DC pool still happens — the DcClient transports
-    run their own receiver/control threads, so force-log bridges and
-    pipelined batches proceed while this loop blocks on the next request.
+    One :class:`~repro.net.eventloop.EventLoop` owns the spawning parent's
+    pipe (if any), every connection a socket listener accepts, and any
+    shared-memory rings clients attach — so the TC tier scales clients
+    without growing threads (server thread count stays O(#DCs): the
+    DcClient transports keep their receiver/control threads so force-log
+    bridges and pipelined batches proceed while a dispatch is running).
+    Dispatch itself stays single-threaded: requests are served strictly in
+    arrival order, which is what keeps the server's view of transaction
+    order simple.
+
+    Each client owns the transactions it begins; a client that disconnects
+    mid-transaction gets its ACTIVE transactions aborted (presumed abort —
+    the same outcome its crash would force at restart, taken eagerly so
+    its locks don't outlive it).
     """
 
     def __init__(
@@ -244,17 +257,23 @@ class _TcServer:
         sharing_mode: str = "",
         request_timeout_s: float = 30.0,
         fast_codec: bool = True,
+        shm_ring_bytes: int = 0,
+        shm_spin: int = 0,
+        shm_park_ms: float = 0.0,
     ) -> None:
         from repro.net.process import DcClient
 
-        self._conn = conn
         self._name = name
         #: Advertise/accept fast-codec negotiation for the client leg and
         #: our own DcClient legs (False = tagged-only peer simulation).
         self._fast_ok = fast_codec
-        #: Negotiated encode map toward the client ({} until it sends
-        #: NegotiateCodec — replies before that stay tagged).
-        self._fast: dict = {}
+        #: Per-connection negotiated encode maps ({} until that client
+        #: sends NegotiateCodec — replies before that stay tagged).
+        self._fast: dict[Peer, dict] = {}
+        #: Ring sizing/tuning for our own DcClient legs (0 = pipe only).
+        self._shm_ring_bytes = shm_ring_bytes
+        self._shm_spin = shm_spin
+        self._shm_park_ms = shm_park_ms
         self._scratch = bytearray()
         self._metrics = Metrics()
         self._journal = _RecordJournal(journal_path)
@@ -289,6 +308,22 @@ class _TcServer:
             self._tc.crash()
             self._tc.restart()
             self._recovered = True
+        self._loop = EventLoop(self._metrics)
+        #: txn_id -> owning client connection (abort-on-disconnect).
+        self._txn_peers: dict[int, Peer] = {}
+        #: Frames decoded but not yet dispatched (see dcserver.py: frames
+        #: that land while a dispatch is on the stack are served after it,
+        #: strictly in arrival order).
+        self._backlog: deque = deque()
+        self._dispatching = False
+        #: Socket-mode session accounting (serve_socket's max_sessions).
+        self._sessions_ended = 0
+        self._max_sessions = 0
+        self._parent_peer: Optional[Peer] = None
+        if conn is not None:
+            self._parent_peer = self._loop.adopt(
+                conn, self._on_frame, self._on_parent_close
+            )
 
     # -- wiring -------------------------------------------------------------
 
@@ -301,6 +336,13 @@ class _TcServer:
             metrics=self._metrics,
             request_timeout_s=self._request_timeout_s,
             fast_codec=self._fast_ok,
+            # The link tag is this TC's durable identity plus the DC's
+            # name, so a respawned TC re-creates (and a stale SIGKILLed
+            # incarnation's segments get replaced under) the same names.
+            shm_ring_bytes=self._shm_ring_bytes,
+            shm_tag=f"{self._journal.path}:{dc_name}",
+            shm_spin=self._shm_spin,
+            shm_park_ms=self._shm_park_ms,
         )
         self._clients[dc_name] = client
         self._tc.attach_dc(client, self._channel_config)
@@ -343,15 +385,22 @@ class _TcServer:
         txn = self._txns.get(txn_id)
         if txn is not None and txn.state is not TransactionState.ACTIVE:
             del self._txns[txn_id]
+            self._txn_peers.pop(txn_id, None)
 
     def _flavor(self, flavor: object) -> ReadFlavor:
         return flavor if isinstance(flavor, ReadFlavor) else self._default_flavor
 
-    def _dispatch(self, message: Message) -> Optional[Message]:
+    def _dispatch(self, peer: Peer, message: Message) -> Optional[Message]:
         tc = self._tc
         if isinstance(message, NegotiateCodec):
             if self._fast_ok:
-                self._fast = wire.negotiate(message.vocab)
+                self._fast[peer] = wire.negotiate(message.vocab)
+            return ControlAck(tc_id=message.tc_id)
+        if isinstance(message, AttachShm):
+            link = ShmLink.attach(message.c2s_name, message.s2c_name)
+            self._loop.attach_shm(
+                peer, link, message.spin, message.park_ms / 1000.0
+            )
             return ControlAck(tc_id=message.tc_id)
         if isinstance(message, TxnWrite):
             owner = self._misroute_owner(message.table, message.key)
@@ -428,6 +477,7 @@ class _TcServer:
         if isinstance(message, TxnBegin):
             txn = tc.begin()
             self._txns[txn.txn_id] = txn
+            self._txn_peers[txn.txn_id] = peer
             return TxnBeginReply(tc_id=message.tc_id, txn_id=txn.txn_id)
         if isinstance(message, TxnCommit):
             txn = self._txn(message.txn_id)
@@ -484,6 +534,10 @@ class _TcServer:
                     "open_transactions": len(self._txns),
                     "journal_bytes": self._journal.size(),
                     "counters": self._metrics.counters(),
+                    "connections": len(self._loop._peers),
+                    # O(#DCs), not O(#clients): the loop serves every
+                    # client; only DcClient legs own threads.
+                    "threads": threading.active_count(),
                 },
             )
         if isinstance(message, DcRestarted):
@@ -527,11 +581,47 @@ class _TcServer:
             return ControlAck(tc_id=message.tc_id)
         raise ReproError(f"TC {self._name}: unhandled message {type(message).__name__}")
 
+    # -- connection lifecycle ------------------------------------------------
+
+    def _on_accept(self, sock) -> None:
+        peer = self._loop.adopt(sock, self._on_frame, self._on_peer_close)
+        try:
+            self._send(peer, rpc.PUSH, 0, self.hello())
+        except (BrokenPipeError, OSError):
+            self._loop.close_peer(peer)
+
+    def _abort_for(self, peer: Peer) -> None:
+        """Presumed abort for a disconnected client's open transactions."""
+        for txn_id, owner in list(self._txn_peers.items()):
+            if owner is not peer:
+                continue
+            self._txn_peers.pop(txn_id, None)
+            txn = self._txns.pop(txn_id, None)
+            if txn is not None and txn.state is TransactionState.ACTIVE:
+                try:
+                    txn.abort()
+                except ReproError:
+                    pass  # restart/zombie machinery owns what abort cannot
+                self._metrics.incr("tcserver.disconnect_aborts")
+
+    def _on_peer_close(self, peer: Peer) -> None:
+        self._fast.pop(peer, None)
+        self._abort_for(peer)
+        if peer is not self._parent_peer:
+            self._sessions_ended += 1
+            if self._max_sessions and self._sessions_ended >= self._max_sessions:
+                self._loop.stop()
+
+    def _on_parent_close(self, peer: Peer) -> None:
+        self._fast.pop(peer, None)
+        self._abort_for(peer)
+        self._loop.stop()  # spawning client is gone; nothing to serve
+
     # -- main loop ----------------------------------------------------------
 
-    def _send(self, kind: int, seq: int, payload: object) -> None:
-        self._conn.send_bytes(
-            rpc.pack_frame(kind, seq, payload, self._fast, self._scratch)
+    def _send(self, peer: Peer, kind: int, seq: int, payload: object) -> None:
+        peer.send_frame(
+            rpc.pack_frame(kind, seq, payload, self._fast.get(peer), self._scratch)
         )
 
     def hello(self) -> TcHello:
@@ -544,55 +634,84 @@ class _TcServer:
             fast_codec=wire.fast_vocabulary() if self._fast_ok else (),
         )
 
-    def run(self, close_journal: bool = True) -> None:
-        self._send(rpc.PUSH, 0, self.hello())
+    def _on_frame(self, peer: Peer, data: bytes) -> None:
         try:
-            while True:
-                try:
-                    kind, seq, message = rpc.unpack_frame(self._conn.recv_bytes())
-                except (EOFError, OSError):
-                    return  # client is gone; nothing to serve
-                if kind != rpc.REQUEST:
+            kind, seq, message = rpc.unpack_frame(data)
+        except wire.WireError:
+            self._metrics.incr("tcserver.bad_frames")
+            self._loop.close_peer(peer)
+            return
+        if kind in (rpc.DOORBELL, rpc.CLIENT_REPLY):
+            return  # doorbells carry nothing; no SERVER_REQUESTs originate here
+        self._backlog.append((peer, kind, seq, message))
+        self._drain_backlog()
+
+    def _drain_backlog(self) -> None:
+        if self._dispatching:
+            return
+        self._dispatching = True
+        try:
+            while self._backlog:
+                peer, kind, seq, message = self._backlog.popleft()
+                if peer.closed:
                     continue
-                try:
-                    reply = self._dispatch(message)
-                except ComponentUnavailableError as exc:
-                    # A *downstream* DC is dead, not this TC: the client's
-                    # transaction is still open and abortable here, so the
-                    # failure must travel as an error, never as silence —
-                    # a lost-reply ABORTED client handle would strand the
-                    # open transaction (and its applied writes) forever.
-                    reply = RemoteError(
-                        tc_id=getattr(message, "tc_id", 0),
-                        kind=type(exc).__name__,
-                        text=str(exc),
-                    )
-                except CrashedError:
-                    # Mirror the in-process convention: a crashed component
-                    # answers with silence and the caller's retry policy
-                    # decides (should not normally occur server-side).
-                    reply = None
-                except ReproError as exc:
-                    reply = RemoteError(
-                        tc_id=getattr(message, "tc_id", 0),
-                        kind=type(exc).__name__,
-                        text=str(exc),
-                    )
-                try:
-                    self._send(rpc.REPLY, seq, reply)
-                except (BrokenPipeError, OSError):
+                if not self._serve_frame(peer, kind, seq, message):
+                    self._loop.stop()
                     return
-                if isinstance(message, Shutdown):
-                    return
+        finally:
+            self._dispatching = False
+
+    def _serve_frame(self, peer: Peer, kind: int, seq: int, message) -> bool:
+        if kind != rpc.REQUEST:
+            return True
+        try:
+            reply = self._dispatch(peer, message)
+        except ComponentUnavailableError as exc:
+            # A *downstream* DC is dead, not this TC: the client's
+            # transaction is still open and abortable here, so the
+            # failure must travel as an error, never as silence —
+            # a lost-reply ABORTED client handle would strand the
+            # open transaction (and its applied writes) forever.
+            reply = RemoteError(
+                tc_id=getattr(message, "tc_id", 0),
+                kind=type(exc).__name__,
+                text=str(exc),
+            )
+        except CrashedError:
+            # Mirror the in-process convention: a crashed component
+            # answers with silence and the caller's retry policy
+            # decides (should not normally occur server-side).
+            reply = None
+        except ReproError as exc:
+            reply = RemoteError(
+                tc_id=getattr(message, "tc_id", 0),
+                kind=type(exc).__name__,
+                text=str(exc),
+            )
+        try:
+            self._send(peer, rpc.REPLY, seq, reply)
+        except (BrokenPipeError, OSError):
+            self._loop.close_peer(peer)
+            return peer is not self._parent_peer
+        if isinstance(message, Shutdown):
+            if peer is self._parent_peer:
+                return False
+            # A socket client said goodbye: end its session (counted
+            # against max_sessions), keep serving everyone else.
+            self._loop.close_peer(peer)
+        return True
+
+    def run(self, close_journal: bool = True) -> None:
+        try:
+            if self._parent_peer is not None:
+                self._send(self._parent_peer, rpc.PUSH, 0, self.hello())
+            self._loop.run()
         finally:
             for client in self._clients.values():
                 client.close()
             if close_journal:
                 self._journal.close()
-            try:
-                self._conn.close()
-            except OSError:
-                pass
+            self._loop.close()
 
 
 def serve(
@@ -606,6 +725,9 @@ def serve(
     sharing_mode: str = "",
     request_timeout_s: float = 30.0,
     fast_codec: bool = True,
+    shm_ring_bytes: int = 0,
+    shm_spin: int = 0,
+    shm_park_ms: float = 0.0,
 ) -> None:
     """Child-process entry point (target of ``multiprocessing.Process``)."""
     _TcServer(
@@ -619,6 +741,9 @@ def serve(
         sharing_mode,
         request_timeout_s,
         fast_codec,
+        shm_ring_bytes,
+        shm_spin,
+        shm_park_ms,
     ).run()
 
 
@@ -634,46 +759,43 @@ def serve_socket(
     request_timeout_s: float = 30.0,
     max_sessions: int = 0,
     fast_codec: bool = True,
+    shm_ring_bytes: int = 0,
+    shm_spin: int = 0,
+    shm_park_ms: float = 0.0,
 ) -> None:
     """Standalone service mode (``python -m repro serve-tc``).
 
     Binds a Unix socket (or, with a ``tcp://host:port`` address, a TCP
-    listener with TCP_NODELAY) and serves one client session at a time —
-    each accepted connection gets the full protocol against the *same*
-    durable journal, so a client reconnecting after a network blip (or a
-    second client taking over) sees the same TC.  ``max_sessions`` bounds
-    the accept loop for tests; 0 serves forever.
+    listener with TCP_NODELAY) and serves every accepted connection
+    *concurrently* through one event loop — each connection gets the full
+    protocol against the *same* durable journal, so a client reconnecting
+    after a network blip (or a second client alongside the first) sees
+    the same TC.  ``max_sessions`` stops the server once that many client
+    sessions have ended (tests use it as a bound); 0 serves forever.
     """
-    import socket as socket_module
-    from multiprocessing.connection import Connection
-
     from repro.net.dcserver import bind_listener
 
     listener, _resolved = bind_listener(listen_path)
-    sessions = 0
+    server = _TcServer(
+        None,
+        name,
+        tc_id,
+        tc_config,
+        journal_path,
+        dc_socks,
+        grants,
+        sharing_mode,
+        request_timeout_s,
+        fast_codec,
+        shm_ring_bytes,
+        shm_spin,
+        shm_park_ms,
+    )
+    server._max_sessions = max_sessions
+    server._loop.add_listener(listener, server._on_accept)
     try:
-        while not max_sessions or sessions < max_sessions:
-            sock, _addr = listener.accept()
-            if sock.family == socket_module.AF_INET:
-                sock.setsockopt(
-                    socket_module.IPPROTO_TCP, socket_module.TCP_NODELAY, 1
-                )
-            conn = Connection(sock.detach())
-            _TcServer(
-                conn,
-                name,
-                tc_id,
-                tc_config,
-                journal_path,
-                dc_socks,
-                grants,
-                sharing_mode,
-                request_timeout_s,
-                fast_codec,
-            ).run()
-            sessions += 1
+        server.run()
     finally:
-        listener.close()
         if not listen_path.startswith("tcp://"):
             try:
                 os.unlink(listen_path)

@@ -14,6 +14,25 @@ from dataclasses import dataclass, field
 
 from repro.obs.hist import Histogram
 
+#: The event-loop server core's counter family (net/eventloop.py).  The
+#: DC/TC servers fold these into their ``StatsRequest`` payloads and the
+#: transport benchmarks record them in repro-bench/v2 snapshots, so the
+#: single-threaded server core is observable end to end:
+#:
+#: - ``eventloop.connections_open``   currently adopted connections (the
+#:   +1/-1 pair makes this a live gauge in counter clothing);
+#: - ``eventloop.connections_total``  lifetime adopted connections;
+#: - ``eventloop.frames_deferred``    sends that parked bytes in a peer's
+#:   out-buffer because the fd would block (write interest engaged);
+#: - ``eventloop.wakeups``            selector returns — readiness,
+#:   doorbells and park-timeout backstops alike.
+EVENTLOOP_COUNTERS = (
+    "eventloop.connections_open",
+    "eventloop.connections_total",
+    "eventloop.frames_deferred",
+    "eventloop.wakeups",
+)
+
 
 @dataclass
 class Distribution:

@@ -1,0 +1,336 @@
+"""Shared-memory rings: the co-located data plane (architecture.md §18).
+
+Three layers, bottom up.  The ring itself is an SPSC frame queue over a
+``multiprocessing.shared_memory`` segment — fill/wrap/drain arithmetic,
+the parked-flag doorbell handshake, and corrupt-length rejection are pure
+unit tests.  One layer up, the *same bytes* must mean the same thing on
+ring and pipe: every registered wire message round-trips through a ring
+unchanged, so the shm lane is a transport, not a dialect.  At the top,
+``transport="shm"`` kernels run real workloads, survive real ``kill -9``
+on either component, and heal by re-creating segments under the §5.2.1
+pinned names — with zero segments left in ``/dev/shm`` afterwards.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import glob
+import os
+import signal
+import time
+
+import pytest
+
+pytestmark = pytest.mark.process
+
+from repro.common import api
+from repro.common.config import ChannelConfig, ConfigError, KernelConfig, TcConfig
+from repro.kernel.unbundled import UnbundledKernel
+from repro.net import rpc, shm, wire
+from repro.net.shm import ShmError, ShmLink, ShmRing, link_names, ring_capacity
+from repro.sim.supervisor import Supervisor
+
+
+def _segment_paths() -> list[str]:
+    return glob.glob("/dev/shm/repro_*")
+
+
+def kill_process(pid: int, proxy) -> None:
+    os.kill(pid, signal.SIGKILL)
+    deadline = time.monotonic() + 10.0
+    while not proxy.crashed and time.monotonic() < deadline:
+        time.sleep(0.01)
+    assert proxy.crashed
+
+
+# -- the ring itself ----------------------------------------------------------
+
+
+class TestRing:
+    def test_capacity_is_largest_power_of_two(self):
+        assert ring_capacity(4096) == 4096
+        assert ring_capacity(5000) == 4096
+        assert ring_capacity(1 << 20) == 1 << 20
+        with pytest.raises(ShmError):
+            ring_capacity(100)
+
+    def test_roundtrip_and_fifo(self, tmp_path):
+        ring = ShmRing.create("repro_test_fifo", 4096)
+        try:
+            frames = [bytes([i]) * (i * 7 % 50 + 1) for i in range(20)]
+            for frame in frames:
+                assert ring.try_send(frame)
+            assert [ring.try_recv() for _ in frames] == frames
+            assert ring.try_recv() is None
+        finally:
+            ring.close(unlink=True)
+
+    def test_fill_then_drain_then_wrap(self):
+        """Cursors are mod-2**32 totals; the data region wraps seamlessly."""
+        ring = ShmRing.create("repro_test_wrap", 4096)
+        try:
+            payload = b"x" * 100
+            sent = drained = 0
+            # Many laps around a 4 KiB ring proves the two-part copies.
+            for lap in range(200):
+                while ring.try_send(payload):
+                    sent += 1
+                while ring.try_recv() is not None:
+                    drained += 1
+            assert sent == drained
+            assert sent > 40  # the ring filled up repeatedly
+        finally:
+            ring.close(unlink=True)
+
+    def test_oversized_frame_refused_not_truncated(self):
+        ring = ShmRing.create("repro_test_big", 4096)
+        try:
+            assert not ring.try_send(b"y" * 4096)  # never fits
+            assert ring.try_recv() is None
+            assert ring.max_frame == ring.capacity // 4
+        finally:
+            ring.close(unlink=True)
+
+    def test_parked_flag_is_read_and_clear(self):
+        ring = ShmRing.create("repro_test_park", 4096)
+        try:
+            assert not ring.take_parked()
+            ring.park()
+            assert ring.take_parked()  # producer consumed the flag...
+            assert not ring.take_parked()  # ...exactly once
+            ring.park()
+            ring.unpark()
+            assert not ring.take_parked()
+        finally:
+            ring.close(unlink=True)
+
+    def test_corrupt_length_raises_not_hangs(self):
+        ring = ShmRing.create("repro_test_bad", 4096)
+        try:
+            assert ring.try_send(b"ok")
+            # Scribble an absurd frame length where the consumer will look.
+            ring._buf[shm.HEADER_BYTES : shm.HEADER_BYTES + 4] = (
+                b"\xff\xff\xff\xff"
+            )
+            with pytest.raises(ShmError):
+                ring.try_recv()
+        finally:
+            ring.close(unlink=True)
+
+    def test_attach_sees_creator_frames(self):
+        creator = ShmRing.create("repro_test_attach", 4096)
+        try:
+            creator.try_send(b"hello")
+            attached = ShmRing.attach("repro_test_attach")
+            try:
+                assert attached.try_recv() == b"hello"
+            finally:
+                attached.close()
+        finally:
+            creator.close(unlink=True)
+
+    def test_create_replaces_stale_segment(self):
+        """§5.2.1 pinning: a respawned creator reclaims its old name."""
+        stale = ShmRing.create("repro_test_stale", 4096)
+        stale.try_send(b"old-incarnation")
+        # Simulate SIGKILL: the segment lingers, nobody unlinked it.
+        fresh = ShmRing.create("repro_test_stale", 4096)
+        try:
+            assert fresh.try_recv() is None  # fresh header, no stale frames
+        finally:
+            stale.close()
+            fresh.close(unlink=True)
+
+
+class TestLink:
+    def test_pinned_names_are_stable_and_distinct(self):
+        assert link_names("tag-a") == link_names("tag-a")
+        assert link_names("tag-a") != link_names("tag-b")
+        c2s, s2c = link_names("tag-a")
+        assert c2s != s2c
+
+    def test_owner_unlinks_attacher_does_not(self):
+        before = set(_segment_paths())
+        link = ShmLink.create("repro-test-owner", 8192)
+        created = set(_segment_paths()) - before
+        assert len(created) == 2
+        server = ShmLink.attach(link.c2s.name, link.s2c.name)
+        server.close()
+        assert set(_segment_paths()) - before == created  # still mapped
+        link.close()
+        assert set(_segment_paths()) - before == set()
+
+    def test_unlink_by_tag_cleans_orphans(self):
+        link = ShmLink.create("repro-test-orphan", 8192)
+        del link  # owner "died" without close(); segments linger
+        shm.unlink_by_tag("repro-test-orphan")
+        names = link_names("repro-test-orphan")
+        assert not any(
+            os.path.exists(f"/dev/shm/{name}") for name in names
+        )
+
+
+# -- wire equivalence ---------------------------------------------------------
+
+
+def _all_message_types():
+    return [
+        cls
+        for cls in wire.registered_types().values()
+        if isinstance(cls, type)
+        and dataclasses.is_dataclass(cls)
+        and issubclass(cls, api.Message)
+    ]
+
+
+@pytest.mark.parametrize(
+    "cls", _all_message_types(), ids=lambda c: c.__name__
+)
+def test_whole_vocabulary_rides_the_ring(cls):
+    """Every wire message survives a ring hop byte-identically: the shm
+    lane carries the very frames the pipe does (fast codec included)."""
+    ring = ShmRing.create(f"repro_test_{cls.__name__.lower()[:18]}", 1 << 16)
+    try:
+        message = cls(tc_id=3)
+        frame = rpc.pack_frame(rpc.REQUEST, 17, message)
+        assert ring.try_send(frame)
+        kind, seq, decoded = rpc.unpack_frame(ring.try_recv())
+        assert (kind, seq) == (rpc.REQUEST, 17)
+        assert decoded == message
+    finally:
+        ring.close(unlink=True)
+
+
+# -- config gate --------------------------------------------------------------
+
+
+class TestShmConfig:
+    def test_transport_shm_is_process_family(self):
+        cfg = ChannelConfig(transport="shm")
+        assert cfg.process_family
+        assert not ChannelConfig(transport="inproc").process_family
+
+    def test_shm_rejects_tcp_and_tiny_rings(self):
+        with pytest.raises(ConfigError):
+            ChannelConfig(transport="shm", listen_host="127.0.0.1")
+        with pytest.raises(ConfigError):
+            ChannelConfig(transport="shm", shm_ring_bytes=64)
+
+
+# -- end to end ---------------------------------------------------------------
+
+
+def shm_config(tc_processes: int = 0, **channel) -> KernelConfig:
+    return KernelConfig(
+        tc=TcConfig.optimized(),
+        channel=ChannelConfig(
+            transport="shm", request_timeout_s=15.0, **channel
+        ),
+        tc_processes=tc_processes,
+    )
+
+
+class TestShmKernel:
+    def test_workload_runs_on_rings_and_cleans_up(self):
+        before = set(_segment_paths())
+        kernel = UnbundledKernel(config=shm_config(), dc_count=2)
+        try:
+            kernel.create_table("t", dc_name="dc1")
+            for i in range(50):
+                txn = kernel.begin()
+                txn.insert("t", i, f"v{i}")
+                txn.commit()
+            txn = kernel.begin()
+            assert txn.read("t", 42) == "v42"
+            txn.commit()
+            counters = kernel.metrics.snapshot()["counters"]
+            assert counters.get("remote_dc.shm_attached") == 2
+            assert "remote_dc.shm_attach_failures" not in counters
+        finally:
+            kernel.close()
+        assert set(_segment_paths()) == before  # no leaked segments
+
+    def test_dc_sigkill_heals_with_recreated_segments(self):
+        """A killed DC loses its ring mappings; the §5.2.1 heal re-creates
+        the *same* pinned names and traffic resumes on fresh rings."""
+        kernel = UnbundledKernel(config=shm_config(), dc_count=1)
+        try:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", 1, "before")
+            txn.commit()
+            dc = kernel.dc
+            names = link_names(dc._shm_link_tag())
+            kill_process(dc.pid, dc)
+            dc.recover(notify_tcs=True)
+            assert link_names(dc._shm_link_tag()) == names  # pinned
+            txn = kernel.begin()
+            assert txn.read("t", 1) == "before"
+            txn.insert("t", 2, "after")
+            txn.commit()
+            counters = kernel.metrics.snapshot()["counters"]
+            assert counters.get("remote_dc.shm_attached") == 2  # 1 + heal
+        finally:
+            kernel.close()
+
+    def test_tc_sigkill_heals_both_hops(self):
+        """Full topology: client→TC and TC→DC both ride rings; killing the
+        TC and restarting re-establishes shm on both."""
+        before = set(_segment_paths())
+        kernel = UnbundledKernel(config=shm_config(tc_processes=1), dc_count=1)
+        try:
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", 1, "durable")
+            txn.commit()
+            kill_process(kernel.tc.pid, kernel.tc)
+            kernel.tc.restart()
+            txn = kernel.begin()
+            assert txn.read("t", 1) == "durable"
+            txn.commit()
+            counters = kernel.metrics.snapshot()["counters"]
+            assert counters.get("remote_tc.shm_attached") == 2  # 1 + heal
+        finally:
+            kernel.close()
+        assert set(_segment_paths()) == before
+
+    def test_supervisor_heals_shm_kernel(self):
+        """The duck-typed heal path needs no shm-specific code: ring
+        re-creation lives inside the proxy's restart."""
+        kernel = UnbundledKernel(config=shm_config(tc_processes=1), dc_count=1)
+        try:
+            supervisor = Supervisor(None, kernel.metrics)
+            supervisor.watch_kernel(kernel)
+            kernel.create_table("t")
+            txn = kernel.begin()
+            txn.insert("t", 1, "v")
+            txn.commit()
+            kill_process(kernel.dc.pid, kernel.dc)
+            healed = supervisor.heal()
+            assert healed
+            txn = kernel.begin()
+            assert txn.read("t", 1) == "v"
+            txn.commit()
+        finally:
+            kernel.close()
+
+    def test_oversized_values_fall_back_to_pipe(self):
+        """Frames above max_frame take the pipe mid-stream; replies still
+        correlate (the reply gate absorbs cross-lane reordering)."""
+        kernel = UnbundledKernel(
+            config=shm_config(shm_ring_bytes=4096), dc_count=1
+        )
+        try:
+            kernel.create_table("t")
+            # Beyond a 4 KiB ring's max_frame (1 KiB) yet within a page.
+            big = "x" * 2000
+            txn = kernel.begin()
+            txn.insert("t", 1, big)
+            txn.insert("t", 2, "small")
+            txn.commit()
+            txn = kernel.begin()
+            assert txn.read("t", 1) == big
+            assert txn.read("t", 2) == "small"
+            txn.commit()
+        finally:
+            kernel.close()
