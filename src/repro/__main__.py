@@ -164,6 +164,15 @@ def _explore(args: list[str]) -> int:
     parser.add_argument("--weaken-read-locks", action="store_true",
                         help="negative control: drop read locks and let "
                         "the oracle find the cycle")
+    parser.add_argument("--cc", default="2pl",
+                        help="comma list of 2pl|occ|mvcc; more than one "
+                        "sweeps the policies round-robin")
+    parser.add_argument("--skip-validation", action="store_true",
+                        help="negative control: disable occ/mvcc "
+                        "commit-time validation")
+    parser.add_argument("--mvcc-read-newest", action="store_true",
+                        help="negative control: mvcc reads newest bytes "
+                        "instead of the snapshot")
     parser.add_argument("--txns", type=int, default=3)
     parser.add_argument("--ops", type=int, default=3)
     parser.add_argument("--keyspace", type=int, default=4)
@@ -183,11 +192,15 @@ def _explore(args: list[str]) -> int:
         print(f"anomaly: {anomaly or 'none — schedule is clean'}")
         return 0 if anomaly else 1  # a saved failure should reproduce
 
+    policies = tuple(p.strip() for p in opts.cc.split(",") if p.strip())
     config = ExploreConfig(
         txns=opts.txns,
         ops_per_txn=opts.ops,
         keyspace=opts.keyspace,
         skip_read_locks=opts.weaken_read_locks,
+        cc_policy=policies[0] if policies else "2pl",
+        skip_validation=opts.skip_validation,
+        mvcc_read_newest=opts.mvcc_read_newest,
     )
     strategies = tuple(s.strip() for s in opts.strategy.split(",") if s.strip())
     crash_modes = (False, True) if opts.crash else (False,)
@@ -196,6 +209,7 @@ def _explore(args: list[str]) -> int:
         schedules=opts.schedules,
         strategies=strategies,
         crash_modes=crash_modes,
+        cc_policies=policies if len(policies) > 1 else None,
         base_seed=opts.seed,
         stop_on_anomaly=True,
     )
@@ -206,7 +220,7 @@ def _explore(args: list[str]) -> int:
         return 0
     print(f"\nANOMALY at seed={failure.seed} strategy={failure.strategy}: "
           f"{failure.anomaly}")
-    artifact = minimize_failure(failure, config)
+    artifact = minimize_failure(failure, summary.first_failure_config or config)
     out = opts.out or f"explore_failure_seed{failure.seed}.json"
     save_artifact(artifact, out)
     print(f"minimized to {len(artifact['trace'])} decisions "
@@ -250,11 +264,22 @@ def _chaos(args: list[str]) -> int:
                         help="process mode: co-located links carry frames "
                         "over shared-memory rings (transport='shm'); "
                         "incompatible with --tcp")
+    parser.add_argument("--cc", default="2pl", choices=("2pl", "occ", "mvcc"),
+                        help="concurrency-control policy under chaos")
+    parser.add_argument("--increment-rate", type=float, default=0.0,
+                        metavar="R", help="rate of increment-canary ops "
+                        "on the reserved slot (0 disables)")
     opts = parser.parse_args(args)
 
     if opts.shm and opts.tcp:
         parser.error("--shm is single-machine; it cannot combine with --tcp")
     kwargs: dict[str, object] = {"seed": opts.seed, "txns": opts.txns}
+    if opts.cc != "2pl":
+        from repro.common.config import TcConfig
+
+        kwargs["tc_config"] = TcConfig(group_commit_size=1, cc_policy=opts.cc)
+    if opts.increment_rate:
+        kwargs["increment_rate"] = opts.increment_rate
     if opts.process:
         kwargs["channel_config"] = ChannelConfig(
             transport="shm" if opts.shm else "process",

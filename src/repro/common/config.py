@@ -48,6 +48,7 @@ TRANSPORTS = ("inproc", "process", "shm")
 PROCESS_TRANSPORTS = ("process", "shm")
 START_METHODS = ("", "fork", "spawn", "forkserver")
 SHARING_MODES = ("read_committed", "dirty")
+CC_POLICIES = ("2pl", "occ", "mvcc")
 
 
 @dataclass
@@ -163,10 +164,28 @@ class TcConfig:
     #: ``"read_committed"`` uses the versioned before-image;
     #: ``"dirty"`` reads the latest (possibly uncommitted) value.
     sharing_mode: str = "read_committed"
+    #: Concurrency-control policy (docs/architecture.md §19).  ``"2pl"``
+    #: is the paper's strict two-phase locking; ``"occ"`` drops read locks
+    #: and validates read/scan sets at commit against concurrently
+    #: committed writers; ``"mvcc"`` serves reads from the committed
+    #: before-image (snapshot-style, no read locks) with write locks and
+    #: first-committer-wins read validation.  All three are serializable
+    #: and swept by the schedule explorer's oracle.
+    cc_policy: str = "2pl"
+    #: TEST ONLY — OCC/MVCC negative control: skip commit-time read-set
+    #: validation, admitting non-serializable interleavings on purpose so
+    #: the explorer's oracle can prove it catches a cheating validator.
+    unsafe_skip_validation: bool = False
+    #: TEST ONLY — MVCC negative control: read the newest (possibly
+    #: uncommitted) value instead of the committed before-image and skip
+    #: read tracking, producing dirty reads the oracle must flag.
+    unsafe_mvcc_read_newest: bool = False
 
     def __post_init__(self) -> None:
         if self.sharing_mode not in SHARING_MODES:
             raise ConfigError("TcConfig.sharing_mode", self.sharing_mode, SHARING_MODES)
+        if self.cc_policy not in CC_POLICIES:
+            raise ConfigError("TcConfig.cc_policy", self.cc_policy, CC_POLICIES)
 
     def retry_policy(self) -> "RetryPolicy":
         return RetryPolicy(

@@ -139,6 +139,7 @@ class ChaosRunner:
         kill_every: int = 0,
         tc_processes: int = 0,
         kill_tc_every: int = 0,
+        increment_rate: float = 0.0,
     ) -> None:
         self.seed = seed
         self.txns = txns
@@ -163,6 +164,13 @@ class ChaosRunner:
             channel_config.seed = seed
         self.kill_every = kill_every
         self.kill_tc_every = kill_tc_every
+        #: Rate of increment-canary ops: each adds +1 to a reserved slot
+        #: (key ``keyspace``, outside the normal workload range), so the
+        #: final value counts exactly the committed increments — the
+        #: logical-undo (negated delta) analogue of the model check.
+        #: Gated (no rng draw at 0.0) to keep default workloads
+        #: bit-identical across versions.
+        self.increment_rate = increment_rate
         self.kills = 0
         self.tc_kills = 0
         self._tc_process_mode = bool(tc_processes)
@@ -293,6 +301,11 @@ class ChaosRunner:
         parts = [f"python -m repro chaos --seed {self.seed}"]
         if self.txns != 250:
             parts.append(f"--txns {self.txns}")
+        cc_policy = self.kernel.config.tc.cc_policy
+        if cc_policy != "2pl":
+            parts.append(f"--cc {cc_policy}")
+        if self.increment_rate:
+            parts.append(f"--increment-rate {self.increment_rate}")
         if self._process_mode:
             parts.append("--process")
             if self.kill_every:
@@ -369,6 +382,16 @@ class ChaosRunner:
         op_no: int,
     ) -> None:
         table = rng.choice(self.TABLES)
+        if self.increment_rate and rng.random() < self.increment_rate:
+            key = self.keyspace  # the reserved canary slot
+            pre = self._pending_value(effects, table, key)
+            if pre is None:
+                txn.insert(table, key, 0)
+                effects.record(table, key, None, 0)
+            else:
+                txn.increment(table, key, 1)
+                effects.record(table, key, pre, pre + 1)
+            return
         key = rng.randrange(self.keyspace)
         pre = self._pending_value(effects, table, key)
         value = f"s{self.seed}.t{txn_no}.o{op_no}"

@@ -68,8 +68,14 @@ class ExploreConfig:
     #: schedulable task, so checkpoint/truncation decision points
     #: interleave with live transactions and any crash/recovery task.
     checkpoint: bool = False
-    #: The negative control: run with TcConfig.unsafe_skip_read_locks.
+    #: A negative control: run with TcConfig.unsafe_skip_read_locks.
     skip_read_locks: bool = False
+    #: Concurrency-control policy under test ("2pl" | "occ" | "mvcc").
+    cc_policy: str = "2pl"
+    #: Negative control for occ/mvcc: skip commit-time validation.
+    skip_validation: bool = False
+    #: Negative control for mvcc: read newest bytes, not the snapshot.
+    mvcc_read_newest: bool = False
     max_steps: int = 2000
     table: str = "t"
 
@@ -131,6 +137,9 @@ def run_schedule(
         # chance to run) is the liveness mechanism instead.
         lock_timeout=60.0,
         unsafe_skip_read_locks=config.skip_read_locks,
+        cc_policy=config.cc_policy,
+        unsafe_skip_validation=config.skip_validation,
+        unsafe_mvcc_read_newest=config.mvcc_read_newest,
     )
     injector = None
     if fault_rules is not None:
@@ -175,6 +184,16 @@ def run_schedule(
             initial=initial,
             final=final,
             strict=not scheduler.exhausted,
+            # Event order is conflict order only under 2PL, where a lock
+            # pins every operation until transaction end.  occ re-serves
+            # repeated reads from its transaction-private workspace and
+            # mvcc reads before-images, so both can legitimately return
+            # an older value *after* a concurrent in-place write — the
+            # value-aware MVSG is their judge.  Negative controls run
+            # under the same mode as their honest policy: an anomaly
+            # only counts as caught if the honest policy sweeps clean
+            # under the identical judge.
+            multiversion=config.cc_policy in ("occ", "mvcc"),
         )
         commits = sum(
             1 for e in scheduler.events if e["point"] == "txn.commit"
@@ -314,6 +333,9 @@ class ExplorationSummary:
     exhausted: int = 0
     per_variant: dict[str, int] = field(default_factory=dict)
     first_failure: Optional[ScheduleOutcome] = None
+    #: The exact variant config the first failure ran under (sweeps mutate
+    #: crash/checkpoint/cc_policy per variant) — what minimize_failure needs.
+    first_failure_config: Optional[ExploreConfig] = None
 
     def to_dict(self) -> dict:
         data = {
@@ -330,6 +352,8 @@ class ExplorationSummary:
                 "strategy": self.first_failure.strategy,
                 "anomaly": self.first_failure.anomaly,
             }
+            if self.first_failure_config is not None:
+                data["first_failure"]["config"] = self.first_failure_config.to_dict()
         return data
 
 
@@ -339,26 +363,37 @@ def explore(
     strategies: Sequence[str] = ("random", "pct"),
     crash_modes: Sequence[bool] = (False,),
     checkpoint_modes: Optional[Sequence[bool]] = None,
+    cc_policies: Optional[Sequence[str]] = None,
     base_seed: int = 0,
     stop_on_anomaly: bool = True,
 ) -> ExplorationSummary:
     """Sweep ``schedules`` seeds round-robin over strategy × crash-mode
-    (× checkpoint-mode, when ``checkpoint_modes`` is given)."""
+    (× checkpoint-mode, when ``checkpoint_modes`` is given, × CC policy,
+    when ``cc_policies`` is given)."""
     config = config or ExploreConfig()
     summary = ExplorationSummary()
     checkpoints = (
         tuple(checkpoint_modes) if checkpoint_modes is not None else (config.checkpoint,)
     )
+    policies = (
+        tuple(cc_policies) if cc_policies is not None else (config.cc_policy,)
+    )
     variants = [
-        (strategy, crash, ckpt)
+        (strategy, crash, ckpt, policy)
         for strategy in strategies
         for crash in crash_modes
         for ckpt in checkpoints
+        for policy in policies
     ]
     for index in range(schedules):
-        strategy, crash, ckpt = variants[index % len(variants)]
+        strategy, crash, ckpt, policy = variants[index % len(variants)]
         variant_config = ExploreConfig(
-            **{**config.to_dict(), "crash": crash, "checkpoint": ckpt}
+            **{
+                **config.to_dict(),
+                "crash": crash,
+                "checkpoint": ckpt,
+                "cc_policy": policy,
+            }
         )
         seed = base_seed + index
         outcome = run_schedule(seed, variant_config, strategy)
@@ -368,11 +403,14 @@ def explore(
         if outcome.exhausted:
             summary.exhausted += 1
         key = f"{strategy}{'+crash' if crash else ''}{'+ckpt' if ckpt else ''}"
+        if cc_policies is not None:
+            key = f"{key}+{policy}"
         summary.per_variant[key] = summary.per_variant.get(key, 0) + 1
         if outcome.anomaly is not None:
             summary.anomalies += 1
             if summary.first_failure is None:
                 summary.first_failure = outcome
+                summary.first_failure_config = variant_config
             if stop_on_anomaly:
                 break
     return summary

@@ -71,6 +71,11 @@ class FaultPoint:
     TC_CHECKPOINT = "tc.checkpoint"
     TC_TRUNCATE = "tc.truncate"
     TC_REDO = "tc.redo"
+    #: occ/mvcc commit windows: entering commit-time validation, and the
+    #: instant after the version stamps were installed (validation passed,
+    #: commit record not yet durable).  Fire only under a ValidatingCc.
+    TC_CC_VALIDATE = "tc.cc_validate"
+    TC_CC_INSTALL = "tc.cc_install"
     DC_SYSTXN = "dc.systxn"
     DC_RESTART = "dc.restart"
 
@@ -85,7 +90,14 @@ class FaultPoint:
     #: Points whose target is a DC name but whose fault surface is the wire.
     CHANNEL_POINTS = (CHANNEL_SEND, CHANNEL_RECV)
     #: Points whose target is a TC name.
-    TC_POINTS = (TC_LOG_FORCE, TC_CHECKPOINT, TC_TRUNCATE, TC_REDO)
+    TC_POINTS = (
+        TC_LOG_FORCE,
+        TC_CHECKPOINT,
+        TC_TRUNCATE,
+        TC_REDO,
+        TC_CC_VALIDATE,
+        TC_CC_INSTALL,
+    )
 
     ALL = DC_POINTS + CHANNEL_POINTS + TC_POINTS
 

@@ -106,6 +106,7 @@ class SerializationOracle:
         initial: Optional[dict[tuple[str, object], object]] = None,
         final: Optional[dict[tuple[str, object], object]] = None,
         strict: bool = True,
+        multiversion: bool = False,
     ) -> OracleReport:
         """Analyze ``events``.
 
@@ -117,10 +118,26 @@ class SerializationOracle:
         mid-flight, where partial writes are expected, not anomalous).
         ``strict=False`` also skips the dirty-read check for the same
         reason: an interrupted transaction never recorded its abort.
+
+        ``multiversion=True`` builds a value-aware multiversion
+        serialization graph instead of the event-order conflict graph.
+        Event order is only conflict order when every read returns the
+        *latest* state (strict 2PL): an mvcc before-image read, or an
+        occ read re-served from the transaction's workspace, can
+        legitimately complete after a concurrent writer's in-place write
+        yet return the older version, which the event-order graph would
+        misreport as a cycle.  The MVSG attributes each read to the
+        transaction that wrote the value it actually returned (values are
+        unique per operation), orders versions by committed-write event
+        order (valid: write locks are held to transaction end), and adds
+        the read -> next-version-writer anti-dependency edges.
         """
         report = OracleReport()
         ops = self._collect_ops(events, report)
-        self._conflict_graph(ops, report)
+        if multiversion:
+            self._mv_conflict_graph(ops, initial or {}, report)
+        else:
+            self._conflict_graph(ops, report)
         if strict:
             self._dirty_reads(ops, initial or {}, report)
         if final is not None:
@@ -170,6 +187,72 @@ class SerializationOracle:
                     if first.kind == "read" and second.kind == "read":
                         continue
                     edges.add((first.txn, second.txn))
+        report.edges = sorted(edges)
+        report.cycle = self._find_cycle(report.edges)
+
+    def _mv_conflict_graph(
+        self,
+        ops: list[_Op],
+        initial: dict[tuple[str, object], object],
+        report: OracleReport,
+    ) -> None:
+        """Multiversion serialization graph over committed transactions.
+
+        Three edge families per key:
+
+        - **wr** — reader depends on the transaction that wrote the value
+          it returned (value -> writer is unambiguous: unique per op).
+        - **ww** — committed writers in write-event order (their X locks
+          are held to transaction end, so event order is version order).
+        - **rw** — the reader must precede the writer of the *next*
+          version after the one it read (later versions follow via ww).
+        """
+        committed = set(report.committed)
+        # Version lists per key: committed writes in event order, with the
+        # pre-populated value (if any) as version zero by the pseudo-writer.
+        versions: dict[tuple[str, object], list[_Op]] = {}
+        reads: list[_Op] = []
+        for op in ops:
+            if op.txn not in committed:
+                continue
+            if op.kind == "write":
+                versions.setdefault((op.table, op.key), []).append(op)
+            elif op.value is not None:
+                reads.append(op)
+        for slot, value in initial.items():
+            versions.setdefault(slot, []).insert(
+                0, _Op(seq=-1, txn=INITIAL, kind="write", table=slot[0], key=slot[1], value=value)
+            )
+        for chain in versions.values():
+            chain.sort(key=lambda op: op.seq)
+        writer_of = {
+            op.value: op for chain in versions.values() for op in chain
+        }
+        edges: set[tuple[str, str]] = set()
+        # ww: consecutive committed writers of each key, in version order.
+        for chain in versions.values():
+            for first, second in zip(chain, chain[1:]):
+                if first.txn != second.txn and first.txn != INITIAL:
+                    edges.add((first.txn, second.txn))
+        # wr and rw: attribute each read to its version, then point the
+        # reader at the next version's writer.
+        for read in reads:
+            source = writer_of.get(read.value)
+            if source is None:
+                continue  # value from an uncommitted/aborted writer:
+                # _dirty_reads (aborted) or step-budget cutoff territory,
+                # not expressible as a version dependency.
+            if source.txn not in (read.txn, INITIAL):
+                edges.add((source.txn, read.txn))
+            chain = versions.get((read.table, read.key), [])
+            try:
+                index = chain.index(source)
+            except ValueError:
+                continue
+            for later in chain[index + 1 :]:
+                if later.txn != read.txn:
+                    edges.add((read.txn, later.txn))
+                    break
         report.edges = sorted(edges)
         report.cycle = self._find_cycle(report.edges)
 

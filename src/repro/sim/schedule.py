@@ -66,6 +66,8 @@ class YieldPoint:
     BUFFER_LATCH = "buffer.latch"
     DC_SYSTXN = "dc.systxn"
     DC_REDO_WAIT = "dc.redo_wait"
+    CC_VALIDATE = "cc.validate"
+    CC_INSTALL = "cc.install"
 
 
 #: The installed scheduler, or None.  Instrumented sites read this module

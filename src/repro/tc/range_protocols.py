@@ -82,6 +82,12 @@ class FetchAheadProtocol:
             # The deleted key's gap merges into its successor's gap.
             self._lock_gap_above(txn, table, key, LockMode.X)
 
+    #: Bare write lock (table IX + record X, no gap probing): the
+    #: optimistic/multiversion CC policies exclude phantoms by commit-time
+    #: validation instead of gap locks, so every mutation kind takes only
+    #: the point lock and the probe round trips vanish from the write path.
+    lock_for_write = lock_for_update
+
     def _lock_gap_above(
         self, txn: "Transaction", table: str, key: Key, mode: LockMode
     ) -> None:
@@ -208,6 +214,9 @@ class RangePartitionProtocol:
     # excluded wholesale (the concurrency the paper says this gives up).
     lock_for_insert = lock_for_update
     lock_for_delete = lock_for_update
+    #: OCC/MVCC write path: same partition IX + record X (validation
+    #: handles phantoms, so nothing coarser is needed).
+    lock_for_write = lock_for_update
 
     # -- range scans -----------------------------------------------------------------
 

@@ -296,6 +296,12 @@ class TcRestart:
         stable_lsn = tc.log.eosl
         rssp, txns = self._analyze()
         tc._rssp = rssp
+        # A restarted TC (a fresh process in the service deployment) must
+        # never reuse a txn id that already appears in the stable log: the
+        # analysis above groups records by txn id, so a reused id would
+        # merge a finished transaction with a later unrelated one and
+        # misclassify winners and losers at the *next* restart.
+        tc.bump_txn_ids_past(max(txns, default=0))
         stats = {
             "stable_lsn": stable_lsn,
             "rssp": rssp,

@@ -154,6 +154,9 @@ class Transaction:
         #: LSN) before inverting such a record; see
         #: ``TransactionalComponent.rollback_operations``.
         self.unconfirmed: set[Lsn] = set()
+        #: Concurrency-control bookkeeping (tc/cc.py): read/scan sets and
+        #: write slots of the validating policies.  None under 2PL.
+        self.cc_state = None
 
     # -- operations ---------------------------------------------------------
 
@@ -406,6 +409,13 @@ class TransactionalComponent:
             self.protocol = FetchAheadProtocol(self)
         else:
             self.protocol = RangePartitionProtocol(self)
+        # Pluggable concurrency control (docs/architecture.md §19): every
+        # read/scan/write-lock decision and the commit-time validation
+        # gate dispatch through this policy.  Imported lazily — tc/cc.py
+        # references this module's sentinels at import time.
+        from repro.tc.cc import make_policy
+
+        self.cc = make_policy(self)
         self._channels: dict[str, MessageChannel] = {}
         self._dcs: dict[str, DataComponent] = {}
         self._routes: dict[str, _TableRoute] = {}
@@ -532,6 +542,20 @@ class TransactionalComponent:
         if self._crashed:
             raise CrashedError(f"TC {self.tc_id}")
 
+    def bump_txn_ids_past(self, txn_id: int) -> None:
+        """Advance the txn-id allocator past ``txn_id``.
+
+        Restart calls this with the largest txn id in the stable log: a
+        fresh TC incarnation (the crashed process was respawned, so the
+        in-memory counter reset) would otherwise hand out ids that
+        already appear in the log, and the next restart's analysis —
+        which groups records by txn id — would merge two unrelated
+        transactions into one.
+        """
+        floor = txn_id - self.tc_id * 1_000_000
+        if floor > 0:
+            self._txn_ids = itertools.count(floor + 1)
+
     # -- transaction lifecycle -----------------------------------------------------
 
     def begin(self) -> Transaction:
@@ -570,6 +594,11 @@ class TransactionalComponent:
     def _commit_inner(self, txn: Transaction) -> None:
         try:
             self.sync_pipeline(txn)
+            # Commit-time CC gate (OCC/MVCC read validation; a no-op for
+            # 2PL).  Runs after the pipeline is synced — every in-place
+            # write applied — and before the commit record exists, so a
+            # veto is an ordinary abort.
+            self.cc.validate(txn)
         except ReproError as exc:
             # No commit record exists yet, so the outcome is determinate:
             # roll back (outage-tolerantly) and report a plain abort rather
@@ -594,6 +623,9 @@ class TransactionalComponent:
         except (CrashedError, ResendExhaustedError):
             self.force_log()
             self._cache_committed(txn)
+            # The commit decision stands (zombie completion only parks the
+            # version cleanup): settle CC registry state with the locks.
+            self.cc.on_committed(txn)
             self.locks.release_all(txn.txn_id)
             txn.state = TransactionState.COMMITTED
             with self._admin:
@@ -604,6 +636,7 @@ class TransactionalComponent:
             return
         self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
         self._cache_committed(txn)
+        self.cc.on_committed(txn)
         self.locks.release_all(txn.txn_id)
         txn.state = TransactionState.COMMITTED
         with self._admin:
@@ -631,6 +664,10 @@ class TransactionalComponent:
         try:
             self._drive_rollback(txn)
         except (CrashedError, ResendExhaustedError):
+            # Zombie: the DC still holds uncommitted bytes for this txn's
+            # keys, so its CC registry entries must OUTLIVE the lock
+            # release — readers keep conflicting/seeing before-images
+            # until _retry_zombie_rollbacks settles the keys.
             self.locks.release_all(txn.txn_id)
             txn.state = TransactionState.ABORTED
             with self._admin:
@@ -640,6 +677,7 @@ class TransactionalComponent:
             self.metrics.incr("tc.aborts")
             return
         self.log.append(lambda lsn: TxnEndRecord(lsn=lsn, txn_id=txn.txn_id))
+        self.cc.on_abort_settled(txn)
         self.locks.release_all(txn.txn_id)
         txn.state = TransactionState.ABORTED
         with self._admin:
@@ -799,12 +837,17 @@ class TransactionalComponent:
                 if thigh is not None and key > thigh:
                     self._table_high[table] = key
         try:
-            self.protocol.lock_for_insert(txn, table, key)
+            self.cc.lock_for_insert(txn, table, key)
         except (TransactionAborted, LockTimeoutError):
             self._force_abort(txn)
             raise
         if self._insert_prior(txn, table, key) is not ABSENT:
             raise DuplicateKeyError(table, key)
+        try:
+            self.cc.note_write(txn, table, key, ABSENT, structural=True)
+        except TransactionAborted:
+            self._force_abort(txn)
+            raise
         op = InsertOp(table=table, key=key, value=value, versioned=route.versioned)
         undo = None if route.versioned else DeleteOp(table=table, key=key)
         self._run_mutation(txn, route, op, undo, deferred=deferred)
@@ -828,13 +871,18 @@ class TransactionalComponent:
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
         try:
-            self.protocol.lock_for_update(txn, table, key)
+            self.cc.lock_for_update(txn, table, key)
         except (TransactionAborted, LockTimeoutError):
             self._force_abort(txn)
             raise
         prior = self._known_value(txn, table, key)
         if prior is ABSENT:
             raise NoSuchRecordError(table, key)
+        try:
+            self.cc.note_write(txn, table, key, prior, structural=False)
+        except TransactionAborted:
+            self._force_abort(txn)
+            raise
         op = UpdateOp(table=table, key=key, value=value, versioned=route.versioned)
         undo = (
             None
@@ -857,13 +905,18 @@ class TransactionalComponent:
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
         try:
-            self.protocol.lock_for_delete(txn, table, key)
+            self.cc.lock_for_delete(txn, table, key)
         except (TransactionAborted, LockTimeoutError):
             self._force_abort(txn)
             raise
         prior = self._known_value(txn, table, key)
         if prior is ABSENT:
             raise NoSuchRecordError(table, key)
+        try:
+            self.cc.note_write(txn, table, key, prior, structural=True)
+        except TransactionAborted:
+            self._force_abort(txn)
+            raise
         op = DeleteOp(table=table, key=key, versioned=route.versioned)
         undo = (
             None
@@ -891,7 +944,7 @@ class TransactionalComponent:
         self._check_ownership(table, key)
         self._sync_if_conflicting(txn, table, key)
         try:
-            self.protocol.lock_for_update(txn, table, key)
+            self.cc.lock_for_update(txn, table, key)
         except (TransactionAborted, LockTimeoutError):
             self._force_abort(txn)
             raise
@@ -900,6 +953,11 @@ class TransactionalComponent:
             raise NoSuchRecordError(table, key)
         if not isinstance(prior, (int, float)) or isinstance(prior, bool):
             raise ReproError(f"record {key!r} of {table!r} is not numeric")
+        try:
+            self.cc.note_write(txn, table, key, prior, structural=False)
+        except TransactionAborted:
+            self._force_abort(txn)
+            raise
         op = IncrementOp(
             table=table, key=key, delta=delta, versioned=route.versioned
         )
@@ -917,13 +975,11 @@ class TransactionalComponent:
             self._check_up()
         if txn.state is not TransactionState.ACTIVE:
             txn._check_active()
-        if not self.config.unsafe_skip_read_locks:
-            try:
-                self.protocol.lock_for_read(txn, table, key)
-            except (TransactionAborted, LockTimeoutError):
-                self._force_abort(txn)
-                raise
-        value = self._known_value(txn, table, key)
+        try:
+            value = self.cc.read(txn, table, key)
+        except (TransactionAborted, LockTimeoutError):
+            self._force_abort(txn)
+            raise
         return None if value is ABSENT else value
 
     def do_scan(
@@ -943,12 +999,10 @@ class TransactionalComponent:
             # this very transaction must be visible to it — flush first.
             self.sync_pipeline(txn)
         try:
-            results = self.protocol.locked_range_read(txn, table, low, high, limit)
+            results = self.cc.scan(txn, table, low, high, limit)
         except (TransactionAborted, LockTimeoutError):
             self._force_abort(txn)
             raise
-        for key, value in results:
-            txn.known[(table, key)] = value
         self.metrics.incr("tc.scans")
         return results
 
@@ -1183,7 +1237,11 @@ class TransactionalComponent:
         actually knows (transaction- or cache-local) still answers first,
         keeping the error synchronous whenever knowledge is at hand.
         """
-        if self._batch_ops and self._undo_cache is not None:
+        if (
+            self._batch_ops
+            and self._undo_cache is not None
+            and not self.cc.needs_insert_prior
+        ):
             known = txn.known.get((table, key))
             if known is not None:
                 return known
@@ -1229,6 +1287,24 @@ class TransactionalComponent:
         self._expect_ok(result, op)
         txn.known[(table, key)] = result.value
         self._cache_store(table, key, result.value)
+        return result.value
+
+    def _cc_fetch(self, table: str, key: Key) -> object:
+        """Lock-free policy read: one DC round trip, value or ``ABSENT``.
+
+        Deliberately bypasses ``txn.known`` and the undo-info cache —
+        both feed undo logging and may only hold values learned under a
+        covering lock; a lock-free read caching there would let an abort
+        "restore" a value that was never the committed state.
+        """
+        route = self._route(table)
+        op = ReadOp(table=table, key=key, flavor=ReadFlavor.OWN)
+        op_id = self.log.issue_read_id()
+        result = self._perform(route.dc_name, op, op_id)
+        self._complete_op(op_id)
+        if result.status is OpStatus.NOT_FOUND:
+            return ABSENT
+        self._expect_ok(result, op)
         return result.value
 
     # -- the undo-info cache (docs/architecture.md §9.2) -------------------------------------
@@ -1471,6 +1547,10 @@ class TransactionalComponent:
                 # were released long ago — drop anything cached for them
                 # (a concurrent reader may have re-cached since the abort).
                 self._uncache_txn(txn)
+                # Settled at last: bump the keys' stamps (any lock-free
+                # read of the mid-rollback bytes must fail validation) and
+                # free the writer registry for new writers.
+                self.cc.on_abort_settled(txn)
                 self.log.append(
                     lambda lsn, t=txn.txn_id: TxnEndRecord(lsn=lsn, txn_id=t)
                 )
@@ -1915,6 +1995,9 @@ class TransactionalComponent:
         self._crashed = True
         lost = self.log.crash()
         self.locks.clear()
+        # CC stamps / writer registry / before-images are volatile exactly
+        # like the lock table; restart re-learns everything it needs.
+        self.cc.clear()
         with self._admin:
             self._active.clear()
             self._zombie_rollbacks.clear()
@@ -2006,6 +2089,7 @@ class TransactionalComponent:
         """Introspection snapshot: log, locks, routing, contract state."""
         return {
             "tc_id": self.tc_id,
+            "cc_policy": self.cc.name,
             "active_transactions": self.active_count(),
             "log_records": self.log.record_count(),
             "stable_records": self.log.stable_count(),

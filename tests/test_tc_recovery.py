@@ -236,3 +236,57 @@ class TestCommittedCleanupCompletion:
             if isinstance(r, TxnEndRecord)
         ]
         assert ends
+
+
+class TestTxnIdReuseAcrossIncarnations:
+    """Regression: a respawned TC *process* starts with a fresh txn-id
+    counter, so before restart learned to bump the allocator past the
+    stable log it would reuse ids from earlier incarnations.  Restart
+    analysis groups records by txn id, so a reused id merged two
+    unrelated transactions — observed in the process-mode chaos sweep as
+    an acknowledged committed update regressing to its before-image
+    (the merged "transaction" was undone past the commit).  Model the
+    respawn by resetting the in-memory counter, which is exactly the
+    state a fresh process starts from.
+    """
+
+    @staticmethod
+    def _respawn(kernel):
+        import itertools
+
+        kernel.crash_tc()
+        kernel.tc._txn_ids = itertools.count(1)  # what a fresh process has
+        return kernel.recover_tc()
+
+    def test_restart_bumps_allocator_past_stable_log(self):
+        kernel = small_kernel()
+        populate(kernel, 3)
+        logged = max(r.txn_id for r in kernel.tc.log.stable_records())
+        self._respawn(kernel)
+        txn = kernel.begin()
+        try:
+            assert txn.txn_id > logged
+        finally:
+            txn.abort()
+
+    def test_loser_with_reused_id_is_undone(self):
+        """Two reincarnation cycles.  Without the allocator bump the
+        second incarnation's in-flight loser reuses the id of a finished
+        first-incarnation transaction; analysis then sees an ended
+        transaction and skips the undo, leaking the uncommitted update.
+        """
+        kernel = small_kernel()
+        with kernel.begin() as txn:
+            txn.insert("t", 1, "one")
+        with kernel.begin() as txn:
+            txn.insert("t", 2, "two")
+        self._respawn(kernel)
+        with kernel.begin() as txn:  # committed work of incarnation 2
+            txn.update("t", 1, "one.v2")
+        loser = kernel.begin()  # in flight at the next crash
+        loser.update("t", 2, "uncommitted")
+        kernel.tc.force_log()  # its op record must survive the crash
+        self._respawn(kernel)
+        with kernel.begin() as check:
+            assert check.read("t", 1) == "one.v2"
+            assert check.read("t", 2) == "two"
